@@ -1,0 +1,40 @@
+//! Micro-benchmarks of the pull-stream substrate: protocol overhead of the
+//! combinators and of the Limiter (paper Figure 5 / §2.4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pando_pull_stream::sink::drain;
+use pando_pull_stream::source::{count, SourceExt};
+
+fn bench_combinators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pull_stream");
+    group.sample_size(20);
+    for n in [1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("count_drain", n), &n, |b, &n| {
+            b.iter(|| drain(count(n)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("map_filter_take", n), &n, |b, &n| {
+            b.iter(|| {
+                count(n * 2)
+                    .map_values(|x| x * 3)
+                    .filter_values(|x| x % 2 == 0)
+                    .take_values(n as usize)
+                    .drain_all()
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch_unbatch", n), &n, |b, &n| {
+            b.iter(|| {
+                count(n)
+                    .through(|s| pando_pull_stream::through::Batch::new(s, 16))
+                    .through(pando_pull_stream::through::Unbatch::new)
+                    .drain_all()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_combinators);
+criterion_main!(benches);

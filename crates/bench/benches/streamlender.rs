@@ -1,0 +1,43 @@
+//! Benchmarks of the StreamLender coordination overhead: how many values per
+//! second the master-side abstraction can lend and merge, for a varying
+//! number of concurrent sub-streams (devices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pando_pull_stream::lender::StreamLender;
+use pando_pull_stream::source::{count, SourceExt};
+
+fn run(workers: usize, values: u64) {
+    let lender: StreamLender<u64, u64> = StreamLender::new(count(values));
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let mut sub = lender.lend();
+            std::thread::spawn(move || {
+                while let Some(task) = sub.next_task() {
+                    sub.push_result(task.seq, task.value).unwrap();
+                }
+                sub.complete();
+            })
+        })
+        .collect();
+    let output = lender.output().drain_all().unwrap();
+    assert_eq!(output as u64, values);
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+fn bench_lender(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streamlender");
+    group.sample_size(10);
+    let values = 20_000u64;
+    group.throughput(Throughput::Elements(values));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &workers| {
+            b.iter(|| run(workers, values))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lender);
+criterion_main!(benches);

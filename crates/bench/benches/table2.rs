@@ -1,0 +1,30 @@
+//! Benchmarks of the deployment simulator used to regenerate Table 2: one
+//! five-minute simulated window per scenario and application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pando_bench::regenerate_column;
+use pando_devices::profiles::Scenario;
+use pando_workloads::AppKind;
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_simulation");
+    group.sample_size(10);
+    let window = Duration::from_secs(300);
+    for scenario in Scenario::all() {
+        group.bench_with_input(
+            BenchmarkId::new("raytrace", scenario),
+            &scenario,
+            |b, &scenario| b.iter(|| regenerate_column(scenario, AppKind::Raytrace, window)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("collatz", scenario),
+            &scenario,
+            |b, &scenario| b.iter(|| regenerate_column(scenario, AppKind::Collatz, window)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

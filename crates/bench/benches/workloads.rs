@@ -1,0 +1,27 @@
+//! Benchmarks of the workload kernels themselves (one item of each Table 2
+//! column), giving this machine's equivalent of a single table row.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pando_workloads::app::{AppKind, PandoApp};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_kernels");
+    group.sample_size(10);
+    for kind in [
+        AppKind::Collatz,
+        AppKind::CryptoMining,
+        AppKind::StreamLenderTesting,
+        AppKind::Raytrace,
+        AppKind::ImageProcessing,
+        AppKind::MlAgentTraining,
+    ] {
+        let app = kind.instantiate();
+        let input = app.input(0);
+        group.throughput(Throughput::Elements(app.items_per_input()));
+        group.bench_function(app.name(), |b| b.iter(|| app.process(&input).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

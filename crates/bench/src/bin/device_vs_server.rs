@@ -1,0 +1,59 @@
+//! The §5.5 single-core comparisons between personal devices and servers:
+//! "a single core from personal devices of 2016 sometimes provides higher
+//! throughput than older servers" and "2-5 cores on recent personal devices
+//! can outperform the fastest server core".
+
+use pando_devices::profiles::Scenario;
+use pando_devices::table2::{paper_reference, scenario_entries, PaperEntry};
+use pando_workloads::AppKind;
+
+fn per_core(entry: &PaperEntry, app: AppKind) -> Option<f64> {
+    entry.throughput(app).map(|t| t / entry.cores as f64)
+}
+
+fn main() {
+    let reference = paper_reference();
+    let iphone = reference.iter().find(|e| e.device == "iPhone SE").unwrap();
+    let mbpro = reference.iter().find(|e| e.device == "MBPro 2016").unwrap();
+    let uvb = reference.iter().find(|e| e.device == "uvb.sophia").unwrap();
+    let fastest_server = reference
+        .iter()
+        .filter(|e| e.scenario != Scenario::Lan)
+        .max_by(|a, b| a.collatz.partial_cmp(&b.collatz).unwrap())
+        .unwrap();
+
+    println!("§5.5 claim checks (from the calibrated device profiles)\n");
+    println!(
+        "Collatz, single core: iPhone SE = {:.1}/s vs uvb.sophia (Grid5000) = {:.1}/s -> {}",
+        iphone.collatz,
+        uvb.collatz,
+        if iphone.collatz > uvb.collatz { "personal device wins" } else { "server wins" }
+    );
+    let beaten_planetlab = scenario_entries(Scenario::Wan)
+        .iter()
+        .filter(|e| e.collatz < iphone.collatz)
+        .count();
+    println!(
+        "Collatz: the iPhone SE outperforms {beaten_planetlab} of the 7 PlanetLab nodes"
+    );
+    let mbpro_core = per_core(mbpro, AppKind::Collatz).unwrap();
+    println!(
+        "\nPer-core Collatz: MBPro 2016 = {:.1}/s, fastest server core ({}) = {:.1}/s",
+        mbpro_core, fastest_server.device, fastest_server.collatz
+    );
+    let cores_needed = (fastest_server.collatz / mbpro_core).ceil() as u32;
+    println!(
+        "-> {cores_needed} MBPro cores (or {} iPhone cores) match the fastest server core, \
+         i.e. 2-5 cores on recent personal devices replace a high-end server core",
+        (fastest_server.collatz / iphone.collatz).ceil() as u32
+    );
+    let iphone_img = per_core(iphone, AppKind::ImageProcessing).unwrap();
+    let mbpro_img = per_core(mbpro, AppKind::ImageProcessing).unwrap();
+    println!("\nBrowser choice effect (paper §5.5: Safari vs Firefox on image processing):");
+    println!(
+        "iPhone SE single core = {:.2} images/s vs MBPro 2016 per core = {:.2} images/s -> {:.1}x",
+        iphone_img,
+        mbpro_img,
+        iphone_img / mbpro_img
+    );
+}

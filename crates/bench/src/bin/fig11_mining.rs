@@ -1,0 +1,40 @@
+//! The synchronous parallel search of paper §4.2 / Figure 11: mining a small
+//! chain of blocks with several volunteer devices and the feedback-loop
+//! monitor.
+
+use pando_core::config::PandoConfig;
+use pando_core::master::Pando;
+use pando_core::monitor::MiningMonitor;
+use pando_core::worker::{spawn_worker, WorkerOptions};
+use pando_workloads::app::AppKind;
+
+fn main() {
+    let blocks: Vec<String> = (1..=3).map(|i| format!("pando-block-{i}")).collect();
+    let difficulty = 14;
+    let pando = Pando::new(PandoConfig::local_test());
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            let app = AppKind::CryptoMining.instantiate();
+            spawn_worker(
+                pando.open_volunteer_channel(),
+                move |input: &str| app.process(input),
+                WorkerOptions { name: format!("miner-{i}"), ..WorkerOptions::default() },
+            )
+        })
+        .collect();
+    println!("Mining {} blocks at difficulty {difficulty} with 3 volunteers...\n", blocks.len());
+    let monitor = MiningMonitor::new(blocks, difficulty, 2_000);
+    let start = std::time::Instant::now();
+    let solved = monitor.run(&pando);
+    for block in &solved {
+        println!(
+            "{}: nonce {} found after {} dispatched ranges",
+            block.block, block.nonce, block.attempts
+        );
+    }
+    println!("\nSolved {} blocks in {:.2?}", solved.len(), start.elapsed());
+    for worker in workers {
+        let report = worker.join();
+        println!("{}: processed {} ranges", report.name, report.processed);
+    }
+}

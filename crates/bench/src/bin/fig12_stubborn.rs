@@ -1,0 +1,48 @@
+//! Stubborn processing with a failure-prone external data distribution
+//! (paper §4.3 / Figure 12): results whose download fails are resubmitted
+//! until they are confirmed.
+
+use pando_pull_stream::source::from_iter;
+use pando_pull_stream::stubborn::StubbornQueue;
+use pando_pull_stream::{Answer, Request, Source};
+use pando_workloads::imageproc::{box_blur, synthetic_tile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let tiles = 24u64;
+    let (mut queue, handle) = StubbornQueue::new(from_iter(0..tiles), 5);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut blurred = 0u64;
+    println!("Blurring {tiles} Landsat-like tiles; 30% of result downloads fail\n");
+    loop {
+        match queue.pull(Request::Ask) {
+            Answer::Value(tracked) => {
+                let tile = synthetic_tile(tracked.value, 128, 128);
+                let _processed = box_blur(&tile, 3);
+                // The external data distribution (DAT / WebTorrent in the
+                // paper) sometimes fails to deliver the result bytes.
+                let download_ok = rng.gen_bool(0.7);
+                if download_ok {
+                    handle.confirm(tracked.id).unwrap();
+                    blurred += 1;
+                } else {
+                    let retried = handle.resubmit(tracked.id).unwrap();
+                    println!(
+                        "tile {:>2}: download failed on attempt {} ({})",
+                        tracked.value,
+                        tracked.attempt,
+                        if retried { "resubmitted" } else { "abandoned" }
+                    );
+                }
+            }
+            _ => break,
+        }
+    }
+    let stats = handle.stats();
+    println!("\nconfirmed {blurred}/{tiles} tiles");
+    println!(
+        "resubmissions: {}, abandoned: {}",
+        stats.resubmissions, stats.abandoned
+    );
+}

@@ -1,0 +1,19 @@
+//! Replays the deployment example of paper Figure 4 against the real
+//! master/worker implementation, with a real (small) raytracer as `f`.
+
+use pando_core::deploy::{format_trace, run_figure4_scenario};
+use pando_workloads::raytrace::Scene;
+
+fn main() {
+    let scene = Scene::default();
+    let render = move |input: &str| -> Result<String, pando_pull_stream::StreamError> {
+        // Inputs are x1, x2, x3: derive a camera angle from the index.
+        let index: f64 = input.trim_start_matches('x').parse().unwrap_or(1.0);
+        let pixels = scene.render(index * 0.8, 64, 48);
+        Ok(format!("{input}:{} bytes", pixels.len()))
+    };
+    println!("Figure 4 deployment example (tablet joins, renders, crashes; phone takes over)\n");
+    for line in format_trace(&run_figure4_scenario(render)) {
+        println!("{line}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates paper Table 2: average throughput per device for the six
+//! CPU-bound applications on the LAN, VPN and WAN deployments.
+//!
+//! Usage: `table2 [lan|vpn|wan|all] [window-seconds]` (default: all, 300 s).
+
+use pando_bench::render_scenario;
+use pando_devices::profiles::Scenario;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let seconds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let window = Duration::from_secs(seconds);
+    let scenarios: Vec<Scenario> = match Scenario::from_name(which) {
+        Some(s) => vec![s],
+        None => Scenario::all().to_vec(),
+    };
+    println!("Table 2 — average throughput for CPU-bound streaming applications");
+    println!("(simulated deployment calibrated from the published per-device rates)\n");
+    for scenario in scenarios {
+        println!("{}", render_scenario(scenario, window));
+    }
+}

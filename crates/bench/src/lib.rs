@@ -1,0 +1,265 @@
+//! Benchmark harness regenerating the tables and figures of the paper's
+//! evaluation (§5).
+//!
+//! The binaries in `src/bin` print the regenerated artefacts:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table2` | Table 2 (LAN / VPN / WAN throughput per device and per application) |
+//! | `fig4_deployment` | Figure 4 deployment example (join, crash, take-over) |
+//! | `batching_sweep` | §5.5 claim: batching hides the network latency |
+//! | `device_vs_server` | §5.5 claims comparing personal devices with server cores |
+//! | `fig11_mining` | Figure 11 synchronous parallel search (crypto mining) |
+//! | `fig12_stubborn` | Figure 12 stubborn processing with failure-prone data distribution |
+//!
+//! The Criterion benches in `benches/` measure the substrate itself
+//! (StreamLender, Limiter, workload kernels, simulator).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pando_core::sim::{simulate, SimDevice, SimParams, SimReport};
+use pando_devices::profiles::{units_per_task, Scenario, ScenarioSetup};
+use pando_devices::table2::paper_total;
+use pando_workloads::AppKind;
+use std::time::Duration;
+
+/// The result of regenerating one (scenario, application) cell group of
+/// Table 2: the simulated per-device throughput next to the published one.
+#[derive(Debug, Clone)]
+pub struct Table2Column {
+    /// The scenario being regenerated.
+    pub scenario: Scenario,
+    /// The application of this column.
+    pub app: AppKind,
+    /// Rows: (device name, simulated units/s, simulated share %, paper units/s, paper share %).
+    pub rows: Vec<Table2Row>,
+    /// Simulated total throughput in table units per second.
+    pub simulated_total: f64,
+    /// Published total throughput in table units per second.
+    pub paper_total: Option<f64>,
+}
+
+/// One device row of a regenerated Table 2 column.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Device name.
+    pub device: String,
+    /// Simulated throughput in table units per second.
+    pub simulated: f64,
+    /// Simulated share of the total, in percent.
+    pub simulated_share: f64,
+    /// Published throughput in table units per second.
+    pub paper: f64,
+    /// Published share of the total, in percent.
+    pub paper_share: f64,
+}
+
+/// Builds the simulated devices of one (scenario, application) pair.
+pub fn scenario_devices(setup: &ScenarioSetup, app: AppKind) -> Vec<SimDevice> {
+    setup
+        .devices
+        .iter()
+        .filter_map(|device| {
+            device
+                .service_time(app)
+                .map(|service| SimDevice::steady(device.name.clone(), service))
+        })
+        .collect()
+}
+
+/// Regenerates one column group of Table 2 by simulating `window` of the
+/// deployment with the paper's batch size and the scenario's latency.
+pub fn regenerate_column(scenario: Scenario, app: AppKind, window: Duration) -> Table2Column {
+    let setup = ScenarioSetup::paper(scenario);
+    let devices = scenario_devices(&setup, app);
+    let params = SimParams {
+        batch_size: setup.batch_size,
+        latency: setup.channel.latency,
+        duration: window,
+    };
+    let report = simulate(&devices, &params);
+    column_from_report(scenario, app, &setup, &report)
+}
+
+fn column_from_report(
+    scenario: Scenario,
+    app: AppKind,
+    setup: &ScenarioSetup,
+    report: &SimReport,
+) -> Table2Column {
+    let units = units_per_task(app);
+    let paper_rows: Vec<(String, f64)> = setup
+        .devices
+        .iter()
+        .filter_map(|d| d.rate(app).map(|r| (d.name.clone(), r)))
+        .collect();
+    let paper_sum: f64 = paper_rows.iter().map(|(_, r)| r).sum();
+    let simulated_total: f64 = report.devices.iter().map(|d| d.throughput * units).sum();
+    let rows = report
+        .devices
+        .iter()
+        .map(|device| {
+            let simulated = device.throughput * units;
+            let paper = paper_rows
+                .iter()
+                .find(|(name, _)| *name == device.name)
+                .map(|(_, r)| *r)
+                .unwrap_or(0.0);
+            Table2Row {
+                device: device.name.clone(),
+                simulated,
+                simulated_share: if simulated_total > 0.0 { 100.0 * simulated / simulated_total } else { 0.0 },
+                paper,
+                paper_share: if paper_sum > 0.0 { 100.0 * paper / paper_sum } else { 0.0 },
+            }
+        })
+        .collect();
+    Table2Column {
+        scenario,
+        app,
+        rows,
+        simulated_total,
+        paper_total: paper_total(scenario, app),
+    }
+}
+
+/// Renders one regenerated scenario as the text table printed by the
+/// `table2` binary.
+pub fn render_scenario(scenario: Scenario, window: Duration) -> String {
+    let mut out = String::new();
+    let setup = ScenarioSetup::paper(scenario);
+    out.push_str(&format!(
+        "== {} (batch size {}, one-way latency {:?}, window {:?}) ==\n",
+        scenario.title(),
+        setup.batch_size,
+        setup.channel.latency,
+        window
+    ));
+    for app in AppKind::measured() {
+        let column = regenerate_column(scenario, app, window);
+        if column.rows.is_empty() {
+            out.push_str(&format!(
+                "\n  {:<22} (not measured in the paper for this scenario)\n",
+                format!("{app}")
+            ));
+            continue;
+        }
+        let unit = app.instantiate().unit();
+        out.push_str(&format!("\n  {:<22} [{unit}]\n", format!("{app}")));
+        out.push_str(&format!(
+            "  {:<30} {:>12} {:>7}   {:>12} {:>7}\n",
+            "device", "simulated", "%", "paper", "%"
+        ));
+        for row in &column.rows {
+            out.push_str(&format!(
+                "  {:<30} {:>12.2} {:>6.1}%   {:>12.2} {:>6.1}%\n",
+                row.device, row.simulated, row.simulated_share, row.paper, row.paper_share
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<30} {:>12.2} {:>6}   {:>12.2}\n",
+            "TOTAL",
+            column.simulated_total,
+            "",
+            column.paper_total.unwrap_or(f64::NAN)
+        ));
+    }
+    out
+}
+
+/// Sweeps the batch size for one scenario and application, returning
+/// `(batch_size, total units/s)` pairs — the §5.5 latency-hiding experiment.
+pub fn batching_sweep(
+    scenario: Scenario,
+    app: AppKind,
+    batch_sizes: &[usize],
+    window: Duration,
+) -> Vec<(usize, f64)> {
+    let setup = ScenarioSetup::paper(scenario);
+    let devices = scenario_devices(&setup, app);
+    batch_sizes
+        .iter()
+        .map(|&batch_size| {
+            let params =
+                SimParams { batch_size, latency: setup.channel.latency, duration: window };
+            let report = simulate(&devices, &params);
+            let units = units_per_task(app);
+            (batch_size, report.devices.iter().map(|d| d.throughput * units).sum())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WINDOW: Duration = Duration::from_secs(60);
+
+    #[test]
+    fn regenerated_totals_are_close_to_the_paper() {
+        // The simulator is calibrated from the per-device rates, so with the
+        // paper's batch sizes the totals must land close to the published
+        // ones (the latency is hidden for these compute-bound applications).
+        for scenario in Scenario::all() {
+            for app in AppKind::measured() {
+                let column = regenerate_column(scenario, app, WINDOW);
+                let Some(paper) = column.paper_total else { continue };
+                let error = (column.simulated_total - paper).abs() / paper;
+                assert!(
+                    error < 0.08,
+                    "{scenario:?}/{app:?}: simulated {} vs paper {paper} ({}% off)",
+                    column.simulated_total,
+                    (error * 100.0).round()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shares_track_the_paper_ordering() {
+        let column = regenerate_column(Scenario::Lan, AppKind::Collatz, WINDOW);
+        // The MacBook Pro dominates and the Novena contributes the least,
+        // exactly as in the published share column.
+        let share = |device: &str| {
+            column.rows.iter().find(|r| r.device == device).unwrap().simulated_share
+        };
+        assert!(share("MBPro 2016") > 40.0);
+        assert!(share("Novena") < 10.0);
+        assert!(share("MBPro 2016") > share("Asus Laptop"));
+        assert!(share("iPhone SE") > share("MBAir 2011"));
+    }
+
+    #[test]
+    fn wan_skips_image_processing() {
+        let column = regenerate_column(Scenario::Wan, AppKind::ImageProcessing, WINDOW);
+        assert!(column.rows.is_empty());
+        assert_eq!(column.paper_total, None);
+    }
+
+    #[test]
+    fn batching_sweep_shows_latency_hiding() {
+        let sweep = batching_sweep(
+            Scenario::Wan,
+            AppKind::Raytrace,
+            &[1, 2, 4, 8],
+            WINDOW,
+        );
+        assert_eq!(sweep.len(), 4);
+        let batch1 = sweep[0].1;
+        let batch4 = sweep[2].1;
+        let batch8 = sweep[3].1;
+        assert!(batch4 > batch1, "larger batches must improve WAN throughput");
+        // Once the latency is hidden, adding more batch slots changes little.
+        assert!((batch8 - batch4).abs() / batch4 < 0.05);
+    }
+
+    #[test]
+    fn render_scenario_mentions_every_device() {
+        let text = render_scenario(Scenario::Lan, Duration::from_secs(30));
+        for device in ["Novena", "Asus Laptop", "MBAir 2011", "iPhone SE", "MBPro 2016"] {
+            assert!(text.contains(device), "missing {device} in:\n{text}");
+        }
+        assert!(text.contains("TOTAL"));
+    }
+}

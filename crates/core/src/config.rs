@@ -1,0 +1,115 @@
+//! Deployment configuration.
+
+use pando_netsim::channel::ChannelConfig;
+use std::time::Duration;
+
+/// Configuration of one Pando deployment.
+///
+/// A deployment is specific to a single user, project and task lifetime
+/// (design principle DP1): the configuration is created on startup, passed to
+/// [`Pando::new`](crate::master::Pando::new) and dropped when the stream of
+/// values is exhausted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PandoConfig {
+    /// Number of values that may be in flight towards one volunteer at a
+    /// time (the `--batch-size` argument of the original tool). A batch size
+    /// of 2 lets one input travel while another is being processed,
+    /// which is enough to hide the network latency of compute-bound
+    /// applications (paper §5.5).
+    pub batch_size: usize,
+    /// Network profile of the channels towards the volunteers.
+    pub channel: ChannelConfig,
+    /// How long the master waits for the first volunteer before reporting
+    /// (it keeps waiting regardless; this only controls a log line).
+    pub startup_grace: Duration,
+    /// Length of the throughput measurement window used by
+    /// [`metrics`](crate::metrics) (five minutes in the paper).
+    pub measurement_window: Duration,
+    /// Human-readable name of the processing-function bundle served to
+    /// volunteers (the equivalent of the browserified `render.js`).
+    pub bundle_name: String,
+    /// Version tag of the Pando protocol exposed to the bundle.
+    pub protocol_version: String,
+}
+
+impl PandoConfig {
+    /// The protocol version implemented by this crate.
+    pub const PROTOCOL_VERSION: &'static str = "/pando/1.0.0";
+
+    /// A configuration suitable for in-process tests: instant channels and a
+    /// batch size of 2.
+    pub fn local_test() -> Self {
+        Self {
+            batch_size: 2,
+            channel: ChannelConfig::instant(),
+            startup_grace: Duration::from_millis(100),
+            measurement_window: Duration::from_secs(1),
+            bundle_name: "bundle.js".to_string(),
+            protocol_version: Self::PROTOCOL_VERSION.to_string(),
+        }
+    }
+
+    /// The configuration used by the paper's LAN experiment (batch size 2,
+    /// Wi-Fi profile, five-minute window).
+    pub fn lan() -> Self {
+        Self {
+            batch_size: 2,
+            channel: ChannelConfig::lan(),
+            startup_grace: Duration::from_secs(1),
+            measurement_window: Duration::from_secs(300),
+            bundle_name: "bundle.js".to_string(),
+            protocol_version: Self::PROTOCOL_VERSION.to_string(),
+        }
+    }
+
+    /// Returns the configuration with a different batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be at least 1");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Returns the configuration with a different channel profile.
+    pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
+        self.channel = channel;
+        self
+    }
+}
+
+impl Default for PandoConfig {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let config = PandoConfig::default();
+        assert_eq!(config.batch_size, 2);
+        assert_eq!(config.measurement_window, Duration::from_secs(300));
+        assert_eq!(config.protocol_version, "/pando/1.0.0");
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let config = PandoConfig::local_test()
+            .with_batch_size(4)
+            .with_channel(ChannelConfig::wan());
+        assert_eq!(config.batch_size, 4);
+        assert_eq!(config.channel, ChannelConfig::wan());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_is_rejected() {
+        let _ = PandoConfig::local_test().with_batch_size(0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The scripted deployment example of paper Figure 4.
+//!
+//! "A tablet joins after the volunteer URL has been opened, then renders an
+//! image, then a faster phone joins, also renders an image, then the tablet
+//! crashes, and the phone takes over for the missing image." This module
+//! replays that scenario against the real master/worker implementation and
+//! returns a trace of the observable events, used both by an integration test
+//! and by the `fig4_deployment` bench binary.
+
+use crate::config::PandoConfig;
+use crate::master::Pando;
+use crate::worker::{spawn_worker, WorkerOptions};
+use pando_netsim::fault::FaultPlan;
+use pando_pull_stream::source::{values, SourceExt};
+use pando_pull_stream::StreamError;
+use std::time::Duration;
+
+/// One observable event of the deployment example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployEvent {
+    /// Pando started and printed the volunteer URL.
+    Started {
+        /// Number of values to process.
+        inputs: u64,
+    },
+    /// A device joined the deployment.
+    Joined {
+        /// Name of the device.
+        device: String,
+    },
+    /// A device crashed.
+    Crashed {
+        /// Name of the device.
+        device: String,
+        /// Number of values it had completed before crashing.
+        completed: u64,
+    },
+    /// A device left cleanly at the end.
+    Left {
+        /// Name of the device.
+        device: String,
+        /// Number of values it completed.
+        completed: u64,
+    },
+    /// The run finished: all outputs produced, in order.
+    Finished {
+        /// The ordered outputs.
+        outputs: Vec<String>,
+        /// Number of values that had to be re-lent because of the crash.
+        relends: u64,
+    },
+}
+
+/// Replays the Figure 4 scenario: three frames to render, a slow tablet that
+/// crashes after one frame, and a faster phone that takes over.
+///
+/// The `render` function stands in for the raytracer; the default used by the
+/// bench binary renders real (small) frames.
+pub fn run_figure4_scenario<F>(render: F) -> Vec<DeployEvent>
+where
+    F: Fn(&str) -> Result<String, StreamError> + Send + Clone + 'static,
+{
+    let inputs = vec!["x1".to_string(), "x2".to_string(), "x3".to_string()];
+    let mut trace = vec![DeployEvent::Started { inputs: inputs.len() as u64 }];
+
+    let config = PandoConfig::local_test().with_batch_size(1);
+    let pando = Pando::new(config);
+
+    // The tablet joins first; it is slow and crashes after one frame.
+    let slow_render = {
+        let render = render.clone();
+        move |input: &str| {
+            std::thread::sleep(Duration::from_millis(30));
+            render(input)
+        }
+    };
+    let tablet = spawn_worker(
+        pando.open_volunteer_channel(),
+        slow_render,
+        WorkerOptions { fault: FaultPlan::AfterTasks(1), name: "tablet".into() },
+    );
+    trace.push(DeployEvent::Joined { device: "tablet".into() });
+
+    // Start processing, collecting the ordered output in the background.
+    let output_source = pando.run(values(inputs));
+    let collector = std::thread::spawn(move || output_source.collect_values());
+
+    // The phone joins a moment later.
+    std::thread::sleep(Duration::from_millis(10));
+    let phone = spawn_worker(
+        pando.open_volunteer_channel(),
+        render,
+        WorkerOptions { name: "phone".into(), ..WorkerOptions::default() },
+    );
+    trace.push(DeployEvent::Joined { device: "phone".into() });
+
+    let tablet_report = tablet.join();
+    trace.push(DeployEvent::Crashed {
+        device: tablet_report.name.clone(),
+        completed: tablet_report.processed,
+    });
+
+    let outputs = collector.join().expect("collector does not panic").expect("output stream succeeds");
+    let phone_report = phone.join();
+    trace.push(DeployEvent::Left {
+        device: phone_report.name.clone(),
+        completed: phone_report.processed,
+    });
+    pando.join_volunteers();
+    let relends = pando.lender_stats().map(|s| s.relends).unwrap_or(0);
+    trace.push(DeployEvent::Finished { outputs, relends });
+    trace
+}
+
+/// Renders the trace as human-readable lines, one per event, the format
+/// printed by the `fig4_deployment` binary.
+pub fn format_trace(trace: &[DeployEvent]) -> Vec<String> {
+    trace
+        .iter()
+        .map(|event| match event {
+            DeployEvent::Started { inputs } => {
+                format!("pando: serving volunteer code, {inputs} values to process")
+            }
+            DeployEvent::Joined { device } => format!("{device}: joined"),
+            DeployEvent::Crashed { device, completed } => {
+                format!("{device}: crashed after {completed} value(s)")
+            }
+            DeployEvent::Left { device, completed } => {
+                format!("{device}: left after {completed} value(s)")
+            }
+            DeployEvent::Finished { outputs, relends } => format!(
+                "pando: done, {} ordered outputs, {relends} value(s) re-lent after the crash",
+                outputs.len()
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_render(input: &str) -> Result<String, StreamError> {
+        Ok(format!("frame({input})"))
+    }
+
+    #[test]
+    fn figure4_scenario_completes_despite_the_crash() {
+        let trace = run_figure4_scenario(fake_render);
+        // The tablet crashed, the phone finished, every frame is present and
+        // in order.
+        let crashed = trace.iter().any(|e| matches!(e, DeployEvent::Crashed { device, .. } if device == "tablet"));
+        assert!(crashed, "trace: {trace:?}");
+        let DeployEvent::Finished { outputs, .. } = trace.last().unwrap() else {
+            panic!("last event must be Finished");
+        };
+        assert_eq!(outputs, &vec!["frame(x1)".to_string(), "frame(x2)".into(), "frame(x3)".into()]);
+        // The phone processed at least the frames the tablet never finished.
+        let phone_completed = trace.iter().find_map(|e| match e {
+            DeployEvent::Left { device, completed } if device == "phone" => Some(*completed),
+            _ => None,
+        });
+        assert!(phone_completed.unwrap() >= 2);
+    }
+
+    #[test]
+    fn trace_formatting_is_readable() {
+        let trace = run_figure4_scenario(fake_render);
+        let lines = format_trace(&trace);
+        assert_eq!(lines.len(), trace.len());
+        assert!(lines[0].contains("3 values"));
+        assert!(lines.iter().any(|l| l.contains("crashed")));
+        assert!(lines.last().unwrap().contains("ordered outputs"));
+    }
+}

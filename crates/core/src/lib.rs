@@ -1,0 +1,71 @@
+//! Pando: personal volunteer computing — the coordination system.
+//!
+//! This crate assembles the substrates ([`pando_pull_stream`],
+//! [`pando_netsim`], [`pando_workloads`], [`pando_devices`]) into the system
+//! described by the paper (Figure 7): a **master** process that parallelises
+//! the application of a function over a stream of values by lending values to
+//! **volunteer** devices, each running a **worker** loop, connected through
+//! WebSocket/WebRTC-like channels bootstrapped by a **public server**.
+//!
+//! * [`config`] — deployment configuration (batch size, channel profile,
+//!   worker code bundle);
+//! * [`protocol`] — the wire messages exchanged between master and workers
+//!   and their framed encoding;
+//! * [`master`] — the [`Pando`](master::Pando) master: StreamLender +
+//!   Limiter per volunteer + ordered output;
+//! * [`worker`] — the volunteer-side processing loop (`AsyncMap(f)`);
+//! * [`volunteer`] — volunteer lifecycle (candidate → processor) and
+//!   deployment over a [`PublicServer`](pando_netsim::signaling::PublicServer);
+//! * [`monitor`] — the synchronous-parallel-search feedback loop used by the
+//!   crypto-currency mining application (paper §4.2);
+//! * [`metrics`] — per-device throughput accounting over a measurement
+//!   window, as used for Table 2;
+//! * [`sim`] — the deterministic deployment simulator that replays the
+//!   LAN / VPN / WAN experiments on a virtual clock;
+//! * [`deploy`] — the scripted deployment trace of paper Figure 4.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pando_core::config::PandoConfig;
+//! use pando_core::master::Pando;
+//! use pando_core::worker::spawn_worker;
+//! use pando_pull_stream::source::{count, SourceExt};
+//!
+//! // The function to distribute, following the '/pando/1.0.0' convention.
+//! let square = |input: &str| -> Result<String, pando_pull_stream::StreamError> {
+//!     let n: u64 = input.parse().map_err(|_| "not a number")?;
+//!     Ok((n * n).to_string())
+//! };
+//!
+//! let pando = Pando::new(PandoConfig::local_test());
+//! // Two volunteer devices join.
+//! let mut workers = Vec::new();
+//! for _ in 0..2 {
+//!     let endpoint = pando.open_volunteer_channel();
+//!     workers.push(spawn_worker(endpoint, square, Default::default()));
+//! }
+//! let output = pando
+//!     .run(count(20).map_values(|v| v.to_string()))
+//!     .collect_values()
+//!     .unwrap();
+//! assert_eq!(output.len(), 20);
+//! assert_eq!(output[3], "16");
+//! for w in workers { w.join(); }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod deploy;
+pub mod master;
+pub mod metrics;
+pub mod monitor;
+pub mod protocol;
+pub mod sim;
+pub mod volunteer;
+pub mod worker;
+
+pub use config::PandoConfig;
+pub use master::Pando;

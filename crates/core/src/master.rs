@@ -1,0 +1,419 @@
+//! The Pando master process.
+//!
+//! The master (paper Figure 7) owns the StreamLender that coordinates the
+//! distributed map: for every volunteer that connects, it creates a
+//! sub-stream, bounds the number of values in flight with a Limiter sized by
+//! the batch size, and pumps tasks and results over the volunteer's channel.
+//! Results are emitted on a single ordered output stream.
+
+use crate::config::PandoConfig;
+use crate::metrics::ThroughputMeter;
+use crate::protocol::Message;
+use pando_netsim::channel::{pair, Endpoint, RecvError, SendError};
+use pando_pull_stream::duplex::{connect, Duplex, DuplexLink};
+use pando_pull_stream::lender::{Lend, LenderOutput, LenderStats, StreamLender};
+use pando_pull_stream::limit::Limiter;
+use pando_pull_stream::sink::Sink;
+use pando_pull_stream::source::{BoxSource, Source};
+use pando_pull_stream::{Answer, Request, StreamError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The Pando master: accepts volunteers and distributes a stream of values to
+/// them. See the [crate documentation](crate) for a complete example.
+pub struct Pando {
+    config: PandoConfig,
+    meter: ThroughputMeter,
+    state: Arc<Mutex<MasterState>>,
+}
+
+struct MasterState {
+    lender: Option<StreamLender<String, String>>,
+    /// Volunteer endpoints accepted before the input stream was attached.
+    pending: Vec<(String, Endpoint<Message>)>,
+    links: Vec<DuplexLink>,
+    next_volunteer: u64,
+    volunteers_connected: u64,
+}
+
+impl Clone for Pando {
+    /// Cloning a `Pando` yields another handle on the *same* deployment:
+    /// volunteers registered through any handle feed the same StreamLender.
+    fn clone(&self) -> Self {
+        Self { config: self.config.clone(), meter: self.meter.clone(), state: self.state.clone() }
+    }
+}
+
+impl std::fmt::Debug for Pando {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("Pando")
+            .field("batch_size", &self.config.batch_size)
+            .field("volunteers_connected", &state.volunteers_connected)
+            .field("running", &state.lender.is_some())
+            .finish()
+    }
+}
+
+impl Pando {
+    /// Creates a master with the given configuration.
+    pub fn new(config: PandoConfig) -> Self {
+        Self {
+            config,
+            meter: ThroughputMeter::new(),
+            state: Arc::new(Mutex::new(MasterState {
+                lender: None,
+                pending: Vec::new(),
+                links: Vec::new(),
+                next_volunteer: 0,
+                volunteers_connected: 0,
+            })),
+        }
+    }
+
+    /// The configuration of this deployment.
+    pub fn config(&self) -> &PandoConfig {
+        &self.config
+    }
+
+    /// The throughput meter fed by this deployment (one row per volunteer).
+    pub fn meter(&self) -> &ThroughputMeter {
+        &self.meter
+    }
+
+    /// Creates a channel pair using the deployment's network profile,
+    /// registers the master side, and returns the volunteer side — the
+    /// in-process equivalent of a device opening the volunteer URL on the
+    /// same LAN.
+    pub fn open_volunteer_channel(&self) -> Endpoint<Message> {
+        let seed = self.state.lock().next_volunteer;
+        let (master_side, volunteer_side) =
+            pair::<Message>(self.config.channel.clone().with_seed(seed));
+        self.add_volunteer_endpoint(format!("volunteer-{seed}"), master_side);
+        volunteer_side
+    }
+
+    /// Registers the master side of a volunteer connection, for example one
+    /// delivered by a [`PublicServer`](pando_netsim::signaling::PublicServer).
+    /// Volunteers may be added at any time, before or while the input stream
+    /// is processed (dynamic property).
+    pub fn add_volunteer_endpoint(&self, name: String, endpoint: Endpoint<Message>) {
+        let mut state = self.state.lock();
+        state.next_volunteer += 1;
+        state.volunteers_connected += 1;
+        match &state.lender {
+            Some(lender) => {
+                let link = wire_volunteer(
+                    lender,
+                    &name,
+                    endpoint,
+                    self.config.batch_size,
+                    self.meter.clone(),
+                );
+                state.links.push(link);
+            }
+            None => state.pending.push((name, endpoint)),
+        }
+    }
+
+    /// Number of volunteers that have connected so far (including ones that
+    /// have since left or crashed).
+    pub fn volunteers_connected(&self) -> u64 {
+        self.state.lock().volunteers_connected
+    }
+
+    /// Statistics of the underlying StreamLender, if the run has started.
+    pub fn lender_stats(&self) -> Option<LenderStats> {
+        self.state.lock().lender.as_ref().map(StreamLender::stats)
+    }
+
+    /// Attaches the input stream and returns the ordered output stream.
+    ///
+    /// Volunteers registered earlier are wired immediately; others may join
+    /// later. The output terminates once the input is exhausted and every
+    /// value has produced a result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` was already called: a Pando deployment processes a
+    /// single stream during its lifetime (design principle DP1).
+    pub fn run(
+        &self,
+        input: impl Source<String> + 'static,
+    ) -> LenderOutput<String, String> {
+        let mut state = self.state.lock();
+        assert!(state.lender.is_none(), "a Pando deployment runs a single stream");
+        let lender = StreamLender::new(input);
+        let pending: Vec<(String, Endpoint<Message>)> = state.pending.drain(..).collect();
+        for (name, endpoint) in pending {
+            let link =
+                wire_volunteer(&lender, &name, endpoint, self.config.batch_size, self.meter.clone());
+            state.links.push(link);
+        }
+        let output = lender.output();
+        state.lender = Some(lender);
+        output
+    }
+
+    /// Waits for every volunteer pump thread spawned so far to finish.
+    /// Useful in tests to assert on final statistics.
+    pub fn join_volunteers(&self) {
+        let links: Vec<DuplexLink> = {
+            let mut state = self.state.lock();
+            state.links.drain(..).collect()
+        };
+        for link in links {
+            // Transport errors here reflect volunteer crashes, which are an
+            // expected part of operation; the lender already re-lent the
+            // affected values.
+            let _ = link.join();
+        }
+    }
+}
+
+/// Wires one volunteer endpoint to a fresh sub-stream of the lender through a
+/// Limiter sized by the batch size (paper Figure 7 and Figure 9).
+fn wire_volunteer(
+    lender: &StreamLender<String, String>,
+    name: &str,
+    endpoint: Endpoint<Message>,
+    batch_size: usize,
+    meter: ThroughputMeter,
+) -> DuplexLink {
+    let sub = lender.lend();
+    let (sub_source, sub_sink) = sub.into_duplex();
+    let sub_duplex: Duplex<Lend<String>, Lend<String>> = Duplex::new(sub_source, sub_sink);
+
+    let endpoint = Arc::new(endpoint);
+    let channel_duplex: Duplex<Lend<String>, Lend<String>> = Duplex {
+        source: Box::new(ChannelResultSource {
+            endpoint: endpoint.clone(),
+            volunteer: name.to_string(),
+            meter,
+        }),
+        sink: Box::new(ChannelTaskSink { endpoint }),
+    };
+    let limited = Limiter::new(batch_size).wrap(channel_duplex);
+    connect(sub_duplex, limited)
+}
+
+/// Master-side source of results coming back from one volunteer.
+struct ChannelResultSource {
+    endpoint: Arc<Endpoint<Message>>,
+    volunteer: String,
+    meter: ThroughputMeter,
+}
+
+impl Source<Lend<String>> for ChannelResultSource {
+    fn pull(&mut self, request: Request) -> Answer<Lend<String>> {
+        if request.is_termination() {
+            self.endpoint.close();
+            return Answer::Done;
+        }
+        loop {
+            match self.endpoint.recv() {
+                Ok(Message::TaskResult { seq, payload }) => {
+                    self.meter.record(&self.volunteer, 1.0);
+                    return Answer::Value(Lend::new(seq, payload));
+                }
+                Ok(Message::TaskError { seq, message }) => {
+                    // The processing function reported an error for this
+                    // value; the volunteer is treated as faulty so the value
+                    // is re-lent to another device (crash-stop model).
+                    return Answer::Err(StreamError::new(format!(
+                        "volunteer {} failed on value {seq}: {message}",
+                        self.volunteer
+                    )));
+                }
+                Ok(Message::Heartbeat) => continue,
+                Ok(Message::Goodbye) | Ok(Message::Task { .. }) => return Answer::Done,
+                Err(RecvError::Closed) => return Answer::Done,
+                Err(RecvError::PeerFailed) => {
+                    return Answer::Err(StreamError::transport(format!(
+                        "volunteer {} disconnected (heartbeat timeout)",
+                        self.volunteer
+                    )));
+                }
+                Err(RecvError::Timeout) | Err(RecvError::Empty) => continue,
+            }
+        }
+    }
+}
+
+/// Master-side sink sending tasks to one volunteer.
+struct ChannelTaskSink {
+    endpoint: Arc<Endpoint<Message>>,
+}
+
+impl Sink<Lend<String>> for ChannelTaskSink {
+    fn drain(&mut self, mut source: BoxSource<Lend<String>>) -> Result<(), StreamError> {
+        loop {
+            match source.pull(Request::Ask) {
+                Answer::Value(lend) => {
+                    let message = Message::Task { seq: lend.seq, payload: lend.value };
+                    let size = message.wire_size();
+                    match self.endpoint.send_with_size(message, size) {
+                        Ok(()) => {}
+                        Err(SendError::Closed) => {
+                            let _ = source.pull(Request::Abort);
+                            return Ok(());
+                        }
+                        Err(SendError::PeerFailed) => {
+                            let err = StreamError::transport("volunteer failed while sending task");
+                            let _ = source.pull(Request::Fail(err.clone()));
+                            return Err(err);
+                        }
+                    }
+                }
+                Answer::Done => {
+                    self.endpoint.close();
+                    return Ok(());
+                }
+                Answer::Err(err) => {
+                    self.endpoint.close();
+                    return Err(err);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{spawn_worker, WorkerOptions};
+    use pando_netsim::fault::FaultPlan;
+    use pando_pull_stream::source::{count, SourceExt};
+
+    fn square(input: &str) -> Result<String, StreamError> {
+        let n: u64 = input.parse().map_err(|_| StreamError::new("not a number"))?;
+        Ok((n * n).to_string())
+    }
+
+    #[test]
+    fn single_volunteer_end_to_end() {
+        let pando = Pando::new(PandoConfig::local_test());
+        let endpoint = pando.open_volunteer_channel();
+        let worker = spawn_worker(endpoint, square, WorkerOptions::default());
+        let output = pando
+            .run(count(30).map_values(|v| v.to_string()))
+            .collect_values()
+            .unwrap();
+        assert_eq!(output, (1..=30u64).map(|v| (v * v).to_string()).collect::<Vec<_>>());
+        let report = worker.join();
+        assert_eq!(report.processed, 30);
+        assert!(!report.crashed);
+        pando.join_volunteers();
+        let stats = pando.lender_stats().unwrap();
+        assert_eq!(stats.results_emitted, 30);
+        assert_eq!(stats.substreams_crashed, 0);
+    }
+
+    #[test]
+    fn multiple_volunteers_share_work_and_order_is_kept() {
+        let pando = Pando::new(PandoConfig::local_test());
+        let workers: Vec<_> = (0..4)
+            .map(|_| spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default()))
+            .collect();
+        let output = pando
+            .run(count(200).map_values(|v| v.to_string()))
+            .collect_values()
+            .unwrap();
+        assert_eq!(output.len(), 200);
+        assert_eq!(output[99], (100u64 * 100).to_string());
+        let total: u64 = workers.into_iter().map(|w| w.join().processed).sum();
+        assert_eq!(total, 200, "each value processed exactly once");
+        assert_eq!(pando.volunteers_connected(), 4);
+    }
+
+    #[test]
+    fn volunteer_joining_mid_run_is_used() {
+        let pando = Pando::new(PandoConfig::local_test());
+        let first = spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
+        let output_source = pando.run(count(100).map_values(|v| v.to_string()));
+        let collector = std::thread::spawn(move || {
+            pando_pull_stream::sink::collect(output_source).unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let second = spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
+        let output = collector.join().unwrap();
+        assert_eq!(output.len(), 100);
+        let (a, b) = (first.join().processed, second.join().processed);
+        assert_eq!(a + b, 100);
+    }
+
+    #[test]
+    fn crashed_volunteer_work_is_recovered() {
+        let pando = Pando::new(PandoConfig::local_test());
+        // A volunteer that crashes after 3 tasks, plus a reliable one.
+        let crashing = spawn_worker(
+            pando.open_volunteer_channel(),
+            square,
+            WorkerOptions { fault: FaultPlan::AfterTasks(3), ..WorkerOptions::default() },
+        );
+        let reliable =
+            spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
+        let output = pando
+            .run(count(50).map_values(|v| v.to_string()))
+            .collect_values()
+            .unwrap();
+        assert_eq!(output, (1..=50u64).map(|v| (v * v).to_string()).collect::<Vec<_>>());
+        assert!(crashing.join().crashed);
+        assert!(!reliable.join().crashed);
+        pando.join_volunteers();
+        let stats = pando.lender_stats().unwrap();
+        assert_eq!(stats.substreams_crashed, 1);
+        assert!(stats.relends >= 1, "values held by the crashed volunteer are re-lent");
+    }
+
+    #[test]
+    fn application_errors_do_not_lose_values() {
+        let pando = Pando::new(PandoConfig::local_test());
+        // The first worker fails on every odd value; a healthy worker joins
+        // afterwards and completes the stream.
+        let flaky = |input: &str| -> Result<String, StreamError> {
+            let n: u64 = input.parse().unwrap();
+            if n % 2 == 1 {
+                Err(StreamError::new("odd values unsupported"))
+            } else {
+                Ok(n.to_string())
+            }
+        };
+        let flaky_worker =
+            spawn_worker(pando.open_volunteer_channel(), flaky, WorkerOptions::default());
+        let output_source = pando.run(count(10).map_values(|v| v.to_string()));
+        let collector = std::thread::spawn(move || {
+            pando_pull_stream::sink::collect(output_source).unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let healthy =
+            spawn_worker(pando.open_volunteer_channel(), |s: &str| Ok(s.to_string()), WorkerOptions::default());
+        let output = collector.join().unwrap();
+        assert_eq!(output, (1..=10u64).map(|v| v.to_string()).collect::<Vec<_>>());
+        let _ = flaky_worker.join();
+        let _ = healthy.join();
+    }
+
+    #[test]
+    #[should_panic(expected = "single stream")]
+    fn run_twice_is_rejected() {
+        let pando = Pando::new(PandoConfig::local_test());
+        let _ = pando.run(count(1).map_values(|v| v.to_string()));
+        let _ = pando.run(count(1).map_values(|v| v.to_string()));
+    }
+
+    #[test]
+    fn meter_records_volunteer_activity() {
+        let pando = Pando::new(PandoConfig::local_test());
+        let worker =
+            spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
+        let _ = pando
+            .run(count(10).map_values(|v| v.to_string()))
+            .collect_values()
+            .unwrap();
+        worker.join();
+        let report = pando.meter().report();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].tasks, 10);
+    }
+}

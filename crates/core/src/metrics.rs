@@ -1,0 +1,161 @@
+//! Throughput accounting, as used for the paper's Table 2.
+//!
+//! The evaluation measures, for every device, the number of items processed
+//! over a five-minute window and derives the device's average throughput and
+//! its share of the total. [`ThroughputMeter`] collects those counts during a
+//! run; [`ThroughputReport`] renders them.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Collects per-device completion counts during a run.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    inner: Arc<Mutex<MeterState>>,
+}
+
+#[derive(Debug)]
+struct MeterState {
+    started_at: Instant,
+    counts: BTreeMap<String, u64>,
+    units: BTreeMap<String, f64>,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter whose window starts now.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(MeterState {
+                started_at: Instant::now(),
+                counts: BTreeMap::new(),
+                units: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Records that `device` completed one task worth `units` table units.
+    pub fn record(&self, device: &str, units: f64) {
+        let mut state = self.inner.lock();
+        *state.counts.entry(device.to_string()).or_insert(0) += 1;
+        *state.units.entry(device.to_string()).or_insert(0.0) += units;
+    }
+
+    /// Renders the counts observed so far into a report.
+    pub fn report(&self) -> ThroughputReport {
+        let state = self.inner.lock();
+        let elapsed = state.started_at.elapsed();
+        let rows = state
+            .counts
+            .iter()
+            .map(|(device, count)| DeviceThroughput {
+                device: device.clone(),
+                tasks: *count,
+                units: state.units[device],
+                throughput: state.units[device] / elapsed.as_secs_f64().max(1e-9),
+            })
+            .collect();
+        ThroughputReport { elapsed, rows }
+    }
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Throughput of one device over the measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceThroughput {
+    /// Device identifier.
+    pub device: String,
+    /// Number of tasks completed.
+    pub tasks: u64,
+    /// Number of table units completed (tasks × units per task).
+    pub units: f64,
+    /// Average throughput in units per second.
+    pub throughput: f64,
+}
+
+/// The per-device throughput rows of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// Length of the measurement window.
+    pub elapsed: Duration,
+    /// One row per device that completed at least one task.
+    pub rows: Vec<DeviceThroughput>,
+}
+
+impl ThroughputReport {
+    /// Total throughput across devices, in units per second.
+    pub fn total_throughput(&self) -> f64 {
+        self.rows.iter().map(|r| r.throughput).sum()
+    }
+
+    /// Total number of units completed across devices.
+    pub fn total_units(&self) -> f64 {
+        self.rows.iter().map(|r| r.units).sum()
+    }
+
+    /// The share (in percent) of the total contributed by `device`, as in the
+    /// `%` columns of Table 2.
+    pub fn share(&self, device: &str) -> Option<f64> {
+        let total = self.total_units();
+        if total <= 0.0 {
+            return None;
+        }
+        self.rows.iter().find(|r| r.device == device).map(|r| 100.0 * r.units / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_meter_reports_nothing() {
+        let meter = ThroughputMeter::new();
+        let report = meter.report();
+        assert!(report.rows.is_empty());
+        assert_eq!(report.total_units(), 0.0);
+        assert_eq!(report.share("phone"), None);
+    }
+
+    #[test]
+    fn counts_accumulate_per_device() {
+        let meter = ThroughputMeter::new();
+        meter.record("tablet", 1.0);
+        meter.record("tablet", 1.0);
+        meter.record("phone", 1.0);
+        let report = meter.report();
+        assert_eq!(report.rows.len(), 2);
+        let tablet = report.rows.iter().find(|r| r.device == "tablet").unwrap();
+        assert_eq!(tablet.tasks, 2);
+        assert_eq!(report.total_units(), 3.0);
+        assert!((report.share("tablet").unwrap() - 66.666).abs() < 0.01);
+        assert!((report.share("phone").unwrap() - 33.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn units_scale_throughput() {
+        let meter = ThroughputMeter::new();
+        meter.record("miner", 2_000.0);
+        meter.record("miner", 2_000.0);
+        std::thread::sleep(Duration::from_millis(20));
+        let report = meter.report();
+        assert_eq!(report.rows[0].units, 4_000.0);
+        assert!(report.rows[0].throughput > 0.0);
+        assert!(report.total_throughput() > 0.0);
+        assert!(report.elapsed >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn meter_is_shared_between_clones() {
+        let meter = ThroughputMeter::new();
+        let clone = meter.clone();
+        clone.record("a", 1.0);
+        assert_eq!(meter.report().rows.len(), 1);
+    }
+}

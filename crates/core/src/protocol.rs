@@ -1,0 +1,154 @@
+//! Wire messages exchanged between the master and the workers.
+//!
+//! Values and results are strings (the `'/pando/1.0.0'` convention); each
+//! message is framed with the length-delimited codec of
+//! [`pando_netsim::codec`] so that its wire size is realistic and measurable.
+
+use bytes::BytesMut;
+use pando_netsim::codec::{decode_frame, encode_frame};
+use pando_pull_stream::StreamError;
+
+/// A message of the Pando master/worker protocol.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Message {
+    /// A value to process, tagged with its position in the input stream.
+    Task {
+        /// Sequence number of the value in the input stream.
+        seq: u64,
+        /// The serialized input value.
+        payload: String,
+    },
+    /// The result of a processed value.
+    TaskResult {
+        /// Sequence number of the value this result answers.
+        seq: u64,
+        /// The serialized result value.
+        payload: String,
+    },
+    /// The worker reports an application error for a value; the master treats
+    /// the worker as faulty and re-lends the value elsewhere.
+    TaskError {
+        /// Sequence number of the value that failed.
+        seq: u64,
+        /// Error message produced by the processing function.
+        message: String,
+    },
+    /// Periodic liveness signal.
+    Heartbeat,
+    /// The sender is leaving cleanly and will not send anything else.
+    Goodbye,
+}
+
+const TAG_TASK: u8 = 1;
+const TAG_RESULT: u8 = 2;
+const TAG_ERROR: u8 = 3;
+const TAG_HEARTBEAT: u8 = 4;
+const TAG_GOODBYE: u8 = 5;
+
+impl Message {
+    /// Encodes the message as one length-delimited frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let (tag, body) = match self {
+            Message::Task { seq, payload } => (TAG_TASK, format!("{seq}\n{payload}")),
+            Message::TaskResult { seq, payload } => (TAG_RESULT, format!("{seq}\n{payload}")),
+            Message::TaskError { seq, message } => (TAG_ERROR, format!("{seq}\n{message}")),
+            Message::Heartbeat => (TAG_HEARTBEAT, String::new()),
+            Message::Goodbye => (TAG_GOODBYE, String::new()),
+        };
+        encode_frame(tag, body.as_bytes()).to_vec()
+    }
+
+    /// Size in bytes of the encoded message, used for bandwidth modelling.
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Decodes a message from one encoded frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error on truncated frames, unknown tags or
+    /// malformed bodies.
+    pub fn decode(frame: &[u8]) -> Result<Message, StreamError> {
+        let mut buf = BytesMut::from(frame);
+        let decoded = decode_frame(&mut buf)?
+            .ok_or_else(|| StreamError::protocol("truncated message frame"))?;
+        let body = String::from_utf8(decoded.payload.to_vec())
+            .map_err(|_| StreamError::protocol("message body is not valid UTF-8"))?;
+        let parse_seq_body = |body: &str| -> Result<(u64, String), StreamError> {
+            let (seq, rest) = body
+                .split_once('\n')
+                .ok_or_else(|| StreamError::protocol("missing sequence separator"))?;
+            let seq = seq
+                .parse()
+                .map_err(|_| StreamError::protocol("sequence number is not an integer"))?;
+            Ok((seq, rest.to_string()))
+        };
+        match decoded.tag {
+            TAG_TASK => {
+                let (seq, payload) = parse_seq_body(&body)?;
+                Ok(Message::Task { seq, payload })
+            }
+            TAG_RESULT => {
+                let (seq, payload) = parse_seq_body(&body)?;
+                Ok(Message::TaskResult { seq, payload })
+            }
+            TAG_ERROR => {
+                let (seq, message) = parse_seq_body(&body)?;
+                Ok(Message::TaskError { seq, message })
+            }
+            TAG_HEARTBEAT => Ok(Message::Heartbeat),
+            TAG_GOODBYE => Ok(Message::Goodbye),
+            other => Err(StreamError::protocol(format!("unknown message tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_every_variant() {
+        let messages = [
+            Message::Task { seq: 0, payload: "0.52".to_string() },
+            Message::TaskResult { seq: 7, payload: "Zm9vYmFy".to_string() },
+            Message::TaskError { seq: 3, message: "render failed".to_string() },
+            Message::Heartbeat,
+            Message::Goodbye,
+        ];
+        for message in messages {
+            let encoded = message.encode();
+            assert_eq!(Message::decode(&encoded).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn payloads_with_newlines_survive() {
+        let message = Message::Task { seq: 1, payload: "line1\nline2\nline3".to_string() };
+        assert_eq!(Message::decode(&message.encode()).unwrap(), message);
+    }
+
+    #[test]
+    fn wire_size_grows_with_payload() {
+        let small = Message::Task { seq: 0, payload: "x".to_string() };
+        let large = Message::Task { seq: 0, payload: "x".repeat(10_000) };
+        assert!(large.wire_size() > small.wire_size() + 9_000);
+        assert!(Message::Heartbeat.wire_size() < 10);
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[1, 2, 3]).is_err());
+        // Unknown tag.
+        let frame = pando_netsim::codec::encode_frame(42, b"0\nx");
+        assert!(Message::decode(&frame).is_err());
+        // Task without a sequence separator.
+        let frame = pando_netsim::codec::encode_frame(1, b"no-separator");
+        assert!(Message::decode(&frame).is_err());
+        // Non-numeric sequence number.
+        let frame = pando_netsim::codec::encode_frame(1, b"abc\npayload");
+        assert!(Message::decode(&frame).is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! Deterministic deployment simulator.
+//!
+//! The evaluation of the paper measures throughput over five minutes on
+//! twenty physical devices spread over three networks. To regenerate the
+//! shape of Table 2 without that hardware, this module replays a deployment
+//! on a virtual clock: each device is characterised by its per-task service
+//! time (calibrated from the published per-device throughput), the network by
+//! a one-way latency, and the master by the batch-size-limited dispatch
+//! policy of the real implementation (a value is sent to exactly one device;
+//! at most `batch_size` values are outstanding per device; a new value is
+//! sent as soon as a result comes back). Devices may join late or crash, so
+//! the same simulator also replays the Figure 4 deployment example and the
+//! batching sweep of §5.5.
+
+use pando_netsim::sim::{EventQueue, SimTime};
+use std::time::Duration;
+
+/// One simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimDevice {
+    /// Device name (used in the report).
+    pub name: String,
+    /// Time the device needs to process one task.
+    pub service_time: Duration,
+    /// When the device joins the deployment.
+    pub joins_at: Duration,
+    /// When the device crashes, if ever.
+    pub crashes_at: Option<Duration>,
+}
+
+impl SimDevice {
+    /// A device that participates from the start and never crashes.
+    pub fn steady(name: impl Into<String>, service_time: Duration) -> Self {
+        Self { name: name.into(), service_time, joins_at: Duration::ZERO, crashes_at: None }
+    }
+}
+
+/// Parameters of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimParams {
+    /// Number of values in flight allowed per device (the batch size).
+    pub batch_size: usize,
+    /// One-way network latency between the master and every device.
+    pub latency: Duration,
+    /// Length of the measured run.
+    pub duration: Duration,
+}
+
+impl SimParams {
+    /// Parameters with the given batch size, latency and five simulated
+    /// minutes of measurement, the window used by the paper.
+    pub fn paper_window(batch_size: usize, latency: Duration) -> Self {
+        Self { batch_size, latency, duration: Duration::from_secs(300) }
+    }
+}
+
+/// Throughput of one simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimDeviceReport {
+    /// Device name.
+    pub name: String,
+    /// Number of tasks the device completed within the window.
+    pub completed: u64,
+    /// Average throughput in tasks per second over the window.
+    pub throughput: f64,
+    /// Fraction of the window the device spent computing (0 to 1).
+    pub utilization: f64,
+}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Per-device results, in the order the devices were given.
+    pub devices: Vec<SimDeviceReport>,
+    /// Length of the simulated window.
+    pub duration: Duration,
+}
+
+impl SimReport {
+    /// Total throughput across devices, in tasks per second.
+    pub fn total_throughput(&self) -> f64 {
+        self.devices.iter().map(|d| d.throughput).sum()
+    }
+
+    /// Total number of completed tasks.
+    pub fn total_completed(&self) -> u64 {
+        self.devices.iter().map(|d| d.completed).sum()
+    }
+
+    /// Share of the total contributed by the device at `index`, in percent.
+    pub fn share(&self, index: usize) -> f64 {
+        let total = self.total_completed();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.devices[index].completed as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// The device joins: the master sends it an initial batch.
+    Join(usize),
+    /// A task arrives at the device.
+    TaskArrives(usize),
+    /// The device finishes its current task.
+    TaskDone(usize),
+    /// The result reaches the master, which releases one more task.
+    ResultAtMaster(usize),
+    /// The device crashes.
+    Crash(usize),
+}
+
+#[derive(Debug, Default, Clone)]
+struct DeviceState {
+    queued: u64,
+    busy: bool,
+    crashed: bool,
+    completed_in_window: u64,
+    busy_time: Duration,
+}
+
+/// Simulates a deployment over an infinite input stream (the usual Table 2
+/// setup: the workload never starves the devices) and reports per-device
+/// throughput over the window.
+///
+/// # Panics
+///
+/// Panics if `params.batch_size` is zero.
+pub fn simulate(devices: &[SimDevice], params: &SimParams) -> SimReport {
+    assert!(params.batch_size > 0, "batch size must be at least 1");
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut states: Vec<DeviceState> = vec![DeviceState::default(); devices.len()];
+    let end = SimTime::ZERO + params.duration;
+
+    for (i, device) in devices.iter().enumerate() {
+        queue.schedule(SimTime::ZERO + device.joins_at, Event::Join(i));
+        if let Some(crash) = device.crashes_at {
+            queue.schedule(SimTime::ZERO + crash, Event::Crash(i));
+        }
+    }
+
+    while let Some(time) = queue.peek_time() {
+        if time > end {
+            break;
+        }
+        let (now, event) = queue.pop().expect("peeked event exists");
+        match event {
+            Event::Join(i) => {
+                for _ in 0..params.batch_size {
+                    queue.schedule(now + params.latency, Event::TaskArrives(i));
+                }
+            }
+            Event::TaskArrives(i) => {
+                if states[i].crashed {
+                    continue;
+                }
+                states[i].queued += 1;
+                maybe_start(&mut queue, &mut states, devices, i, now);
+            }
+            Event::TaskDone(i) => {
+                if states[i].crashed {
+                    continue;
+                }
+                states[i].busy = false;
+                states[i].completed_in_window += 1;
+                states[i].busy_time += devices[i].service_time;
+                queue.schedule(now + params.latency, Event::ResultAtMaster(i));
+                maybe_start(&mut queue, &mut states, devices, i, now);
+            }
+            Event::ResultAtMaster(i) => {
+                // The Limiter releases one more value for this device; the
+                // master reads it lazily from the (infinite) input and sends
+                // it immediately.
+                if !states[i].crashed {
+                    queue.schedule(now + params.latency, Event::TaskArrives(i));
+                }
+            }
+            Event::Crash(i) => {
+                states[i].crashed = true;
+                states[i].queued = 0;
+                states[i].busy = false;
+                // In the real system the values it held are re-lent to other
+                // devices; with an infinite input this does not change the
+                // other devices' throughput, so the simulator simply drops
+                // them.
+            }
+        }
+    }
+
+    let window = params.duration.as_secs_f64();
+    SimReport {
+        devices: devices
+            .iter()
+            .zip(&states)
+            .map(|(device, state)| SimDeviceReport {
+                name: device.name.clone(),
+                completed: state.completed_in_window,
+                throughput: state.completed_in_window as f64 / window,
+                utilization: (state.busy_time.as_secs_f64() / window).min(1.0),
+            })
+            .collect(),
+        duration: params.duration,
+    }
+}
+
+fn maybe_start(
+    queue: &mut EventQueue<Event>,
+    states: &mut [DeviceState],
+    devices: &[SimDevice],
+    i: usize,
+    now: SimTime,
+) {
+    if !states[i].busy && !states[i].crashed && states[i].queued > 0 {
+        states[i].queued -= 1;
+        states[i].busy = true;
+        queue.schedule(now + devices[i].service_time, Event::TaskDone(i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_is_rejected() {
+        let devices = [SimDevice::steady("a", ms(10))];
+        simulate(&devices, &SimParams { batch_size: 0, latency: ms(1), duration: ms(100) });
+    }
+
+    #[test]
+    fn single_device_throughput_matches_service_rate() {
+        // 10 ms per task, negligible latency, batch 2: ~100 tasks/s.
+        let devices = [SimDevice::steady("laptop", ms(10))];
+        let params = SimParams { batch_size: 2, latency: ms(1), duration: Duration::from_secs(10) };
+        let report = simulate(&devices, &params);
+        let throughput = report.devices[0].throughput;
+        assert!((throughput - 100.0).abs() < 2.0, "throughput {throughput} should be ~100/s");
+        assert!(report.devices[0].utilization > 0.95);
+    }
+
+    #[test]
+    fn batch_of_one_wastes_time_on_latency() {
+        // With batch 1 every task pays a full round trip of idle time; with
+        // batch 2 and 2*latency <= service the latency is fully hidden
+        // (the §5.5 claim).
+        let devices = [SimDevice::steady("phone", ms(10))];
+        let slow = simulate(
+            &devices,
+            &SimParams { batch_size: 1, latency: ms(4), duration: Duration::from_secs(10) },
+        );
+        let fast = simulate(
+            &devices,
+            &SimParams { batch_size: 2, latency: ms(4), duration: Duration::from_secs(10) },
+        );
+        // Batch 1: cycle = service + 2*latency = 18 ms -> ~55/s.
+        assert!((slow.devices[0].throughput - 55.5).abs() < 4.0);
+        // Batch 2: the next task is always waiting -> ~100/s (latency hidden).
+        assert!(fast.devices[0].throughput > 95.0);
+        assert!(fast.total_throughput() > 1.6 * slow.total_throughput());
+    }
+
+    #[test]
+    fn faster_devices_complete_more_tasks() {
+        let devices = [
+            SimDevice::steady("fast", ms(5)),
+            SimDevice::steady("slow", ms(20)),
+        ];
+        let params = SimParams { batch_size: 2, latency: ms(2), duration: Duration::from_secs(5) };
+        let report = simulate(&devices, &params);
+        assert!(report.devices[0].completed > 3 * report.devices[1].completed);
+        let share_fast = report.share(0);
+        assert!(share_fast > 70.0 && share_fast < 90.0, "share {share_fast}");
+    }
+
+    #[test]
+    fn late_join_contributes_less() {
+        let mut late = SimDevice::steady("late", ms(10));
+        late.joins_at = Duration::from_secs(5);
+        let devices = [SimDevice::steady("early", ms(10)), late];
+        let params = SimParams { batch_size: 2, latency: ms(1), duration: Duration::from_secs(10) };
+        let report = simulate(&devices, &params);
+        assert!(report.devices[0].completed > report.devices[1].completed);
+        assert!(report.devices[1].completed > 0, "the late device still contributes");
+    }
+
+    #[test]
+    fn crashed_device_stops_contributing() {
+        let mut doomed = SimDevice::steady("doomed", ms(10));
+        doomed.crashes_at = Some(Duration::from_secs(2));
+        let devices = [SimDevice::steady("survivor", ms(10)), doomed];
+        let params = SimParams { batch_size: 2, latency: ms(1), duration: Duration::from_secs(10) };
+        let report = simulate(&devices, &params);
+        let survivor = &report.devices[0];
+        let crashed = &report.devices[1];
+        assert!(crashed.completed < survivor.completed / 2);
+        assert!(crashed.utilization < 0.3);
+        assert!(survivor.utilization > 0.9);
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let devices = [SimDevice::steady("a", ms(10)), SimDevice::steady("b", ms(10))];
+        let params = SimParams { batch_size: 2, latency: ms(1), duration: Duration::from_secs(3) };
+        let report = simulate(&devices, &params);
+        let sum: u64 = report.devices.iter().map(|d| d.completed).sum();
+        assert_eq!(sum, report.total_completed());
+        assert!((report.share(0) + report.share(1) - 100.0).abs() < 1e-9);
+        assert!(report.total_throughput() > 0.0);
+        assert_eq!(report.duration, Duration::from_secs(3));
+    }
+
+    #[test]
+    fn paper_window_is_five_minutes() {
+        let params = SimParams::paper_window(2, ms(2));
+        assert_eq!(params.duration, Duration::from_secs(300));
+        assert_eq!(params.batch_size, 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Volunteer lifecycle and deployment through the public server.
+//!
+//! A volunteer starts as a *candidate* (it opened the volunteer URL and is
+//! negotiating a connection) and becomes a *processor* once its channel is
+//! established and the worker code is running (paper Figure 7). This module
+//! wires the [`Pando`](crate::master::Pando) master to a
+//! [`PublicServer`](pando_netsim::signaling::PublicServer) so volunteers can
+//! join by "opening a URL", exactly like the deployment story of the paper.
+
+use crate::master::Pando;
+use crate::protocol::Message;
+use crate::worker::{spawn_worker, WorkerHandle, WorkerOptions};
+use pando_netsim::channel::ChannelKind;
+use pando_netsim::signaling::{PublicServer, VolunteerUrl};
+use pando_pull_stream::StreamError;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The state of one volunteer as seen by the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum VolunteerState {
+    /// The volunteer opened the URL and is establishing a connection.
+    Candidate,
+    /// The volunteer is connected and processing values.
+    Processor,
+    /// The volunteer left cleanly.
+    Left,
+    /// The volunteer crashed or its connection was lost.
+    Crashed,
+}
+
+/// Information about a volunteer that joined through the public server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VolunteerInfo {
+    /// Identifier assigned by the public server.
+    pub id: u64,
+    /// How the connection was established.
+    pub kind: ChannelKind,
+}
+
+/// Publishes the deployment on `server` and starts accepting volunteers.
+///
+/// Returns the URL to share (the line Pando prints on startup, paper
+/// Figure 3) and a handle on the acceptor thread. The acceptor runs until
+/// the deployment is unhosted from the server.
+pub fn serve(
+    pando: &Pando,
+    server: &Arc<PublicServer<Message>>,
+) -> (VolunteerUrl, JoinHandle<Vec<VolunteerInfo>>) {
+    let direct = {
+        let mut config = pando.config().channel.clone();
+        config.kind = ChannelKind::WebRtc;
+        config
+    };
+    let relayed = pando.config().channel.clone();
+    let (url, incoming) = server.host(direct, relayed);
+    let master = pando.clone();
+    let acceptor = std::thread::Builder::new()
+        .name("pando-acceptor".into())
+        .spawn(move || {
+            let mut joined = Vec::new();
+            for volunteer in incoming.iter() {
+                joined.push(VolunteerInfo { id: volunteer.volunteer_id, kind: volunteer.kind });
+                master.add_volunteer_endpoint(
+                    format!("volunteer-{}", volunteer.volunteer_id),
+                    volunteer.endpoint,
+                );
+            }
+            joined
+        })
+        .expect("spawn acceptor thread");
+    (url, acceptor)
+}
+
+/// Joins the deployment at `url` as a volunteer device and starts processing
+/// with `process`.
+///
+/// # Errors
+///
+/// Returns an error if the deployment no longer accepts volunteers.
+pub fn join_as_volunteer<F>(
+    server: &PublicServer<Message>,
+    url: &VolunteerUrl,
+    process: F,
+    options: WorkerOptions,
+) -> Result<(WorkerHandle, ChannelKind), StreamError>
+where
+    F: Fn(&str) -> Result<String, StreamError> + Send + 'static,
+{
+    let (endpoint, kind) = server.join(url)?;
+    Ok((spawn_worker(endpoint, process, options), kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PandoConfig;
+    use pando_pull_stream::source::{count, SourceExt};
+
+    fn double(input: &str) -> Result<String, StreamError> {
+        let n: u64 = input.parse().map_err(|_| StreamError::new("nan"))?;
+        Ok((n * 2).to_string())
+    }
+
+    #[test]
+    fn volunteers_join_through_the_public_server() {
+        let server: Arc<PublicServer<Message>> = Arc::new(PublicServer::local());
+        let pando = Pando::new(PandoConfig::local_test());
+        let (url, acceptor) = serve(&pando, &server);
+
+        // Two friends open the URL in their browser.
+        let (worker_a, kind_a) =
+            join_as_volunteer(&server, &url, double, WorkerOptions::default()).unwrap();
+        let (worker_b, kind_b) =
+            join_as_volunteer(&server, &url, double, WorkerOptions::default()).unwrap();
+        assert_eq!(kind_a, ChannelKind::WebRtc, "open NAT gives direct connections");
+        assert_eq!(kind_b, ChannelKind::WebRtc);
+
+        let output = pando
+            .run(count(40).map_values(|v| v.to_string()))
+            .collect_values()
+            .unwrap();
+        assert_eq!(output, (1..=40u64).map(|v| (v * 2).to_string()).collect::<Vec<_>>());
+
+        server.unhost(&url);
+        let joined = acceptor.join().unwrap();
+        assert_eq!(joined.len(), 2);
+        assert_eq!(pando.volunteers_connected(), 2);
+        let _ = worker_a.join();
+        let _ = worker_b.join();
+    }
+
+    #[test]
+    fn joining_after_unhost_fails() {
+        let server: Arc<PublicServer<Message>> = Arc::new(PublicServer::local());
+        let pando = Pando::new(PandoConfig::local_test());
+        let (url, acceptor) = serve(&pando, &server);
+        server.unhost(&url);
+        let err = join_as_volunteer(&server, &url, double, WorkerOptions::default()).unwrap_err();
+        assert!(err.is_transport());
+        acceptor.join().unwrap();
+    }
+
+    #[test]
+    fn volunteer_states_cover_the_lifecycle() {
+        // Simple data-type checks so the lifecycle enum stays usable.
+        let states = [
+            VolunteerState::Candidate,
+            VolunteerState::Processor,
+            VolunteerState::Left,
+            VolunteerState::Crashed,
+        ];
+        assert_eq!(states.len(), 4);
+        assert_ne!(VolunteerState::Candidate, VolunteerState::Processor);
+    }
+}

@@ -1,0 +1,229 @@
+//! The volunteer-side worker loop.
+//!
+//! A worker is the code that runs inside a volunteer's browser tab: it
+//! receives tasks over its channel, applies the user-provided processing
+//! function (the `AsyncMap(f)` module of paper Figure 7), and sends results
+//! back. It may crash at a scripted point (fault injection) to reproduce the
+//! failure scenarios of the evaluation.
+
+use crate::protocol::Message;
+use pando_netsim::channel::{Endpoint, RecvError, SendError};
+use pando_netsim::fault::FaultPlan;
+use pando_pull_stream::StreamError;
+use std::thread::JoinHandle;
+
+/// Options controlling one worker.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Scripted crash behaviour (crash-stop fault injection).
+    pub fault: FaultPlan,
+    /// Name used in logs and reports.
+    pub name: String,
+}
+
+/// What a worker did during its lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Name of the worker.
+    pub name: String,
+    /// Number of tasks processed successfully.
+    pub processed: u64,
+    /// Number of tasks whose processing function returned an error.
+    pub errors: u64,
+    /// `true` if the worker crashed (fault injection), `false` if it left
+    /// cleanly after the master closed the stream.
+    pub crashed: bool,
+}
+
+/// Handle on a running worker thread.
+#[derive(Debug)]
+pub struct WorkerHandle {
+    handle: JoinHandle<WorkerReport>,
+}
+
+impl WorkerHandle {
+    /// Waits for the worker to finish and returns its report.
+    pub fn join(self) -> WorkerReport {
+        self.handle.join().expect("worker threads do not panic")
+    }
+
+    /// Returns `true` once the worker thread has finished.
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+/// Spawns a worker thread processing tasks from `endpoint` with `process`.
+///
+/// `process` is the Rust equivalent of the function exported under
+/// `'/pando/1.0.0'` (paper Figure 2): it receives the input as a string and
+/// returns either the result string or an error.
+pub fn spawn_worker<F>(
+    endpoint: Endpoint<Message>,
+    process: F,
+    options: WorkerOptions,
+) -> WorkerHandle
+where
+    F: Fn(&str) -> Result<String, StreamError> + Send + 'static,
+{
+    let handle = std::thread::Builder::new()
+        .name(format!("pando-worker-{}", options.name))
+        .spawn(move || run_worker(endpoint, process, options))
+        .expect("spawn worker thread");
+    WorkerHandle { handle }
+}
+
+/// Runs the worker loop on the calling thread until the master closes the
+/// channel or the fault plan triggers a crash.
+pub fn run_worker<F>(
+    endpoint: Endpoint<Message>,
+    process: F,
+    options: WorkerOptions,
+) -> WorkerReport
+where
+    F: Fn(&str) -> Result<String, StreamError>,
+{
+    let mut report = WorkerReport {
+        name: options.name.clone(),
+        processed: 0,
+        errors: 0,
+        crashed: false,
+    };
+    let mut fault = options.fault.arm();
+    loop {
+        if fault.should_crash() {
+            endpoint.crash();
+            report.crashed = true;
+            return report;
+        }
+        match endpoint.recv() {
+            Ok(Message::Task { seq, payload }) => {
+                let reply = match process(&payload) {
+                    Ok(result) => {
+                        report.processed += 1;
+                        Message::TaskResult { seq, payload: result }
+                    }
+                    Err(err) => {
+                        report.errors += 1;
+                        Message::TaskError { seq, message: err.to_string() }
+                    }
+                };
+                fault.record_task();
+                if fault.should_crash() {
+                    // The crash happens before the result reaches the master,
+                    // like a tab closed mid-upload.
+                    endpoint.crash();
+                    report.crashed = true;
+                    return report;
+                }
+                let size = reply.wire_size();
+                match endpoint.send_with_size(reply, size) {
+                    Ok(()) => {}
+                    Err(SendError::Closed) | Err(SendError::PeerFailed) => return report,
+                }
+            }
+            Ok(Message::Heartbeat) => continue,
+            Ok(Message::Goodbye)
+            | Ok(Message::TaskResult { .. })
+            | Ok(Message::TaskError { .. }) => {
+                // Unexpected on the worker side; treat as end of stream.
+                endpoint.close();
+                return report;
+            }
+            Err(RecvError::Closed) => {
+                // Clean end of the deployment: acknowledge and leave.
+                let _ = endpoint.send(Message::Goodbye);
+                endpoint.close();
+                return report;
+            }
+            Err(RecvError::PeerFailed) => return report,
+            Err(RecvError::Timeout) | Err(RecvError::Empty) => continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pando_netsim::channel::{pair, ChannelConfig};
+
+    fn upper(input: &str) -> Result<String, StreamError> {
+        Ok(input.to_uppercase())
+    }
+
+    #[test]
+    fn worker_processes_tasks_and_leaves_cleanly() {
+        let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
+        let worker = spawn_worker(volunteer, upper, WorkerOptions::default());
+        master.send(Message::Task { seq: 0, payload: "hello".into() }).unwrap();
+        master.send(Message::Task { seq: 1, payload: "world".into() }).unwrap();
+        assert_eq!(master.recv().unwrap(), Message::TaskResult { seq: 0, payload: "HELLO".into() });
+        assert_eq!(master.recv().unwrap(), Message::TaskResult { seq: 1, payload: "WORLD".into() });
+        master.close();
+        let report = worker.join();
+        assert_eq!(report.processed, 2);
+        assert_eq!(report.errors, 0);
+        assert!(!report.crashed);
+        // The worker said goodbye before leaving.
+        assert_eq!(master.recv().unwrap(), Message::Goodbye);
+    }
+
+    #[test]
+    fn worker_reports_application_errors() {
+        let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
+        let worker = spawn_worker(
+            volunteer,
+            |_input: &str| Err(StreamError::new("cannot render")),
+            WorkerOptions::default(),
+        );
+        master.send(Message::Task { seq: 5, payload: "x".into() }).unwrap();
+        assert_eq!(
+            master.recv().unwrap(),
+            Message::TaskError { seq: 5, message: "cannot render".into() }
+        );
+        master.close();
+        let report = worker.join();
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.processed, 0);
+    }
+
+    #[test]
+    fn fault_plan_crashes_the_worker() {
+        let (master, volunteer) = pair::<Message>(
+            ChannelConfig { failure_timeout: std::time::Duration::from_millis(40), ..ChannelConfig::instant() },
+        );
+        let worker = spawn_worker(
+            volunteer,
+            upper,
+            WorkerOptions { fault: FaultPlan::AfterTasks(1), name: "tablet".into() },
+        );
+        master.send(Message::Task { seq: 0, payload: "only".into() }).unwrap();
+        master.send(Message::Task { seq: 1, payload: "never answered".into() }).unwrap();
+        let report = worker.join();
+        assert!(report.crashed);
+        assert_eq!(report.name, "tablet");
+        // The master eventually suspects the crash instead of seeing results.
+        let mut saw_failure = false;
+        for _ in 0..10 {
+            match master.recv() {
+                Err(RecvError::PeerFailed) => {
+                    saw_failure = true;
+                    break;
+                }
+                Ok(_) => continue,
+                Err(_) => continue,
+            }
+        }
+        assert!(saw_failure, "the crash must be detected through the failure detector");
+    }
+
+    #[test]
+    fn is_finished_reflects_thread_state() {
+        let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
+        let worker = spawn_worker(volunteer, upper, WorkerOptions::default());
+        assert!(!worker.is_finished());
+        master.close();
+        let report = worker.join();
+        assert_eq!(report.processed, 0);
+    }
+}

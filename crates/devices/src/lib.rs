@@ -1,0 +1,19 @@
+//! Device and network profiles calibrated to the paper's evaluation.
+//!
+//! The paper measures per-device throughput for six compute-bound
+//! applications on three deployments: personal devices on a LAN (§5.2), one
+//! node of each Grid5000 cluster over a VPN (§5.3), and seven PlanetLab EU
+//! nodes over a WAN (§5.4). This crate records those published measurements
+//! ([`table2`]) and turns them into *device profiles* ([`profiles`]) —
+//! per-application service rates plus network characteristics — that the
+//! deployment simulator uses to regenerate the shape of Table 2 and of the
+//! §5.5 analysis claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profiles;
+pub mod table2;
+
+pub use profiles::{DeviceProfile, Scenario, ScenarioSetup};
+pub use table2::{paper_reference, PaperEntry};

@@ -1,0 +1,185 @@
+//! The published measurements of paper Table 2.
+//!
+//! Columns are the six measured applications; one row per device, grouped by
+//! deployment scenario. Values are average throughput in the unit of each
+//! column (BigNums/s, Hashes/s, Tests/s, Frames/s, Images/s, Steps/s) over a
+//! five-minute window. The image-processing column is absent for the WAN
+//! deployment, as in the paper (the http file server was not reachable from
+//! PlanetLab).
+
+use crate::profiles::Scenario;
+use pando_workloads::AppKind;
+
+/// One row of Table 2: the published throughput of one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperEntry {
+    /// Device name as printed in the paper.
+    pub device: &'static str,
+    /// Deployment scenario the device belongs to.
+    pub scenario: Scenario,
+    /// Number of cores used on that device.
+    pub cores: u32,
+    /// Throughput in BigNums/s (Collatz).
+    pub collatz: f64,
+    /// Throughput in Hashes/s (crypto-currency mining).
+    pub crypto: f64,
+    /// Throughput in Tests/s (StreamLender testing).
+    pub sl_test: f64,
+    /// Throughput in Frames/s (raytracing).
+    pub raytrace: f64,
+    /// Throughput in Images/s (image processing); `None` where the paper
+    /// reports no measurement.
+    pub image_proc: Option<f64>,
+    /// Throughput in Steps/s (ML agent training).
+    pub ml_agent: f64,
+}
+
+impl PaperEntry {
+    /// The published throughput of this device for `app`, if measured.
+    pub fn throughput(&self, app: AppKind) -> Option<f64> {
+        match app {
+            AppKind::Collatz => Some(self.collatz),
+            AppKind::CryptoMining => Some(self.crypto),
+            AppKind::StreamLenderTesting => Some(self.sl_test),
+            AppKind::Raytrace => Some(self.raytrace),
+            AppKind::ImageProcessing => self.image_proc,
+            AppKind::MlAgentTraining => Some(self.ml_agent),
+            AppKind::Arxiv => None,
+        }
+    }
+}
+
+const fn entry(
+    device: &'static str,
+    scenario: Scenario,
+    cores: u32,
+    collatz: f64,
+    crypto: f64,
+    sl_test: f64,
+    raytrace: f64,
+    image_proc: Option<f64>,
+    ml_agent: f64,
+) -> PaperEntry {
+    PaperEntry { device, scenario, cores, collatz, crypto, sl_test, raytrace, image_proc, ml_agent }
+}
+
+/// The full published table: every device row of Table 2.
+pub fn paper_reference() -> Vec<PaperEntry> {
+    use Scenario::{Lan, Vpn, Wan};
+    vec![
+        // LAN: personal devices (paper §5.2). Core counts in parentheses in
+        // the paper; the MacBook Air also runs the master on one core.
+        entry("Novena", Lan, 2, 121.85, 16_185.0, 142.84, 0.66, Some(0.04), 51.74),
+        entry("Asus Laptop", Lan, 3, 490.45, 59_895.0, 622.64, 3.63, Some(0.10), 112.59),
+        entry("MBAir 2011", Lan, 1, 215.58, 58_693.0, 526.82, 2.94, Some(0.06), 68.81),
+        entry("iPhone SE", Lan, 1, 336.18, 42_720.0, 509.64, 2.90, Some(0.33), 60.24),
+        entry("MBPro 2016", Lan, 2, 1_045.58, 201_178.0, 1_801.76, 8.81, Some(0.19), 191.51),
+        // VPN: Grid5000 nodes, one core each (paper §5.3).
+        entry("dahu.grenoble", Vpn, 1, 642.04, 230_061.0, 1_341.77, 3.12, Some(0.44), 219.18),
+        entry("chetemy.lille", Vpn, 1, 524.71, 206_195.0, 975.58, 2.04, Some(0.37), 167.03),
+        entry("petitprince.luxembourg", Vpn, 1, 261.36, 136_189.0, 631.83, 1.47, Some(0.27), 124.00),
+        entry("nova.lyon", Vpn, 1, 521.35, 199_901.0, 982.16, 1.95, Some(0.34), 164.57),
+        entry("grisou.nancy", Vpn, 1, 541.53, 216_932.0, 1_026.26, 2.17, Some(0.36), 176.12),
+        entry("ecotype.nantes", Vpn, 1, 479.07, 187_668.0, 939.07, 1.86, Some(0.33), 162.25),
+        entry("paravance.rennes", Vpn, 1, 535.72, 215_096.0, 1_021.99, 2.19, Some(0.35), 176.41),
+        entry("uvb.sophia", Vpn, 1, 317.73, 142_061.0, 641.26, 1.57, Some(0.28), 133.88),
+        // WAN: PlanetLab EU nodes, one core each (paper §5.4).
+        entry("cse-yellow.cse.chalmers.se", Wan, 1, 470.49, 162_173.0, 996.89, 0.74, None, 148.85),
+        entry("mars.planetlab.haw-hamburg.de", Wan, 1, 225.38, 93_189.0, 428.30, 0.64, None, 78.66),
+        entry("ple42.planet-lab.eu", Wan, 1, 210.15, 82_297.0, 444.35, 0.54, None, 81.17),
+        entry("onelab2.pl.sophia.inria.fr", Wan, 1, 201.43, 95_609.0, 459.66, 0.68, None, 83.57),
+        entry("planet2.elte.hu", Wan, 1, 216.42, 85_927.0, 505.04, 0.73, None, 99.75),
+        entry("planet4.cs.huji.ac.il", Wan, 1, 298.42, 112_363.0, 651.54, 0.77, None, 119.62),
+        entry("ple1.cesnet.cz", Wan, 1, 223.22, 85_927.0, 499.27, 0.65, None, 102.76),
+    ]
+}
+
+/// The published per-scenario totals of Table 2 (the header rows).
+pub fn paper_total(scenario: Scenario, app: AppKind) -> Option<f64> {
+    let value = match (scenario, app) {
+        (Scenario::Lan, AppKind::Collatz) => 2_209.65,
+        (Scenario::Lan, AppKind::CryptoMining) => 378_672.0,
+        (Scenario::Lan, AppKind::StreamLenderTesting) => 3_603.70,
+        (Scenario::Lan, AppKind::Raytrace) => 18.94,
+        (Scenario::Lan, AppKind::ImageProcessing) => 0.71,
+        (Scenario::Lan, AppKind::MlAgentTraining) => 484.90,
+        (Scenario::Vpn, AppKind::Collatz) => 3_823.51,
+        (Scenario::Vpn, AppKind::CryptoMining) => 1_534_102.0,
+        (Scenario::Vpn, AppKind::StreamLenderTesting) => 7_559.93,
+        (Scenario::Vpn, AppKind::Raytrace) => 16.38,
+        (Scenario::Vpn, AppKind::ImageProcessing) => 2.73,
+        (Scenario::Vpn, AppKind::MlAgentTraining) => 1_323.44,
+        (Scenario::Wan, AppKind::Collatz) => 1_845.52,
+        (Scenario::Wan, AppKind::CryptoMining) => 717_485.0,
+        (Scenario::Wan, AppKind::StreamLenderTesting) => 3_985.04,
+        (Scenario::Wan, AppKind::Raytrace) => 4.75,
+        (Scenario::Wan, AppKind::ImageProcessing) => return None,
+        (Scenario::Wan, AppKind::MlAgentTraining) => 714.38,
+        (_, AppKind::Arxiv) => return None,
+    };
+    Some(value)
+}
+
+/// Devices of one scenario, in the row order of the paper.
+pub fn scenario_entries(scenario: Scenario) -> Vec<PaperEntry> {
+    paper_reference().into_iter().filter(|e| e.scenario == scenario).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_counts_match_the_paper() {
+        assert_eq!(scenario_entries(Scenario::Lan).len(), 5);
+        assert_eq!(scenario_entries(Scenario::Vpn).len(), 8);
+        assert_eq!(scenario_entries(Scenario::Wan).len(), 7);
+        assert_eq!(paper_reference().len(), 20);
+    }
+
+    #[test]
+    fn per_device_rows_sum_to_published_totals() {
+        for scenario in [Scenario::Lan, Scenario::Vpn, Scenario::Wan] {
+            for app in AppKind::measured() {
+                let Some(total) = paper_total(scenario, app) else { continue };
+                let sum: f64 = scenario_entries(scenario)
+                    .iter()
+                    .filter_map(|e| e.throughput(app))
+                    .sum();
+                // Rows are rounded to two decimals in the paper, so allow
+                // either a small relative or a small absolute discrepancy.
+                let close = (sum - total).abs() / total < 0.005 || (sum - total).abs() < 0.02;
+                assert!(close, "{scenario:?}/{app:?}: rows sum to {sum}, paper total is {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn wan_has_no_image_processing_measurements() {
+        assert!(scenario_entries(Scenario::Wan).iter().all(|e| e.image_proc.is_none()));
+        assert_eq!(paper_total(Scenario::Wan, AppKind::ImageProcessing), None);
+    }
+
+    #[test]
+    fn fastest_lan_device_is_the_mbpro() {
+        let lan = scenario_entries(Scenario::Lan);
+        let fastest = lan.iter().max_by(|a, b| a.collatz.partial_cmp(&b.collatz).unwrap()).unwrap();
+        assert_eq!(fastest.device, "MBPro 2016");
+    }
+
+    #[test]
+    fn iphone_outperforms_uvb_sophia_on_collatz() {
+        // One of the §5.5 observations: a 2016 phone core beats an older
+        // server node on Collatz.
+        let iphone = paper_reference().into_iter().find(|e| e.device == "iPhone SE").unwrap();
+        let uvb = paper_reference().into_iter().find(|e| e.device == "uvb.sophia").unwrap();
+        assert!(iphone.collatz > uvb.collatz);
+    }
+
+    #[test]
+    fn arxiv_is_never_measured() {
+        for entry in paper_reference() {
+            assert_eq!(entry.throughput(AppKind::Arxiv), None);
+        }
+    }
+}

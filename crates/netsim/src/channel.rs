@@ -1,0 +1,754 @@
+//! Duplex message channels with configurable latency, jitter and failure
+//! semantics.
+//!
+//! A channel pair models one connection between the Pando master and one
+//! volunteer device. It provides exactly the transport properties the paper
+//! relies on: reliable in-order delivery, a one-way latency that is usually
+//! bounded (partial synchrony), a clean close (the volunteer leaves) and a
+//! crash (the browser tab is closed or connectivity is lost) that the peer
+//! only detects after the heartbeat timeout.
+
+use crate::heartbeat::FailureDetector;
+use crossbeam::channel;
+use pando_pull_stream::duplex::Duplex;
+use pando_pull_stream::sink::Sink;
+use pando_pull_stream::source::{BoxSource, Source};
+use pando_pull_stream::{Answer, Request, StreamError};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The browser communication technology being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ChannelKind {
+    /// A WebSocket connection relayed through a server reachable by both ends.
+    WebSocket,
+    /// A WebRTC data channel established directly between two browsers after
+    /// a signalling handshake.
+    WebRtc,
+}
+
+impl fmt::Display for ChannelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelKind::WebSocket => f.write_str("websocket"),
+            ChannelKind::WebRtc => f.write_str("webrtc"),
+        }
+    }
+}
+
+/// Configuration of a simulated channel.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChannelConfig {
+    /// Which technology the channel models (affects the signalling path, not
+    /// the data path).
+    pub kind: ChannelKind,
+    /// One-way propagation latency.
+    pub latency: Duration,
+    /// Maximum additional random delay added per message.
+    pub jitter: Duration,
+    /// Available bandwidth; `None` means transmission time is negligible.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+    /// Interval between heartbeats (used by the failure detector).
+    pub heartbeat_interval: Duration,
+    /// Time without any heartbeat after which the peer is suspected to have
+    /// crashed.
+    pub failure_timeout: Duration,
+    /// Seed for the per-channel jitter generator.
+    pub seed: u64,
+}
+
+impl ChannelConfig {
+    /// A loop-back configuration with no latency, useful in unit tests.
+    pub fn instant() -> Self {
+        Self {
+            kind: ChannelKind::WebSocket,
+            latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            bandwidth_bytes_per_sec: None,
+            heartbeat_interval: Duration::from_millis(5),
+            failure_timeout: Duration::from_millis(25),
+            seed: 0,
+        }
+    }
+
+    /// A local-area-network Wi-Fi profile (paper §5.2).
+    pub fn lan() -> Self {
+        Self {
+            kind: ChannelKind::WebSocket,
+            latency: Duration::from_millis(2),
+            jitter: Duration::from_millis(1),
+            bandwidth_bytes_per_sec: Some(12_500_000), // ~100 Mbit/s Wi-Fi
+            heartbeat_interval: Duration::from_millis(100),
+            failure_timeout: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+
+    /// A VPN profile between cities of the same country (paper §5.3).
+    pub fn vpn() -> Self {
+        Self {
+            kind: ChannelKind::WebSocket,
+            latency: Duration::from_millis(15),
+            jitter: Duration::from_millis(4),
+            bandwidth_bytes_per_sec: Some(125_000_000), // 1 Gbit/s
+            heartbeat_interval: Duration::from_millis(200),
+            failure_timeout: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+
+    /// A wide-area-network profile across Europe (paper §5.4).
+    pub fn wan() -> Self {
+        Self {
+            kind: ChannelKind::WebRtc,
+            latency: Duration::from_millis(45),
+            jitter: Duration::from_millis(10),
+            bandwidth_bytes_per_sec: Some(12_500_000), // 100 Mbit/s
+            heartbeat_interval: Duration::from_millis(500),
+            failure_timeout: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+
+    /// Returns the same configuration with a different jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Transmission delay of a message of `size` bytes at the configured
+    /// bandwidth.
+    pub fn transmission_delay(&self, size: usize) -> Duration {
+        match self.bandwidth_bytes_per_sec {
+            Some(bw) if bw > 0 => Duration::from_secs_f64(size as f64 / bw as f64),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+/// Error returned by [`Endpoint::send`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The channel was closed cleanly by either side.
+    Closed,
+    /// The peer crashed (detected through the failure detector).
+    PeerFailed,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::Closed => f.write_str("channel closed"),
+            SendError::PeerFailed => f.write_str("peer failed"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Error returned by the receiving operations of an [`Endpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// The channel was closed cleanly: no more messages will ever arrive.
+    Closed,
+    /// The peer crashed; detected after the heartbeat failure timeout.
+    PeerFailed,
+    /// No message arrived before the timeout (the channel is still usable).
+    Timeout,
+    /// No message is currently available (the channel is still usable).
+    Empty,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Closed => f.write_str("channel closed"),
+            RecvError::PeerFailed => f.write_str("peer failed"),
+            RecvError::Timeout => f.write_str("receive timed out"),
+            RecvError::Empty => f.write_str("no message available"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+enum Frame<T> {
+    Data { payload: T, deliver_at: Instant },
+    Close { deliver_at: Instant },
+}
+
+struct Direction<T> {
+    tx: channel::Sender<Frame<T>>,
+    rx: channel::Receiver<Frame<T>>,
+}
+
+struct SideState {
+    /// Set when this side crashed (abruptly stopped).
+    crashed_at: Option<Instant>,
+    /// Set when this side closed its sending direction cleanly.
+    closed: bool,
+    /// Set when this side has observed the peer's close notification.
+    peer_done: bool,
+    /// Next time at which a message may be delivered (keeps FIFO order even
+    /// with jitter).
+    next_delivery: Instant,
+    /// Bytes and messages sent by this side.
+    messages_sent: u64,
+    bytes_sent: u64,
+}
+
+struct Shared {
+    a: Mutex<SideState>,
+    b: Mutex<SideState>,
+}
+
+/// One endpoint of a simulated duplex channel. Create pairs with [`pair`].
+pub struct Endpoint<T> {
+    /// `true` for the endpoint returned first by [`pair`].
+    is_a: bool,
+    config: ChannelConfig,
+    outgoing: channel::Sender<Frame<T>>,
+    incoming: channel::Receiver<Frame<T>>,
+    shared: Arc<Shared>,
+    rng: Mutex<StdRng>,
+    detector: FailureDetector,
+    /// Buffered frame whose delivery time has not yet been reached.
+    pending: Mutex<Option<Frame<T>>>,
+}
+
+impl<T> fmt::Debug for Endpoint<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("kind", &self.config.kind)
+            .field("is_a", &self.is_a)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Creates a connected pair of endpoints with the given configuration.
+///
+/// # Examples
+///
+/// ```
+/// use pando_netsim::channel::{pair, ChannelConfig};
+///
+/// let (master, worker) = pair::<String>(ChannelConfig::instant());
+/// master.send("task".to_string()).unwrap();
+/// assert_eq!(worker.recv().unwrap(), "task");
+/// ```
+pub fn pair<T: Send + 'static>(config: ChannelConfig) -> (Endpoint<T>, Endpoint<T>) {
+    let a_to_b = channel::unbounded();
+    let b_to_a = channel::unbounded();
+    let now = Instant::now();
+    let shared = Arc::new(Shared {
+        a: Mutex::new(SideState {
+            crashed_at: None,
+            closed: false,
+            peer_done: false,
+            next_delivery: now,
+            messages_sent: 0,
+            bytes_sent: 0,
+        }),
+        b: Mutex::new(SideState {
+            crashed_at: None,
+            closed: false,
+            peer_done: false,
+            next_delivery: now,
+            messages_sent: 0,
+            bytes_sent: 0,
+        }),
+    });
+    let dir_ab = Direction { tx: a_to_b.0, rx: a_to_b.1 };
+    let dir_ba = Direction { tx: b_to_a.0, rx: b_to_a.1 };
+    let a = Endpoint {
+        is_a: true,
+        config: config.clone(),
+        outgoing: dir_ab.tx,
+        incoming: dir_ba.rx,
+        shared: shared.clone(),
+        rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+        detector: FailureDetector::new(config.heartbeat_interval, config.failure_timeout),
+        pending: Mutex::new(None),
+    };
+    let b = Endpoint {
+        is_a: false,
+        config: config.clone(),
+        outgoing: dir_ba.tx,
+        incoming: dir_ab.rx,
+        shared,
+        rng: Mutex::new(StdRng::seed_from_u64(config.seed.wrapping_add(1))),
+        detector: FailureDetector::new(config.heartbeat_interval, config.failure_timeout),
+        pending: Mutex::new(None),
+    };
+    (a, b)
+}
+
+impl<T: Send + 'static> Endpoint<T> {
+    fn my_state(&self) -> &Mutex<SideState> {
+        if self.is_a {
+            &self.shared.a
+        } else {
+            &self.shared.b
+        }
+    }
+
+    fn peer_state(&self) -> &Mutex<SideState> {
+        if self.is_a {
+            &self.shared.b
+        } else {
+            &self.shared.a
+        }
+    }
+
+    /// The configuration this channel was created with.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    /// Sends a message, modelling it as having a negligible size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError::Closed`] if either side already closed the channel
+    /// and [`SendError::PeerFailed`] if the peer is known to have crashed.
+    pub fn send(&self, payload: T) -> Result<(), SendError> {
+        self.send_with_size(payload, 0)
+    }
+
+    /// Sends a message of `size` bytes: the delivery time accounts for the
+    /// propagation latency, the random jitter and the transmission time at
+    /// the configured bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Endpoint::send`].
+    pub fn send_with_size(&self, payload: T, size: usize) -> Result<(), SendError> {
+        {
+            let peer = self.peer_state().lock();
+            if let Some(crashed_at) = peer.crashed_at {
+                if crashed_at.elapsed() >= self.config.failure_timeout {
+                    return Err(SendError::PeerFailed);
+                }
+            }
+        }
+        let mut mine = self.my_state().lock();
+        if mine.closed {
+            return Err(SendError::Closed);
+        }
+        if mine.crashed_at.is_some() {
+            return Err(SendError::PeerFailed);
+        }
+        let jitter = if self.config.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            let nanos = self.config.jitter.as_nanos() as u64;
+            Duration::from_nanos(self.rng.lock().gen_range(0..=nanos))
+        };
+        let delay = self.config.latency + jitter + self.config.transmission_delay(size);
+        let deliver_at = (Instant::now() + delay).max(mine.next_delivery);
+        mine.next_delivery = deliver_at;
+        mine.messages_sent += 1;
+        mine.bytes_sent += size as u64;
+        drop(mine);
+        self.outgoing
+            .send(Frame::Data { payload, deliver_at })
+            .map_err(|_| SendError::Closed)
+    }
+
+    /// Receives the next message, blocking until it arrives or the connection
+    /// terminates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError::Closed`] after a clean close and
+    /// [`RecvError::PeerFailed`] once the failure detector suspects the peer.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        loop {
+            match self.recv_deadline(Instant::now() + self.config.failure_timeout) {
+                Err(RecvError::Timeout) => continue,
+                other => return other,
+            }
+        }
+    }
+
+    /// Receives the next message, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] if nothing arrived in time; otherwise the same
+    /// conditions as [`Endpoint::recv`].
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvError> {
+        self.recv_deadline(Instant::now() + timeout)
+    }
+
+    /// Returns the next message if one is already available.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Empty`] if no message is ready; otherwise the same
+    /// conditions as [`Endpoint::recv`].
+    pub fn try_recv(&self) -> Result<T, RecvError> {
+        self.recv_deadline(Instant::now())
+            .map_err(|err| if err == RecvError::Timeout { RecvError::Empty } else { err })
+    }
+
+    fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvError> {
+        loop {
+            // A frame already pulled off the wire but not yet deliverable.
+            let buffered = self.pending.lock().take();
+            let frame = match buffered {
+                Some(frame) => Some(frame),
+                None => match self.incoming.try_recv() {
+                    Ok(frame) => Some(frame),
+                    Err(channel::TryRecvError::Empty) => None,
+                    Err(channel::TryRecvError::Disconnected) => {
+                        // The peer endpoint was dropped entirely. A clean
+                        // close was observed as a Close frame; anything else
+                        // is indistinguishable from a crash.
+                        let peer = self.peer_state().lock();
+                        return if peer.closed {
+                            Err(RecvError::Closed)
+                        } else {
+                            Err(RecvError::PeerFailed)
+                        };
+                    }
+                },
+            };
+            match frame {
+                Some(Frame::Data { payload, deliver_at }) => {
+                    let now = Instant::now();
+                    if deliver_at <= now {
+                        return Ok(payload);
+                    }
+                    if deliver_at > deadline {
+                        // Not deliverable before the caller's deadline: put it
+                        // back and report a timeout.
+                        *self.pending.lock() = Some(Frame::Data { payload, deliver_at });
+                        if Instant::now() >= deadline {
+                            return Err(RecvError::Timeout);
+                        }
+                        std::thread::sleep(deadline.saturating_duration_since(Instant::now()).min(Duration::from_millis(1)));
+                        continue;
+                    }
+                    std::thread::sleep(deliver_at - now);
+                    return Ok(payload);
+                }
+                Some(Frame::Close { deliver_at }) => {
+                    let now = Instant::now();
+                    if deliver_at > now {
+                        std::thread::sleep(deliver_at - now);
+                    }
+                    // Keep answering Closed on subsequent calls.
+                    self.my_state().lock().peer_done = true;
+                    return Err(RecvError::Closed);
+                }
+                None => {
+                    if self.my_state().lock().peer_done {
+                        return Err(RecvError::Closed);
+                    }
+                    // Crash detection: the peer stops sending heartbeats when
+                    // it crashes; the detector fires after the failure timeout.
+                    let peer_crashed_at = self.peer_state().lock().crashed_at;
+                    if let Some(crashed_at) = peer_crashed_at {
+                        if self.detector.suspects(crashed_at) {
+                            return Err(RecvError::PeerFailed);
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(RecvError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    /// Closes this endpoint's sending direction cleanly (half-close): the
+    /// peer observes [`RecvError::Closed`] after draining the messages
+    /// already in flight, but may still send its remaining results back.
+    pub fn close(&self) {
+        let mut mine = self.my_state().lock();
+        if mine.closed || mine.crashed_at.is_some() {
+            return;
+        }
+        mine.closed = true;
+        let deliver_at = (Instant::now() + self.config.latency).max(mine.next_delivery);
+        drop(mine);
+        let _ = self.outgoing.send(Frame::Close { deliver_at });
+    }
+
+    /// Crashes this endpoint abruptly (crash-stop): nothing more is sent, not
+    /// even a close notification; the peer only finds out after the heartbeat
+    /// failure timeout.
+    pub fn crash(&self) {
+        self.my_state().lock().crashed_at = Some(Instant::now());
+    }
+
+    /// Returns `true` while the peer is neither closed nor suspected crashed.
+    pub fn is_peer_alive(&self) -> bool {
+        let peer = self.peer_state().lock();
+        if peer.closed {
+            return false;
+        }
+        match peer.crashed_at {
+            Some(crashed_at) => !self.detector.suspects(crashed_at),
+            None => true,
+        }
+    }
+
+    /// Number of messages sent from this endpoint so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.my_state().lock().messages_sent
+    }
+
+    /// Number of payload bytes sent from this endpoint so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.my_state().lock().bytes_sent
+    }
+
+    /// Converts the endpoint into a pull-stream duplex: the source yields
+    /// received messages and the sink sends the messages of the source it
+    /// drains. This is the shape expected by the Pando master pipeline
+    /// (paper Figure 7).
+    pub fn into_duplex(self) -> Duplex<T, T> {
+        let endpoint = Arc::new(self);
+        Duplex {
+            source: Box::new(EndpointSource { endpoint: endpoint.clone() }),
+            sink: Box::new(EndpointSink { endpoint }),
+        }
+    }
+}
+
+struct EndpointSource<T> {
+    endpoint: Arc<Endpoint<T>>,
+}
+
+impl<T: Send + 'static> Source<T> for EndpointSource<T> {
+    fn pull(&mut self, request: Request) -> Answer<T> {
+        if request.is_termination() {
+            self.endpoint.close();
+            return Answer::Done;
+        }
+        match self.endpoint.recv() {
+            Ok(value) => Answer::Value(value),
+            Err(RecvError::Closed) => Answer::Done,
+            Err(RecvError::PeerFailed) => {
+                Answer::Err(StreamError::transport("peer failed (heartbeat timeout)"))
+            }
+            Err(RecvError::Timeout) | Err(RecvError::Empty) => {
+                Answer::Err(StreamError::transport("unexpected receive state"))
+            }
+        }
+    }
+}
+
+struct EndpointSink<T> {
+    endpoint: Arc<Endpoint<T>>,
+}
+
+impl<T: Send + 'static> Sink<T> for EndpointSink<T> {
+    fn drain(&mut self, mut source: BoxSource<T>) -> Result<(), StreamError> {
+        loop {
+            match source.pull(Request::Ask) {
+                Answer::Value(value) => match self.endpoint.send(value) {
+                    Ok(()) => {}
+                    Err(SendError::Closed) => {
+                        let _ = source.pull(Request::Abort);
+                        return Ok(());
+                    }
+                    Err(SendError::PeerFailed) => {
+                        let err = StreamError::transport("peer failed while sending");
+                        let _ = source.pull(Request::Fail(err.clone()));
+                        return Err(err);
+                    }
+                },
+                Answer::Done => {
+                    self.endpoint.close();
+                    return Ok(());
+                }
+                Answer::Err(err) => {
+                    self.endpoint.close();
+                    return Err(err);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_delivered_in_order() {
+        let (a, b) = pair::<u32>(ChannelConfig::instant());
+        for i in 0..100 {
+            a.send(i).unwrap();
+        }
+        let received: Vec<u32> = (0..100).map(|_| b.recv().unwrap()).collect();
+        assert_eq!(received, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn both_directions_work() {
+        let (a, b) = pair::<&'static str>(ChannelConfig::instant());
+        a.send("ping").unwrap();
+        assert_eq!(b.recv().unwrap(), "ping");
+        b.send("pong").unwrap();
+        assert_eq!(a.recv().unwrap(), "pong");
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let mut config = ChannelConfig::instant();
+        config.latency = Duration::from_millis(30);
+        let (a, b) = pair::<u8>(config);
+        let start = Instant::now();
+        a.send(1).unwrap();
+        assert_eq!(b.recv().unwrap(), 1);
+        assert!(start.elapsed() >= Duration::from_millis(25), "latency must be observed");
+    }
+
+    #[test]
+    fn jitter_preserves_fifo_order() {
+        let mut config = ChannelConfig::instant();
+        config.latency = Duration::from_millis(1);
+        config.jitter = Duration::from_millis(5);
+        config.seed = 42;
+        let (a, b) = pair::<u32>(config);
+        for i in 0..20 {
+            a.send(i).unwrap();
+        }
+        let received: Vec<u32> = (0..20).map(|_| b.recv().unwrap()).collect();
+        assert_eq!(received, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bandwidth_adds_transmission_delay() {
+        let mut config = ChannelConfig::instant();
+        config.bandwidth_bytes_per_sec = Some(1_000_000); // 1 MB/s
+        let (a, b) = pair::<Vec<u8>>(config.clone());
+        assert_eq!(config.transmission_delay(100_000), Duration::from_millis(100));
+        let start = Instant::now();
+        a.send_with_size(vec![0u8; 100_000], 100_000).unwrap();
+        b.recv().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn clean_close_is_observed_after_in_flight_messages() {
+        let (a, b) = pair::<u32>(ChannelConfig::instant());
+        a.send(1).unwrap();
+        a.send(2).unwrap();
+        a.close();
+        assert_eq!(b.recv().unwrap(), 1);
+        assert_eq!(b.recv().unwrap(), 2);
+        assert_eq!(b.recv().unwrap_err(), RecvError::Closed);
+        // The close is a half-close: b can still send results back, but the
+        // side that closed may not send any more.
+        b.send(3).unwrap();
+        assert_eq!(a.recv().unwrap(), 3);
+        assert_eq!(a.send(4).unwrap_err(), SendError::Closed);
+    }
+
+    #[test]
+    fn crash_is_detected_after_failure_timeout() {
+        let mut config = ChannelConfig::instant();
+        config.failure_timeout = Duration::from_millis(50);
+        let (a, b) = pair::<u32>(config);
+        a.send(7).unwrap();
+        a.crash();
+        // The in-flight message is still delivered (it was already sent).
+        assert_eq!(b.recv().unwrap(), 7);
+        let start = Instant::now();
+        assert_eq!(b.recv().unwrap_err(), RecvError::PeerFailed);
+        assert!(start.elapsed() >= Duration::from_millis(40), "failure needs the timeout");
+        assert!(!b.is_peer_alive());
+    }
+
+    #[test]
+    fn try_recv_and_timeout() {
+        let (a, b) = pair::<u32>(ChannelConfig::instant());
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::Empty);
+        assert_eq!(b.recv_timeout(Duration::from_millis(10)).unwrap_err(), RecvError::Timeout);
+        a.send(5).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_millis(100)).unwrap(), 5);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let (a, b) = pair::<u32>(ChannelConfig::instant());
+        a.send_with_size(1, 10).unwrap();
+        a.send_with_size(2, 20).unwrap();
+        assert_eq!(a.messages_sent(), 2);
+        assert_eq!(a.bytes_sent(), 30);
+        assert_eq!(b.messages_sent(), 0);
+        let _ = b;
+    }
+
+    #[test]
+    fn is_peer_alive_reflects_clean_close() {
+        let (a, b) = pair::<u8>(ChannelConfig::instant());
+        assert!(a.is_peer_alive());
+        b.close();
+        assert!(!a.is_peer_alive());
+    }
+
+    #[test]
+    fn duplex_adapter_round_trip() {
+        use pando_pull_stream::source::{count, SourceExt};
+
+        let (master, worker) = pair::<u64>(ChannelConfig::instant());
+        // Worker: echoes doubled values back, then closes.
+        let worker_thread = std::thread::spawn(move || {
+            loop {
+                match worker.recv() {
+                    Ok(v) => worker.send(v * 2).unwrap(),
+                    Err(RecvError::Closed) => {
+                        worker.close();
+                        break;
+                    }
+                    Err(other) => panic!("unexpected {other:?}"),
+                }
+            }
+        });
+        let Duplex { source, mut sink } = master.into_duplex();
+        let results = std::thread::spawn(move || pando_pull_stream::sink::collect(source));
+        sink.drain(count(5).boxed()).unwrap();
+        let collected = results.join().unwrap().unwrap();
+        worker_thread.join().unwrap();
+        assert_eq!(collected, vec![2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn duplex_adapter_reports_crash_as_transport_error() {
+        let (master, worker) = pair::<u64>(
+            ChannelConfig { failure_timeout: Duration::from_millis(30), ..ChannelConfig::instant() },
+        );
+        worker.crash();
+        let Duplex { mut source, sink: _sink } = master.into_duplex();
+        match source.pull(Request::Ask) {
+            Answer::Err(err) => assert!(err.is_transport()),
+            other => panic!("expected transport error, got {:?}", other.is_done()),
+        }
+    }
+
+    #[test]
+    fn profiles_have_increasing_latency() {
+        assert!(ChannelConfig::lan().latency < ChannelConfig::vpn().latency);
+        assert!(ChannelConfig::vpn().latency < ChannelConfig::wan().latency);
+        assert_eq!(ChannelConfig::wan().kind, ChannelKind::WebRtc);
+        assert_eq!(ChannelKind::WebSocket.to_string(), "websocket");
+        assert_eq!(ChannelKind::WebRtc.to_string(), "webrtc");
+    }
+}

@@ -1,0 +1,198 @@
+//! Length-delimited frame codec.
+//!
+//! Pando transmits base64-encoded strings over WebSocket / WebRTC messages.
+//! This module provides the equivalent wire framing for the reproduction: a
+//! frame is a 4-byte big-endian length followed by that many payload bytes,
+//! with a tag byte identifying the message kind. It is used by the core
+//! protocol both to give messages a realistic size (so bandwidth modelling is
+//! meaningful) and to exercise an actual encode/decode path.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pando_pull_stream::StreamError;
+
+/// Maximum accepted frame length (16 MiB), mirroring the WebRTC message-size
+/// limitation that forced the paper's raytracing scenes to be shrunk (§5.1).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Encodes one frame: tag byte, 4-byte big-endian length, payload.
+pub fn encode_frame(tag: u8, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(5 + payload.len());
+    buf.put_u8(tag);
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// A frame decoded by [`decode_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message-kind tag.
+    pub tag: u8,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Decodes one frame from the front of `buf`, consuming it.
+///
+/// Returns `Ok(None)` if the buffer does not yet contain a complete frame.
+///
+/// # Errors
+///
+/// Returns an error if the advertised length exceeds [`MAX_FRAME_LEN`].
+pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Frame>, StreamError> {
+    if buf.len() < 5 {
+        return Ok(None);
+    }
+    let tag = buf[0];
+    let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(StreamError::protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte limit"
+        )));
+    }
+    if buf.len() < 5 + len {
+        return Ok(None);
+    }
+    buf.advance(5);
+    let payload = buf.split_to(len).freeze();
+    Ok(Some(Frame { tag, payload }))
+}
+
+/// Encodes a string payload the way Pando does for binary results: a base64
+/// encoding of the raw bytes, which inflates the size by 4/3 (paper §2.1.1).
+pub fn base64_encode(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(triple >> 6) as usize & 0x3f] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[triple as usize & 0x3f] as char } else { '=' });
+    }
+    out
+}
+
+/// Decodes a base64 string produced by [`base64_encode`].
+///
+/// # Errors
+///
+/// Returns an error on characters outside the base64 alphabet or on a length
+/// that is not a multiple of four.
+pub fn base64_decode(text: &str) -> Result<Vec<u8>, StreamError> {
+    fn value(c: u8) -> Result<u32, StreamError> {
+        match c {
+            b'A'..=b'Z' => Ok((c - b'A') as u32),
+            b'a'..=b'z' => Ok((c - b'a') as u32 + 26),
+            b'0'..=b'9' => Ok((c - b'0') as u32 + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(StreamError::protocol(format!("invalid base64 character {:?}", c as char))),
+        }
+    }
+    let bytes = text.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(StreamError::protocol("base64 length must be a multiple of 4"));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for chunk in bytes.chunks(4) {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        let mut triple = 0u32;
+        for (i, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' { 0 } else { value(c)? };
+            triple |= v << (18 - 6 * i);
+        }
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let frame = encode_frame(7, b"hello world");
+        let mut buf = BytesMut::from(&frame[..]);
+        let decoded = decode_frame(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded.tag, 7);
+        assert_eq!(&decoded.payload[..], b"hello world");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_data() {
+        let frame = encode_frame(1, &[0u8; 100]);
+        let mut buf = BytesMut::from(&frame[..50]);
+        assert_eq!(decode_frame(&mut buf).unwrap(), None);
+        buf.extend_from_slice(&frame[50..]);
+        assert!(decode_frame(&mut buf).unwrap().is_some());
+    }
+
+    #[test]
+    fn several_frames_in_one_buffer() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&encode_frame(1, b"a"));
+        buf.extend_from_slice(&encode_frame(2, b"bb"));
+        let first = decode_frame(&mut buf).unwrap().unwrap();
+        let second = decode_frame(&mut buf).unwrap().unwrap();
+        assert_eq!((first.tag, &first.payload[..]), (1, &b"a"[..]));
+        assert_eq!((second.tag, &second.payload[..]), (2, &b"bb"[..]));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0);
+        buf.put_u32(u32::MAX);
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(decode_frame(&mut buf).is_err());
+    }
+
+    #[test]
+    fn empty_payload_is_fine() {
+        let frame = encode_frame(9, b"");
+        let mut buf = BytesMut::from(&frame[..]);
+        let decoded = decode_frame(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded.payload.len(), 0);
+    }
+
+    #[test]
+    fn base64_round_trip() {
+        for data in [&b""[..], b"f", b"fo", b"foo", b"foob", b"fooba", b"foobar"] {
+            let encoded = base64_encode(data);
+            assert_eq!(base64_decode(&encoded).unwrap(), data, "round trip of {data:?}");
+        }
+    }
+
+    #[test]
+    fn base64_known_vectors() {
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+    }
+
+    #[test]
+    fn base64_inflates_by_four_thirds() {
+        let data = vec![0u8; 168_000]; // a Landsat tile from the paper
+        let encoded = base64_encode(&data);
+        assert_eq!(encoded.len(), 224_000);
+    }
+
+    #[test]
+    fn base64_rejects_invalid_input() {
+        assert!(base64_decode("abc").is_err());
+        assert!(base64_decode("ab!=").is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Fault injection for deployment experiments.
+//!
+//! The evaluation scenarios need reproducible crashes: "the tablet crashes
+//! after rendering one frame" (paper Figure 4), or "ten percent of the
+//! volunteers disconnect during the run". A [`FaultPlan`] describes when a
+//! device crashes; the worker loop consults it before and after each task.
+
+use std::time::{Duration, Instant};
+
+/// A deterministic description of when a device crashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// The device never crashes.
+    None,
+    /// The device crashes after processing exactly `n` tasks.
+    AfterTasks(u64),
+    /// The device crashes once `elapsed` wall-clock time has passed since the
+    /// plan was armed.
+    AfterDuration(Duration),
+    /// The device crashes after processing `tasks` tasks or after `elapsed`
+    /// time, whichever comes first.
+    Either {
+        /// Crash after this many tasks...
+        tasks: u64,
+        /// ...or after this much time, whichever happens first.
+        elapsed: Duration,
+    },
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::None
+    }
+}
+
+impl FaultPlan {
+    /// Arms the plan, starting its clock now.
+    pub fn arm(self) -> ArmedFaultPlan {
+        ArmedFaultPlan { plan: self, armed_at: Instant::now(), tasks_done: 0 }
+    }
+}
+
+/// A [`FaultPlan`] with a started clock and a task counter.
+#[derive(Debug, Clone)]
+pub struct ArmedFaultPlan {
+    plan: FaultPlan,
+    armed_at: Instant,
+    tasks_done: u64,
+}
+
+impl ArmedFaultPlan {
+    /// Records that one task finished processing.
+    pub fn record_task(&mut self) {
+        self.tasks_done += 1;
+    }
+
+    /// Number of tasks processed since the plan was armed.
+    pub fn tasks_done(&self) -> u64 {
+        self.tasks_done
+    }
+
+    /// Returns `true` if the device should crash now.
+    pub fn should_crash(&self) -> bool {
+        match self.plan {
+            FaultPlan::None => false,
+            FaultPlan::AfterTasks(n) => self.tasks_done >= n,
+            FaultPlan::AfterDuration(elapsed) => self.armed_at.elapsed() >= elapsed,
+            FaultPlan::Either { tasks, elapsed } => {
+                self.tasks_done >= tasks || self.armed_at.elapsed() >= elapsed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_crashes() {
+        let mut armed = FaultPlan::None.arm();
+        for _ in 0..1000 {
+            armed.record_task();
+        }
+        assert!(!armed.should_crash());
+        assert_eq!(armed.tasks_done(), 1000);
+    }
+
+    #[test]
+    fn after_tasks_crashes_at_threshold() {
+        let mut armed = FaultPlan::AfterTasks(3).arm();
+        assert!(!armed.should_crash());
+        armed.record_task();
+        armed.record_task();
+        assert!(!armed.should_crash());
+        armed.record_task();
+        assert!(armed.should_crash());
+    }
+
+    #[test]
+    fn after_duration_crashes_once_elapsed() {
+        let armed = FaultPlan::AfterDuration(Duration::from_millis(20)).arm();
+        assert!(!armed.should_crash());
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(armed.should_crash());
+    }
+
+    #[test]
+    fn either_crashes_on_first_condition() {
+        let mut by_tasks =
+            FaultPlan::Either { tasks: 1, elapsed: Duration::from_secs(3600) }.arm();
+        by_tasks.record_task();
+        assert!(by_tasks.should_crash());
+
+        let by_time =
+            FaultPlan::Either { tasks: 1_000_000, elapsed: Duration::from_millis(10) }.arm();
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(by_time.should_crash());
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(FaultPlan::default(), FaultPlan::None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Duplex streams: a paired source and sink, the shape of a bidirectional
+//! channel endpoint and of a StreamLender sub-stream.
+
+use crate::error::StreamError;
+use crate::sink::{BoxSink, Sink};
+use crate::source::{BoxSource, Source};
+use std::thread::{self, JoinHandle};
+
+/// A bidirectional stream endpoint.
+///
+/// Values of type `Out` flow *out of* the endpoint through [`Duplex::source`];
+/// values of type `In` flow *into* it through [`Duplex::sink`]. A network
+/// channel endpoint, a Pando worker, and a StreamLender sub-stream are all
+/// duplexes, which is what lets them be composed freely (paper Figure 7).
+pub struct Duplex<In, Out> {
+    /// The stream of values produced by this endpoint.
+    pub source: BoxSource<Out>,
+    /// The consumer of values sent to this endpoint.
+    pub sink: BoxSink<In>,
+}
+
+impl<In, Out> Duplex<In, Out>
+where
+    In: Send + 'static,
+    Out: Send + 'static,
+{
+    /// Creates a duplex from a source and a sink.
+    pub fn new(source: impl Source<Out> + 'static, sink: impl Sink<In> + 'static) -> Self {
+        Self { source: Box::new(source), sink: Box::new(sink) }
+    }
+
+    /// Splits the duplex into its source and sink halves.
+    pub fn split(self) -> (BoxSource<Out>, BoxSink<In>) {
+        (self.source, self.sink)
+    }
+}
+
+impl<In, Out> std::fmt::Debug for Duplex<In, Out> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Duplex").finish_non_exhaustive()
+    }
+}
+
+/// Drains `source` into `sink` on the calling thread, the equivalent of
+/// `pull(source, sink)` in the JavaScript pull-stream library.
+///
+/// # Errors
+///
+/// Returns the stream error if either side terminates with one.
+pub fn pipe<T: Send + 'static>(
+    source: impl Source<T> + 'static,
+    mut sink: impl Sink<T>,
+) -> Result<(), StreamError> {
+    sink.drain(Box::new(source))
+}
+
+/// Connects two duplex endpoints with two pump threads: everything produced
+/// by `a` is sent into `b`, and everything produced by `b` is sent into `a`.
+///
+/// This is how the Pando master connects a StreamLender sub-stream to the
+/// (limited) channel towards a volunteer device: tasks flow one way, results
+/// flow back the other way, in parallel.
+pub fn connect<A, B>(a: Duplex<A, B>, b: Duplex<B, A>) -> DuplexLink
+where
+    A: Send + 'static,
+    B: Send + 'static,
+{
+    let Duplex { source: a_source, sink: mut a_sink } = a;
+    let Duplex { source: b_source, sink: mut b_sink } = b;
+    let forward = thread::Builder::new()
+        .name("pull-duplex-forward".into())
+        .spawn(move || b_sink.drain(a_source))
+        .expect("spawn duplex forward pump");
+    let backward = thread::Builder::new()
+        .name("pull-duplex-backward".into())
+        .spawn(move || a_sink.drain(b_source))
+        .expect("spawn duplex backward pump");
+    DuplexLink { forward, backward }
+}
+
+/// Handle on the two pump threads created by [`connect`].
+#[derive(Debug)]
+pub struct DuplexLink {
+    forward: JoinHandle<Result<(), StreamError>>,
+    backward: JoinHandle<Result<(), StreamError>>,
+}
+
+impl DuplexLink {
+    /// Waits for both pump threads to finish and reports the first error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stream error reported by either direction.
+    pub fn join(self) -> Result<(), StreamError> {
+        let forward = self
+            .forward
+            .join()
+            .map_err(|_| StreamError::protocol("duplex forward pump panicked"))?;
+        let backward = self
+            .backward
+            .join()
+            .map_err(|_| StreamError::protocol("duplex backward pump panicked"))?;
+        forward.and(backward)
+    }
+
+    /// Returns `true` once both pump threads have finished.
+    pub fn is_finished(&self) -> bool {
+        self.forward.is_finished() && self.backward.is_finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::fn_sink;
+    use crate::source::{count, SourceExt};
+    use crossbeam::channel;
+
+    #[test]
+    fn pipe_moves_all_values() {
+        let (tx, rx) = channel::unbounded();
+        pipe(
+            count(5),
+            fn_sink(move |v: u64| {
+                tx.send(v).map_err(|_| StreamError::transport("receiver dropped"))
+            }),
+        )
+        .unwrap();
+        let received: Vec<u64> = rx.try_iter().collect();
+        assert_eq!(received, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn connect_pumps_both_directions() {
+        // Endpoint A produces 1..=10 and records what it receives.
+        let (a_recv_tx, a_recv_rx) = channel::unbounded();
+        let a = Duplex::new(
+            count(10),
+            fn_sink(move |v: u64| {
+                a_recv_tx.send(v).map_err(|_| StreamError::transport("closed"))
+            }),
+        );
+        // Endpoint B produces 100..=104 and records what it receives.
+        let (b_recv_tx, b_recv_rx) = channel::unbounded();
+        let b = Duplex::new(
+            count(5).map_values(|v| v + 99),
+            fn_sink(move |v: u64| {
+                b_recv_tx.send(v).map_err(|_| StreamError::transport("closed"))
+            }),
+        );
+        connect(a, b).join().unwrap();
+        let to_b: Vec<u64> = b_recv_rx.try_iter().collect();
+        let to_a: Vec<u64> = a_recv_rx.try_iter().collect();
+        assert_eq!(to_b, (1..=10).collect::<Vec<_>>());
+        assert_eq!(to_a, (100..=104).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_gives_back_halves() {
+        let duplex: Duplex<u64, u64> = Duplex::new(count(2), fn_sink(|_v: u64| Ok(())));
+        let (source, mut sink) = duplex.split();
+        assert_eq!(sink.drain(source), Ok(()));
+    }
+
+    #[test]
+    fn link_error_is_reported() {
+        let a: Duplex<u64, u64> = Duplex::new(
+            count(3),
+            fn_sink(|_v: u64| Err(StreamError::new("cannot accept results"))),
+        );
+        let b: Duplex<u64, u64> =
+            Duplex::new(count(3), fn_sink(|_v: u64| Ok(())));
+        let err = connect(a, b).join().unwrap_err();
+        assert_eq!(err.message(), "cannot accept results");
+    }
+}

@@ -1,0 +1,123 @@
+//! Bridging between pull-streams and standard [`Iterator`]s.
+
+use crate::protocol::{Answer, End, Request};
+use crate::source::Source;
+
+/// Iterator over the values of a source. Created by
+/// [`SourceExt::into_values`](crate::SourceExt::into_values).
+///
+/// The iterator stops on the first termination (done or error). The way the
+/// stream terminated can be inspected afterwards with [`IntoValues::end`].
+///
+/// ```
+/// use pando_pull_stream::source::{count, SourceExt};
+///
+/// let mut iter = count(3).into_values();
+/// let collected: Vec<u64> = iter.by_ref().collect();
+/// assert_eq!(collected, vec![1, 2, 3]);
+/// assert!(iter.end().unwrap().is_done());
+/// ```
+#[derive(Debug)]
+pub struct IntoValues<S, T> {
+    source: S,
+    end: Option<End>,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<S, T> IntoValues<S, T>
+where
+    S: Source<T>,
+{
+    /// Wraps a source as an iterator.
+    pub fn new(source: S) -> Self {
+        Self { source, end: None, _marker: std::marker::PhantomData }
+    }
+
+    /// How the stream terminated, if it has terminated.
+    pub fn end(&self) -> Option<&End> {
+        self.end.as_ref()
+    }
+
+    /// Aborts the stream early and records the termination.
+    pub fn abort(&mut self) {
+        if self.end.is_none() {
+            let answer = self.source.pull(Request::Abort);
+            self.end = Some(answer.end().unwrap_or(End::Done));
+        }
+    }
+
+    /// Recovers the underlying source.
+    pub fn into_inner(self) -> S {
+        self.source
+    }
+}
+
+impl<S, T> Iterator for IntoValues<S, T>
+where
+    S: Source<T>,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.end.is_some() {
+            return None;
+        }
+        match self.source.pull(Request::Ask) {
+            Answer::Value(v) => Some(v),
+            terminal => {
+                self.end = terminal.end();
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::StreamError;
+    use crate::source::{count, failing, SourceExt};
+
+    #[test]
+    fn iterates_all_values() {
+        let collected: Vec<u64> = count(4).into_values().collect();
+        assert_eq!(collected, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn records_done_end() {
+        let mut iter = count(1).into_values();
+        assert_eq!(iter.next(), Some(1));
+        assert!(iter.end().is_none());
+        assert_eq!(iter.next(), None);
+        assert!(iter.end().unwrap().is_done());
+        // Fused after termination.
+        assert_eq!(iter.next(), None);
+    }
+
+    #[test]
+    fn records_error_end() {
+        let mut iter = failing::<u8>(StreamError::new("broken")).into_values();
+        assert_eq!(iter.next(), None);
+        match iter.end().unwrap() {
+            End::Failed(e) => assert_eq!(e.message(), "broken"),
+            End::Done => panic!("expected failure"),
+        }
+    }
+
+    #[test]
+    fn abort_stops_iteration() {
+        let mut iter = count(100).into_values();
+        assert_eq!(iter.next(), Some(1));
+        iter.abort();
+        assert_eq!(iter.next(), None);
+        assert!(iter.end().unwrap().is_done());
+    }
+
+    #[test]
+    fn into_inner_returns_source() {
+        let iter = count(3).into_values();
+        let mut source = iter.into_inner();
+        assert_eq!(source.pull(Request::Ask), Answer::Value(1));
+    }
+}

@@ -1,0 +1,1125 @@
+//! The StreamLender (`pull-lend-stream`): Pando's core coordination
+//! abstraction.
+//!
+//! A [`StreamLender`] consumes one input stream and *lends* its values to any
+//! number of concurrent sub-streams — one per participating device — then
+//! merges the results back into a single output stream. It encapsulates the
+//! programming-model properties of paper Table 1:
+//!
+//! | Property | How it is provided |
+//! |---|---|
+//! | Streaming map | every input value is turned into exactly one output value |
+//! | Ordered | outputs are emitted in the order of their inputs (reorder buffer) |
+//! | Dynamic | [`StreamLender::lend`] may be called at any time |
+//! | Unbounded | there is no a-priori limit on the number of sub-streams |
+//! | Lazy | the input is only pulled when a sub-stream asks for work |
+//! | Fault-tolerant | values borrowed by a crashed sub-stream are re-lent |
+//! | Conservative | a value is lent to at most one sub-stream at a time |
+//! | Adaptive | faster sub-streams ask more often and receive more values |
+//!
+//! The implementation mirrors Algorithm 1 of the paper: a sub-stream `ask` is
+//! answered first from the *failed* queue, then by lazily pulling the lender's
+//! input, and otherwise waits until either the last result has been received
+//! or a failure makes a value available again.
+
+use crate::error::StreamError;
+use crate::protocol::{Answer, Request};
+use crate::sink::Sink;
+use crate::source::{BoxSource, Source};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A value lent to a sub-stream, tagged with its position in the input stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lend<T> {
+    /// Position of the value in the input stream (0-based).
+    pub seq: u64,
+    /// The borrowed value.
+    pub value: T,
+}
+
+impl<T> Lend<T> {
+    /// Creates a lend record.
+    pub fn new(seq: u64, value: T) -> Self {
+        Self { seq, value }
+    }
+
+    /// Maps the carried value, keeping the sequence number.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Lend<U> {
+        Lend { seq: self.seq, value: f(self.value) }
+    }
+}
+
+/// Identifier of a sub-stream, unique within one [`StreamLender`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubStreamId(u64);
+
+impl SubStreamId {
+    /// The numeric value of the identifier.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SubStreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sub-{}", self.0)
+    }
+}
+
+/// How a sub-stream ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubStreamEnd {
+    /// The sub-stream completed gracefully via [`SubStream::complete`].
+    Completed,
+    /// The sub-stream crashed (dropped or explicitly failed); its borrowed
+    /// values were re-lent to other sub-streams.
+    Crashed,
+}
+
+/// Aggregate statistics observed by a [`StreamLender`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LenderStats {
+    /// Number of values read from the input so far.
+    pub values_read: u64,
+    /// Number of results emitted on the output so far.
+    pub results_emitted: u64,
+    /// Number of lends performed (including re-lends after failures).
+    pub lends: u64,
+    /// Number of values that had to be re-lent because a sub-stream crashed.
+    pub relends: u64,
+    /// Number of sub-streams created so far.
+    pub substreams_created: u64,
+    /// Number of sub-streams that completed gracefully.
+    pub substreams_completed: u64,
+    /// Number of sub-streams that crashed.
+    pub substreams_crashed: u64,
+}
+
+struct State<T, R> {
+    /// The upstream input source; `None` while checked out by a borrower.
+    input: Option<BoxSource<T>>,
+    input_checked_out: bool,
+    input_done: bool,
+    input_error: Option<StreamError>,
+    /// Next sequence number to assign to a freshly read input value.
+    next_seq: u64,
+    /// Values borrowed by a sub-stream that crashed, awaiting re-lend.
+    failed: VecDeque<Lend<T>>,
+    /// Copy of every value currently lent, keyed by sequence number, so a
+    /// crash can recover it.
+    in_flight: HashMap<u64, T>,
+    /// Which sub-stream currently holds which sequence numbers. A sub-stream
+    /// is alive exactly while it has an entry in this map.
+    borrowed_by: HashMap<SubStreamId, HashSet<u64>>,
+    /// Results waiting to be emitted in order.
+    results: BTreeMap<u64, R>,
+    /// Next sequence number to emit on the output.
+    emit_next: u64,
+    /// Set once the output consumer aborts or the lender is shut down.
+    output_closed: bool,
+    next_substream_id: u64,
+    stats: LenderStats,
+}
+
+struct Shared<T, R> {
+    state: Mutex<State<T, R>>,
+    /// Notified whenever work may have become available, a result arrived, or
+    /// the stream terminated.
+    changed: Condvar,
+}
+
+impl<T, R> Shared<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    fn notify(&self) {
+        self.changed.notify_all();
+    }
+
+    fn register_sub(&self) -> SubStreamId {
+        let mut state = self.state.lock();
+        let id = SubStreamId(state.next_substream_id);
+        state.next_substream_id += 1;
+        state.stats.substreams_created += 1;
+        state.borrowed_by.insert(id, HashSet::new());
+        drop(state);
+        self.notify();
+        id
+    }
+
+    /// The sub-stream `ask` of Algorithm 1.
+    fn ask(&self, id: SubStreamId) -> Answer<Lend<T>> {
+        let mut state = self.state.lock();
+        loop {
+            if state.output_closed || !state.borrowed_by.contains_key(&id) {
+                return Answer::Done;
+            }
+            // 1. Answer with a failed value if one is pending.
+            if let Some(lend) = Self::lend_from_failed(&mut state, id) {
+                drop(state);
+                self.notify();
+                return Answer::Value(lend);
+            }
+            // 2. Lazily read a new value from the input.
+            if !state.input_done {
+                if !state.input_checked_out {
+                    if let Some(lend) = self.pull_input_locked(&mut state, id) {
+                        drop(state);
+                        self.notify();
+                        return Answer::Value(lend);
+                    }
+                    // Input terminated or nothing produced: loop to re-check.
+                    continue;
+                }
+                // Another sub-stream is reading the input: wait for it.
+                self.changed.wait(&mut state);
+                continue;
+            }
+            // 3. Input exhausted: wait on others (a crash may still re-lend a
+            //    value) unless everything has been resolved.
+            if state.in_flight.is_empty() && state.failed.is_empty() {
+                return Answer::Done;
+            }
+            self.changed.wait(&mut state);
+        }
+    }
+
+    /// Non-blocking ask: `None` means "nothing available right now".
+    fn try_ask(&self, id: SubStreamId) -> Option<Lend<T>> {
+        let mut state = self.state.lock();
+        if state.output_closed || !state.borrowed_by.contains_key(&id) {
+            return None;
+        }
+        if let Some(lend) = Self::lend_from_failed(&mut state, id) {
+            drop(state);
+            self.notify();
+            return Some(lend);
+        }
+        if state.input_done || state.input_checked_out {
+            return None;
+        }
+        let lend = self.pull_input_locked(&mut state, id);
+        drop(state);
+        self.notify();
+        lend
+    }
+
+    fn lend_from_failed(state: &mut MutexGuard<'_, State<T, R>>, id: SubStreamId) -> Option<Lend<T>> {
+        let lend = state.failed.pop_front()?;
+        state.in_flight.insert(lend.seq, lend.value.clone());
+        state
+            .borrowed_by
+            .get_mut(&id)
+            .expect("caller checked the sub-stream is alive")
+            .insert(lend.seq);
+        state.stats.lends += 1;
+        Some(lend)
+    }
+
+    /// Pulls the input while temporarily releasing the lock, so a slow input
+    /// (for example standard input) does not block other sub-streams that
+    /// could be answered from the failed queue.
+    fn pull_input_locked(
+        &self,
+        state: &mut MutexGuard<'_, State<T, R>>,
+        id: SubStreamId,
+    ) -> Option<Lend<T>> {
+        let mut input = state.input.take().expect("input present when not checked out");
+        state.input_checked_out = true;
+        let answer = MutexGuard::unlocked(state, || input.pull(Request::Ask));
+        state.input = Some(input);
+        state.input_checked_out = false;
+        match answer {
+            Answer::Value(value) => {
+                let seq = state.next_seq;
+                state.next_seq += 1;
+                state.stats.values_read += 1;
+                state.stats.lends += 1;
+                state.in_flight.insert(seq, value.clone());
+                // The asking sub-stream may have ended while the lock was
+                // released (its channel died mid-ask). Re-lend in that case.
+                match state.borrowed_by.get_mut(&id) {
+                    Some(borrowed) => {
+                        borrowed.insert(seq);
+                        Some(Lend::new(seq, value))
+                    }
+                    None => {
+                        let recovered = state
+                            .in_flight
+                            .remove(&seq)
+                            .expect("value inserted just above");
+                        state.failed.push_back(Lend::new(seq, recovered));
+                        state.stats.relends += 1;
+                        None
+                    }
+                }
+            }
+            Answer::Done => {
+                state.input_done = true;
+                None
+            }
+            Answer::Err(err) => {
+                state.input_done = true;
+                state.input_error = Some(err);
+                None
+            }
+        }
+    }
+
+    fn push_result(&self, id: SubStreamId, seq: u64, result: R) -> Result<(), StreamError> {
+        let mut state = self.state.lock();
+        let borrowed = state
+            .borrowed_by
+            .get_mut(&id)
+            .ok_or_else(|| StreamError::protocol("sub-stream already ended"))?;
+        if !borrowed.remove(&seq) {
+            return Err(StreamError::protocol(format!(
+                "result for value {seq} that was not borrowed by {id}"
+            )));
+        }
+        state.in_flight.remove(&seq);
+        state.results.insert(seq, result);
+        drop(state);
+        self.notify();
+        Ok(())
+    }
+
+    /// Ends a sub-stream; returns `false` if it had already ended.
+    fn end_sub(&self, id: SubStreamId, how: SubStreamEnd) -> bool {
+        let mut state = self.state.lock();
+        let Some(borrowed) = state.borrowed_by.remove(&id) else {
+            return false;
+        };
+        for seq in borrowed {
+            if let Some(value) = state.in_flight.remove(&seq) {
+                state.failed.push_back(Lend::new(seq, value));
+                state.stats.relends += 1;
+            }
+        }
+        match how {
+            SubStreamEnd::Completed => state.stats.substreams_completed += 1,
+            SubStreamEnd::Crashed => state.stats.substreams_crashed += 1,
+        }
+        drop(state);
+        self.notify();
+        true
+    }
+
+    fn borrowed_count(&self, id: SubStreamId) -> usize {
+        self.state.lock().borrowed_by.get(&id).map(HashSet::len).unwrap_or(0)
+    }
+
+    fn poll_output(state: &mut MutexGuard<'_, State<T, R>>) -> Option<Answer<R>> {
+        if state.output_closed {
+            return Some(Answer::Done);
+        }
+        let emit_next = state.emit_next;
+        if let Some(result) = state.results.remove(&emit_next) {
+            state.emit_next += 1;
+            state.stats.results_emitted += 1;
+            return Some(Answer::Value(result));
+        }
+        let drained = state.input_done
+            && state.in_flight.is_empty()
+            && state.failed.is_empty()
+            && state.results.is_empty()
+            && state.emit_next == state.next_seq;
+        if drained {
+            return Some(match state.input_error.clone() {
+                Some(err) => Answer::Err(err),
+                None => Answer::Done,
+            });
+        }
+        None
+    }
+}
+
+/// Splits an input stream between concurrent sub-streams and merges the
+/// results back in input order. See the [module documentation](self) for the
+/// properties it provides and the crate documentation for a full example.
+pub struct StreamLender<T, R> {
+    shared: Arc<Shared<T, R>>,
+}
+
+impl<T, R> Clone for StreamLender<T, R> {
+    fn clone(&self) -> Self {
+        Self { shared: self.shared.clone() }
+    }
+}
+
+impl<T, R> std::fmt::Debug for StreamLender<T, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.shared.state.lock();
+        f.debug_struct("StreamLender")
+            .field("next_seq", &state.next_seq)
+            .field("emit_next", &state.emit_next)
+            .field("input_done", &state.input_done)
+            .field("active_substreams", &state.borrowed_by.len())
+            .field("failed", &state.failed.len())
+            .field("in_flight", &state.in_flight.len())
+            .finish()
+    }
+}
+
+impl<T, R> StreamLender<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    /// Creates a lender over `input`.
+    pub fn new(input: impl Source<T> + 'static) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    input: Some(Box::new(input)),
+                    input_checked_out: false,
+                    input_done: false,
+                    input_error: None,
+                    next_seq: 0,
+                    failed: VecDeque::new(),
+                    in_flight: HashMap::new(),
+                    borrowed_by: HashMap::new(),
+                    results: BTreeMap::new(),
+                    emit_next: 0,
+                    output_closed: false,
+                    next_substream_id: 0,
+                    stats: LenderStats::default(),
+                }),
+                changed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Creates a new sub-stream. Sub-streams may be created at any time, even
+    /// while other sub-streams are processing values (the *dynamic* property).
+    pub fn lend(&self) -> SubStream<T, R> {
+        let id = self.shared.register_sub();
+        SubStream { shared: self.shared.clone(), id, ended: false }
+    }
+
+    /// Returns the ordered output stream of results.
+    ///
+    /// The output may be consumed from any thread; it blocks while waiting for
+    /// the next in-order result.
+    pub fn output(&self) -> LenderOutput<T, R> {
+        LenderOutput { shared: self.shared.clone() }
+    }
+
+    /// A snapshot of the lender's counters.
+    pub fn stats(&self) -> LenderStats {
+        self.shared.state.lock().stats.clone()
+    }
+
+    /// Number of sub-streams currently alive.
+    pub fn active_substreams(&self) -> usize {
+        self.shared.state.lock().borrowed_by.len()
+    }
+
+    /// Number of values currently lent out and not yet returned.
+    pub fn in_flight(&self) -> usize {
+        self.shared.state.lock().in_flight.len()
+    }
+
+    /// Number of values waiting to be re-lent after a sub-stream crash.
+    pub fn failed_pending(&self) -> usize {
+        self.shared.state.lock().failed.len()
+    }
+
+    /// Returns `true` once the input is exhausted and every read value has
+    /// been emitted on the output.
+    pub fn is_drained(&self) -> bool {
+        let state = self.shared.state.lock();
+        state.input_done
+            && state.in_flight.is_empty()
+            && state.failed.is_empty()
+            && state.results.is_empty()
+            && state.emit_next == state.next_seq
+    }
+
+    /// Shuts the lender down: the output terminates after the values already
+    /// emitted, and sub-streams are told `Done` on their next ask.
+    pub fn shutdown(&self) {
+        let mut state = self.shared.state.lock();
+        state.output_closed = true;
+        drop(state);
+        self.shared.notify();
+    }
+}
+
+/// A sub-stream lent to one participating device.
+///
+/// The device-facing loop is: call [`SubStream::next_task`] to borrow a value,
+/// process it, then call [`SubStream::push_result`]. Dropping the sub-stream
+/// without calling [`SubStream::complete`] is treated as a crash: every value
+/// it still holds is re-lent to other sub-streams (crash-stop fault model).
+pub struct SubStream<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    shared: Arc<Shared<T, R>>,
+    id: SubStreamId,
+    ended: bool,
+}
+
+impl<T, R> std::fmt::Debug for SubStream<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubStream").field("id", &self.id).field("ended", &self.ended).finish()
+    }
+}
+
+impl<T, R> SubStream<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    /// The identifier of this sub-stream.
+    pub fn id(&self) -> SubStreamId {
+        self.id
+    }
+
+    /// Borrows the next value to process, blocking until one is available.
+    ///
+    /// Returns `None` when no value will ever be available again (the input is
+    /// exhausted and every outstanding value has produced a result), at which
+    /// point the device should disconnect or the caller should invoke
+    /// [`SubStream::complete`].
+    pub fn next_task(&mut self) -> Option<Lend<T>> {
+        match self.ask() {
+            Answer::Value(lend) => Some(lend),
+            _ => None,
+        }
+    }
+
+    /// Non-blocking variant of [`SubStream::next_task`]: returns immediately
+    /// with `None` if no value is available right now (the stream may still
+    /// produce more later).
+    pub fn try_next_task(&mut self) -> Option<Lend<T>> {
+        if self.ended {
+            return None;
+        }
+        self.shared.try_ask(self.id)
+    }
+
+    /// The pull-stream `ask` on the sub-stream's task source, following the
+    /// paper's Algorithm 1.
+    pub fn ask(&mut self) -> Answer<Lend<T>> {
+        if self.ended {
+            return Answer::Done;
+        }
+        self.shared.ask(self.id)
+    }
+
+    /// Returns the result for a previously borrowed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error if `seq` was not borrowed by this sub-stream
+    /// (for example it was already returned, or it was re-lent to another
+    /// sub-stream after this one was considered crashed).
+    pub fn push_result(&mut self, seq: u64, result: R) -> Result<(), StreamError> {
+        if self.ended {
+            return Err(StreamError::protocol("sub-stream already ended"));
+        }
+        self.shared.push_result(self.id, seq, result)
+    }
+
+    /// Ends the sub-stream gracefully. Values still borrowed (for example
+    /// sitting in a network buffer) are re-lent to other sub-streams.
+    pub fn complete(mut self) {
+        self.end(SubStreamEnd::Completed);
+    }
+
+    /// Ends the sub-stream as crashed, explicitly. Equivalent to dropping it.
+    pub fn fail(mut self) {
+        self.end(SubStreamEnd::Crashed);
+    }
+
+    fn end(&mut self, how: SubStreamEnd) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        self.shared.end_sub(self.id, how);
+    }
+
+    /// Number of values currently borrowed by this sub-stream.
+    pub fn borrowed(&self) -> usize {
+        self.shared.borrowed_count(self.id)
+    }
+
+    /// Splits the sub-stream into a pull-stream source of tasks and sink of
+    /// results, the duplex shape used to wire a sub-stream to a network
+    /// channel (paper Figure 9).
+    pub fn into_duplex(mut self) -> (SubStreamSource<T, R>, SubStreamSink<T, R>) {
+        // Ownership of the end-of-life decision moves to the guard shared by
+        // the two halves, so disarm the `Drop` of `self`.
+        self.ended = true;
+        let guard = Arc::new(SubGuard {
+            shared: self.shared.clone(),
+            id: self.id,
+            ended_clean: AtomicBool::new(false),
+        });
+        (
+            SubStreamSource { guard: guard.clone() },
+            SubStreamSink { guard },
+        )
+    }
+}
+
+impl<T, R> Drop for SubStream<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    fn drop(&mut self) {
+        self.end(SubStreamEnd::Crashed);
+    }
+}
+
+/// Shared end-of-life guard for the two duplex halves of a sub-stream.
+struct SubGuard<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    shared: Arc<Shared<T, R>>,
+    id: SubStreamId,
+    ended_clean: AtomicBool,
+}
+
+impl<T, R> Drop for SubGuard<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    fn drop(&mut self) {
+        let how = if self.ended_clean.load(Ordering::SeqCst) {
+            SubStreamEnd::Completed
+        } else {
+            SubStreamEnd::Crashed
+        };
+        self.shared.end_sub(self.id, how);
+    }
+}
+
+/// The sub-stream's task source as a pull-stream [`Source`], for composing
+/// with channels and the [`Limiter`](crate::limit::Limiter).
+pub struct SubStreamSource<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    guard: Arc<SubGuard<T, R>>,
+}
+
+impl<T, R> Source<Lend<T>> for SubStreamSource<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    fn pull(&mut self, request: Request) -> Answer<Lend<T>> {
+        if request.is_termination() {
+            // Termination of the task flow alone does not end the sub-stream:
+            // results may still be arriving on the other half.
+            return Answer::Done;
+        }
+        self.guard.shared.ask(self.guard.id)
+    }
+}
+
+/// The sub-stream's result sink as a pull-stream [`Sink`].
+///
+/// Draining a source of `Lend<R>` into this sink returns each result to the
+/// lender. When the drained source terminates, the sub-stream ends: gracefully
+/// on a clean `Done`, with crash semantics on an error.
+pub struct SubStreamSink<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    guard: Arc<SubGuard<T, R>>,
+}
+
+impl<T, R> Sink<Lend<R>> for SubStreamSink<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    fn drain(&mut self, mut source: BoxSource<Lend<R>>) -> Result<(), StreamError> {
+        loop {
+            match source.pull(Request::Ask) {
+                Answer::Value(lend) => {
+                    // A late result for a value that was already re-lent is
+                    // dropped: the conservative property means the other copy
+                    // is authoritative.
+                    let _ = self.guard.shared.push_result(self.guard.id, lend.seq, lend.value);
+                }
+                Answer::Done => {
+                    self.guard.ended_clean.store(true, Ordering::SeqCst);
+                    self.guard.shared.end_sub(self.guard.id, SubStreamEnd::Completed);
+                    return Ok(());
+                }
+                Answer::Err(err) => {
+                    self.guard.shared.end_sub(self.guard.id, SubStreamEnd::Crashed);
+                    return Err(err);
+                }
+            }
+        }
+    }
+}
+
+/// The ordered output stream of a [`StreamLender`]. Implements [`Source`].
+pub struct LenderOutput<T, R> {
+    shared: Arc<Shared<T, R>>,
+}
+
+impl<T, R> std::fmt::Debug for LenderOutput<T, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LenderOutput").finish_non_exhaustive()
+    }
+}
+
+impl<T, R> LenderOutput<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    /// Pulls the next in-order result, waiting at most `timeout`.
+    ///
+    /// Returns `None` on timeout; the stream is left untouched, so the caller
+    /// may retry. Useful for monitors that interleave other work.
+    pub fn next_timeout(&mut self, timeout: Duration) -> Option<Answer<R>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.shared.state.lock();
+        loop {
+            if let Some(answer) = Shared::poll_output(&mut state) {
+                drop(state);
+                self.shared.notify();
+                return Some(answer);
+            }
+            if self.shared.changed.wait_until(&mut state, deadline).timed_out() {
+                return Shared::poll_output(&mut state);
+            }
+        }
+    }
+}
+
+impl<T, R> Source<R> for LenderOutput<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    fn pull(&mut self, request: Request) -> Answer<R> {
+        let mut state = self.shared.state.lock();
+        if request.is_termination() {
+            state.output_closed = true;
+            state.input_done = true;
+            // Release the upstream input if it is resting in place.
+            if let Some(mut input) = state.input.take() {
+                MutexGuard::unlocked(&mut state, || {
+                    let _ = input.pull(Request::Abort);
+                });
+                state.input = Some(input);
+            }
+            drop(state);
+            self.shared.notify();
+            return match request {
+                Request::Fail(err) => Answer::Err(err),
+                _ => Answer::Done,
+            };
+        }
+        loop {
+            if let Some(answer) = Shared::poll_output(&mut state) {
+                drop(state);
+                self.shared.notify();
+                return answer;
+            }
+            self.shared.changed.wait(&mut state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{count, failing, SourceExt};
+    use std::thread;
+
+    fn square_worker(mut sub: SubStream<u64, u64>) -> thread::JoinHandle<u64> {
+        thread::spawn(move || {
+            let mut processed = 0;
+            while let Some(task) = sub.next_task() {
+                sub.push_result(task.seq, task.value * task.value).unwrap();
+                processed += 1;
+            }
+            sub.complete();
+            processed
+        })
+    }
+
+    #[test]
+    fn single_substream_processes_everything_in_order() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(50));
+        let worker = square_worker(lender.lend());
+        let output = lender.output().collect_values().unwrap();
+        assert_eq!(worker.join().unwrap(), 50);
+        assert_eq!(output, (1..=50u64).map(|x| x * x).collect::<Vec<_>>());
+        let stats = lender.stats();
+        assert_eq!(stats.values_read, 50);
+        assert_eq!(stats.results_emitted, 50);
+        assert_eq!(stats.substreams_completed, 1);
+        assert_eq!(stats.substreams_crashed, 0);
+        assert_eq!(stats.relends, 0);
+        assert!(lender.is_drained());
+    }
+
+    #[test]
+    fn many_substreams_share_the_work() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(200));
+        let workers: Vec<_> = (0..4).map(|_| square_worker(lender.lend())).collect();
+        let output = lender.output().collect_values().unwrap();
+        let processed: Vec<u64> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        assert_eq!(processed.iter().sum::<u64>(), 200, "every value processed exactly once");
+        assert_eq!(output, (1..=200u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_terminates_immediately() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(0));
+        let worker = square_worker(lender.lend());
+        let output = lender.output().collect_values().unwrap();
+        assert!(output.is_empty());
+        assert_eq!(worker.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn output_without_any_substream_waits_until_one_joins() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(5));
+        let output_handle = {
+            let output = lender.output();
+            thread::spawn(move || output.collect_values().unwrap())
+        };
+        // Give the output thread time to start waiting with no device around.
+        thread::sleep(Duration::from_millis(30));
+        let worker = square_worker(lender.lend());
+        assert_eq!(output_handle.join().unwrap(), vec![1, 4, 9, 16, 25]);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn crashed_substream_values_are_relent() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(10));
+        // First sub-stream borrows three values and crashes without answering.
+        let mut doomed = lender.lend();
+        let t1 = doomed.next_task().unwrap();
+        let t2 = doomed.next_task().unwrap();
+        let t3 = doomed.next_task().unwrap();
+        assert_eq!(doomed.borrowed(), 3);
+        assert_eq!((t1.seq, t2.seq, t3.seq), (0, 1, 2));
+        drop(doomed); // crash-stop
+
+        assert_eq!(lender.failed_pending(), 3);
+        let worker = square_worker(lender.lend());
+        let output = lender.output().collect_values().unwrap();
+        worker.join().unwrap();
+        assert_eq!(output, (1..=10u64).map(|x| x * x).collect::<Vec<_>>());
+        let stats = lender.stats();
+        assert_eq!(stats.relends, 3);
+        assert_eq!(stats.substreams_crashed, 1);
+        // Only 10 input values were ever read despite the crash (laziness +
+        // conservative re-lend, not re-read).
+        assert_eq!(stats.values_read, 10);
+    }
+
+    #[test]
+    fn graceful_complete_with_outstanding_values_relends_them() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(4));
+        let mut polite = lender.lend();
+        let task = polite.next_task().unwrap();
+        assert_eq!(task.seq, 0);
+        polite.complete(); // leaves without finishing its borrowed value
+        assert_eq!(lender.failed_pending(), 1);
+        let worker = square_worker(lender.lend());
+        let output = lender.output().collect_values().unwrap();
+        worker.join().unwrap();
+        assert_eq!(output, vec![1, 4, 9, 16]);
+        assert_eq!(lender.stats().substreams_completed, 2);
+    }
+
+    #[test]
+    fn results_are_ordered_even_with_out_of_order_completion() {
+        let lender: StreamLender<u64, String> = StreamLender::new(count(3));
+        let mut sub = lender.lend();
+        let a = sub.next_task().unwrap();
+        let b = sub.next_task().unwrap();
+        let c = sub.next_task().unwrap();
+        // Push results out of order.
+        sub.push_result(c.seq, format!("r{}", c.value)).unwrap();
+        sub.push_result(a.seq, format!("r{}", a.value)).unwrap();
+        sub.push_result(b.seq, format!("r{}", b.value)).unwrap();
+        // One more ask discovers that the input is exhausted.
+        assert!(sub.next_task().is_none());
+        sub.complete();
+        let output = lender.output().collect_values().unwrap();
+        assert_eq!(output, vec!["r1", "r2", "r3"]);
+    }
+
+    #[test]
+    fn push_result_for_unborrowed_value_is_rejected() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(3));
+        let mut sub = lender.lend();
+        let task = sub.next_task().unwrap();
+        sub.push_result(task.seq, 1).unwrap();
+        let err = sub.push_result(task.seq, 1).unwrap_err();
+        assert!(err.is_protocol());
+        let err = sub.push_result(99, 1).unwrap_err();
+        assert!(err.is_protocol());
+    }
+
+    #[test]
+    fn dynamic_join_mid_stream() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(100));
+        let first = square_worker(lender.lend());
+        // A second device joins while the first is already processing.
+        thread::sleep(Duration::from_millis(5));
+        let second = square_worker(lender.lend());
+        let output = lender.output().collect_values().unwrap();
+        first.join().unwrap();
+        second.join().unwrap();
+        assert_eq!(output.len(), 100);
+        assert_eq!(lender.stats().substreams_created, 2);
+    }
+
+    #[test]
+    fn input_is_read_lazily() {
+        use std::sync::atomic::AtomicU64;
+        let reads = Arc::new(AtomicU64::new(0));
+        let reads_clone = reads.clone();
+        let input = crate::source::infinite(move |i| {
+            reads_clone.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        let lender: StreamLender<u64, u64> = StreamLender::new(input);
+        // Nothing is read until a sub-stream asks.
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(reads.load(Ordering::SeqCst), 0);
+        let mut sub = lender.lend();
+        let _ = sub.next_task().unwrap();
+        let _ = sub.next_task().unwrap();
+        assert_eq!(reads.load(Ordering::SeqCst), 2, "exactly as many reads as asks");
+        sub.complete();
+        lender.shutdown();
+    }
+
+    #[test]
+    fn conservative_lending_no_duplicate_processing() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(500));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let mut sub = lender.lend();
+            let seen = seen.clone();
+            handles.push(thread::spawn(move || {
+                while let Some(task) = sub.next_task() {
+                    seen.lock().push(task.seq);
+                    sub.push_result(task.seq, task.value).unwrap();
+                }
+                sub.complete();
+            }));
+        }
+        let output = lender.output().collect_values().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(output.len(), 500);
+        let mut seqs = seen.lock().clone();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 500, "no value processed twice in a failure-free run");
+    }
+
+    #[test]
+    fn adaptive_faster_substream_processes_more() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(300));
+        let fast = {
+            let mut sub = lender.lend();
+            thread::spawn(move || {
+                let mut n = 0u64;
+                while let Some(task) = sub.next_task() {
+                    sub.push_result(task.seq, task.value).unwrap();
+                    n += 1;
+                }
+                sub.complete();
+                n
+            })
+        };
+        let slow = {
+            let mut sub = lender.lend();
+            thread::spawn(move || {
+                let mut n = 0u64;
+                while let Some(task) = sub.next_task() {
+                    thread::sleep(Duration::from_millis(1));
+                    sub.push_result(task.seq, task.value).unwrap();
+                    n += 1;
+                }
+                sub.complete();
+                n
+            })
+        };
+        let output = lender.output().collect_values().unwrap();
+        let fast_n = fast.join().unwrap();
+        let slow_n = slow.join().unwrap();
+        assert_eq!(output.len(), 300);
+        assert_eq!(fast_n + slow_n, 300);
+        assert!(
+            fast_n > slow_n,
+            "faster device must receive more values (fast={fast_n}, slow={slow_n})"
+        );
+    }
+
+    #[test]
+    fn input_error_is_propagated_after_pending_results() {
+        let lender: StreamLender<u64, u64> =
+            StreamLender::new(failing(StreamError::new("bad input")));
+        let worker = square_worker(lender.lend());
+        let err = lender.output().collect_values().unwrap_err();
+        assert_eq!(err.message(), "bad input");
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn output_abort_shuts_everything_down() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(1_000_000));
+        let mut sub = lender.lend();
+        let task = sub.next_task().unwrap();
+        sub.push_result(task.seq, task.value).unwrap();
+        let mut output = lender.output();
+        assert_eq!(output.pull(Request::Ask), Answer::Value(1));
+        assert_eq!(output.pull(Request::Abort), Answer::Done);
+        // The sub-stream is told Done on its next ask.
+        assert!(sub.next_task().is_none());
+        sub.complete();
+    }
+
+    #[test]
+    fn shutdown_terminates_output() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(10));
+        lender.shutdown();
+        assert_eq!(lender.output().collect_values().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn try_next_task_does_not_block() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(1));
+        let mut a = lender.lend();
+        let mut b = lender.lend();
+        let task = a.next_task().unwrap();
+        // Input exhausted and the only value is borrowed by `a`: `b` must not
+        // block here.
+        assert!(b.try_next_task().is_none());
+        a.push_result(task.seq, 7).unwrap();
+        a.complete();
+        b.complete();
+        assert_eq!(lender.output().collect_values().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn next_timeout_returns_none_without_results() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(5));
+        let mut output = lender.output();
+        assert!(output.next_timeout(Duration::from_millis(20)).is_none());
+        let _keep_alive = lender.lend();
+    }
+
+    #[test]
+    fn lend_record_map_keeps_sequence() {
+        let lend = Lend::new(4, 10u32).map(|v| v * 2);
+        assert_eq!(lend, Lend::new(4, 20u32));
+        assert_eq!(SubStreamId(3).to_string(), "sub-3");
+        assert_eq!(SubStreamId(3).index(), 3);
+    }
+
+    #[test]
+    fn duplex_adapters_complete_on_done() {
+        use crate::duplex::Duplex;
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(20));
+        let (sub_source, sub_sink) = lender.lend().into_duplex();
+        // Worker that squares the lends it receives, as a duplex.
+        let worker_duplex: Duplex<Lend<u64>, Lend<u64>> = {
+            let (task_tx, task_rx) = crossbeam::channel::unbounded::<Lend<u64>>();
+            let source = move |req: Request| -> Answer<Lend<u64>> {
+                if req.is_termination() {
+                    return Answer::Done;
+                }
+                match task_rx.recv() {
+                    Ok(lend) => Answer::Value(lend.map(|v| v * v)),
+                    Err(_) => Answer::Done,
+                }
+            };
+            let sink = crate::sink::fn_sink(move |lend: Lend<u64>| {
+                task_tx.send(lend).map_err(|_| StreamError::transport("worker gone"))
+            });
+            Duplex::new(source, sink)
+        };
+        let sub_duplex = Duplex::new(sub_source, sub_sink);
+        let link = crate::duplex::connect(sub_duplex, worker_duplex);
+        let output = lender.output().collect_values().unwrap();
+        link.join().unwrap();
+        assert_eq!(output, (1..=20u64).map(|x| x * x).collect::<Vec<_>>());
+        assert_eq!(lender.stats().substreams_completed, 1);
+    }
+
+    #[test]
+    fn duplex_adapter_crash_relends_values() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(6));
+        let (mut sub_source, sub_sink) = lender.lend().into_duplex();
+        // Borrow two values over the source half, then drop both halves
+        // without pushing results: a crash.
+        let a = sub_source.pull(Request::Ask);
+        let b = sub_source.pull(Request::Ask);
+        assert!(a.is_value() && b.is_value());
+        drop(sub_source);
+        drop(sub_sink);
+        assert_eq!(lender.failed_pending(), 2);
+        assert_eq!(lender.stats().substreams_crashed, 1);
+        let worker = square_worker(lender.lend());
+        let output = lender.output().collect_values().unwrap();
+        worker.join().unwrap();
+        assert_eq!(output, vec![1, 4, 9, 16, 25, 36]);
+    }
+
+    #[test]
+    fn liveness_after_repeated_crashes() {
+        // Paper liveness property: once read, an input is eventually output as
+        // long as some device remains active.
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(30));
+        // Three generations of crashing workers, then one reliable worker.
+        for _ in 0..3 {
+            let mut sub = lender.lend();
+            for _ in 0..5 {
+                if let Some(task) = sub.next_task() {
+                    // Processes a couple then crashes with values in hand.
+                    if task.seq % 2 == 0 {
+                        sub.push_result(task.seq, task.value * task.value).unwrap();
+                    }
+                }
+            }
+            drop(sub);
+        }
+        let worker = square_worker(lender.lend());
+        let output = lender.output().collect_values().unwrap();
+        worker.join().unwrap();
+        assert_eq!(output, (1..=30u64).map(|x| x * x).collect::<Vec<_>>());
+        assert!(lender.stats().relends > 0);
+    }
+}

@@ -1,0 +1,494 @@
+//! Sources: the producing end of a pull-stream, plus constructors for common
+//! sources and the [`SourceExt`] combinator extension trait.
+
+use crate::error::StreamError;
+use crate::iter::IntoValues;
+use crate::protocol::{Answer, Request};
+use crate::sink;
+use crate::through;
+
+/// The producing end of a pull-stream.
+///
+/// A source is pulled by its consumer: every call to [`Source::pull`] with
+/// [`Request::Ask`] produces at most one value. A source must obey the
+/// protocol discipline of the pull-stream pattern:
+///
+/// * after answering [`Answer::Done`] or [`Answer::Err`], every subsequent
+///   pull must keep answering a termination (idempotent termination);
+/// * after receiving [`Request::Abort`] or [`Request::Fail`], the source must
+///   release its resources and answer with a termination.
+///
+/// Sources provided by this crate follow the discipline; combinators in
+/// [`SourceExt`] preserve it.
+///
+/// # Examples
+///
+/// ```
+/// use pando_pull_stream::{Answer, Request, Source};
+/// use pando_pull_stream::source::count;
+///
+/// let mut source = count(2);
+/// assert_eq!(source.pull(Request::Ask), Answer::Value(1));
+/// assert_eq!(source.pull(Request::Ask), Answer::Value(2));
+/// assert_eq!(source.pull(Request::Ask), Answer::Done);
+/// // Termination is idempotent.
+/// assert_eq!(source.pull(Request::Ask), Answer::Done);
+/// ```
+pub trait Source<T>: Send {
+    /// Answers a single request from the downstream consumer.
+    fn pull(&mut self, request: Request) -> Answer<T>;
+}
+
+/// A boxed, type-erased [`Source`].
+pub type BoxSource<T> = Box<dyn Source<T> + Send>;
+
+impl<T> Source<T> for BoxSource<T> {
+    fn pull(&mut self, request: Request) -> Answer<T> {
+        self.as_mut().pull(request)
+    }
+}
+
+impl<T, F> Source<T> for F
+where
+    F: FnMut(Request) -> Answer<T> + Send,
+{
+    fn pull(&mut self, request: Request) -> Answer<T> {
+        self(request)
+    }
+}
+
+/// Extension methods available on every [`Source`].
+///
+/// These mirror the pull-stream module ecosystem used by Pando: `map`,
+/// `asyncMap` ([`SourceExt::try_map`]), `filter`, `take`, `drain`, `collect`,
+/// and free-form composition with [`SourceExt::through`].
+pub trait SourceExt<T>: Source<T> + Sized + 'static
+where
+    T: Send + 'static,
+{
+    /// Boxes the source, erasing its concrete type.
+    fn boxed(self) -> BoxSource<T> {
+        Box::new(self)
+    }
+
+    /// Transforms every value with `f` (the pull-stream `map` module).
+    ///
+    /// ```
+    /// use pando_pull_stream::source::{count, SourceExt};
+    /// let doubled: Vec<u64> = count(3).map_values(|x| x * 2).collect_values().unwrap();
+    /// assert_eq!(doubled, vec![2, 4, 6]);
+    /// ```
+    fn map_values<U, F>(self, f: F) -> through::Map<Self, F, T>
+    where
+        U: Send + 'static,
+        F: FnMut(T) -> U + Send + 'static,
+    {
+        through::Map::new(self, f)
+    }
+
+    /// Transforms every value with a fallible `f` (the pull-stream `asyncMap`
+    /// module used by Pando workers). The first error terminates the stream
+    /// with [`Answer::Err`] and aborts the upstream source.
+    ///
+    /// ```
+    /// use pando_pull_stream::source::{count, SourceExt};
+    /// use pando_pull_stream::StreamError;
+    /// let result = count(10)
+    ///     .try_map(|x| if x < 4 { Ok(x) } else { Err(StreamError::new("too big")) })
+    ///     .collect_values();
+    /// assert!(result.is_err());
+    /// ```
+    fn try_map<U, F>(self, f: F) -> through::TryMap<Self, F, T>
+    where
+        U: Send + 'static,
+        F: FnMut(T) -> Result<U, StreamError> + Send + 'static,
+    {
+        through::TryMap::new(self, f)
+    }
+
+    /// Keeps only the values for which `predicate` returns `true`.
+    ///
+    /// ```
+    /// use pando_pull_stream::source::{count, SourceExt};
+    /// let even: Vec<u64> = count(6).filter_values(|x| x % 2 == 0).collect_values().unwrap();
+    /// assert_eq!(even, vec![2, 4, 6]);
+    /// ```
+    fn filter_values<F>(self, predicate: F) -> through::Filter<Self, F>
+    where
+        F: FnMut(&T) -> bool + Send + 'static,
+    {
+        through::Filter::new(self, predicate)
+    }
+
+    /// Maps and filters in a single pass.
+    fn filter_map_values<U, F>(self, f: F) -> through::FilterMap<Self, F, T>
+    where
+        U: Send + 'static,
+        F: FnMut(T) -> Option<U> + Send + 'static,
+    {
+        through::FilterMap::new(self, f)
+    }
+
+    /// Passes at most `n` values through, then aborts the upstream source.
+    ///
+    /// ```
+    /// use pando_pull_stream::source::{infinite, SourceExt};
+    /// let three: Vec<u64> = infinite(|i| i).take_values(3).collect_values().unwrap();
+    /// assert_eq!(three, vec![0, 1, 2]);
+    /// ```
+    fn take_values(self, n: usize) -> through::Take<Self> {
+        through::Take::new(self, n)
+    }
+
+    /// Calls `f` on a reference to every value flowing through, unchanged.
+    fn inspect_values<F>(self, f: F) -> through::Inspect<Self, F>
+    where
+        F: FnMut(&T) + Send + 'static,
+    {
+        through::Inspect::new(self, f)
+    }
+
+    /// Applies an arbitrary through (transformer) constructor, enabling
+    /// pipeline composition in the style of `pull(source, through, sink)`.
+    ///
+    /// ```
+    /// use pando_pull_stream::source::{count, SourceExt};
+    /// use pando_pull_stream::through::Map;
+    /// let out: Vec<u64> = count(3)
+    ///     .through(|s| Map::new(s, |x: u64| x + 10))
+    ///     .collect_values()
+    ///     .unwrap();
+    /// assert_eq!(out, vec![11, 12, 13]);
+    /// ```
+    fn through<U, S, F>(self, f: F) -> S
+    where
+        S: Source<U>,
+        F: FnOnce(Self) -> S,
+    {
+        f(self)
+    }
+
+    /// Drives the stream to completion, discarding values (the `drain` sink).
+    ///
+    /// # Errors
+    ///
+    /// Returns the stream error if the source terminates with one.
+    fn drain_all(self) -> Result<usize, StreamError> {
+        sink::drain(self)
+    }
+
+    /// Collects every value into a `Vec` (the `collect` sink).
+    ///
+    /// # Errors
+    ///
+    /// Returns the stream error if the source terminates with one.
+    fn collect_values(self) -> Result<Vec<T>, StreamError> {
+        sink::collect(self)
+    }
+
+    /// Calls `f` for every value until the stream terminates.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stream error if the source terminates with one.
+    fn for_each_value<F>(self, f: F) -> Result<(), StreamError>
+    where
+        F: FnMut(T),
+    {
+        sink::for_each(self, f)
+    }
+
+    /// Converts the source into a standard [`Iterator`] over its values.
+    ///
+    /// Errors terminate the iteration; use [`IntoValues::end`] afterwards to
+    /// learn how the stream terminated.
+    fn into_values(self) -> IntoValues<Self, T> {
+        IntoValues::new(self)
+    }
+}
+
+impl<T, S> SourceExt<T> for S
+where
+    S: Source<T> + Sized + 'static,
+    T: Send + 'static,
+{
+}
+
+/// A source over the items of any [`IntoIterator`].
+///
+/// ```
+/// use pando_pull_stream::source::{from_iter, SourceExt};
+/// let out: Vec<&str> = from_iter(["a", "b"]).collect_values().unwrap();
+/// assert_eq!(out, vec!["a", "b"]);
+/// ```
+pub fn from_iter<I>(iter: I) -> IterSource<I::IntoIter>
+where
+    I: IntoIterator,
+    I::IntoIter: Send,
+    I::Item: Send,
+{
+    IterSource { iter: Some(iter.into_iter()) }
+}
+
+/// A source over an explicit vector of values (the pull-stream `values` module).
+pub fn values<T: Send>(values: Vec<T>) -> IterSource<std::vec::IntoIter<T>> {
+    from_iter(values)
+}
+
+/// A lazy source counting from 1 to `n` (paper Figure 5).
+///
+/// ```
+/// use pando_pull_stream::source::{count, SourceExt};
+/// assert_eq!(count(4).collect_values().unwrap(), vec![1, 2, 3, 4]);
+/// ```
+pub fn count(n: u64) -> IterSource<std::ops::RangeInclusive<u64>> {
+    from_iter(1..=n)
+}
+
+/// A source that never produces a value and immediately answers `Done`.
+pub fn empty<T: Send>() -> IterSource<std::iter::Empty<T>> {
+    from_iter(std::iter::empty())
+}
+
+/// A source producing a single value.
+pub fn once<T: Send>(value: T) -> IterSource<std::iter::Once<T>> {
+    from_iter(std::iter::once(value))
+}
+
+/// An infinite source calling `f(i)` for `i = 0, 1, 2, ...` on every ask.
+///
+/// Infinite sources are the reason Pando is *lazy*: values are only generated
+/// when a participating device has capacity to process them.
+pub fn infinite<T, F>(f: F) -> Generate<F>
+where
+    T: Send,
+    F: FnMut(u64) -> T + Send,
+{
+    Generate { f, next: 0, terminated: false }
+}
+
+/// A source calling `f(i)` until it returns `None`.
+pub fn generate<T, F>(f: F) -> GenerateWhile<F>
+where
+    T: Send,
+    F: FnMut(u64) -> Option<T> + Send,
+{
+    GenerateWhile { f, next: 0, terminated: false }
+}
+
+/// A source that immediately terminates with the given error.
+pub fn failing<T: Send>(error: StreamError) -> Failing<T> {
+    Failing { error, _marker: std::marker::PhantomData }
+}
+
+/// Source over an iterator. Created by [`from_iter`], [`values`], [`count`],
+/// [`empty`] and [`once`].
+#[derive(Debug)]
+pub struct IterSource<I> {
+    iter: Option<I>,
+}
+
+impl<I> Source<I::Item> for IterSource<I>
+where
+    I: Iterator + Send,
+    I::Item: Send,
+{
+    fn pull(&mut self, request: Request) -> Answer<I::Item> {
+        if request.is_termination() {
+            self.iter = None;
+            return match request {
+                Request::Fail(err) => Answer::Err(err),
+                _ => Answer::Done,
+            };
+        }
+        match self.iter.as_mut().and_then(Iterator::next) {
+            Some(value) => Answer::Value(value),
+            None => {
+                self.iter = None;
+                Answer::Done
+            }
+        }
+    }
+}
+
+/// Infinite generator source. Created by [`infinite`].
+#[derive(Debug)]
+pub struct Generate<F> {
+    f: F,
+    next: u64,
+    terminated: bool,
+}
+
+impl<T, F> Source<T> for Generate<F>
+where
+    T: Send,
+    F: FnMut(u64) -> T + Send,
+{
+    fn pull(&mut self, request: Request) -> Answer<T> {
+        if self.terminated || request.is_termination() {
+            self.terminated = true;
+            return match request {
+                Request::Fail(err) => Answer::Err(err),
+                _ => Answer::Done,
+            };
+        }
+        let index = self.next;
+        self.next += 1;
+        Answer::Value((self.f)(index))
+    }
+}
+
+/// Bounded generator source. Created by [`generate`].
+#[derive(Debug)]
+pub struct GenerateWhile<F> {
+    f: F,
+    next: u64,
+    terminated: bool,
+}
+
+impl<T, F> Source<T> for GenerateWhile<F>
+where
+    T: Send,
+    F: FnMut(u64) -> Option<T> + Send,
+{
+    fn pull(&mut self, request: Request) -> Answer<T> {
+        if self.terminated || request.is_termination() {
+            self.terminated = true;
+            return match request {
+                Request::Fail(err) => Answer::Err(err),
+                _ => Answer::Done,
+            };
+        }
+        let index = self.next;
+        self.next += 1;
+        match (self.f)(index) {
+            Some(value) => Answer::Value(value),
+            None => {
+                self.terminated = true;
+                Answer::Done
+            }
+        }
+    }
+}
+
+/// Source terminating immediately with an error. Created by [`failing`].
+#[derive(Debug)]
+pub struct Failing<T> {
+    error: StreamError,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Send> Source<T> for Failing<T> {
+    fn pull(&mut self, _request: Request) -> Answer<T> {
+        Answer::Err(self.error.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_produces_one_to_n() {
+        let out = count(5).collect_values().unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn count_zero_is_empty() {
+        let out = count(0).collect_values().unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let out = values(vec!["x", "y", "z"]).collect_values().unwrap();
+        assert_eq!(out, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn empty_and_once() {
+        assert!(empty::<u8>().collect_values().unwrap().is_empty());
+        assert_eq!(once(7).collect_values().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn termination_is_idempotent() {
+        let mut src = count(1);
+        assert_eq!(src.pull(Request::Ask), Answer::Value(1));
+        assert_eq!(src.pull(Request::Ask), Answer::Done);
+        assert_eq!(src.pull(Request::Ask), Answer::Done);
+    }
+
+    #[test]
+    fn abort_releases_source() {
+        let mut src = count(100);
+        assert_eq!(src.pull(Request::Ask), Answer::Value(1));
+        assert_eq!(src.pull(Request::Abort), Answer::Done);
+        assert_eq!(src.pull(Request::Ask), Answer::Done);
+    }
+
+    #[test]
+    fn fail_echoes_error() {
+        let mut src = count(100);
+        let answer = src.pull(Request::Fail(StreamError::new("downstream")));
+        assert_eq!(answer, Answer::Err(StreamError::new("downstream")));
+    }
+
+    #[test]
+    fn infinite_is_lazy_and_unbounded() {
+        let out = infinite(|i| i * i).take_values(4).collect_values().unwrap();
+        assert_eq!(out, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn generate_stops_on_none() {
+        let out = generate(|i| if i < 3 { Some(i) } else { None })
+            .collect_values()
+            .unwrap();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn generate_termination_idempotent_after_none() {
+        let mut src = generate(|i| if i == 0 { Some(i) } else { None });
+        assert_eq!(src.pull(Request::Ask), Answer::Value(0));
+        assert_eq!(src.pull(Request::Ask), Answer::Done);
+        assert_eq!(src.pull(Request::Ask), Answer::Done);
+    }
+
+    #[test]
+    fn failing_source_reports_error() {
+        let err = failing::<u8>(StreamError::new("nope")).collect_values().unwrap_err();
+        assert_eq!(err.message(), "nope");
+    }
+
+    #[test]
+    fn closure_is_a_source() {
+        let mut remaining = 2;
+        let closure = move |req: Request| -> Answer<u32> {
+            if req.is_termination() || remaining == 0 {
+                Answer::Done
+            } else {
+                remaining -= 1;
+                Answer::Value(remaining)
+            }
+        };
+        let out = closure.collect_values().unwrap();
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn boxed_source_is_still_a_source() {
+        let boxed: BoxSource<u64> = count(3).boxed();
+        assert_eq!(boxed.collect_values().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn for_each_and_drain() {
+        let mut sum = 0;
+        count(4).for_each_value(|v| sum += v).unwrap();
+        assert_eq!(sum, 10);
+        assert_eq!(count(4).drain_all().unwrap(), 4);
+    }
+}

@@ -1,0 +1,227 @@
+//! Property-based tests for the StreamLender, the Rust analogue of the
+//! paper's "StreamLender testing" application (§4.1): random executions are
+//! generated and the invariants of the programming model are checked on each.
+
+use pando_pull_stream::lender::{Lend, StreamLender, SubStream};
+use pando_pull_stream::source::{count, SourceExt};
+use proptest::prelude::*;
+
+/// One step of a randomly generated schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Worker `i` borrows a value (non-blocking).
+    Borrow(usize),
+    /// Worker `i` returns the result for the oldest value it holds.
+    PushOldest(usize),
+    /// Worker `i` crashes (drops without returning its values).
+    Crash(usize),
+    /// A new worker joins.
+    Join,
+}
+
+fn op_strategy(max_workers: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..max_workers).prop_map(Op::Borrow),
+        3 => (0..max_workers).prop_map(Op::PushOldest),
+        1 => (0..max_workers).prop_map(Op::Crash),
+        1 => Just(Op::Join),
+    ]
+}
+
+/// A worker as driven by the random schedule: a sub-stream plus the values it
+/// currently holds.
+struct ScriptedWorker {
+    sub: Option<SubStream<u64, u64>>,
+    held: Vec<Lend<u64>>,
+}
+
+fn apply_schedule(lender: &StreamLender<u64, u64>, schedule: &[Op], initial_workers: usize) {
+    let mut workers: Vec<ScriptedWorker> = (0..initial_workers)
+        .map(|_| ScriptedWorker { sub: Some(lender.lend()), held: Vec::new() })
+        .collect();
+    for op in schedule {
+        match op {
+            Op::Borrow(i) => {
+                let idx = i % workers.len();
+                let worker = &mut workers[idx];
+                if let Some(sub) = worker.sub.as_mut() {
+                    if let Some(lend) = sub.try_next_task() {
+                        worker.held.push(lend);
+                    }
+                }
+            }
+            Op::PushOldest(i) => {
+                let idx = i % workers.len();
+                let worker = &mut workers[idx];
+                if let Some(sub) = worker.sub.as_mut() {
+                    if !worker.held.is_empty() {
+                        let lend = worker.held.remove(0);
+                        sub.push_result(lend.seq, lend.value * lend.value)
+                            .expect("held value is always borrowable");
+                    }
+                }
+            }
+            Op::Crash(i) => {
+                let idx = i % workers.len();
+                let worker = &mut workers[idx];
+                worker.sub = None; // drop = crash-stop
+                worker.held.clear();
+            }
+            Op::Join => {
+                workers.push(ScriptedWorker { sub: Some(lender.lend()), held: Vec::new() });
+            }
+        }
+    }
+    // Scripted workers that survive finish politely: they return what they
+    // still hold, then leave.
+    for mut worker in workers {
+        if let Some(mut sub) = worker.sub.take() {
+            for lend in worker.held.drain(..) {
+                sub.push_result(lend.seq, lend.value * lend.value).unwrap();
+            }
+            sub.complete();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any schedule of borrows, returns, crashes and joins, followed by
+    /// one reliable device, the output is exactly `f` mapped over the input,
+    /// in input order (streaming-map, ordered, fault-tolerant properties).
+    #[test]
+    fn output_is_ordered_map_of_input(
+        n in 0u64..120,
+        initial_workers in 1usize..4,
+        schedule in proptest::collection::vec(op_strategy(4), 0..200),
+    ) {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(n));
+        apply_schedule(&lender, &schedule, initial_workers);
+
+        // A final reliable worker drains whatever is left.
+        let finisher = {
+            let mut sub = lender.lend();
+            std::thread::spawn(move || {
+                while let Some(task) = sub.next_task() {
+                    sub.push_result(task.seq, task.value * task.value).unwrap();
+                }
+                sub.complete();
+            })
+        };
+        let output = lender.output().collect_values().unwrap();
+        finisher.join().unwrap();
+
+        let expected: Vec<u64> = (1..=n).map(|x| x * x).collect();
+        prop_assert_eq!(output, expected);
+    }
+
+    /// The conservative property: in a failure-free run no value is ever lent
+    /// twice, so the number of lends equals the number of values read.
+    #[test]
+    fn failure_free_runs_never_relend(
+        n in 0u64..200,
+        workers in 1usize..5,
+    ) {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(n));
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let mut sub = lender.lend();
+                std::thread::spawn(move || {
+                    while let Some(task) = sub.next_task() {
+                        sub.push_result(task.seq, task.value + 1).unwrap();
+                    }
+                    sub.complete();
+                })
+            })
+            .collect();
+        let output = lender.output().collect_values().unwrap();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = lender.stats();
+        prop_assert_eq!(output.len() as u64, n);
+        prop_assert_eq!(stats.relends, 0);
+        prop_assert_eq!(stats.lends, stats.values_read);
+        prop_assert_eq!(stats.values_read, n);
+    }
+
+    /// Laziness: the lender never reads more input values than the schedule
+    /// borrowed, regardless of how large the input is.
+    #[test]
+    fn never_reads_more_than_borrowed(
+        borrows in 0usize..50,
+    ) {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(1_000_000));
+        let mut sub = lender.lend();
+        for _ in 0..borrows {
+            let lend = sub.try_next_task().expect("large input always has values");
+            sub.push_result(lend.seq, lend.value).unwrap();
+        }
+        prop_assert_eq!(lender.stats().values_read as usize, borrows);
+        lender.shutdown();
+        sub.complete();
+    }
+
+    /// Crash storms never lose values: when every borrower crashes without
+    /// returning anything, every value that was ever read from the input is
+    /// sitting in the failed queue, ready to be re-lent.
+    #[test]
+    fn no_value_is_ever_lost(
+        n in 1u64..100,
+        crashes in 1usize..6,
+        borrows_per_crash in 1usize..8,
+    ) {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(n));
+        for _ in 0..crashes {
+            let mut sub = lender.lend();
+            for _ in 0..borrows_per_crash {
+                if sub.try_next_task().is_none() {
+                    break;
+                }
+            }
+            drop(sub);
+            // Nothing was ever returned, so nothing is in flight and nothing
+            // was emitted: every read value must be queued for re-lending.
+            prop_assert_eq!(lender.in_flight(), 0);
+            prop_assert_eq!(lender.stats().results_emitted, 0);
+            prop_assert_eq!(lender.failed_pending() as u64, lender.stats().values_read);
+        }
+        lender.shutdown();
+    }
+}
+
+/// Deterministic regression harness mirroring the paper's claim that random
+/// executions of StreamLender found corner-case bugs: run a fixed large batch
+/// of pseudo-random schedules quickly.
+#[test]
+fn random_execution_smoke_batch() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(0..80u64);
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(n));
+        let schedule: Vec<Op> = (0..rng.gen_range(0..150))
+            .map(|_| match rng.gen_range(0..9) {
+                0..=3 => Op::Borrow(rng.gen_range(0..4)),
+                4..=6 => Op::PushOldest(rng.gen_range(0..4)),
+                7 => Op::Crash(rng.gen_range(0..4)),
+                _ => Op::Join,
+            })
+            .collect();
+        apply_schedule(&lender, &schedule, 2);
+        let finisher = {
+            let mut sub = lender.lend();
+            std::thread::spawn(move || {
+                while let Some(task) = sub.next_task() {
+                    sub.push_result(task.seq, task.value * task.value).unwrap();
+                }
+                sub.complete();
+            })
+        };
+        let output = lender.output().collect_values().unwrap();
+        finisher.join().unwrap();
+        assert_eq!(output, (1..=n).map(|x| x * x).collect::<Vec<_>>(), "seed {seed}");
+    }
+}

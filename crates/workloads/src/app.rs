@@ -1,0 +1,501 @@
+//! The uniform `'/pando/1.0.0'` application interface.
+//!
+//! Pando applications expose a single processing function that takes a string
+//! input and returns a string output through a callback (paper Figure 2).
+//! [`PandoApp`] is the Rust equivalent: a trait with string-based inputs and
+//! outputs so the distributed-map layer, the device models and the benchmark
+//! harness can treat all seven applications uniformly. Structured data is
+//! carried in the strings with small hand-rolled encodings (numbers, comma
+//! separated fields, base64-like payload sizes), matching how the original
+//! tool passes values on Unix pipes.
+
+use crate::{arxiv, collatz, crypto, imageproc, mlagent, raytrace, sl_test};
+use pando_pull_stream::StreamError;
+use std::fmt;
+use std::sync::Arc;
+
+/// A Pando application: a named processing function over a stream of string
+/// values, plus an input generator for experiments.
+pub trait PandoApp: Send + Sync {
+    /// Short machine-friendly name (used on the command line of the bench
+    /// harness).
+    fn name(&self) -> &'static str;
+
+    /// The throughput unit reported in the paper's Table 2.
+    fn unit(&self) -> &'static str;
+
+    /// The `i`-th input value of the experiment workload.
+    fn input(&self, i: u64) -> String;
+
+    /// Applies the processing function to one input (the body of the
+    /// `module.exports['/pando/1.0.0']` function).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input cannot be parsed or the computation
+    /// fails; Pando forwards it like the JavaScript callback `cb(err)`.
+    fn process(&self, input: &str) -> Result<String, StreamError>;
+
+    /// Approximate size in bytes of one input value on the wire.
+    fn input_size(&self) -> usize {
+        32
+    }
+
+    /// Approximate size in bytes of one result value on the wire.
+    fn output_size(&self) -> usize {
+        32
+    }
+
+    /// How many processed items one throughput "item" of Table 2 corresponds
+    /// to (1 for most applications; the hash count per attempt for mining).
+    fn items_per_input(&self) -> u64 {
+        1
+    }
+}
+
+/// The applications of the paper's evaluation, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AppKind {
+    /// Collatz-conjecture step counting.
+    Collatz,
+    /// SHA-256 proof-of-work mining.
+    CryptoMining,
+    /// Randomized StreamLender executions.
+    StreamLenderTesting,
+    /// Ray-traced animation frames.
+    Raytrace,
+    /// Landsat-like tile blurring.
+    ImageProcessing,
+    /// Q-learning hyper-parameter evaluation.
+    MlAgentTraining,
+    /// Crowd tagging (browser as a UI; excluded from throughput tables).
+    Arxiv,
+}
+
+impl AppKind {
+    /// Every application kind, in the column order of Table 2.
+    pub fn all() -> [AppKind; 7] {
+        [
+            AppKind::Collatz,
+            AppKind::CryptoMining,
+            AppKind::StreamLenderTesting,
+            AppKind::Raytrace,
+            AppKind::ImageProcessing,
+            AppKind::MlAgentTraining,
+            AppKind::Arxiv,
+        ]
+    }
+
+    /// The six applications measured in Table 2 (everything except Arxiv).
+    pub fn measured() -> [AppKind; 6] {
+        [
+            AppKind::Collatz,
+            AppKind::CryptoMining,
+            AppKind::StreamLenderTesting,
+            AppKind::Raytrace,
+            AppKind::ImageProcessing,
+            AppKind::MlAgentTraining,
+        ]
+    }
+
+    /// Builds the application implementation for this kind, with workload
+    /// parameters small enough for interactive test runs.
+    pub fn instantiate(self) -> Arc<dyn PandoApp> {
+        match self {
+            AppKind::Collatz => Arc::new(CollatzApp::default()),
+            AppKind::CryptoMining => Arc::new(CryptoApp::default()),
+            AppKind::StreamLenderTesting => Arc::new(SlTestApp),
+            AppKind::Raytrace => Arc::new(RaytraceApp::default()),
+            AppKind::ImageProcessing => Arc::new(ImageProcApp::default()),
+            AppKind::MlAgentTraining => Arc::new(MlAgentApp::default()),
+            AppKind::Arxiv => Arc::new(ArxivApp::default()),
+        }
+    }
+
+    /// Parses a kind from its command-line name.
+    pub fn from_name(name: &str) -> Option<AppKind> {
+        Self::all().into_iter().find(|kind| kind.instantiate().name() == name)
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.instantiate().name())
+    }
+}
+
+/// Collatz step counting over a range of starting values.
+#[derive(Debug, Clone)]
+pub struct CollatzApp {
+    /// Starting offset of the searched range.
+    pub first: u64,
+}
+
+impl Default for CollatzApp {
+    fn default() -> Self {
+        // Values in the billions take a few hundred big-number steps each.
+        Self { first: 1_000_000_007 }
+    }
+}
+
+impl PandoApp for CollatzApp {
+    fn name(&self) -> &'static str {
+        "collatz"
+    }
+    fn unit(&self) -> &'static str {
+        "BigNums/s"
+    }
+    fn input(&self, i: u64) -> String {
+        (self.first + i).to_string()
+    }
+    fn process(&self, input: &str) -> Result<String, StreamError> {
+        let start: u64 = input
+            .trim()
+            .parse()
+            .map_err(|_| StreamError::new(format!("collatz input is not an integer: {input:?}")))?;
+        let result = collatz::collatz_steps(start);
+        Ok(format!("{},{}", result.start, result.steps))
+    }
+}
+
+/// SHA-256 proof-of-work over consecutive nonce ranges.
+#[derive(Debug, Clone)]
+pub struct CryptoApp {
+    /// Block header being mined.
+    pub block: String,
+    /// Number of nonces per work unit.
+    pub range_size: u64,
+    /// Difficulty in leading zero bits.
+    pub difficulty_bits: u32,
+}
+
+impl Default for CryptoApp {
+    fn default() -> Self {
+        Self { block: "pando-block-1".to_string(), range_size: 2_000, difficulty_bits: 20 }
+    }
+}
+
+impl PandoApp for CryptoApp {
+    fn name(&self) -> &'static str {
+        "crypto-mining"
+    }
+    fn unit(&self) -> &'static str {
+        "Hashes/s"
+    }
+    fn input(&self, i: u64) -> String {
+        let start = i * self.range_size;
+        format!("{}|{}|{}|{}", self.block, start, start + self.range_size, self.difficulty_bits)
+    }
+    fn process(&self, input: &str) -> Result<String, StreamError> {
+        let mut parts = input.split('|');
+        let (block, start, end, bits) = (
+            parts.next().ok_or_else(|| StreamError::new("missing block"))?,
+            parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| StreamError::new("bad start"))?,
+            parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| StreamError::new("bad end"))?,
+            parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| StreamError::new("bad bits"))?,
+        );
+        let outcome = crypto::mine(&crypto::MiningAttempt {
+            block: block.to_string(),
+            nonce_start: start,
+            nonce_end: end,
+            difficulty_bits: bits,
+        });
+        Ok(match outcome.nonce {
+            Some(nonce) => format!("found,{nonce},{}", outcome.hashes),
+            None => format!("failed,,{}", outcome.hashes),
+        })
+    }
+    fn items_per_input(&self) -> u64 {
+        self.range_size
+    }
+}
+
+/// Randomized StreamLender executions, one seed per input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlTestApp;
+
+impl PandoApp for SlTestApp {
+    fn name(&self) -> &'static str {
+        "streamlender-testing"
+    }
+    fn unit(&self) -> &'static str {
+        "Tests/s"
+    }
+    fn input(&self, i: u64) -> String {
+        i.to_string()
+    }
+    fn process(&self, input: &str) -> Result<String, StreamError> {
+        let seed: u64 = input
+            .trim()
+            .parse()
+            .map_err(|_| StreamError::new(format!("seed is not an integer: {input:?}")))?;
+        let verdict = sl_test::run_random_execution(seed);
+        Ok(format!("{},{}", verdict.seed, if verdict.passed() { "pass" } else { "fail" }))
+    }
+}
+
+/// Ray tracing of animation frames.
+#[derive(Debug, Clone)]
+pub struct RaytraceApp {
+    /// Width of each rendered frame.
+    pub width: usize,
+    /// Height of each rendered frame.
+    pub height: usize,
+    /// Number of frames in the full animation.
+    pub frames: usize,
+    scene: raytrace::Scene,
+}
+
+impl Default for RaytraceApp {
+    fn default() -> Self {
+        // Small frames, like the paper's evaluation which shrank the image to
+        // fit WebRTC message limits (§5.1).
+        Self { width: 96, height: 72, frames: 60, scene: raytrace::Scene::default() }
+    }
+}
+
+impl PandoApp for RaytraceApp {
+    fn name(&self) -> &'static str {
+        "raytrace"
+    }
+    fn unit(&self) -> &'static str {
+        "Frames/s"
+    }
+    fn input(&self, i: u64) -> String {
+        let angles = raytrace::animation_angles(self.frames);
+        format!("{:.6}", angles[(i as usize) % self.frames])
+    }
+    fn process(&self, input: &str) -> Result<String, StreamError> {
+        let angle: f64 = input
+            .trim()
+            .parse()
+            .map_err(|_| StreamError::new(format!("camera angle is not a number: {input:?}")))?;
+        let pixels = self.scene.render(angle, self.width, self.height);
+        // Results travel base64 encoded, as in the paper's glue code.
+        Ok(pando_netsim_base64(&pixels))
+    }
+    fn output_size(&self) -> usize {
+        self.width * self.height * 3 * 4 / 3
+    }
+}
+
+/// Blur filtering of synthetic Landsat-like tiles.
+#[derive(Debug, Clone)]
+pub struct ImageProcApp {
+    /// Width and height of each square tile.
+    pub tile_size: usize,
+    /// Blur radius.
+    pub radius: usize,
+}
+
+impl Default for ImageProcApp {
+    fn default() -> Self {
+        Self { tile_size: 410, radius: 3 }
+    }
+}
+
+impl PandoApp for ImageProcApp {
+    fn name(&self) -> &'static str {
+        "image-processing"
+    }
+    fn unit(&self) -> &'static str {
+        "Images/s"
+    }
+    fn input(&self, i: u64) -> String {
+        // The input identifies which tile to fetch from the (external) data
+        // distribution, exactly like the http/DAT/WebTorrent variants of the
+        // paper carry image identifiers rather than the bytes themselves.
+        i.to_string()
+    }
+    fn process(&self, input: &str) -> Result<String, StreamError> {
+        let seed: u64 = input
+            .trim()
+            .parse()
+            .map_err(|_| StreamError::new(format!("tile id is not an integer: {input:?}")))?;
+        let tile = imageproc::synthetic_tile(seed, self.tile_size, self.tile_size);
+        let blurred = imageproc::box_blur(&tile, self.radius);
+        // Return a digest of the blurred tile: the actual bytes travel through
+        // the external data distribution channel (paper §4.3).
+        Ok(format!("{seed},{}", crypto::sha256_hex(&blurred.pixels)))
+    }
+    fn input_size(&self) -> usize {
+        self.tile_size * self.tile_size
+    }
+    fn output_size(&self) -> usize {
+        80
+    }
+}
+
+/// Q-learning training runs, one learning-rate candidate per input.
+#[derive(Debug, Clone, Default)]
+pub struct MlAgentApp {
+    config: mlagent::TrainingConfig,
+}
+
+impl PandoApp for MlAgentApp {
+    fn name(&self) -> &'static str {
+        "ml-agent"
+    }
+    fn unit(&self) -> &'static str {
+        "Steps/s"
+    }
+    fn input(&self, i: u64) -> String {
+        let candidates = mlagent::learning_rate_candidates(32);
+        format!("{:.8}", candidates[(i as usize) % candidates.len()])
+    }
+    fn process(&self, input: &str) -> Result<String, StreamError> {
+        let learning_rate: f64 = input
+            .trim()
+            .parse()
+            .map_err(|_| StreamError::new(format!("learning rate is not a number: {input:?}")))?;
+        let outcome = mlagent::train(learning_rate, &self.config);
+        Ok(format!("{:.8},{:.4},{}", outcome.learning_rate, outcome.final_reward, outcome.steps))
+    }
+}
+
+/// Crowd tagging with a simulated volunteer.
+#[derive(Debug, Clone, Default)]
+pub struct ArxivApp {
+    tagger: arxiv::SimulatedTagger,
+}
+
+impl PandoApp for ArxivApp {
+    fn name(&self) -> &'static str {
+        "arxiv-tagging"
+    }
+    fn unit(&self) -> &'static str {
+        "Papers/s"
+    }
+    fn input(&self, i: u64) -> String {
+        let corpus = arxiv::sample_corpus((i + 1) as usize);
+        let paper = &corpus[i as usize];
+        format!("{}|{}|{}", paper.id, paper.title, paper.abstract_text)
+    }
+    fn process(&self, input: &str) -> Result<String, StreamError> {
+        let mut parts = input.splitn(3, '|');
+        let paper = arxiv::PaperMeta {
+            id: parts.next().unwrap_or_default().to_string(),
+            title: parts.next().unwrap_or_default().to_string(),
+            abstract_text: parts.next().unwrap_or_default().to_string(),
+        };
+        let tag = self.tagger.tag(&paper);
+        Ok(format!("{},{:?}", paper.id, tag))
+    }
+}
+
+/// Minimal base64 encoding (kept local so the workloads crate does not depend
+/// on the network crate).
+fn pando_netsim_base64(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] =
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], chunk.get(1).copied().unwrap_or(0), chunk.get(2).copied().unwrap_or(0)];
+        let triple = u32::from_be_bytes([0, b[0], b[1], b[2]]);
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(triple >> 6) as usize & 0x3f] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[triple as usize & 0x3f] as char } else { '=' });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_measured_app_round_trips_an_input() {
+        for kind in AppKind::measured() {
+            let app = kind.instantiate();
+            let input = app.input(0);
+            let output = app.process(&input).unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+            assert!(!output.is_empty(), "{} produced an empty result", app.name());
+        }
+    }
+
+    #[test]
+    fn app_names_and_units_are_distinct() {
+        let apps: Vec<_> = AppKind::all().iter().map(|k| k.instantiate()).collect();
+        let names: std::collections::HashSet<_> = apps.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), apps.len());
+        for app in &apps {
+            assert!(app.unit().ends_with("/s"));
+        }
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for kind in AppKind::all() {
+            let name = kind.instantiate().name();
+            assert_eq!(AppKind::from_name(name), Some(kind));
+            assert_eq!(kind.to_string(), name);
+        }
+        assert_eq!(AppKind::from_name("unknown"), None);
+    }
+
+    #[test]
+    fn collatz_app_parses_and_computes() {
+        let app = CollatzApp { first: 27 };
+        assert_eq!(app.input(0), "27");
+        assert_eq!(app.process("27").unwrap(), "27,111");
+        assert!(app.process("not-a-number").is_err());
+    }
+
+    #[test]
+    fn crypto_app_reports_hashes() {
+        let app = CryptoApp { range_size: 50, difficulty_bits: 1, ..CryptoApp::default() };
+        let result = app.process(&app.input(0)).unwrap();
+        let fields: Vec<&str> = result.split(',').collect();
+        assert_eq!(fields.len(), 3);
+        assert!(fields[0] == "found" || fields[0] == "failed");
+        assert!(app.process("garbage").is_err());
+        assert_eq!(app.items_per_input(), 50);
+    }
+
+    #[test]
+    fn raytrace_app_produces_base64_frames() {
+        let app = RaytraceApp { width: 16, height: 12, frames: 4, ..RaytraceApp::default() };
+        let frame = app.process(&app.input(1)).unwrap();
+        assert_eq!(frame.len(), (16 * 12 * 3_usize).div_ceil(3) * 4);
+        assert!(frame.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '/' || c == '='));
+        assert!(app.process("angle?").is_err());
+    }
+
+    #[test]
+    fn image_processing_app_digests_tiles() {
+        let app = ImageProcApp { tile_size: 64, radius: 2 };
+        let out_a = app.process("3").unwrap();
+        let out_b = app.process("3").unwrap();
+        assert_eq!(out_a, out_b, "processing is deterministic");
+        assert_ne!(out_a, app.process("4").unwrap());
+        assert!(app.process("x").is_err());
+    }
+
+    #[test]
+    fn ml_agent_app_reports_reward_and_steps() {
+        let app = MlAgentApp::default();
+        let out = app.process("0.4").unwrap();
+        let fields: Vec<&str> = out.split(',').collect();
+        assert_eq!(fields.len(), 3);
+        assert!(fields[2].parse::<u64>().unwrap() > 0);
+        assert!(app.process("fast").is_err());
+    }
+
+    #[test]
+    fn arxiv_app_tags_papers() {
+        let app = ArxivApp::default();
+        let out = app.process(&app.input(0)).unwrap();
+        assert!(out.contains("Interesting"));
+    }
+
+    #[test]
+    fn sl_test_app_passes_its_executions() {
+        let app = SlTestApp;
+        for seed in 0..5 {
+            let out = app.process(&seed.to_string()).unwrap();
+            assert!(out.ends_with(",pass"), "seed {seed}: {out}");
+        }
+        assert!(app.process("3.5").is_err());
+    }
+}

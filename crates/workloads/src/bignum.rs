@@ -1,0 +1,285 @@
+//! A minimal arbitrary-precision unsigned integer.
+//!
+//! The paper's Collatz application was compiled from MATLAB and adapted to a
+//! BigNumber JavaScript library because the interesting Collatz trajectories
+//! overflow 64-bit integers. This module provides the handful of operations
+//! the trajectory computation needs: construction from `u64`, addition,
+//! multiplication by a small factor, division by two, parity and comparison.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer stored as base-2^32 limbs, least
+/// significant limb first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// Creates a big integer from a `u64`.
+    pub fn from_u64(value: u64) -> Self {
+        let mut limbs = vec![(value & 0xffff_ffff) as u32, (value >> 32) as u32];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Self { limbs }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map(|l| l % 2 == 0).unwrap_or(true)
+    }
+
+    /// Returns `true` if the value is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Number of bits in the binary representation (zero for the value zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// The value as a `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | ((self.limbs[1] as u64) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Adds `other` to `self` in place.
+    pub fn add_assign(&mut self, other: &BigUint) {
+        let mut carry = 0u64;
+        for i in 0..other.limbs.len().max(self.limbs.len()) {
+            if i >= self.limbs.len() {
+                self.limbs.push(0);
+            }
+            let sum = self.limbs[i] as u64 + other.limbs.get(i).copied().unwrap_or(0) as u64 + carry;
+            self.limbs[i] = (sum & 0xffff_ffff) as u32;
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            self.limbs.push(carry as u32);
+        }
+    }
+
+    /// Adds a small value in place.
+    pub fn add_small(&mut self, value: u32) {
+        let mut carry = value as u64;
+        let mut i = 0;
+        while carry > 0 {
+            if i >= self.limbs.len() {
+                self.limbs.push(0);
+            }
+            let sum = self.limbs[i] as u64 + carry;
+            self.limbs[i] = (sum & 0xffff_ffff) as u32;
+            carry = sum >> 32;
+            i += 1;
+        }
+    }
+
+    /// Multiplies by a small factor in place.
+    pub fn mul_small(&mut self, factor: u32) {
+        let mut carry = 0u64;
+        for limb in &mut self.limbs {
+            let product = *limb as u64 * factor as u64 + carry;
+            *limb = (product & 0xffff_ffff) as u32;
+            carry = product >> 32;
+        }
+        while carry > 0 {
+            self.limbs.push((carry & 0xffff_ffff) as u32);
+            carry >>= 32;
+        }
+        if factor == 0 {
+            self.limbs.clear();
+        }
+    }
+
+    /// Divides by two in place (integer division).
+    pub fn div2(&mut self) {
+        let mut carry = 0u32;
+        for limb in self.limbs.iter_mut().rev() {
+            let value = *limb;
+            *limb = (value >> 1) | (carry << 31);
+            carry = value & 1;
+        }
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Compares two big integers.
+    pub fn compare(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.compare(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.compare(other)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(value: u64) -> Self {
+        Self::from_u64(value)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Repeated division by 10^9; slow but only used for display.
+        let mut digits = Vec::new();
+        let mut value = self.clone();
+        while !value.is_zero() {
+            let mut remainder = 0u64;
+            for limb in value.limbs.iter_mut().rev() {
+                let acc = (remainder << 32) | *limb as u64;
+                *limb = (acc / 1_000_000_000) as u32;
+                remainder = acc % 1_000_000_000;
+            }
+            while value.limbs.last() == Some(&0) {
+                value.limbs.pop();
+            }
+            digits.push(remainder);
+        }
+        let mut out = String::new();
+        for (i, digit) in digits.iter().rev().enumerate() {
+            if i == 0 {
+                out.push_str(&digit.to_string());
+            } else {
+                out.push_str(&format!("{digit:09}"));
+            }
+        }
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::one().to_string(), "1");
+        assert_eq!(BigUint::from_u64(1234567890123456789).to_string(), "1234567890123456789");
+        assert_eq!(BigUint::from(42u64).to_u64(), Some(42));
+    }
+
+    #[test]
+    fn parity() {
+        assert!(BigUint::zero().is_even());
+        assert!(!BigUint::one().is_even());
+        assert!(BigUint::from_u64(1 << 40).is_even());
+        assert!(BigUint::one().is_one());
+        assert!(!BigUint::from_u64(3).is_one());
+    }
+
+    #[test]
+    fn addition_with_carries() {
+        let mut a = BigUint::from_u64(u64::MAX);
+        a.add_assign(&BigUint::one());
+        assert_eq!(a.to_string(), "18446744073709551616");
+        assert_eq!(a.to_u64(), None);
+        a.add_small(5);
+        assert_eq!(a.to_string(), "18446744073709551621");
+    }
+
+    #[test]
+    fn multiplication_by_small_factor() {
+        let mut a = BigUint::from_u64(u64::MAX);
+        a.mul_small(3);
+        assert_eq!(a.to_string(), "55340232221128654845");
+        let mut zero = BigUint::from_u64(99);
+        zero.mul_small(0);
+        assert!(zero.is_zero());
+    }
+
+    #[test]
+    fn division_by_two() {
+        let mut a = BigUint::from_u64(u64::MAX);
+        a.mul_small(4);
+        a.div2();
+        a.div2();
+        assert_eq!(a.to_u64(), Some(u64::MAX));
+        let mut one = BigUint::one();
+        one.div2();
+        assert!(one.is_zero());
+    }
+
+    #[test]
+    fn comparison() {
+        let small = BigUint::from_u64(100);
+        let big = BigUint::from_u64(u64::MAX);
+        let mut bigger = big.clone();
+        bigger.mul_small(2);
+        assert!(small < big);
+        assert!(big < bigger);
+        assert_eq!(big.compare(&BigUint::from_u64(u64::MAX)), Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_length() {
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+        assert_eq!(BigUint::from_u64(255).bit_len(), 8);
+        assert_eq!(BigUint::from_u64(256).bit_len(), 9);
+        let mut big = BigUint::from_u64(1);
+        for _ in 0..100 {
+            big.mul_small(2);
+        }
+        assert_eq!(big.bit_len(), 101);
+    }
+
+    #[test]
+    fn collatz_like_sequence_3n_plus_1() {
+        // 27 has a famously long trajectory; check a few steps manually.
+        let mut n = BigUint::from_u64(27);
+        n.mul_small(3);
+        n.add_small(1); // 82
+        assert_eq!(n.to_u64(), Some(82));
+        n.div2(); // 41
+        assert_eq!(n.to_u64(), Some(41));
+    }
+}

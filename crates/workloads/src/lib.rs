@@ -1,0 +1,33 @@
+//! The compute-bound applications evaluated with Pando (paper §4).
+//!
+//! Each application is implemented from scratch in Rust with the same
+//! computational structure as the original JavaScript version:
+//!
+//! | Module | Paper application | Input | Output | Unit in Table 2 |
+//! |---|---|---|---|---|
+//! | [`collatz`] | Collatz conjecture (BOINC-style) | integer | number of steps | BigNums/s |
+//! | [`crypto`] | Crypto-currency mining | block + nonce range | valid nonce or failure | Hashes/s |
+//! | [`sl_test`] | StreamLender random testing | RNG seed | execution verdict | Tests/s |
+//! | [`raytrace`] | Animation frame rendering | camera angle | pixel buffer | Frames/s |
+//! | [`imageproc`] | Landsat-8 blur filtering | image tile | blurred tile | Images/s |
+//! | [`mlagent`] | Hyper-parameter search for an RL agent | learning rate | reward curve | Steps/s |
+//! | [`arxiv`] | Crowd tagging of papers | paper metadata | tag | (not measured) |
+//!
+//! The [`app`] module exposes every application through the uniform
+//! string-in/string-out interface of Pando's `'/pando/1.0.0'` convention, so
+//! the distributed-map layer can treat them interchangeably.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod arxiv;
+pub mod bignum;
+pub mod collatz;
+pub mod crypto;
+pub mod imageproc;
+pub mod mlagent;
+pub mod raytrace;
+pub mod sl_test;
+
+pub use app::{AppKind, PandoApp};

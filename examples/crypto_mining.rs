@@ -1,0 +1,49 @@
+//! Synchronous parallel search (paper §4.2): volunteers joining through the
+//! public server mine a small chain of blocks coordinated by the monitor's
+//! feedback loop.
+//!
+//! Run with: `cargo run --release --example crypto_mining`
+
+use pando_core::config::PandoConfig;
+use pando_core::master::Pando;
+use pando_core::monitor::MiningMonitor;
+use pando_core::volunteer::{join_as_volunteer, serve};
+use pando_core::worker::WorkerOptions;
+use pando_netsim::signaling::PublicServer;
+use pando_workloads::app::AppKind;
+use std::sync::Arc;
+
+fn main() {
+    let server = Arc::new(PublicServer::local());
+    let pando = Pando::new(PandoConfig::local_test());
+    let (url, acceptor) = serve(&pando, &server);
+    println!("Serving volunteer code at {url}");
+
+    // Three friends join by opening the URL (WebRTC when NAT allows it).
+    let mut workers = Vec::new();
+    for i in 0..3 {
+        let app = AppKind::CryptoMining.instantiate();
+        let (handle, kind) = join_as_volunteer(
+            &server,
+            &url,
+            move |input: &str| app.process(input),
+            WorkerOptions { name: format!("friend-{i}"), ..WorkerOptions::default() },
+        )
+        .expect("the deployment accepts volunteers");
+        println!("friend-{i} joined over {kind}");
+        workers.push(handle);
+    }
+
+    let blocks: Vec<String> = (1..=3).map(|i| format!("block-{i}")).collect();
+    let monitor = MiningMonitor::new(blocks, 14, 2_000);
+    let solved = monitor.run(&pando);
+    for block in &solved {
+        println!("{} solved with nonce {} ({} ranges dispatched)", block.block, block.nonce, block.attempts);
+    }
+    server.unhost(&url);
+    acceptor.join().expect("acceptor finishes");
+    for worker in workers {
+        let report = worker.join();
+        println!("{} processed {} ranges", report.name, report.processed);
+    }
+}

@@ -1,0 +1,74 @@
+//! Stubborn processing with failure-prone external data distribution
+//! (paper §4.3): blur Landsat-like tiles on volunteers while the result
+//! download sometimes fails and must be resubmitted.
+//!
+//! Run with: `cargo run --release --example image_processing_stubborn`
+
+use pando_core::config::PandoConfig;
+use pando_core::master::Pando;
+use pando_core::worker::{spawn_worker, WorkerOptions};
+use pando_pull_stream::source::{from_iter, SourceExt};
+use pando_pull_stream::stubborn::StubbornQueue;
+use pando_pull_stream::{Answer, Request, Source};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use pando_workloads::app::AppKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let tiles = 16u64;
+    let pando = Pando::new(PandoConfig::local_test());
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            let app = AppKind::ImageProcessing.instantiate();
+            spawn_worker(
+                pando.open_volunteer_channel(),
+                move |input: &str| app.process(input),
+                WorkerOptions { name: format!("device-{i}"), ..WorkerOptions::default() },
+            )
+        })
+        .collect();
+
+    // The stubborn queue feeds tile identifiers to Pando and keeps
+    // resubmitting tiles whose result download fails. The tile number is what
+    // travels to the workers; the tracking identifier stays local.
+    let (queue, handle) = StubbornQueue::new(from_iter(0..tiles), 4);
+    let tracking: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let record = tracking.clone();
+    let mut output = pando.run(queue.map_values(move |tracked| {
+        record.lock().unwrap().insert(tracked.value, tracked.id);
+        tracked.value.to_string()
+    }));
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut confirmed = 0u64;
+    println!("Blurring {tiles} tiles with an unreliable result download (25% failures)...");
+    loop {
+        match output.pull(Request::Ask) {
+            Answer::Value(result) => {
+                // The worker answers "seed,digest"; recover the tracking id
+                // from the tile number.
+                let seed: u64 = result.split(',').next().unwrap().parse().unwrap();
+                let id = tracking.lock().unwrap()[&seed];
+                if rng.gen_bool(0.75) {
+                    handle.confirm(id).unwrap();
+                    confirmed += 1;
+                } else {
+                    let retried = handle.resubmit(id).unwrap();
+                    println!("tile {seed}: download failed ({})", if retried { "resubmitted" } else { "abandoned" });
+                }
+            }
+            _ => break,
+        }
+    }
+    let stats = handle.stats();
+    println!(
+        "\nconfirmed {confirmed}/{tiles} tiles, {} resubmissions, {} abandoned",
+        stats.resubmissions, stats.abandoned
+    );
+    for worker in workers {
+        let report = worker.join();
+        println!("{} blurred {} tiles", report.name, report.processed);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: parallelise a function over a stream of values with two
+//! volunteer devices (the minimal Pando usage of paper §2.1).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pando_core::config::PandoConfig;
+use pando_core::master::Pando;
+use pando_core::worker::{spawn_worker, WorkerOptions};
+use pando_pull_stream::source::{count, SourceExt};
+use pando_pull_stream::StreamError;
+
+fn main() {
+    // The processing function, following the '/pando/1.0.0' convention:
+    // string in, string out, errors through the Result (paper Figure 2).
+    let square = |input: &str| -> Result<String, StreamError> {
+        let n: u64 = input.parse().map_err(|_| StreamError::new("input is not an integer"))?;
+        Ok((n * n).to_string())
+    };
+
+    // Start the master (the `pando square.js` command line of Figure 3).
+    let pando = Pando::new(PandoConfig::local_test());
+    println!("Serving volunteer code at http://10.10.14.119:5000 (simulated)");
+
+    // Two volunteer devices open the URL.
+    let workers: Vec<_> = ["tablet", "phone"]
+        .into_iter()
+        .map(|name| {
+            println!("{name}: joined");
+            spawn_worker(
+                pando.open_volunteer_channel(),
+                square,
+                WorkerOptions { name: name.to_string(), ..WorkerOptions::default() },
+            )
+        })
+        .collect();
+
+    // Stream 1..=20 through the deployment; outputs come back in order.
+    let outputs = pando
+        .run(count(20).map_values(|v| v.to_string()))
+        .collect_values()
+        .expect("the stream completes");
+    println!("outputs: {}", outputs.join(" "));
+
+    for worker in workers {
+        let report = worker.join();
+        println!("{}: processed {} values", report.name, report.processed);
+    }
+    let stats = pando.lender_stats().expect("the run started");
+    println!(
+        "done: {} values read, {} results emitted, {} re-lent",
+        stats.values_read, stats.results_emitted, stats.relends
+    );
+}

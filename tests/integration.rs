@@ -1,0 +1,168 @@
+//! End-to-end integration tests spanning every crate: real workloads,
+//! simulated network channels, the public signalling server, fault injection
+//! and the programming-model properties of paper Table 1.
+
+use pando_core::config::PandoConfig;
+use pando_core::master::Pando;
+use pando_core::monitor::MiningMonitor;
+use pando_core::volunteer::{join_as_volunteer, serve};
+use pando_core::worker::{spawn_worker, WorkerOptions};
+use pando_netsim::channel::ChannelConfig;
+use pando_netsim::fault::FaultPlan;
+use pando_netsim::signaling::PublicServer;
+use pando_pull_stream::source::{from_iter, SourceExt};
+use pando_workloads::app::{AppKind, PandoApp};
+use pando_workloads::crypto;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn app_worker(pando: &Pando, kind: AppKind, name: &str, fault: FaultPlan) -> pando_core::worker::WorkerHandle {
+    let app = kind.instantiate();
+    spawn_worker(
+        pando.open_volunteer_channel(),
+        move |input: &str| app.process(input),
+        WorkerOptions { name: name.to_string(), fault },
+    )
+}
+
+/// Streaming map + ordered outputs: the raytracing animation comes back in
+/// frame order even with devices of different speeds (Table 1 rows 1-2).
+#[test]
+fn animation_frames_come_back_in_order() {
+    let app = AppKind::Raytrace.instantiate();
+    let pando = Pando::new(PandoConfig::local_test());
+    let _fast = app_worker(&pando, AppKind::Raytrace, "fast", FaultPlan::None);
+    let _slow = {
+        let app = AppKind::Raytrace.instantiate();
+        spawn_worker(
+            pando.open_volunteer_channel(),
+            move |input: &str| {
+                std::thread::sleep(Duration::from_millis(5));
+                app.process(input)
+            },
+            WorkerOptions { name: "slow".into(), ..WorkerOptions::default() },
+        )
+    };
+    let inputs: Vec<String> = (0..12).map(|i| app.input(i)).collect();
+    let expected: Vec<String> = inputs.iter().map(|i| app.process(i).unwrap()).collect();
+    let outputs = pando.run(from_iter(inputs)).collect_values().unwrap();
+    assert_eq!(outputs, expected, "outputs must be the ordered map of the inputs");
+}
+
+/// Dynamic joins + fault tolerance: devices join mid-run and crash without
+/// losing any value (Table 1 rows 3 and 6).
+#[test]
+fn collatz_survives_churn() {
+    let pando = Pando::new(PandoConfig::local_test());
+    let app = AppKind::Collatz.instantiate();
+    let crashing = app_worker(&pando, AppKind::Collatz, "doomed", FaultPlan::AfterTasks(5));
+    let inputs: Vec<String> = (0..60).map(|i| app.input(i)).collect();
+    let expected: Vec<String> = inputs.iter().map(|i| app.process(i).unwrap()).collect();
+
+    let output_source = pando.run(from_iter(inputs));
+    let collector = std::thread::spawn(move || pando_pull_stream::sink::collect(output_source));
+    // A second device joins while the first is already (about to be) dead.
+    std::thread::sleep(Duration::from_millis(20));
+    let late = app_worker(&pando, AppKind::Collatz, "late", FaultPlan::None);
+
+    let outputs = collector.join().unwrap().unwrap();
+    assert_eq!(outputs, expected);
+    assert!(crashing.join().crashed);
+    assert!(!late.join().crashed);
+    pando.join_volunteers();
+    let stats = pando.lender_stats().unwrap();
+    assert_eq!(stats.results_emitted, 60);
+    assert_eq!(stats.substreams_crashed, 1);
+}
+
+/// Laziness: with an infinite input stream, Pando only reads what the
+/// volunteers can process, and the deployment can be shut down early
+/// (Table 1 rows 4-5).
+#[test]
+fn infinite_stream_is_read_lazily() {
+    let pando = Pando::new(PandoConfig::local_test());
+    let _worker = app_worker(&pando, AppKind::Collatz, "solo", FaultPlan::None);
+    let app = AppKind::Collatz.instantiate();
+    let output = pando.run(pando_pull_stream::source::infinite(move |i| app.input(i)));
+    let first_ten = pando_pull_stream::sink::take(output, 10).unwrap();
+    assert_eq!(first_ten.len(), 10);
+    let stats = pando.lender_stats().unwrap();
+    assert!(
+        stats.values_read < 40,
+        "an infinite stream must not be read eagerly (read {})",
+        stats.values_read
+    );
+}
+
+/// Volunteers joining over the public server (WebRTC-style) compute real
+/// image-processing results that match a local computation.
+#[test]
+fn image_processing_over_the_public_server() {
+    let server = Arc::new(PublicServer::local());
+    let config = PandoConfig::local_test().with_channel(ChannelConfig::instant());
+    let pando = Pando::new(config);
+    let (url, acceptor) = serve(&pando, &server);
+    let mut workers = Vec::new();
+    for _ in 0..2 {
+        let app = AppKind::ImageProcessing.instantiate();
+        let small = pando_workloads::app::ImageProcApp { tile_size: 64, radius: 2 };
+        let _ = app;
+        let (handle, _kind) = join_as_volunteer(
+            &server,
+            &url,
+            move |input: &str| small.process(input),
+            WorkerOptions::default(),
+        )
+        .unwrap();
+        workers.push(handle);
+    }
+    let local = pando_workloads::app::ImageProcApp { tile_size: 64, radius: 2 };
+    let inputs: Vec<String> = (0..8).map(|i| i.to_string()).collect();
+    let expected: Vec<String> = inputs.iter().map(|i| local.process(i).unwrap()).collect();
+    let outputs = pando.run(from_iter(inputs)).collect_values().unwrap();
+    assert_eq!(outputs, expected, "distributed results must equal the local computation");
+    server.unhost(&url);
+    acceptor.join().unwrap();
+    for worker in workers {
+        worker.join();
+    }
+}
+
+/// The mining feedback loop finds verifiable nonces for a chain of blocks
+/// (paper §4.2) using several volunteers.
+#[test]
+fn mining_feedback_loop_produces_verifiable_blocks() {
+    let pando = Pando::new(PandoConfig::local_test());
+    let workers: Vec<_> = (0..3)
+        .map(|i| app_worker(&pando, AppKind::CryptoMining, &format!("m{i}"), FaultPlan::None))
+        .collect();
+    let blocks = vec!["itest-block-a".to_string(), "itest-block-b".to_string()];
+    let solved = MiningMonitor::new(blocks.clone(), 10, 500).run(&pando);
+    assert_eq!(solved.len(), 2);
+    for (i, solved_block) in solved.iter().enumerate() {
+        assert_eq!(solved_block.block, blocks[i]);
+        assert!(crypto::verify(&blocks[i], solved_block.nonce, 10));
+    }
+    for worker in workers {
+        worker.join();
+    }
+}
+
+/// Higher-latency (WAN-like) channels still complete the stream; batching
+/// keeps the devices busy.
+#[test]
+fn wan_profile_deployment_completes() {
+    let mut channel = ChannelConfig::instant();
+    channel.latency = Duration::from_millis(5);
+    channel.jitter = Duration::from_millis(2);
+    let config = PandoConfig::local_test().with_channel(channel).with_batch_size(4);
+    let pando = Pando::new(config);
+    let _workers: Vec<_> = (0..3)
+        .map(|i| app_worker(&pando, AppKind::StreamLenderTesting, &format!("w{i}"), FaultPlan::None))
+        .collect();
+    let app = AppKind::StreamLenderTesting.instantiate();
+    let inputs: Vec<String> = (0..20).map(|i| app.input(i)).collect();
+    let outputs = pando.run(from_iter(inputs)).collect_values().unwrap();
+    assert_eq!(outputs.len(), 20);
+    assert!(outputs.iter().all(|o| o.ends_with(",pass")), "every random execution passes");
+}
