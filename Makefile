@@ -1,0 +1,29 @@
+# Local invocations matching the CI jobs in .github/workflows/ci.yml —
+# `make lint test` before pushing reproduces what CI will run.
+
+.PHONY: all build test lint fmt bench bench-run clean
+
+all: lint build test
+
+build:
+	cargo build --release --workspace --all-targets
+
+test:
+	cargo test -q --workspace
+
+lint:
+	cargo fmt --all -- --check
+	cargo clippy --workspace --all-targets -- -D warnings
+
+fmt:
+	cargo fmt --all
+
+# CI only checks that benches compile; `make bench-run` executes them.
+bench:
+	cargo bench --workspace --no-run
+
+bench-run:
+	cargo bench --workspace
+
+clean:
+	cargo clean

@@ -17,11 +17,9 @@ fn bench_table2(c: &mut Criterion) {
             &scenario,
             |b, &scenario| b.iter(|| regenerate_column(scenario, AppKind::Raytrace, window)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("collatz", scenario),
-            &scenario,
-            |b, &scenario| b.iter(|| regenerate_column(scenario, AppKind::Collatz, window)),
-        );
+        group.bench_with_input(BenchmarkId::new("collatz", scenario), &scenario, |b, &scenario| {
+            b.iter(|| regenerate_column(scenario, AppKind::Collatz, window))
+        });
     }
     group.finish();
 }

@@ -2,7 +2,7 @@
 //! column), giving this machine's equivalent of a single table row.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use pando_workloads::app::{AppKind, PandoApp};
+use pando_workloads::app::AppKind;
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_kernels");

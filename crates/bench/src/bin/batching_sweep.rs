@@ -10,19 +10,14 @@ use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let app = args
-        .get(1)
-        .and_then(|name| AppKind::from_name(name))
-        .unwrap_or(AppKind::Raytrace);
+    let app = args.get(1).and_then(|name| AppKind::from_name(name)).unwrap_or(AppKind::Raytrace);
     let seconds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(120);
     let window = Duration::from_secs(seconds);
     let batches = [1usize, 2, 3, 4, 6, 8];
     println!("Batching sweep for {app} (total units/s per batch size)\n");
     println!("{:<10} {:>12} {:>12} {:>12}", "batch", "LAN", "VPN", "WAN");
-    let per_scenario: Vec<Vec<(usize, f64)>> = Scenario::all()
-        .iter()
-        .map(|s| batching_sweep(*s, app, &batches, window))
-        .collect();
+    let per_scenario: Vec<Vec<(usize, f64)>> =
+        Scenario::all().iter().map(|s| batching_sweep(*s, app, &batches, window)).collect();
     for (i, batch) in batches.iter().enumerate() {
         println!(
             "{:<10} {:>12.2} {:>12.2} {:>12.2}",

@@ -29,13 +29,9 @@ fn main() {
         uvb.collatz,
         if iphone.collatz > uvb.collatz { "personal device wins" } else { "server wins" }
     );
-    let beaten_planetlab = scenario_entries(Scenario::Wan)
-        .iter()
-        .filter(|e| e.collatz < iphone.collatz)
-        .count();
-    println!(
-        "Collatz: the iPhone SE outperforms {beaten_planetlab} of the 7 PlanetLab nodes"
-    );
+    let beaten_planetlab =
+        scenario_entries(Scenario::Wan).iter().filter(|e| e.collatz < iphone.collatz).count();
+    println!("Collatz: the iPhone SE outperforms {beaten_planetlab} of the 7 PlanetLab nodes");
     let mbpro_core = per_core(mbpro, AppKind::Collatz).unwrap();
     println!(
         "\nPer-core Collatz: MBPro 2016 = {:.1}/s, fastest server core ({}) = {:.1}/s",

@@ -15,34 +15,26 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     let mut blurred = 0u64;
     println!("Blurring {tiles} Landsat-like tiles; 30% of result downloads fail\n");
-    loop {
-        match queue.pull(Request::Ask) {
-            Answer::Value(tracked) => {
-                let tile = synthetic_tile(tracked.value, 128, 128);
-                let _processed = box_blur(&tile, 3);
-                // The external data distribution (DAT / WebTorrent in the
-                // paper) sometimes fails to deliver the result bytes.
-                let download_ok = rng.gen_bool(0.7);
-                if download_ok {
-                    handle.confirm(tracked.id).unwrap();
-                    blurred += 1;
-                } else {
-                    let retried = handle.resubmit(tracked.id).unwrap();
-                    println!(
-                        "tile {:>2}: download failed on attempt {} ({})",
-                        tracked.value,
-                        tracked.attempt,
-                        if retried { "resubmitted" } else { "abandoned" }
-                    );
-                }
-            }
-            _ => break,
+    while let Answer::Value(tracked) = queue.pull(Request::Ask) {
+        let tile = synthetic_tile(tracked.value, 128, 128);
+        let _processed = box_blur(&tile, 3);
+        // The external data distribution (DAT / WebTorrent in the
+        // paper) sometimes fails to deliver the result bytes.
+        let download_ok = rng.gen_bool(0.7);
+        if download_ok {
+            handle.confirm(tracked.id).unwrap();
+            blurred += 1;
+        } else {
+            let retried = handle.resubmit(tracked.id).unwrap();
+            println!(
+                "tile {:>2}: download failed on attempt {} ({})",
+                tracked.value,
+                tracked.attempt,
+                if retried { "resubmitted" } else { "abandoned" }
+            );
         }
     }
     let stats = handle.stats();
     println!("\nconfirmed {blurred}/{tiles} tiles");
-    println!(
-        "resubmissions: {}, abandoned: {}",
-        stats.resubmissions, stats.abandoned
-    );
+    println!("resubmissions: {}, abandoned: {}", stats.resubmissions, stats.abandoned);
 }

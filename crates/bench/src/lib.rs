@@ -61,9 +61,7 @@ pub fn scenario_devices(setup: &ScenarioSetup, app: AppKind) -> Vec<SimDevice> {
         .devices
         .iter()
         .filter_map(|device| {
-            device
-                .service_time(app)
-                .map(|service| SimDevice::steady(device.name.clone(), service))
+            device.service_time(app).map(|service| SimDevice::steady(device.name.clone(), service))
         })
         .collect()
 }
@@ -89,11 +87,8 @@ fn column_from_report(
     report: &SimReport,
 ) -> Table2Column {
     let units = units_per_task(app);
-    let paper_rows: Vec<(String, f64)> = setup
-        .devices
-        .iter()
-        .filter_map(|d| d.rate(app).map(|r| (d.name.clone(), r)))
-        .collect();
+    let paper_rows: Vec<(String, f64)> =
+        setup.devices.iter().filter_map(|d| d.rate(app).map(|r| (d.name.clone(), r))).collect();
     let paper_sum: f64 = paper_rows.iter().map(|(_, r)| r).sum();
     let simulated_total: f64 = report.devices.iter().map(|d| d.throughput * units).sum();
     let rows = report
@@ -109,19 +104,17 @@ fn column_from_report(
             Table2Row {
                 device: device.name.clone(),
                 simulated,
-                simulated_share: if simulated_total > 0.0 { 100.0 * simulated / simulated_total } else { 0.0 },
+                simulated_share: if simulated_total > 0.0 {
+                    100.0 * simulated / simulated_total
+                } else {
+                    0.0
+                },
                 paper,
                 paper_share: if paper_sum > 0.0 { 100.0 * paper / paper_sum } else { 0.0 },
             }
         })
         .collect();
-    Table2Column {
-        scenario,
-        app,
-        rows,
-        simulated_total,
-        paper_total: paper_total(scenario, app),
-    }
+    Table2Column { scenario, app, rows, simulated_total, paper_total: paper_total(scenario, app) }
 }
 
 /// Renders one regenerated scenario as the text table printed by the
@@ -181,8 +174,7 @@ pub fn batching_sweep(
     batch_sizes
         .iter()
         .map(|&batch_size| {
-            let params =
-                SimParams { batch_size, latency: setup.channel.latency, duration: window };
+            let params = SimParams { batch_size, latency: setup.channel.latency, duration: window };
             let report = simulate(&devices, &params);
             let units = units_per_task(app);
             (batch_size, report.devices.iter().map(|d| d.throughput * units).sum())
@@ -221,9 +213,8 @@ mod tests {
         let column = regenerate_column(Scenario::Lan, AppKind::Collatz, WINDOW);
         // The MacBook Pro dominates and the Novena contributes the least,
         // exactly as in the published share column.
-        let share = |device: &str| {
-            column.rows.iter().find(|r| r.device == device).unwrap().simulated_share
-        };
+        let share =
+            |device: &str| column.rows.iter().find(|r| r.device == device).unwrap().simulated_share;
         assert!(share("MBPro 2016") > 40.0);
         assert!(share("Novena") < 10.0);
         assert!(share("MBPro 2016") > share("Asus Laptop"));
@@ -239,12 +230,7 @@ mod tests {
 
     #[test]
     fn batching_sweep_shows_latency_hiding() {
-        let sweep = batching_sweep(
-            Scenario::Wan,
-            AppKind::Raytrace,
-            &[1, 2, 4, 8],
-            WINDOW,
-        );
+        let sweep = batching_sweep(Scenario::Wan, AppKind::Raytrace, &[1, 2, 4, 8], WINDOW);
         assert_eq!(sweep.len(), 4);
         let batch1 = sweep[0].1;
         let batch4 = sweep[2].1;

@@ -100,9 +100,8 @@ mod tests {
 
     #[test]
     fn builders_adjust_fields() {
-        let config = PandoConfig::local_test()
-            .with_batch_size(4)
-            .with_channel(ChannelConfig::wan());
+        let config =
+            PandoConfig::local_test().with_batch_size(4).with_channel(ChannelConfig::wan());
         assert_eq!(config.batch_size, 4);
         assert_eq!(config.channel, ChannelConfig::wan());
     }

@@ -100,7 +100,8 @@ where
         completed: tablet_report.processed,
     });
 
-    let outputs = collector.join().expect("collector does not panic").expect("output stream succeeds");
+    let outputs =
+        collector.join().expect("collector does not panic").expect("output stream succeeds");
     let phone_report = phone.join();
     trace.push(DeployEvent::Left {
         device: phone_report.name.clone(),
@@ -149,7 +150,9 @@ mod tests {
         let trace = run_figure4_scenario(fake_render);
         // The tablet crashed, the phone finished, every frame is present and
         // in order.
-        let crashed = trace.iter().any(|e| matches!(e, DeployEvent::Crashed { device, .. } if device == "tablet"));
+        let crashed = trace
+            .iter()
+            .any(|e| matches!(e, DeployEvent::Crashed { device, .. } if device == "tablet"));
         assert!(crashed, "trace: {trace:?}");
         let DeployEvent::Finished { outputs, .. } = trace.last().unwrap() else {
             panic!("last event must be Finished");

@@ -137,17 +137,19 @@ impl Pando {
     ///
     /// Panics if `run` was already called: a Pando deployment processes a
     /// single stream during its lifetime (design principle DP1).
-    pub fn run(
-        &self,
-        input: impl Source<String> + 'static,
-    ) -> LenderOutput<String, String> {
+    pub fn run(&self, input: impl Source<String> + 'static) -> LenderOutput<String, String> {
         let mut state = self.state.lock();
         assert!(state.lender.is_none(), "a Pando deployment runs a single stream");
         let lender = StreamLender::new(input);
         let pending: Vec<(String, Endpoint<Message>)> = state.pending.drain(..).collect();
         for (name, endpoint) in pending {
-            let link =
-                wire_volunteer(&lender, &name, endpoint, self.config.batch_size, self.meter.clone());
+            let link = wire_volunteer(
+                &lender,
+                &name,
+                endpoint,
+                self.config.batch_size,
+                self.meter.clone(),
+            );
             state.links.push(link);
         }
         let output = lender.output();
@@ -295,10 +297,7 @@ mod tests {
         let pando = Pando::new(PandoConfig::local_test());
         let endpoint = pando.open_volunteer_channel();
         let worker = spawn_worker(endpoint, square, WorkerOptions::default());
-        let output = pando
-            .run(count(30).map_values(|v| v.to_string()))
-            .collect_values()
-            .unwrap();
+        let output = pando.run(count(30).map_values(|v| v.to_string())).collect_values().unwrap();
         assert_eq!(output, (1..=30u64).map(|v| (v * v).to_string()).collect::<Vec<_>>());
         let report = worker.join();
         assert_eq!(report.processed, 30);
@@ -315,10 +314,7 @@ mod tests {
         let workers: Vec<_> = (0..4)
             .map(|_| spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default()))
             .collect();
-        let output = pando
-            .run(count(200).map_values(|v| v.to_string()))
-            .collect_values()
-            .unwrap();
+        let output = pando.run(count(200).map_values(|v| v.to_string())).collect_values().unwrap();
         assert_eq!(output.len(), 200);
         assert_eq!(output[99], (100u64 * 100).to_string());
         let total: u64 = workers.into_iter().map(|w| w.join().processed).sum();
@@ -331,9 +327,8 @@ mod tests {
         let pando = Pando::new(PandoConfig::local_test());
         let first = spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
         let output_source = pando.run(count(100).map_values(|v| v.to_string()));
-        let collector = std::thread::spawn(move || {
-            pando_pull_stream::sink::collect(output_source).unwrap()
-        });
+        let collector =
+            std::thread::spawn(move || pando_pull_stream::sink::collect(output_source).unwrap());
         std::thread::sleep(std::time::Duration::from_millis(10));
         let second = spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
         let output = collector.join().unwrap();
@@ -353,10 +348,7 @@ mod tests {
         );
         let reliable =
             spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
-        let output = pando
-            .run(count(50).map_values(|v| v.to_string()))
-            .collect_values()
-            .unwrap();
+        let output = pando.run(count(50).map_values(|v| v.to_string())).collect_values().unwrap();
         assert_eq!(output, (1..=50u64).map(|v| (v * v).to_string()).collect::<Vec<_>>());
         assert!(crashing.join().crashed);
         assert!(!reliable.join().crashed);
@@ -382,12 +374,14 @@ mod tests {
         let flaky_worker =
             spawn_worker(pando.open_volunteer_channel(), flaky, WorkerOptions::default());
         let output_source = pando.run(count(10).map_values(|v| v.to_string()));
-        let collector = std::thread::spawn(move || {
-            pando_pull_stream::sink::collect(output_source).unwrap()
-        });
+        let collector =
+            std::thread::spawn(move || pando_pull_stream::sink::collect(output_source).unwrap());
         std::thread::sleep(std::time::Duration::from_millis(50));
-        let healthy =
-            spawn_worker(pando.open_volunteer_channel(), |s: &str| Ok(s.to_string()), WorkerOptions::default());
+        let healthy = spawn_worker(
+            pando.open_volunteer_channel(),
+            |s: &str| Ok(s.to_string()),
+            WorkerOptions::default(),
+        );
         let output = collector.join().unwrap();
         assert_eq!(output, (1..=10u64).map(|v| v.to_string()).collect::<Vec<_>>());
         let _ = flaky_worker.join();
@@ -405,12 +399,8 @@ mod tests {
     #[test]
     fn meter_records_volunteer_activity() {
         let pando = Pando::new(PandoConfig::local_test());
-        let worker =
-            spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
-        let _ = pando
-            .run(count(10).map_values(|v| v.to_string()))
-            .collect_values()
-            .unwrap();
+        let worker = spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
+        let _ = pando.run(count(10).map_values(|v| v.to_string())).collect_values().unwrap();
         worker.join();
         let report = pando.meter().report();
         assert_eq!(report.rows.len(), 1);

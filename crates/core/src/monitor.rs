@@ -8,10 +8,10 @@
 //! potentially infinite, which the lazy streaming model handles naturally.
 
 use crate::master::Pando;
-use parking_lot::Mutex;
 use pando_pull_stream::source::Source;
 use pando_pull_stream::{Answer, Request};
 use pando_workloads::crypto;
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A block solved by the mining run.
@@ -88,7 +88,13 @@ impl MiningMonitor {
             let start = state.next_nonce;
             state.next_nonce += range;
             state.attempts_for_block += 1;
-            let attempt = format!("{}|{}|{}|{}", blocks[state.current_block], start, start + range, difficulty);
+            let attempt = format!(
+                "{}|{}|{}|{}",
+                blocks[state.current_block],
+                start,
+                start + range,
+                difficulty
+            );
             Answer::Value(attempt)
         };
 
@@ -116,11 +122,7 @@ impl MiningMonitor {
                     if !crypto::verify(&block, nonce, self.difficulty_bits) {
                         continue;
                     }
-                    solved.push(SolvedBlock {
-                        block,
-                        nonce,
-                        attempts: state.attempts_for_block,
-                    });
+                    solved.push(SolvedBlock { block, nonce, attempts: state.attempts_for_block });
                     state.current_block += 1;
                     state.next_nonce = 0;
                     state.attempts_for_block = 0;
@@ -157,10 +159,7 @@ mod tests {
                 let app = AppKind::CryptoMining.instantiate();
                 spawn_worker(
                     pando.open_volunteer_channel(),
-                    move |input: &str| {
-                        use pando_workloads::app::PandoApp;
-                        app.process(input)
-                    },
+                    move |input: &str| app.process(input),
                     WorkerOptions::default(),
                 )
             })

@@ -268,10 +268,7 @@ mod tests {
 
     #[test]
     fn faster_devices_complete_more_tasks() {
-        let devices = [
-            SimDevice::steady("fast", ms(5)),
-            SimDevice::steady("slow", ms(20)),
-        ];
+        let devices = [SimDevice::steady("fast", ms(5)), SimDevice::steady("slow", ms(20))];
         let params = SimParams { batch_size: 2, latency: ms(2), duration: Duration::from_secs(5) };
         let report = simulate(&devices, &params);
         assert!(report.devices[0].completed > 3 * report.devices[1].completed);

@@ -116,10 +116,7 @@ mod tests {
         assert_eq!(kind_a, ChannelKind::WebRtc, "open NAT gives direct connections");
         assert_eq!(kind_b, ChannelKind::WebRtc);
 
-        let output = pando
-            .run(count(40).map_values(|v| v.to_string()))
-            .collect_values()
-            .unwrap();
+        let output = pando.run(count(40).map_values(|v| v.to_string())).collect_values().unwrap();
         assert_eq!(output, (1..=40u64).map(|v| (v * 2).to_string()).collect::<Vec<_>>());
 
         server.unhost(&url);

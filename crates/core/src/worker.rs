@@ -83,12 +83,8 @@ pub fn run_worker<F>(
 where
     F: Fn(&str) -> Result<String, StreamError>,
 {
-    let mut report = WorkerReport {
-        name: options.name.clone(),
-        processed: 0,
-        errors: 0,
-        crashed: false,
-    };
+    let mut report =
+        WorkerReport { name: options.name.clone(), processed: 0, errors: 0, crashed: false };
     let mut fault = options.fault.arm();
     loop {
         if fault.should_crash() {
@@ -189,9 +185,10 @@ mod tests {
 
     #[test]
     fn fault_plan_crashes_the_worker() {
-        let (master, volunteer) = pair::<Message>(
-            ChannelConfig { failure_timeout: std::time::Duration::from_millis(40), ..ChannelConfig::instant() },
-        );
+        let (master, volunteer) = pair::<Message>(ChannelConfig {
+            failure_timeout: std::time::Duration::from_millis(40),
+            ..ChannelConfig::instant()
+        });
         let worker = spawn_worker(
             volunteer,
             upper,

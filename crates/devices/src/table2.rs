@@ -49,6 +49,8 @@ impl PaperEntry {
     }
 }
 
+// One parameter per Table 2 column: this mirrors the paper's row layout.
+#[allow(clippy::too_many_arguments)]
 const fn entry(
     device: &'static str,
     scenario: Scenario,
@@ -77,7 +79,17 @@ pub fn paper_reference() -> Vec<PaperEntry> {
         // VPN: Grid5000 nodes, one core each (paper §5.3).
         entry("dahu.grenoble", Vpn, 1, 642.04, 230_061.0, 1_341.77, 3.12, Some(0.44), 219.18),
         entry("chetemy.lille", Vpn, 1, 524.71, 206_195.0, 975.58, 2.04, Some(0.37), 167.03),
-        entry("petitprince.luxembourg", Vpn, 1, 261.36, 136_189.0, 631.83, 1.47, Some(0.27), 124.00),
+        entry(
+            "petitprince.luxembourg",
+            Vpn,
+            1,
+            261.36,
+            136_189.0,
+            631.83,
+            1.47,
+            Some(0.27),
+            124.00,
+        ),
         entry("nova.lyon", Vpn, 1, 521.35, 199_901.0, 982.16, 1.95, Some(0.34), 164.57),
         entry("grisou.nancy", Vpn, 1, 541.53, 216_932.0, 1_026.26, 2.17, Some(0.36), 176.12),
         entry("ecotype.nantes", Vpn, 1, 479.07, 187_668.0, 939.07, 1.86, Some(0.33), 162.25),
@@ -142,10 +154,8 @@ mod tests {
         for scenario in [Scenario::Lan, Scenario::Vpn, Scenario::Wan] {
             for app in AppKind::measured() {
                 let Some(total) = paper_total(scenario, app) else { continue };
-                let sum: f64 = scenario_entries(scenario)
-                    .iter()
-                    .filter_map(|e| e.throughput(app))
-                    .sum();
+                let sum: f64 =
+                    scenario_entries(scenario).iter().filter_map(|e| e.throughput(app)).sum();
                 // Rows are rounded to two decimals in the paper, so allow
                 // either a small relative or a small absolute discrepancy.
                 let close = (sum - total).abs() / total < 0.005 || (sum - total).abs() < 0.02;

@@ -360,9 +360,7 @@ impl<T: Send + 'static> Endpoint<T> {
         mine.messages_sent += 1;
         mine.bytes_sent += size as u64;
         drop(mine);
-        self.outgoing
-            .send(Frame::Data { payload, deliver_at })
-            .map_err(|_| SendError::Closed)
+        self.outgoing.send(Frame::Data { payload, deliver_at }).map_err(|_| SendError::Closed)
     }
 
     /// Receives the next message, blocking until it arrives or the connection
@@ -398,8 +396,13 @@ impl<T: Send + 'static> Endpoint<T> {
     /// [`RecvError::Empty`] if no message is ready; otherwise the same
     /// conditions as [`Endpoint::recv`].
     pub fn try_recv(&self) -> Result<T, RecvError> {
-        self.recv_deadline(Instant::now())
-            .map_err(|err| if err == RecvError::Timeout { RecvError::Empty } else { err })
+        self.recv_deadline(Instant::now()).map_err(|err| {
+            if err == RecvError::Timeout {
+                RecvError::Empty
+            } else {
+                err
+            }
+        })
     }
 
     fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvError> {
@@ -437,7 +440,11 @@ impl<T: Send + 'static> Endpoint<T> {
                         if Instant::now() >= deadline {
                             return Err(RecvError::Timeout);
                         }
-                        std::thread::sleep(deadline.saturating_duration_since(Instant::now()).min(Duration::from_millis(1)));
+                        std::thread::sleep(
+                            deadline
+                                .saturating_duration_since(Instant::now())
+                                .min(Duration::from_millis(1)),
+                        );
                         continue;
                     }
                     std::thread::sleep(deliver_at - now);
@@ -710,16 +717,14 @@ mod tests {
 
         let (master, worker) = pair::<u64>(ChannelConfig::instant());
         // Worker: echoes doubled values back, then closes.
-        let worker_thread = std::thread::spawn(move || {
-            loop {
-                match worker.recv() {
-                    Ok(v) => worker.send(v * 2).unwrap(),
-                    Err(RecvError::Closed) => {
-                        worker.close();
-                        break;
-                    }
-                    Err(other) => panic!("unexpected {other:?}"),
+        let worker_thread = std::thread::spawn(move || loop {
+            match worker.recv() {
+                Ok(v) => worker.send(v * 2).unwrap(),
+                Err(RecvError::Closed) => {
+                    worker.close();
+                    break;
                 }
+                Err(other) => panic!("unexpected {other:?}"),
             }
         });
         let Duplex { source, mut sink } = master.into_duplex();
@@ -732,9 +737,10 @@ mod tests {
 
     #[test]
     fn duplex_adapter_reports_crash_as_transport_error() {
-        let (master, worker) = pair::<u64>(
-            ChannelConfig { failure_timeout: Duration::from_millis(30), ..ChannelConfig::instant() },
-        );
+        let (master, worker) = pair::<u64>(ChannelConfig {
+            failure_timeout: Duration::from_millis(30),
+            ..ChannelConfig::instant()
+        });
         worker.crash();
         let Duplex { mut source, sink: _sink } = master.into_duplex();
         match source.pull(Request::Ask) {

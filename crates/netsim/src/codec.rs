@@ -70,7 +70,11 @@ pub fn base64_encode(data: &[u8]) -> String {
         let triple = (b0 << 16) | (b1 << 8) | b2;
         out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
         out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
-        out.push(if chunk.len() > 1 { ALPHABET[(triple >> 6) as usize & 0x3f] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
         out.push(if chunk.len() > 2 { ALPHABET[triple as usize & 0x3f] as char } else { '=' });
     }
     out
@@ -94,7 +98,7 @@ pub fn base64_decode(text: &str) -> Result<Vec<u8>, StreamError> {
         }
     }
     let bytes = text.as_bytes();
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(StreamError::protocol("base64 length must be a multiple of 4"));
     }
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3);

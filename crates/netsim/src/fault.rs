@@ -8,9 +8,10 @@
 use std::time::{Duration, Instant};
 
 /// A deterministic description of when a device crashes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub enum FaultPlan {
     /// The device never crashes.
+    #[default]
     None,
     /// The device crashes after processing exactly `n` tasks.
     AfterTasks(u64),
@@ -25,12 +26,6 @@ pub enum FaultPlan {
         /// ...or after this much time, whichever happens first.
         elapsed: Duration,
     },
-}
-
-impl Default for FaultPlan {
-    fn default() -> Self {
-        FaultPlan::None
-    }
 }
 
 impl FaultPlan {
@@ -107,8 +102,7 @@ mod tests {
 
     #[test]
     fn either_crashes_on_first_condition() {
-        let mut by_tasks =
-            FaultPlan::Either { tasks: 1, elapsed: Duration::from_secs(3600) }.arm();
+        let mut by_tasks = FaultPlan::Either { tasks: 1, elapsed: Duration::from_secs(3600) }.arm();
         by_tasks.record_task();
         assert!(by_tasks.should_crash());
 

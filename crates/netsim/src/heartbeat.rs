@@ -85,11 +85,7 @@ impl<K: Eq + Hash + Clone> LivenessRegistry<K> {
 
     /// Returns `true` if `peer` is known and not suspected.
     pub fn is_alive(&self, peer: &K) -> bool {
-        self.last_seen
-            .lock()
-            .get(peer)
-            .map(|last| !self.detector.suspects(*last))
-            .unwrap_or(false)
+        self.last_seen.lock().get(peer).map(|last| !self.detector.suspects(*last)).unwrap_or(false)
     }
 
     /// Returns the peers currently suspected of having crashed.
@@ -119,7 +115,10 @@ mod tests {
     use std::thread;
 
     fn detector(timeout_ms: u64) -> FailureDetector {
-        FailureDetector::new(Duration::from_millis(timeout_ms / 3), Duration::from_millis(timeout_ms))
+        FailureDetector::new(
+            Duration::from_millis(timeout_ms / 3),
+            Duration::from_millis(timeout_ms),
+        )
     }
 
     #[test]

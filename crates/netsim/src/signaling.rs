@@ -139,10 +139,9 @@ impl<T: Send + 'static> PublicServer<T> {
         *next_url += 1;
         drop(next_url);
         let (tx, rx) = unbounded();
-        self.listeners.lock().insert(
-            url.clone(),
-            Listener { incoming: tx, direct, relayed, next_volunteer: 0 },
-        );
+        self.listeners
+            .lock()
+            .insert(url.clone(), Listener { incoming: tx, direct, relayed, next_volunteer: 0 });
         (url, rx)
     }
 

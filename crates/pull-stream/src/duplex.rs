@@ -136,17 +136,13 @@ mod tests {
         let (a_recv_tx, a_recv_rx) = channel::unbounded();
         let a = Duplex::new(
             count(10),
-            fn_sink(move |v: u64| {
-                a_recv_tx.send(v).map_err(|_| StreamError::transport("closed"))
-            }),
+            fn_sink(move |v: u64| a_recv_tx.send(v).map_err(|_| StreamError::transport("closed"))),
         );
         // Endpoint B produces 100..=104 and records what it receives.
         let (b_recv_tx, b_recv_rx) = channel::unbounded();
         let b = Duplex::new(
             count(5).map_values(|v| v + 99),
-            fn_sink(move |v: u64| {
-                b_recv_tx.send(v).map_err(|_| StreamError::transport("closed"))
-            }),
+            fn_sink(move |v: u64| b_recv_tx.send(v).map_err(|_| StreamError::transport("closed"))),
         );
         connect(a, b).join().unwrap();
         let to_b: Vec<u64> = b_recv_rx.try_iter().collect();
@@ -168,8 +164,7 @@ mod tests {
             count(3),
             fn_sink(|_v: u64| Err(StreamError::new("cannot accept results"))),
         );
-        let b: Duplex<u64, u64> =
-            Duplex::new(count(3), fn_sink(|_v: u64| Ok(())));
+        let b: Duplex<u64, u64> = Duplex::new(count(3), fn_sink(|_v: u64| Ok(())));
         let err = connect(a, b).join().unwrap_err();
         assert_eq!(err.message(), "cannot accept results");
     }

@@ -209,7 +209,10 @@ where
         lend
     }
 
-    fn lend_from_failed(state: &mut MutexGuard<'_, State<T, R>>, id: SubStreamId) -> Option<Lend<T>> {
+    fn lend_from_failed(
+        state: &mut MutexGuard<'_, State<T, R>>,
+        id: SubStreamId,
+    ) -> Option<Lend<T>> {
         let lend = state.failed.pop_front()?;
         state.in_flight.insert(lend.seq, lend.value.clone());
         state
@@ -249,10 +252,8 @@ where
                         Some(Lend::new(seq, value))
                     }
                     None => {
-                        let recovered = state
-                            .in_flight
-                            .remove(&seq)
-                            .expect("value inserted just above");
+                        let recovered =
+                            state.in_flight.remove(&seq).expect("value inserted just above");
                         state.failed.push_back(Lend::new(seq, recovered));
                         state.stats.relends += 1;
                         None
@@ -569,10 +570,7 @@ where
             id: self.id,
             ended_clean: AtomicBool::new(false),
         });
-        (
-            SubStreamSource { guard: guard.clone() },
-            SubStreamSink { guard },
-        )
+        (SubStreamSource { guard: guard.clone() }, SubStreamSink { guard })
     }
 }
 

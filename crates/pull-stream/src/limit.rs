@@ -280,9 +280,7 @@ mod tests {
         let limiter = Limiter::new(3);
         let Duplex { source, mut sink } = limiter.wrap(duplex);
 
-        let collector = thread::spawn(move || {
-            crate::sink::take(source, 20).unwrap()
-        });
+        let collector = thread::spawn(move || crate::sink::take(source, 20).unwrap());
         let pump = thread::spawn(move || sink.drain(count(20).boxed()));
 
         let results = collector.join().unwrap();
@@ -303,9 +301,8 @@ mod tests {
             Answer::Done
         };
         let (discard_tx, discard_rx) = channel::unbounded::<u64>();
-        let sink = fn_sink(move |v: u64| {
-            discard_tx.send(v).map_err(|_| StreamError::transport("closed"))
-        });
+        let sink =
+            fn_sink(move |v: u64| discard_tx.send(v).map_err(|_| StreamError::transport("closed")));
         let duplex = Duplex::new(source, sink);
         let limiter = Limiter::new(1);
         let Duplex { mut source, mut sink } = limiter.wrap(duplex);

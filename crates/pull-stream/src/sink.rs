@@ -240,13 +240,8 @@ mod tests {
             i += 1;
             Answer::Value(i)
         };
-        let mut sink = fn_sink(|v: u64| {
-            if v >= 3 {
-                Err(StreamError::new("sink full"))
-            } else {
-                Ok(())
-            }
-        });
+        let mut sink =
+            fn_sink(|v: u64| if v >= 3 { Err(StreamError::new("sink full")) } else { Ok(()) });
         let err = sink.drain(source.boxed()).unwrap_err();
         assert_eq!(err.message(), "sink full");
         assert!(upstream_failed.load(Ordering::SeqCst));

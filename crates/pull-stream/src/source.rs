@@ -443,9 +443,7 @@ mod tests {
 
     #[test]
     fn generate_stops_on_none() {
-        let out = generate(|i| if i < 3 { Some(i) } else { None })
-            .collect_values()
-            .unwrap();
+        let out = generate(|i| if i < 3 { Some(i) } else { None }).collect_values().unwrap();
         assert_eq!(out, vec![0, 1, 2]);
     }
 

@@ -132,10 +132,7 @@ impl<T: Clone + Send + 'static> StubbornQueue<T> {
     /// # Panics
     ///
     /// Panics if `max_attempts` is zero.
-    pub fn new(
-        upstream: impl Source<T> + 'static,
-        max_attempts: u32,
-    ) -> (Self, StubbornHandle<T>) {
+    pub fn new(upstream: impl Source<T> + 'static, max_attempts: u32) -> (Self, StubbornHandle<T>) {
         assert!(max_attempts > 0, "max_attempts must be at least 1");
         let shared = Arc::new(StubbornShared {
             state: Mutex::new(StubbornState {
@@ -152,10 +149,7 @@ impl<T: Clone + Send + 'static> StubbornQueue<T> {
             changed: Condvar::new(),
             max_attempts,
         });
-        (
-            Self { shared: shared.clone(), upstream: Box::new(upstream) },
-            StubbornHandle { shared },
-        )
+        (Self { shared: shared.clone(), upstream: Box::new(upstream) }, StubbornHandle { shared })
     }
 }
 
@@ -391,10 +385,8 @@ mod tests {
 
     #[test]
     fn upstream_error_is_reported_after_outstanding_settled() {
-        let (mut queue, handle) = StubbornQueue::new(
-            crate::source::failing::<u32>(StreamError::new("source broke")),
-            2,
-        );
+        let (mut queue, handle) =
+            StubbornQueue::new(crate::source::failing::<u32>(StreamError::new("source broke")), 2);
         let answer = queue.pull(Request::Ask);
         assert_eq!(answer, Answer::Err(StreamError::new("source broke")));
         assert_eq!(handle.stats().outstanding, 0);

@@ -152,9 +152,7 @@ struct SignalInner {
 impl Signal {
     /// Creates a signal in the unfired state.
     pub fn new() -> Self {
-        Self {
-            inner: Arc::new(SignalInner { fired: Mutex::new(false), cond: Condvar::new() }),
-        }
+        Self { inner: Arc::new(SignalInner { fired: Mutex::new(false), cond: Condvar::new() }) }
     }
 
     /// Fires the signal, waking all waiters.

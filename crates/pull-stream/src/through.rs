@@ -375,10 +375,8 @@ mod tests {
 
     #[test]
     fn map_propagates_errors() {
-        let err = failing::<u64>(StreamError::new("up"))
-            .map_values(|x| x)
-            .collect_values()
-            .unwrap_err();
+        let err =
+            failing::<u64>(StreamError::new("up")).map_values(|x| x).collect_values().unwrap_err();
         assert_eq!(err.message(), "up");
     }
 
@@ -477,10 +475,7 @@ mod tests {
 
     #[test]
     fn batch_groups_values() {
-        let out: Vec<Vec<u64>> = count(7)
-            .through(|s| Batch::new(s, 3))
-            .collect_values()
-            .unwrap();
+        let out: Vec<Vec<u64>> = count(7).through(|s| Batch::new(s, 3)).collect_values().unwrap();
         assert_eq!(out, vec![vec![1, 2, 3], vec![4, 5, 6], vec![7]]);
     }
 
@@ -501,11 +496,8 @@ mod tests {
 
     #[test]
     fn batch_then_unbatch_is_identity() {
-        let out: Vec<u64> = count(25)
-            .through(|s| Batch::new(s, 4))
-            .through(Unbatch::new)
-            .collect_values()
-            .unwrap();
+        let out: Vec<u64> =
+            count(25).through(|s| Batch::new(s, 4)).through(Unbatch::new).collect_values().unwrap();
         assert_eq!(out, (1..=25).collect::<Vec<_>>());
     }
 

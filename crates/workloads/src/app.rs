@@ -190,9 +190,15 @@ impl PandoApp for CryptoApp {
         let mut parts = input.split('|');
         let (block, start, end, bits) = (
             parts.next().ok_or_else(|| StreamError::new("missing block"))?,
-            parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| StreamError::new("bad start"))?,
+            parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| StreamError::new("bad start"))?,
             parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| StreamError::new("bad end"))?,
-            parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| StreamError::new("bad bits"))?,
+            parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| StreamError::new("bad bits"))?,
         );
         let outcome = crypto::mine(&crypto::MiningAttempt {
             block: block.to_string(),
@@ -386,15 +392,18 @@ impl PandoApp for ArxivApp {
 /// Minimal base64 encoding (kept local so the workloads crate does not depend
 /// on the network crate).
 fn pando_netsim_base64(data: &[u8]) -> String {
-    const ALPHABET: &[u8; 64] =
-        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
         let b = [chunk[0], chunk.get(1).copied().unwrap_or(0), chunk.get(2).copied().unwrap_or(0)];
         let triple = u32::from_be_bytes([0, b[0], b[1], b[2]]);
         out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
         out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
-        out.push(if chunk.len() > 1 { ALPHABET[(triple >> 6) as usize & 0x3f] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
         out.push(if chunk.len() > 2 { ALPHABET[triple as usize & 0x3f] as char } else { '=' });
     }
     out
@@ -458,7 +467,9 @@ mod tests {
         let app = RaytraceApp { width: 16, height: 12, frames: 4, ..RaytraceApp::default() };
         let frame = app.process(&app.input(1)).unwrap();
         assert_eq!(frame.len(), (16 * 12 * 3_usize).div_ceil(3) * 4);
-        assert!(frame.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '/' || c == '='));
+        assert!(frame
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '/' || c == '='));
         assert!(app.process("angle?").is_err());
     }
 

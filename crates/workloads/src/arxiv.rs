@@ -75,10 +75,22 @@ impl SimulatedTagger {
 /// A small corpus of synthetic paper metadata used by the examples.
 pub fn sample_corpus(n: usize) -> Vec<PaperMeta> {
     let topics = [
-        ("Personal volunteer computing in browsers", "We present a tool to use volunteer devices through their browser."),
-        ("A new cache coherence protocol", "We evaluate a directory protocol on a simulated multicore."),
-        ("Streaming abstractions for distributed systems", "A declarative stream model simplifies distribution."),
-        ("Deep learning for image segmentation", "A convolutional architecture for satellite images."),
+        (
+            "Personal volunteer computing in browsers",
+            "We present a tool to use volunteer devices through their browser.",
+        ),
+        (
+            "A new cache coherence protocol",
+            "We evaluate a directory protocol on a simulated multicore.",
+        ),
+        (
+            "Streaming abstractions for distributed systems",
+            "A declarative stream model simplifies distribution.",
+        ),
+        (
+            "Deep learning for image segmentation",
+            "A convolutional architecture for satellite images.",
+        ),
         ("Blockchain marketing strategies", "How to sell more tokens with less effort."),
     ];
     (0..n)

@@ -76,7 +76,8 @@ impl BigUint {
             if i >= self.limbs.len() {
                 self.limbs.push(0);
             }
-            let sum = self.limbs[i] as u64 + other.limbs.get(i).copied().unwrap_or(0) as u64 + carry;
+            let sum =
+                self.limbs[i] as u64 + other.limbs.get(i).copied().unwrap_or(0) as u64 + carry;
             self.limbs[i] = (sum & 0xffff_ffff) as u32;
             carry = sum >> 32;
         }
@@ -147,7 +148,7 @@ impl BigUint {
 
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.compare(other))
+        Some(self.cmp(other))
     }
 }
 

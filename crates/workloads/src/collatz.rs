@@ -64,7 +64,8 @@ mod tests {
     #[test]
     fn known_step_counts() {
         // Reference values of the standard Collatz step counts.
-        let expected = [(1u64, 0u64), (2, 1), (3, 7), (4, 2), (5, 5), (6, 8), (7, 16), (27, 111), (97, 118)];
+        let expected =
+            [(1u64, 0u64), (2, 1), (3, 7), (4, 2), (5, 5), (6, 8), (7, 16), (27, 111), (97, 118)];
         for (start, steps) in expected {
             assert_eq!(collatz_steps(start).steps, steps, "steps({start})");
         }

@@ -129,10 +129,10 @@ pub fn learning_rate_candidates(n: usize) -> Vec<f64> {
 
 /// Picks the candidate with the highest final reward (the post-processing
 /// stage of the hyper-parameter search pipeline).
-pub fn best_candidate(outcomes: impl IntoIterator<Item = TrainingOutcome>) -> Option<TrainingOutcome> {
-    outcomes
-        .into_iter()
-        .max_by(|a, b| a.final_reward.partial_cmp(&b.final_reward).unwrap())
+pub fn best_candidate(
+    outcomes: impl IntoIterator<Item = TrainingOutcome>,
+) -> Option<TrainingOutcome> {
+    outcomes.into_iter().max_by(|a, b| a.final_reward.partial_cmp(&b.final_reward).unwrap())
 }
 
 #[cfg(test)]
@@ -150,7 +150,11 @@ mod tests {
         let config = TrainingConfig::default();
         let outcome = train(0.4, &config);
         assert!(outcome.successes > config.episodes / 4, "the agent should reach the goal often");
-        assert!(outcome.final_reward > 0.0, "final reward {} should be positive", outcome.final_reward);
+        assert!(
+            outcome.final_reward > 0.0,
+            "final reward {} should be positive",
+            outcome.final_reward
+        );
         assert!(outcome.steps > 0);
     }
 
@@ -180,7 +184,8 @@ mod tests {
     #[test]
     fn best_candidate_selects_highest_reward() {
         let config = TrainingConfig { episodes: 120, ..TrainingConfig::default() };
-        let outcomes: Vec<_> = learning_rate_candidates(4).into_iter().map(|lr| train(lr, &config)).collect();
+        let outcomes: Vec<_> =
+            learning_rate_candidates(4).into_iter().map(|lr| train(lr, &config)).collect();
         let best = best_candidate(outcomes.clone()).unwrap();
         assert!(outcomes.iter().all(|o| o.final_reward <= best.final_reward));
         assert!(best_candidate(std::iter::empty()).is_none());

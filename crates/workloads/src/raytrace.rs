@@ -17,30 +17,40 @@ pub struct Vec3 {
     pub z: f64,
 }
 
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+
+    fn add(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x + other.x, self.y + other.y, self.z + other.z)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+
+    fn sub(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x - other.x, self.y - other.y, self.z - other.z)
+    }
+}
+
+/// Component-wise multiplication (used for colours).
+impl std::ops::Mul for Vec3 {
+    type Output = Vec3;
+
+    fn mul(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x * other.x, self.y * other.y, self.z * other.z)
+    }
+}
+
 impl Vec3 {
     /// Creates a vector.
     pub fn new(x: f64, y: f64, z: f64) -> Self {
         Self { x, y, z }
     }
 
-    /// Component-wise addition.
-    pub fn add(self, other: Vec3) -> Vec3 {
-        Vec3::new(self.x + other.x, self.y + other.y, self.z + other.z)
-    }
-
-    /// Component-wise subtraction.
-    pub fn sub(self, other: Vec3) -> Vec3 {
-        Vec3::new(self.x - other.x, self.y - other.y, self.z - other.z)
-    }
-
     /// Multiplication by a scalar.
     pub fn scale(self, factor: f64) -> Vec3 {
         Vec3::new(self.x * factor, self.y * factor, self.z * factor)
-    }
-
-    /// Component-wise multiplication (used for colours).
-    pub fn mul(self, other: Vec3) -> Vec3 {
-        Vec3::new(self.x * other.x, self.y * other.y, self.z * other.z)
     }
 
     /// Dot product.
@@ -65,7 +75,7 @@ impl Vec3 {
 
     /// Reflection of `self` around the normal `n`.
     pub fn reflect(self, n: Vec3) -> Vec3 {
-        self.sub(n.scale(2.0 * self.dot(n)))
+        self - n.scale(2.0 * self.dot(n))
     }
 }
 
@@ -94,7 +104,7 @@ pub struct Sphere {
 impl Sphere {
     /// Distance along `ray` of the closest intersection, if any.
     pub fn intersect(&self, ray: &Ray) -> Option<f64> {
-        let oc = ray.origin.sub(self.center);
+        let oc = ray.origin - self.center;
         let b = 2.0 * oc.dot(ray.direction);
         let c = oc.dot(oc) - self.radius * self.radius;
         let discriminant = b * b - 4.0 * c;
@@ -176,30 +186,26 @@ impl Scene {
 
         match (closest, floor_t) {
             (Some((t, sphere)), floor) if floor.map(|ft| t < ft).unwrap_or(true) => {
-                let hit = ray.origin.add(ray.direction.scale(t));
-                let normal = hit.sub(sphere.center).normalized();
+                let hit = ray.origin + ray.direction.scale(t);
+                let normal = (hit - sphere.center).normalized();
                 let mut color = self.shade(hit, normal, sphere.color);
                 if sphere.reflectivity > 0.0 && depth < self.max_depth {
                     let reflected = Ray {
-                        origin: hit.add(normal.scale(1e-4)),
+                        origin: hit + normal.scale(1e-4),
                         direction: ray.direction.reflect(normal).normalized(),
                     };
                     let bounce = self.trace(&reflected, depth + 1);
-                    color = color
-                        .scale(1.0 - sphere.reflectivity)
-                        .add(bounce.scale(sphere.reflectivity));
+                    color =
+                        color.scale(1.0 - sphere.reflectivity) + bounce.scale(sphere.reflectivity);
                 }
                 color
             }
             (_, Some(t)) if t > 1e-6 => {
-                let hit = ray.origin.add(ray.direction.scale(t));
+                let hit = ray.origin + ray.direction.scale(t);
                 // Checkerboard floor.
                 let checker = ((hit.x.floor() + hit.z.floor()) as i64).rem_euclid(2) == 0;
-                let base = if checker {
-                    Vec3::new(0.85, 0.85, 0.85)
-                } else {
-                    Vec3::new(0.25, 0.25, 0.25)
-                };
+                let base =
+                    if checker { Vec3::new(0.85, 0.85, 0.85) } else { Vec3::new(0.25, 0.25, 0.25) };
                 self.shade(hit, Vec3::new(0.0, 1.0, 0.0), base)
             }
             _ => self.background,
@@ -207,16 +213,13 @@ impl Scene {
     }
 
     fn shade(&self, hit: Vec3, normal: Vec3, base: Vec3) -> Vec3 {
-        let to_light = self.light.sub(hit);
+        let to_light = self.light - hit;
         let light_dir = to_light.normalized();
         // Hard shadow: any sphere between the hit point and the light.
-        let shadow_ray = Ray { origin: hit.add(normal.scale(1e-4)), direction: light_dir };
+        let shadow_ray = Ray { origin: hit + normal.scale(1e-4), direction: light_dir };
         let max_t = to_light.length();
-        let in_shadow = self
-            .spheres
-            .iter()
-            .filter_map(|s| s.intersect(&shadow_ray))
-            .any(|t| t < max_t);
+        let in_shadow =
+            self.spheres.iter().filter_map(|s| s.intersect(&shadow_ray)).any(|t| t < max_t);
         let ambient = 0.12;
         let diffuse = if in_shadow { 0.0 } else { normal.dot(light_dir).max(0.0) };
         base.scale(ambient + 0.88 * diffuse)
@@ -231,7 +234,7 @@ impl Scene {
         let distance = 6.0;
         let camera = Vec3::new(distance * angle.cos(), 2.2, distance * angle.sin());
         let target = Vec3::new(0.0, 0.8, 0.0);
-        let forward = target.sub(camera).normalized();
+        let forward = (target - camera).normalized();
         let right = Vec3::new(forward.z, 0.0, -forward.x).normalized();
         let up = Vec3::new(
             right.y * forward.z - right.z * forward.y,
@@ -246,10 +249,7 @@ impl Scene {
             for x in 0..width {
                 let ndc_x = (2.0 * (x as f64 + 0.5) / width as f64 - 1.0) * fov_scale * aspect;
                 let ndc_y = (1.0 - 2.0 * (y as f64 + 0.5) / height as f64) * fov_scale;
-                let direction = forward
-                    .add(right.scale(ndc_x))
-                    .add(up.scale(ndc_y))
-                    .normalized();
+                let direction = (forward + right.scale(ndc_x) + up.scale(ndc_y)).normalized();
                 let color = self.trace(&Ray { origin: camera, direction }, 0);
                 for channel in [color.x, color.y, color.z] {
                     pixels.push((channel.clamp(0.0, 1.0) * 255.0).round() as u8);
@@ -263,9 +263,7 @@ impl Scene {
 /// Generates the camera angles of a full-turn animation with `frames` frames,
 /// the input stream of the usage example (`generate-angles.js`).
 pub fn animation_angles(frames: usize) -> Vec<f64> {
-    (0..frames)
-        .map(|i| i as f64 * std::f64::consts::TAU / frames.max(1) as f64)
-        .collect()
+    (0..frames).map(|i| i as f64 * std::f64::consts::TAU / frames.max(1) as f64).collect()
 }
 
 #[cfg(test)]
@@ -277,11 +275,14 @@ mod tests {
         let v = Vec3::new(3.0, 4.0, 0.0);
         assert_eq!(v.length(), 5.0);
         assert!((v.normalized().length() - 1.0).abs() < 1e-12);
-        assert_eq!(v.add(Vec3::new(1.0, 1.0, 1.0)), Vec3::new(4.0, 5.0, 1.0));
-        assert_eq!(v.sub(v), Vec3::default());
+        assert_eq!(v + Vec3::new(1.0, 1.0, 1.0), Vec3::new(4.0, 5.0, 1.0));
+        assert_eq!(v - v, Vec3::default());
         assert_eq!(v.scale(2.0), Vec3::new(6.0, 8.0, 0.0));
         assert_eq!(v.dot(Vec3::new(1.0, 0.0, 0.0)), 3.0);
-        assert_eq!(Vec3::new(1.0, -1.0, 0.0).reflect(Vec3::new(0.0, 1.0, 0.0)), Vec3::new(1.0, 1.0, 0.0));
+        assert_eq!(
+            Vec3::new(1.0, -1.0, 0.0).reflect(Vec3::new(0.0, 1.0, 0.0)),
+            Vec3::new(1.0, 1.0, 0.0)
+        );
         assert_eq!(Vec3::default().normalized(), Vec3::default());
     }
 
@@ -302,7 +303,10 @@ mod tests {
             .is_none());
         // A ray starting inside the sphere hits the far side.
         let inside = sphere
-            .intersect(&Ray { origin: Vec3::new(0.0, 0.0, 5.0), direction: Vec3::new(0.0, 0.0, 1.0) })
+            .intersect(&Ray {
+                origin: Vec3::new(0.0, 0.0, 5.0),
+                direction: Vec3::new(0.0, 0.0, 1.0),
+            })
             .unwrap();
         assert!((inside - 1.0).abs() < 1e-9);
     }

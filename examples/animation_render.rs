@@ -62,7 +62,10 @@ fn main() {
         encoded_frames.len() as f64 / elapsed.as_secs_f64()
     );
     let report = tablet.join();
-    println!("tablet crashed after {} frames (its pending frames were re-rendered)", report.processed);
+    println!(
+        "tablet crashed after {} frames (its pending frames were re-rendered)",
+        report.processed
+    );
     for laptop in laptops {
         let report = laptop.join();
         println!("{} rendered {} frames", report.name, report.processed);

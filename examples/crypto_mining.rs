@@ -38,7 +38,10 @@ fn main() {
     let monitor = MiningMonitor::new(blocks, 14, 2_000);
     let solved = monitor.run(&pando);
     for block in &solved {
-        println!("{} solved with nonce {} ({} ranges dispatched)", block.block, block.nonce, block.attempts);
+        println!(
+            "{} solved with nonce {} ({} ranges dispatched)",
+            block.block, block.nonce, block.attempts
+        );
     }
     server.unhost(&url);
     acceptor.join().expect("acceptor finishes");

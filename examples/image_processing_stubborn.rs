@@ -10,11 +10,11 @@ use pando_core::worker::{spawn_worker, WorkerOptions};
 use pando_pull_stream::source::{from_iter, SourceExt};
 use pando_pull_stream::stubborn::StubbornQueue;
 use pando_pull_stream::{Answer, Request, Source};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 use pando_workloads::app::AppKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 fn main() {
     let tiles = 16u64;
@@ -44,22 +44,20 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let mut confirmed = 0u64;
     println!("Blurring {tiles} tiles with an unreliable result download (25% failures)...");
-    loop {
-        match output.pull(Request::Ask) {
-            Answer::Value(result) => {
-                // The worker answers "seed,digest"; recover the tracking id
-                // from the tile number.
-                let seed: u64 = result.split(',').next().unwrap().parse().unwrap();
-                let id = tracking.lock().unwrap()[&seed];
-                if rng.gen_bool(0.75) {
-                    handle.confirm(id).unwrap();
-                    confirmed += 1;
-                } else {
-                    let retried = handle.resubmit(id).unwrap();
-                    println!("tile {seed}: download failed ({})", if retried { "resubmitted" } else { "abandoned" });
-                }
-            }
-            _ => break,
+    while let Answer::Value(result) = output.pull(Request::Ask) {
+        // The worker answers "seed,digest"; recover the tracking id
+        // from the tile number.
+        let seed: u64 = result.split(',').next().unwrap().parse().unwrap();
+        let id = tracking.lock().unwrap()[&seed];
+        if rng.gen_bool(0.75) {
+            handle.confirm(id).unwrap();
+            confirmed += 1;
+        } else {
+            let retried = handle.resubmit(id).unwrap();
+            println!(
+                "tile {seed}: download failed ({})",
+                if retried { "resubmitted" } else { "abandoned" }
+            );
         }
     }
     let stats = handle.stats();

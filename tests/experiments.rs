@@ -144,10 +144,8 @@ fn device_vs_server_claims_hold() {
     let uvb = find("uvb.sophia");
     let mbpro = find("MBPro 2016");
     assert!(iphone.collatz > uvb.collatz);
-    let beaten = scenario_entries(Scenario::Wan)
-        .iter()
-        .filter(|e| e.collatz < iphone.collatz)
-        .count();
+    let beaten =
+        scenario_entries(Scenario::Wan).iter().filter(|e| e.collatz < iphone.collatz).count();
     assert!(beaten >= 6, "the iPhone must beat almost all PlanetLab nodes ({beaten}/7)");
     let fastest_server_core = all
         .iter()
@@ -172,7 +170,9 @@ fn scenario_setups_are_consistent_with_the_reference_table() {
         for app in AppKind::measured() {
             let total = setup.total_rate(app);
             match paper_total(scenario, app) {
-                Some(paper) => assert!((total - paper).abs() / paper < 0.01 || (total - paper).abs() < 0.02),
+                Some(paper) => {
+                    assert!((total - paper).abs() / paper < 0.01 || (total - paper).abs() < 0.02)
+                }
                 None => assert_eq!(total, 0.0),
             }
         }

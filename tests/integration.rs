@@ -16,7 +16,12 @@ use pando_workloads::crypto;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn app_worker(pando: &Pando, kind: AppKind, name: &str, fault: FaultPlan) -> pando_core::worker::WorkerHandle {
+fn app_worker(
+    pando: &Pando,
+    kind: AppKind,
+    name: &str,
+    fault: FaultPlan,
+) -> pando_core::worker::WorkerHandle {
     let app = kind.instantiate();
     spawn_worker(
         pando.open_volunteer_channel(),
@@ -158,7 +163,9 @@ fn wan_profile_deployment_completes() {
     let config = PandoConfig::local_test().with_channel(channel).with_batch_size(4);
     let pando = Pando::new(config);
     let _workers: Vec<_> = (0..3)
-        .map(|i| app_worker(&pando, AppKind::StreamLenderTesting, &format!("w{i}"), FaultPlan::None))
+        .map(|i| {
+            app_worker(&pando, AppKind::StreamLenderTesting, &format!("w{i}"), FaultPlan::None)
+        })
         .collect();
     let app = AppKind::StreamLenderTesting.instantiate();
     let inputs: Vec<String> = (0..20).map(|i| app.input(i)).collect();

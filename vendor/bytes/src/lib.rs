@@ -1,0 +1,225 @@
+//! Minimal in-tree stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`], [`BytesMut`] and the [`Buf`] / [`BufMut`] traits with
+//! the subset of operations the workspace's frame codec uses. The upstream
+//! crate's zero-copy slicing is replaced by plain `Vec<u8>` storage — frames
+//! here are small and the codec is not on a measured hot path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self { data: Arc::from([] as [u8; 0]) }
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: Arc::from(data) }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data: Arc::from(data) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+}
+
+/// Read-side operations of a byte buffer.
+pub trait Buf {
+    /// Number of bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// Discards the next `count` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `count` bytes remain.
+    fn advance(&mut self, count: usize);
+}
+
+/// Write-side operations of a byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8);
+
+    /// Appends a `u32` in big-endian byte order.
+    fn put_u32(&mut self, value: u32);
+
+    /// Appends a slice of bytes.
+    fn put_slice(&mut self, data: &[u8]);
+}
+
+/// A growable byte buffer that supports consuming bytes from the front.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer that can hold `capacity` bytes without
+    /// reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a slice of bytes.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.data.extend_from_slice(data);
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `at` bytes are buffered.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_to({at}) out of bounds of {}", self.data.len());
+        let rest = self.data.split_off(at);
+        BytesMut { data: std::mem::replace(&mut self.data, rest) }
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn advance(&mut self, count: usize) {
+        assert!(count <= self.data.len(), "advance({count}) out of bounds of {}", self.data.len());
+        self.data.drain(..count);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, value: u8) {
+        self.data.push(value);
+    }
+
+    fn put_u32(&mut self, value: u32) {
+        self.data.extend_from_slice(&value.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, data: &[u8]) {
+        self.data.extend_from_slice(data);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        Self { data: data.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_read_back() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(7);
+        buf.put_u32(0x0102_0304);
+        buf.put_slice(b"xy");
+        assert_eq!(&buf[..], &[7, 1, 2, 3, 4, b'x', b'y']);
+    }
+
+    #[test]
+    fn advance_and_split_consume_the_front() {
+        let mut buf = BytesMut::from(&b"hello world"[..]);
+        buf.advance(6);
+        let word = buf.split_to(5);
+        assert_eq!(&word[..], b"world");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn freeze_preserves_contents() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"abc");
+        let frozen = buf.freeze();
+        assert_eq!(&frozen[..], b"abc");
+        assert_eq!(frozen.to_vec(), b"abc".to_vec());
+        assert_eq!(frozen.clone(), frozen);
+    }
+}

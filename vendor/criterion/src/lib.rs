@@ -1,0 +1,264 @@
+//! Minimal in-tree stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis, each benchmark is warmed up
+//! once and then timed over a fixed number of sample iterations; the mean
+//! time per iteration (and derived throughput, when declared) is printed in
+//! a `name ... time: X` line per benchmark. That keeps `cargo bench` useful
+//! for coarse comparisons while compiling instantly and running offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting a benchmark body.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Declared throughput of one benchmark, used to derive a rate from the
+/// measured time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark body processes this many logical elements.
+    Elements(u64),
+    /// The benchmark body processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: a function name plus the
+/// parameter value it was instantiated with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter shown as
+    /// `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything accepted as a benchmark identifier by the `bench_*` methods.
+pub trait IntoBenchmarkId {
+    /// Converts into the canonical identifier.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of sample iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up pass populates caches and lazy state.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many iterations each benchmark is timed over.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Declares the throughput of the benchmarks registered after this call.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher { samples: self.sample_size as u64, elapsed: Duration::ZERO };
+        routine(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher { samples: self.sample_size as u64, elapsed: Duration::ZERO };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, bencher: &Bencher) {
+        let per_iter = bencher.elapsed.as_secs_f64() / bencher.samples as f64;
+        let mut line = format!("{}/{:<40} time: {}", self.name, id, format_seconds(per_iter));
+        if let Some(throughput) = self.throughput {
+            let (amount, unit) = match throughput {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            if per_iter > 0.0 {
+                line.push_str(&format!("   thrpt: {:.3e} {unit}", amount / per_iter));
+            }
+        }
+        println!("{line}");
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Ends the group. Present for API compatibility; reporting is per-line.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, routine);
+        self
+    }
+
+    /// Number of benchmarks executed so far, used by the harness self-tests.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+fn format_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function runnable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function of a bench target from its groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_counts() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0u32;
+        group.bench_function("trivial", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert_eq!(criterion.benchmarks_run(), 2);
+        // warm-up + samples for the first closure
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+
+    #[test]
+    fn seconds_formatting_picks_sensible_units() {
+        assert_eq!(format_seconds(2.0), "2.000 s");
+        assert_eq!(format_seconds(0.002), "2.000 ms");
+        assert_eq!(format_seconds(0.000_002), "2.000 µs");
+        assert_eq!(format_seconds(0.000_000_002), "2.0 ns");
+    }
+}

@@ -1,0 +1,218 @@
+//! Minimal in-tree stand-in for the `parking_lot` crate.
+//!
+//! Implements the `Mutex` / `MutexGuard` / `Condvar` subset the workspace
+//! uses on top of `std::sync`, with `parking_lot`'s ergonomics: `lock()`
+//! returns the guard directly (no poisoning — a panic while holding the lock
+//! simply passes the data through to the next owner), and `Condvar::wait`
+//! borrows the guard mutably instead of consuming it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::{self, PoisonError};
+use std::time::Instant;
+
+/// A mutual-exclusion primitive. Unlike `std::sync::Mutex` it does not
+/// expose lock poisoning: a panicking holder does not make the data
+/// inaccessible.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self { inner: sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            mutex: &self.inner,
+            guard: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { mutex: &self.inner, guard: Some(guard) }),
+            Err(sync::TryLockError::Poisoned(poisoned)) => {
+                Some(MutexGuard { mutex: &self.inner, guard: Some(poisoned.into_inner()) })
+            }
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the protected value; no locking is
+    /// needed because the borrow is exclusive.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`]. The `Option` indirection lets
+/// [`Condvar::wait`] hand the underlying std guard back to `std::sync` while
+/// keeping this wrapper alive; outside of a wait it is always `Some`.
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a sync::Mutex<T>,
+    guard: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> MutexGuard<'_, T> {
+    /// Temporarily unlocks the mutex while `body` runs, reacquiring the lock
+    /// before returning — `parking_lot`'s escape hatch for calling blocking
+    /// code without holding the lock.
+    pub fn unlocked<U>(guard: &mut Self, body: impl FnOnce() -> U) -> U {
+        drop(guard.guard.take());
+        let result = body();
+        guard.guard = Some(guard.mutex.lock().unwrap_or_else(PoisonError::into_inner));
+        result
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_deref().expect("guard present outside of a condvar wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_deref_mut().expect("guard present outside of a condvar wait")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Result of a timed [`Condvar`] wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Returns `true` if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self { inner: sync::Condvar::new() }
+    }
+
+    /// Atomically releases the lock and waits for a notification, reacquiring
+    /// the lock before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.guard.take().expect("guard present before wait");
+        let std_guard = self.inner.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
+        guard.guard = Some(std_guard);
+    }
+
+    /// Like [`Condvar::wait`], but gives up once `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let std_guard = guard.guard.take().expect("guard present before wait");
+        let (std_guard, result) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.guard = Some(std_guard);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                let (lock, cond) = &*shared;
+                let mut ready = lock.lock();
+                while !*ready {
+                    cond.wait(&mut ready);
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        *shared.0.lock() = true;
+        shared.1.notify_all();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let pair = (Mutex::new(()), Condvar::new());
+        let mut guard = pair.0.lock();
+        let result = pair.1.wait_until(&mut guard, Instant::now() + Duration::from_millis(10));
+        assert!(result.timed_out());
+        // The guard is usable again after the wait.
+        let _: &() = &guard;
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! Provides the subset the workspace's property tests use: the [`Strategy`]
+//! trait with `prop_map`, integer-range and [`Just`] strategies, weighted
+//! unions via [`prop_oneof!`], vector generation via [`collection::vec`],
+//! [`test_runner::ProptestConfig`], and the [`proptest!`] macro that expands
+//! each property into a `#[test]` running a configurable number of seeded
+//! random cases.
+//!
+//! The big feature intentionally left out is shrinking: a failing case is
+//! reported with its case index (the RNG is seeded deterministically per
+//! case, so every failure replays exactly), not minimised first.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Execution configuration for [`proptest!`](crate::proptest) blocks.
+
+    /// How a `proptest!` block runs its properties.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases generated per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies generating collections.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose length is drawn from `length` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, length }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        length: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.length.is_empty() {
+                self.length.start
+            } else {
+                rng.gen_range(self.length.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The imports a property-test file needs.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Runs the body of one generated property case. Factored out of the
+/// [`proptest!`] expansion so the macro stays small.
+pub fn run_cases(cases: u32, mut case: impl FnMut(&mut strategy::TestRng, u32)) {
+    for index in 0..cases {
+        // Golden-ratio stride decorrelates consecutive case seeds.
+        let mut rng = strategy::TestRng::from_seed(
+            (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xb5ad_4ece_da1c_e2a9,
+        );
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case(&mut rng, index);
+        }));
+        if let Err(panic) = outcome {
+            // The RNG is seeded from the index, so naming the case makes the
+            // failure replayable even without shrinking.
+            eprintln!("proptest stand-in: property failed on case {index} of {cases}");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over randomly generated arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($config); $($rest)*);
+    };
+    (@expand ($config:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strategy:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::run_cases(config.cases, |rng, _case| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Weighted choice between strategies producing the same value type:
+/// `prop_oneof![3 => a, 1 => b]` draws from `a` three times as often.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, ::std::boxed::Box::new($strategy) as $crate::strategy::BoxedStrategy<_>)),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let strategy = (5u64..10).prop_map(|v| v * 2);
+        crate::run_cases(100, |rng, _| {
+            let v = strategy.generate(rng);
+            assert!((10..20).contains(&v) && v % 2 == 0, "got {v}");
+        });
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let strategy = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut hits = 0u32;
+        crate::run_cases(1000, |rng, _| {
+            if strategy.generate(rng) {
+                hits += 1;
+            }
+        });
+        assert!((800..1000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let strategy = crate::collection::vec(0usize..3, 2..5);
+        crate::run_cases(100, |rng, _| {
+            let v = strategy.generate(rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro expansion itself: generated args are visible in the body.
+        #[test]
+        fn macro_generates_args(x in 0u64..50, flags in crate::collection::vec(0usize..2, 0..4)) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(flags.iter().filter(|&&f| f > 1).count(), 0);
+        }
+    }
+}

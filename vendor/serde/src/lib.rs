@@ -1,0 +1,20 @@
+//! Minimal in-tree stand-in for the `serde` crate.
+//!
+//! Re-exports the no-op [`Serialize`] / [`Deserialize`] derive macros so the
+//! workspace's `#[derive(serde::Serialize, serde::Deserialize)]` annotations
+//! compile without a registry. The traits of the same names exist so the
+//! annotations keep their upstream meaning once real serde replaces this
+//! stand-in; no code implements or bounds on them yet.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`; the no-op derive does not
+/// implement it.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`; the no-op derive does not
+/// implement it.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,23 @@
+//! No-op derive macros backing the in-tree `serde` stand-in.
+//!
+//! The workspace only *annotates* types with `serde::Serialize` /
+//! `serde::Deserialize` — nothing serializes a value yet — so the derives
+//! expand to nothing. When real serialization lands (and registry access
+//! exists), replacing the stand-in with upstream serde requires no source
+//! changes at the annotation sites.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` annotation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` annotation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
