@@ -1,9 +1,9 @@
 # Local invocations matching the CI jobs in .github/workflows/ci.yml —
 # `make lint test` before pushing reproduces what CI will run.
 
-.PHONY: all build test lint fmt bench bench-run clean
+.PHONY: all build test lint fmt doc bench bench-run clean
 
-all: lint build test
+all: lint build test doc
 
 build:
 	cargo build --release --workspace --all-targets
@@ -17,6 +17,10 @@ lint:
 
 fmt:
 	cargo fmt --all
+
+# The API docs must stay warning-free (CI denies rustdoc warnings).
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 # CI only checks that benches compile; `make bench-run` executes them.
 bench:

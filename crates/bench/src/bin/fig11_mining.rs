@@ -2,6 +2,7 @@
 //! chain of blocks with several volunteer devices and the feedback-loop
 //! monitor.
 
+use bytes::Bytes;
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
 use pando_core::monitor::MiningMonitor;
@@ -17,7 +18,7 @@ fn main() {
             let app = AppKind::CryptoMining.instantiate();
             spawn_worker(
                 pando.open_volunteer_channel(),
-                move |input: &str| app.process(input),
+                move |input: &Bytes| app.process(input),
                 WorkerOptions { name: format!("miner-{i}"), ..WorkerOptions::default() },
             )
         })

@@ -17,6 +17,12 @@ pub struct PandoConfig {
     /// which is enough to hide the network latency of compute-bound
     /// applications (paper §5.5).
     pub batch_size: usize,
+    /// Maximum number of tasks (and results) coalesced into one wire frame.
+    /// `None` means "up to the batch size": the dispatcher packs whatever is
+    /// immediately available, so a whole window can travel in one frame and
+    /// pay the channel round-trip once. `Some(1)` reproduces the original
+    /// one-frame-per-task protocol.
+    pub tasks_per_frame: Option<usize>,
     /// Network profile of the channels towards the volunteers.
     pub channel: ChannelConfig,
     /// How long the master waits for the first volunteer before reporting
@@ -41,6 +47,7 @@ impl PandoConfig {
     pub fn local_test() -> Self {
         Self {
             batch_size: 2,
+            tasks_per_frame: None,
             channel: ChannelConfig::instant(),
             startup_grace: Duration::from_millis(100),
             measurement_window: Duration::from_secs(1),
@@ -54,6 +61,7 @@ impl PandoConfig {
     pub fn lan() -> Self {
         Self {
             batch_size: 2,
+            tasks_per_frame: None,
             channel: ChannelConfig::lan(),
             startup_grace: Duration::from_secs(1),
             measurement_window: Duration::from_secs(300),
@@ -77,6 +85,23 @@ impl PandoConfig {
     pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
         self.channel = channel;
         self
+    }
+
+    /// Returns the configuration with an explicit per-frame coalescing limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks_per_frame` is zero.
+    pub fn with_tasks_per_frame(mut self, tasks_per_frame: usize) -> Self {
+        assert!(tasks_per_frame > 0, "tasks per frame must be at least 1");
+        self.tasks_per_frame = Some(tasks_per_frame);
+        self
+    }
+
+    /// The coalescing limit actually used by the dispatcher: the explicit
+    /// [`PandoConfig::tasks_per_frame`] if set, otherwise the batch size.
+    pub fn effective_tasks_per_frame(&self) -> usize {
+        self.tasks_per_frame.unwrap_or(self.batch_size).max(1)
     }
 }
 
@@ -110,5 +135,20 @@ mod tests {
     #[should_panic(expected = "batch size")]
     fn zero_batch_size_is_rejected() {
         let _ = PandoConfig::local_test().with_batch_size(0);
+    }
+
+    #[test]
+    fn tasks_per_frame_defaults_to_the_batch_size() {
+        let config = PandoConfig::local_test().with_batch_size(8);
+        assert_eq!(config.tasks_per_frame, None);
+        assert_eq!(config.effective_tasks_per_frame(), 8);
+        let config = config.with_tasks_per_frame(3);
+        assert_eq!(config.effective_tasks_per_frame(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "tasks per frame")]
+    fn zero_tasks_per_frame_is_rejected() {
+        let _ = PandoConfig::local_test().with_tasks_per_frame(0);
     }
 }

@@ -9,8 +9,9 @@
 
 use crate::config::PandoConfig;
 use crate::master::Pando;
-use crate::worker::{spawn_worker, WorkerOptions};
+use crate::worker::{spawn_typed_worker, WorkerOptions};
 use pando_netsim::fault::FaultPlan;
+use pando_pull_stream::codec::StringCodec;
 use pando_pull_stream::source::{values, SourceExt};
 use pando_pull_stream::StreamError;
 use std::time::Duration;
@@ -69,27 +70,29 @@ where
     // The tablet joins first; it is slow and crashes after one frame.
     let slow_render = {
         let render = render.clone();
-        move |input: &str| {
+        move |input: &String| {
             std::thread::sleep(Duration::from_millis(30));
             render(input)
         }
     };
-    let tablet = spawn_worker(
+    let tablet = spawn_typed_worker(
         pando.open_volunteer_channel(),
+        StringCodec,
         slow_render,
         WorkerOptions { fault: FaultPlan::AfterTasks(1), name: "tablet".into() },
     );
     trace.push(DeployEvent::Joined { device: "tablet".into() });
 
     // Start processing, collecting the ordered output in the background.
-    let output_source = pando.run(values(inputs));
+    let output_source = pando.run_typed(StringCodec, values(inputs));
     let collector = std::thread::spawn(move || output_source.collect_values());
 
     // The phone joins a moment later.
     std::thread::sleep(Duration::from_millis(10));
-    let phone = spawn_worker(
+    let phone = spawn_typed_worker(
         pando.open_volunteer_channel(),
-        render,
+        StringCodec,
+        move |input: &String| render(input),
         WorkerOptions { name: "phone".into(), ..WorkerOptions::default() },
     );
     trace.push(DeployEvent::Joined { device: "phone".into() });

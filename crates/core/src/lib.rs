@@ -11,7 +11,7 @@
 //!   worker code bundle);
 //! * [`protocol`] — the wire messages exchanged between master and workers
 //!   and their framed encoding;
-//! * [`master`] — the [`Pando`](master::Pando) master: StreamLender +
+//! * [`master`] — the [`master::Pando`] master: StreamLender +
 //!   Limiter per volunteer + ordered output;
 //! * [`worker`] — the volunteer-side processing loop (`AsyncMap(f)`);
 //! * [`volunteer`] — volunteer lifecycle (candidate → processor) and
@@ -24,16 +24,25 @@
 //!   LAN / VPN / WAN experiments on a virtual clock;
 //! * [`deploy`] — the scripted deployment trace of paper Figure 4.
 //!
+//! The wire protocol is binary end to end: every task and result travels as
+//! a [`bytes::Bytes`] payload with a fixed sequence header, batched into
+//! multi-record frames ([`protocol::Message::TaskBatch`]) so a whole window
+//! of tasks pays the channel round-trip once. Applications plug in through a
+//! [`TaskCodec`](pando_pull_stream::codec::TaskCodec) mapping their native
+//! task/result types to payloads.
+//!
 //! # Quickstart
 //!
 //! ```
 //! use pando_core::config::PandoConfig;
 //! use pando_core::master::Pando;
-//! use pando_core::worker::spawn_worker;
+//! use pando_core::worker::spawn_typed_worker;
+//! use pando_pull_stream::codec::StringCodec;
 //! use pando_pull_stream::source::{count, SourceExt};
 //!
-//! // The function to distribute, following the '/pando/1.0.0' convention.
-//! let square = |input: &str| -> Result<String, pando_pull_stream::StreamError> {
+//! // The function to distribute, typed through a codec (here plain text,
+//! // the original '/pando/1.0.0' convention).
+//! let square = |input: &String| -> Result<String, pando_pull_stream::StreamError> {
 //!     let n: u64 = input.parse().map_err(|_| "not a number")?;
 //!     Ok((n * n).to_string())
 //! };
@@ -43,10 +52,10 @@
 //! let mut workers = Vec::new();
 //! for _ in 0..2 {
 //!     let endpoint = pando.open_volunteer_channel();
-//!     workers.push(spawn_worker(endpoint, square, Default::default()));
+//!     workers.push(spawn_typed_worker(endpoint, StringCodec, square, Default::default()));
 //! }
 //! let output = pando
-//!     .run(count(20).map_values(|v| v.to_string()))
+//!     .run_typed(StringCodec, count(20).map_values(|v| v.to_string()))
 //!     .collect_values()
 //!     .unwrap();
 //! assert_eq!(output.len(), 20);

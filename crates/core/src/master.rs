@@ -2,22 +2,33 @@
 //!
 //! The master (paper Figure 7) owns the StreamLender that coordinates the
 //! distributed map: for every volunteer that connects, it creates a
-//! sub-stream, bounds the number of values in flight with a Limiter sized by
-//! the batch size, and pumps tasks and results over the volunteer's channel.
-//! Results are emitted on a single ordered output stream.
+//! sub-stream and two pump threads. The *dispatcher* borrows values from the
+//! sub-stream — bounded by the batch-size window — and coalesces whatever is
+//! immediately available into a single [`Message::TaskBatch`] frame, so a
+//! whole window pays the channel round-trip once. The *receiver*
+//! demultiplexes [`Message::ResultBatch`] frames back into the lender and
+//! releases window slots. Results are emitted on a single ordered output
+//! stream.
+//!
+//! Payloads are opaque [`Bytes`] end to end; [`Pando::run_typed`] layers a
+//! [`TaskCodec`] on top for applications with native task/result types.
 
 use crate::config::PandoConfig;
 use crate::metrics::ThroughputMeter;
 use crate::protocol::Message;
+use bytes::Bytes;
 use pando_netsim::channel::{pair, Endpoint, RecvError, SendError};
-use pando_pull_stream::duplex::{connect, Duplex, DuplexLink};
-use pando_pull_stream::lender::{Lend, LenderOutput, LenderStats, StreamLender};
-use pando_pull_stream::limit::Limiter;
-use pando_pull_stream::sink::Sink;
-use pando_pull_stream::source::{BoxSource, Source};
+use pando_netsim::codec::{Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
+use pando_pull_stream::codec::TaskCodec;
+use pando_pull_stream::lender::{
+    LenderOutput, LenderStats, StreamLender, SubStreamSink, SubStreamSource,
+};
+use pando_pull_stream::source::Source;
+use pando_pull_stream::sync::Semaphore;
 use pando_pull_stream::{Answer, Request, StreamError};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// The Pando master: accepts volunteers and distributes a stream of values to
 /// them. See the [crate documentation](crate) for a complete example.
@@ -28,10 +39,10 @@ pub struct Pando {
 }
 
 struct MasterState {
-    lender: Option<StreamLender<String, String>>,
+    lender: Option<StreamLender<Bytes, Bytes>>,
     /// Volunteer endpoints accepted before the input stream was attached.
     pending: Vec<(String, Endpoint<Message>)>,
-    links: Vec<DuplexLink>,
+    links: Vec<VolunteerLink>,
     next_volunteer: u64,
     volunteers_connected: u64,
 }
@@ -103,13 +114,7 @@ impl Pando {
         state.volunteers_connected += 1;
         match &state.lender {
             Some(lender) => {
-                let link = wire_volunteer(
-                    lender,
-                    &name,
-                    endpoint,
-                    self.config.batch_size,
-                    self.meter.clone(),
-                );
+                let link = wire_volunteer(lender, &name, endpoint, &self.config, &self.meter);
                 state.links.push(link);
             }
             None => state.pending.push((name, endpoint)),
@@ -127,7 +132,9 @@ impl Pando {
         self.state.lock().lender.as_ref().map(StreamLender::stats)
     }
 
-    /// Attaches the input stream and returns the ordered output stream.
+    /// Attaches the binary input stream and returns the ordered output
+    /// stream. Payloads are opaque [`Bytes`]; use [`Pando::run_typed`] to
+    /// work with an application's native types through a [`TaskCodec`].
     ///
     /// Volunteers registered earlier are wired immediately; others may join
     /// later. The output terminates once the input is exhausted and every
@@ -137,19 +144,13 @@ impl Pando {
     ///
     /// Panics if `run` was already called: a Pando deployment processes a
     /// single stream during its lifetime (design principle DP1).
-    pub fn run(&self, input: impl Source<String> + 'static) -> LenderOutput<String, String> {
+    pub fn run(&self, input: impl Source<Bytes> + 'static) -> LenderOutput<Bytes, Bytes> {
         let mut state = self.state.lock();
         assert!(state.lender.is_none(), "a Pando deployment runs a single stream");
         let lender = StreamLender::new(input);
         let pending: Vec<(String, Endpoint<Message>)> = state.pending.drain(..).collect();
         for (name, endpoint) in pending {
-            let link = wire_volunteer(
-                &lender,
-                &name,
-                endpoint,
-                self.config.batch_size,
-                self.meter.clone(),
-            );
+            let link = wire_volunteer(&lender, &name, endpoint, &self.config, &self.meter);
             state.links.push(link);
         }
         let output = lender.output();
@@ -157,10 +158,36 @@ impl Pando {
         output
     }
 
+    /// Attaches a *typed* input stream through `codec` and returns the
+    /// ordered stream of decoded results.
+    ///
+    /// Tasks are encoded to their binary wire form as the lender reads them
+    /// (lazily), and results are decoded as the output is pulled; the hot
+    /// path in between carries only [`Bytes`]. A result that fails to decode
+    /// terminates the output with its protocol error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream was already attached, like [`Pando::run`].
+    pub fn run_typed<C>(
+        &self,
+        codec: C,
+        input: impl Source<C::Task> + 'static,
+    ) -> impl Source<C::Result> + 'static
+    where
+        C: TaskCodec,
+    {
+        use pando_pull_stream::source::SourceExt;
+        let codec = Arc::new(codec);
+        let encoder = codec.clone();
+        let output = self.run(input.map_values(move |task| encoder.encode_task(&task)));
+        output.try_map(move |payload: Bytes| codec.decode_result(&payload))
+    }
+
     /// Waits for every volunteer pump thread spawned so far to finish.
     /// Useful in tests to assert on final statistics.
     pub fn join_volunteers(&self) {
-        let links: Vec<DuplexLink> = {
+        let links: Vec<VolunteerLink> = {
             let mut state = self.state.lock();
             state.links.drain(..).collect()
         };
@@ -173,109 +200,227 @@ impl Pando {
     }
 }
 
-/// Wires one volunteer endpoint to a fresh sub-stream of the lender through a
-/// Limiter sized by the batch size (paper Figure 7 and Figure 9).
+/// Handle on the dispatcher and receiver pump threads of one volunteer.
+#[derive(Debug)]
+pub struct VolunteerLink {
+    dispatcher: JoinHandle<Result<(), StreamError>>,
+    receiver: JoinHandle<Result<(), StreamError>>,
+}
+
+impl VolunteerLink {
+    /// Waits for both pump threads and reports the first error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stream error reported by either pump.
+    pub fn join(self) -> Result<(), StreamError> {
+        let dispatcher = self
+            .dispatcher
+            .join()
+            .map_err(|_| StreamError::protocol("volunteer dispatcher panicked"))?;
+        let receiver = self
+            .receiver
+            .join()
+            .map_err(|_| StreamError::protocol("volunteer receiver panicked"))?;
+        dispatcher.and(receiver)
+    }
+
+    /// Returns `true` once both pump threads have finished.
+    pub fn is_finished(&self) -> bool {
+        self.dispatcher.is_finished() && self.receiver.is_finished()
+    }
+}
+
+/// Wires one volunteer endpoint to a fresh sub-stream of the lender: a
+/// dispatcher thread that batches borrowed values into task frames, and a
+/// receiver thread that demultiplexes result frames (paper Figures 7 and 9,
+/// with protocol-level batching on top).
 fn wire_volunteer(
-    lender: &StreamLender<String, String>,
+    lender: &StreamLender<Bytes, Bytes>,
     name: &str,
     endpoint: Endpoint<Message>,
-    batch_size: usize,
-    meter: ThroughputMeter,
-) -> DuplexLink {
-    let sub = lender.lend();
-    let (sub_source, sub_sink) = sub.into_duplex();
-    let sub_duplex: Duplex<Lend<String>, Lend<String>> = Duplex::new(sub_source, sub_sink);
-
+    config: &PandoConfig,
+    meter: &ThroughputMeter,
+) -> VolunteerLink {
+    let (source, sink) = lender.lend().into_duplex();
     let endpoint = Arc::new(endpoint);
-    let channel_duplex: Duplex<Lend<String>, Lend<String>> = Duplex {
-        source: Box::new(ChannelResultSource {
-            endpoint: endpoint.clone(),
-            volunteer: name.to_string(),
-            meter,
-        }),
-        sink: Box::new(ChannelTaskSink { endpoint }),
+    // The in-flight window: `batch_size` slots, one per borrowed value that
+    // has not produced a result yet (the Limiter of the original pipeline,
+    // here driving batch coalescing as well).
+    let window = Semaphore::new(config.batch_size);
+    let tasks_per_frame = config.effective_tasks_per_frame();
+
+    let dispatcher = {
+        let endpoint = endpoint.clone();
+        let window = window.clone();
+        let meter = meter.clone();
+        let name = name.to_string();
+        std::thread::Builder::new()
+            .name(format!("pando-dispatch-{name}"))
+            .spawn(move || run_dispatcher(source, endpoint, window, tasks_per_frame, meter, name))
+            .expect("spawn volunteer dispatcher thread")
     };
-    let limited = Limiter::new(batch_size).wrap(channel_duplex);
-    connect(sub_duplex, limited)
+    let receiver = {
+        let name = name.to_string();
+        let meter = meter.clone();
+        std::thread::Builder::new()
+            .name(format!("pando-receive-{name}"))
+            .spawn(move || run_receiver(sink, endpoint, window, meter, name))
+            .expect("spawn volunteer receiver thread")
+    };
+    VolunteerLink { dispatcher, receiver }
 }
 
-/// Master-side source of results coming back from one volunteer.
-struct ChannelResultSource {
+/// Dispatcher pump: borrows values from the sub-stream within the in-flight
+/// window and coalesces whatever is immediately available — up to
+/// `tasks_per_frame` — into one frame.
+fn run_dispatcher(
+    mut source: SubStreamSource<Bytes, Bytes>,
     endpoint: Arc<Endpoint<Message>>,
-    volunteer: String,
+    window: Semaphore,
+    tasks_per_frame: usize,
     meter: ThroughputMeter,
-}
-
-impl Source<Lend<String>> for ChannelResultSource {
-    fn pull(&mut self, request: Request) -> Answer<Lend<String>> {
-        if request.is_termination() {
-            self.endpoint.close();
-            return Answer::Done;
+    name: String,
+) -> Result<(), StreamError> {
+    // A value pulled for a frame that had no byte budget left; it opens the
+    // next frame (its window slot is already held).
+    let mut carry: Option<Record> = None;
+    loop {
+        let first = match carry.take() {
+            Some(record) => record,
+            None => {
+                // One window slot per task; the receiver releases slots as
+                // results return and closes the window when the channel ends.
+                if !window.acquire() {
+                    let _ = source.pull(Request::Abort);
+                    return Ok(());
+                }
+                match source.pull(Request::Ask) {
+                    Answer::Value(lend) => Record::new(lend.seq, lend.value),
+                    Answer::Done => {
+                        endpoint.close();
+                        return Ok(());
+                    }
+                    Answer::Err(err) => {
+                        endpoint.close();
+                        return Err(err);
+                    }
+                }
+            }
+        };
+        // Frame byte budget: batching must never assemble a frame the codec
+        // would reject (its u32 length field caps at MAX_FRAME_LEN).
+        let mut body = 4 + RECORD_HEADER_LEN + first.payload.len();
+        let mut records = vec![first];
+        // Coalesce without blocking: take only values that are ready *now*,
+        // only while window slots remain and only within the byte budget.
+        while records.len() < tasks_per_frame && body < MAX_FRAME_LEN && window.try_acquire() {
+            match source.try_pull() {
+                Some(lend) => {
+                    let add = RECORD_HEADER_LEN + lend.value.len();
+                    if body + add > MAX_FRAME_LEN {
+                        // Keep the value (and its window slot) for the next
+                        // frame instead of overflowing this one.
+                        carry = Some(Record::new(lend.seq, lend.value));
+                        break;
+                    }
+                    body += add;
+                    records.push(Record::new(lend.seq, lend.value));
+                }
+                None => {
+                    window.release();
+                    break;
+                }
+            }
         }
-        loop {
-            match self.endpoint.recv() {
-                Ok(Message::TaskResult { seq, payload }) => {
-                    self.meter.record(&self.volunteer, 1.0);
-                    return Answer::Value(Lend::new(seq, payload));
-                }
-                Ok(Message::TaskError { seq, message }) => {
-                    // The processing function reported an error for this
-                    // value; the volunteer is treated as faulty so the value
-                    // is re-lent to another device (crash-stop model).
-                    return Answer::Err(StreamError::new(format!(
-                        "volunteer {} failed on value {seq}: {message}",
-                        self.volunteer
-                    )));
-                }
-                Ok(Message::Heartbeat) => continue,
-                Ok(Message::Goodbye) | Ok(Message::Task { .. }) => return Answer::Done,
-                Err(RecvError::Closed) => return Answer::Done,
-                Err(RecvError::PeerFailed) => {
-                    return Answer::Err(StreamError::transport(format!(
-                        "volunteer {} disconnected (heartbeat timeout)",
-                        self.volunteer
-                    )));
-                }
-                Err(RecvError::Timeout) | Err(RecvError::Empty) => continue,
+        let message = if records.len() == 1 {
+            let record = records.pop().expect("one record present");
+            Message::Task { seq: record.seq, payload: record.payload }
+        } else {
+            Message::TaskBatch(records)
+        };
+        let size = message.wire_size();
+        let count = message.record_count();
+        match endpoint.send_records_with_size(message, size, count) {
+            Ok(()) => meter.record_wire(&name, size as u64),
+            Err(SendError::Closed) => {
+                let _ = source.pull(Request::Abort);
+                return Ok(());
+            }
+            Err(SendError::PeerFailed) => {
+                let err = StreamError::transport("volunteer failed while sending tasks");
+                let _ = source.pull(Request::Fail(err.clone()));
+                return Err(err);
             }
         }
     }
 }
 
-/// Master-side sink sending tasks to one volunteer.
-struct ChannelTaskSink {
+/// Receiver pump: demultiplexes result frames back into the lender, releases
+/// window slots, and decides how the sub-stream ends.
+fn run_receiver(
+    sink: SubStreamSink<Bytes, Bytes>,
     endpoint: Arc<Endpoint<Message>>,
-}
-
-impl Sink<Lend<String>> for ChannelTaskSink {
-    fn drain(&mut self, mut source: BoxSource<Lend<String>>) -> Result<(), StreamError> {
-        loop {
-            match source.pull(Request::Ask) {
-                Answer::Value(lend) => {
-                    let message = Message::Task { seq: lend.seq, payload: lend.value };
-                    let size = message.wire_size();
-                    match self.endpoint.send_with_size(message, size) {
-                        Ok(()) => {}
-                        Err(SendError::Closed) => {
-                            let _ = source.pull(Request::Abort);
-                            return Ok(());
-                        }
-                        Err(SendError::PeerFailed) => {
-                            let err = StreamError::transport("volunteer failed while sending task");
-                            let _ = source.pull(Request::Fail(err.clone()));
-                            return Err(err);
+    window: Semaphore,
+    meter: ThroughputMeter,
+    name: String,
+) -> Result<(), StreamError> {
+    let accept = |seq: u64, payload: Bytes| {
+        // A late or duplicate result for a value this sub-stream no longer
+        // borrows is dropped (the conservative property makes the other copy
+        // authoritative) — and it neither frees a window slot nor counts as
+        // a completed task, since no in-flight borrow corresponds to it.
+        if sink.push(seq, payload).is_ok() {
+            meter.record(&name, 1.0);
+            window.release();
+        }
+    };
+    loop {
+        match endpoint.recv() {
+            Ok(message @ Message::TaskResult { .. }) | Ok(message @ Message::ResultBatch(_)) => {
+                meter.record_wire(&name, message.wire_size() as u64);
+                match message {
+                    Message::TaskResult { seq, payload } => accept(seq, payload),
+                    Message::ResultBatch(records) => {
+                        for record in records {
+                            accept(record.seq, record.payload);
                         }
                     }
-                }
-                Answer::Done => {
-                    self.endpoint.close();
-                    return Ok(());
-                }
-                Answer::Err(err) => {
-                    self.endpoint.close();
-                    return Err(err);
+                    _ => unreachable!("matched above"),
                 }
             }
+            Ok(Message::TaskError { seq, message }) => {
+                // The processing function reported an error for this value;
+                // the volunteer is treated as faulty so its values are
+                // re-lent to other devices (crash-stop model).
+                sink.finish(false);
+                endpoint.close();
+                window.close();
+                let text = String::from_utf8_lossy(&message).into_owned();
+                return Err(StreamError::new(format!(
+                    "volunteer {name} failed on value {seq}: {text}"
+                )));
+            }
+            Ok(Message::Heartbeat) => continue,
+            Ok(Message::Goodbye) | Ok(Message::Task { .. }) | Ok(Message::TaskBatch(_)) => {
+                // A clean goodbye (or nonsense we treat as end of stream).
+                sink.finish(true);
+                window.close();
+                return Ok(());
+            }
+            Err(RecvError::Closed) => {
+                sink.finish(true);
+                window.close();
+                return Ok(());
+            }
+            Err(RecvError::PeerFailed) => {
+                sink.finish(false);
+                window.close();
+                return Err(StreamError::transport(format!(
+                    "volunteer {name} disconnected (heartbeat timeout)"
+                )));
+            }
+            Err(RecvError::Timeout) | Err(RecvError::Empty) => continue,
         }
     }
 }
@@ -283,21 +428,27 @@ impl Sink<Lend<String>> for ChannelTaskSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::worker::{spawn_worker, WorkerOptions};
+    use crate::worker::{spawn_typed_worker, WorkerOptions};
     use pando_netsim::fault::FaultPlan;
+    use pando_pull_stream::codec::StringCodec;
     use pando_pull_stream::source::{count, SourceExt};
 
-    fn square(input: &str) -> Result<String, StreamError> {
+    #[allow(clippy::ptr_arg)] // must match Fn(&C::Task) with C::Task = String
+    fn square(input: &String) -> Result<String, StreamError> {
         let n: u64 = input.parse().map_err(|_| StreamError::new("not a number"))?;
         Ok((n * n).to_string())
+    }
+
+    fn number_source(n: u64) -> impl Source<String> + 'static {
+        count(n).map_values(|v| v.to_string())
     }
 
     #[test]
     fn single_volunteer_end_to_end() {
         let pando = Pando::new(PandoConfig::local_test());
         let endpoint = pando.open_volunteer_channel();
-        let worker = spawn_worker(endpoint, square, WorkerOptions::default());
-        let output = pando.run(count(30).map_values(|v| v.to_string())).collect_values().unwrap();
+        let worker = spawn_typed_worker(endpoint, StringCodec, square, WorkerOptions::default());
+        let output = pando.run_typed(StringCodec, number_source(30)).collect_values().unwrap();
         assert_eq!(output, (1..=30u64).map(|v| (v * v).to_string()).collect::<Vec<_>>());
         let report = worker.join();
         assert_eq!(report.processed, 30);
@@ -312,9 +463,16 @@ mod tests {
     fn multiple_volunteers_share_work_and_order_is_kept() {
         let pando = Pando::new(PandoConfig::local_test());
         let workers: Vec<_> = (0..4)
-            .map(|_| spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default()))
+            .map(|_| {
+                spawn_typed_worker(
+                    pando.open_volunteer_channel(),
+                    StringCodec,
+                    square,
+                    WorkerOptions::default(),
+                )
+            })
             .collect();
-        let output = pando.run(count(200).map_values(|v| v.to_string())).collect_values().unwrap();
+        let output = pando.run_typed(StringCodec, number_source(200)).collect_values().unwrap();
         assert_eq!(output.len(), 200);
         assert_eq!(output[99], (100u64 * 100).to_string());
         let total: u64 = workers.into_iter().map(|w| w.join().processed).sum();
@@ -325,12 +483,22 @@ mod tests {
     #[test]
     fn volunteer_joining_mid_run_is_used() {
         let pando = Pando::new(PandoConfig::local_test());
-        let first = spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
-        let output_source = pando.run(count(100).map_values(|v| v.to_string()));
+        let first = spawn_typed_worker(
+            pando.open_volunteer_channel(),
+            StringCodec,
+            square,
+            WorkerOptions::default(),
+        );
+        let output_source = pando.run_typed(StringCodec, number_source(100));
         let collector =
             std::thread::spawn(move || pando_pull_stream::sink::collect(output_source).unwrap());
         std::thread::sleep(std::time::Duration::from_millis(10));
-        let second = spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
+        let second = spawn_typed_worker(
+            pando.open_volunteer_channel(),
+            StringCodec,
+            square,
+            WorkerOptions::default(),
+        );
         let output = collector.join().unwrap();
         assert_eq!(output.len(), 100);
         let (a, b) = (first.join().processed, second.join().processed);
@@ -341,14 +509,19 @@ mod tests {
     fn crashed_volunteer_work_is_recovered() {
         let pando = Pando::new(PandoConfig::local_test());
         // A volunteer that crashes after 3 tasks, plus a reliable one.
-        let crashing = spawn_worker(
+        let crashing = spawn_typed_worker(
             pando.open_volunteer_channel(),
+            StringCodec,
             square,
             WorkerOptions { fault: FaultPlan::AfterTasks(3), ..WorkerOptions::default() },
         );
-        let reliable =
-            spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
-        let output = pando.run(count(50).map_values(|v| v.to_string())).collect_values().unwrap();
+        let reliable = spawn_typed_worker(
+            pando.open_volunteer_channel(),
+            StringCodec,
+            square,
+            WorkerOptions::default(),
+        );
+        let output = pando.run_typed(StringCodec, number_source(50)).collect_values().unwrap();
         assert_eq!(output, (1..=50u64).map(|v| (v * v).to_string()).collect::<Vec<_>>());
         assert!(crashing.join().crashed);
         assert!(!reliable.join().crashed);
@@ -363,7 +536,7 @@ mod tests {
         let pando = Pando::new(PandoConfig::local_test());
         // The first worker fails on every odd value; a healthy worker joins
         // afterwards and completes the stream.
-        let flaky = |input: &str| -> Result<String, StreamError> {
+        let flaky = |input: &String| -> Result<String, StreamError> {
             let n: u64 = input.parse().unwrap();
             if n % 2 == 1 {
                 Err(StreamError::new("odd values unsupported"))
@@ -371,15 +544,20 @@ mod tests {
                 Ok(n.to_string())
             }
         };
-        let flaky_worker =
-            spawn_worker(pando.open_volunteer_channel(), flaky, WorkerOptions::default());
-        let output_source = pando.run(count(10).map_values(|v| v.to_string()));
+        let flaky_worker = spawn_typed_worker(
+            pando.open_volunteer_channel(),
+            StringCodec,
+            flaky,
+            WorkerOptions::default(),
+        );
+        let output_source = pando.run_typed(StringCodec, number_source(10));
         let collector =
             std::thread::spawn(move || pando_pull_stream::sink::collect(output_source).unwrap());
         std::thread::sleep(std::time::Duration::from_millis(50));
-        let healthy = spawn_worker(
+        let healthy = spawn_typed_worker(
             pando.open_volunteer_channel(),
-            |s: &str| Ok(s.to_string()),
+            StringCodec,
+            |s: &String| Ok(s.clone()),
             WorkerOptions::default(),
         );
         let output = collector.join().unwrap();
@@ -392,18 +570,99 @@ mod tests {
     #[should_panic(expected = "single stream")]
     fn run_twice_is_rejected() {
         let pando = Pando::new(PandoConfig::local_test());
-        let _ = pando.run(count(1).map_values(|v| v.to_string()));
-        let _ = pando.run(count(1).map_values(|v| v.to_string()));
+        let _ = pando.run_typed(StringCodec, number_source(1));
+        let _ = pando.run_typed(StringCodec, number_source(1));
     }
 
     #[test]
     fn meter_records_volunteer_activity() {
         let pando = Pando::new(PandoConfig::local_test());
-        let worker = spawn_worker(pando.open_volunteer_channel(), square, WorkerOptions::default());
-        let _ = pando.run(count(10).map_values(|v| v.to_string())).collect_values().unwrap();
+        let worker = spawn_typed_worker(
+            pando.open_volunteer_channel(),
+            StringCodec,
+            square,
+            WorkerOptions::default(),
+        );
+        let _ = pando.run_typed(StringCodec, number_source(10)).collect_values().unwrap();
         worker.join();
         let report = pando.meter().report();
         assert_eq!(report.rows.len(), 1);
         assert_eq!(report.rows[0].tasks, 10);
+        assert!(report.rows[0].wire_bytes > 0, "wire traffic is accounted");
+    }
+
+    #[test]
+    fn batched_dispatch_coalesces_frames() {
+        // A wide window and one worker: the dispatcher should pack several
+        // tasks per frame, so far fewer frames than tasks cross the wire.
+        let config = PandoConfig::local_test().with_batch_size(16);
+        let pando = Pando::new(config);
+        let worker = spawn_typed_worker(
+            pando.open_volunteer_channel(),
+            StringCodec,
+            square,
+            WorkerOptions::default(),
+        );
+        let output = pando.run_typed(StringCodec, number_source(200)).collect_values().unwrap();
+        assert_eq!(output.len(), 200);
+        worker.join();
+        pando.join_volunteers();
+        let report = pando.meter().report();
+        let row = &report.rows[0];
+        assert_eq!(row.tasks, 200);
+        assert!(
+            row.wire_frames < 2 * row.tasks,
+            "batching must send fewer frames ({}) than the two-per-task unbatched protocol",
+            row.wire_frames
+        );
+    }
+
+    #[test]
+    fn tasks_per_frame_one_reproduces_the_unbatched_protocol() {
+        let config = PandoConfig::local_test().with_batch_size(8).with_tasks_per_frame(1);
+        let pando = Pando::new(config);
+        let worker = spawn_typed_worker(
+            pando.open_volunteer_channel(),
+            StringCodec,
+            square,
+            WorkerOptions::default(),
+        );
+        let output = pando.run_typed(StringCodec, number_source(40)).collect_values().unwrap();
+        assert_eq!(output.len(), 40);
+        worker.join();
+        pando.join_volunteers();
+        let report = pando.meter().report();
+        // One task frame out and one result frame back per value.
+        assert_eq!(report.rows[0].wire_frames, 80);
+    }
+
+    #[test]
+    fn raw_bytes_run_carries_binary_payloads() {
+        let pando = Pando::new(PandoConfig::local_test());
+        let worker = crate::worker::spawn_worker(
+            pando.open_volunteer_channel(),
+            |input: &Bytes| {
+                let mut out = input.to_vec();
+                out.reverse();
+                Ok(Bytes::from(out))
+            },
+            WorkerOptions::default(),
+        );
+        use pando_pull_stream::source::from_iter;
+        let inputs: Vec<Bytes> = vec![
+            Bytes::copy_from_slice(&[0, 1, 2, b'\n', 255]),
+            Bytes::new(),
+            Bytes::copy_from_slice(b"abc"),
+        ];
+        let output = pando.run(from_iter(inputs)).collect_values().unwrap();
+        assert_eq!(
+            output,
+            vec![
+                Bytes::copy_from_slice(&[255, b'\n', 2, 1, 0]),
+                Bytes::new(),
+                Bytes::copy_from_slice(b"cba"),
+            ]
+        );
+        worker.join();
     }
 }

@@ -21,6 +21,8 @@ struct MeterState {
     started_at: Instant,
     counts: BTreeMap<String, u64>,
     units: BTreeMap<String, f64>,
+    bytes: BTreeMap<String, u64>,
+    frames: BTreeMap<String, u64>,
 }
 
 impl ThroughputMeter {
@@ -31,6 +33,8 @@ impl ThroughputMeter {
                 started_at: Instant::now(),
                 counts: BTreeMap::new(),
                 units: BTreeMap::new(),
+                bytes: BTreeMap::new(),
+                frames: BTreeMap::new(),
             })),
         }
     }
@@ -42,18 +46,38 @@ impl ThroughputMeter {
         *state.units.entry(device.to_string()).or_insert(0.0) += units;
     }
 
+    /// Records that one wire frame of `bytes` payload bytes travelled on the
+    /// channel of `device` (either direction). Together with the task count
+    /// this exposes the protocol overhead per task: batching drives the
+    /// frames-per-task ratio below one.
+    pub fn record_wire(&self, device: &str, bytes: u64) {
+        let mut state = self.inner.lock();
+        *state.bytes.entry(device.to_string()).or_insert(0) += bytes;
+        *state.frames.entry(device.to_string()).or_insert(0) += 1;
+    }
+
     /// Renders the counts observed so far into a report.
     pub fn report(&self) -> ThroughputReport {
         let state = self.inner.lock();
         let elapsed = state.started_at.elapsed();
-        let rows = state
-            .counts
-            .iter()
-            .map(|(device, count)| DeviceThroughput {
-                device: device.clone(),
-                tasks: *count,
-                units: state.units[device],
-                throughput: state.units[device] / elapsed.as_secs_f64().max(1e-9),
+        let mut devices: Vec<&String> = state.counts.keys().collect();
+        for device in state.bytes.keys() {
+            if !state.counts.contains_key(device) {
+                devices.push(device);
+            }
+        }
+        let rows = devices
+            .into_iter()
+            .map(|device| {
+                let units = state.units.get(device).copied().unwrap_or(0.0);
+                DeviceThroughput {
+                    device: device.clone(),
+                    tasks: state.counts.get(device).copied().unwrap_or(0),
+                    units,
+                    throughput: units / elapsed.as_secs_f64().max(1e-9),
+                    wire_bytes: state.bytes.get(device).copied().unwrap_or(0),
+                    wire_frames: state.frames.get(device).copied().unwrap_or(0),
+                }
             })
             .collect();
         ThroughputReport { elapsed, rows }
@@ -77,6 +101,10 @@ pub struct DeviceThroughput {
     pub units: f64,
     /// Average throughput in units per second.
     pub throughput: f64,
+    /// Payload bytes that travelled on this device's channel.
+    pub wire_bytes: u64,
+    /// Wire frames that carried those bytes (batching lowers frames/task).
+    pub wire_frames: u64,
 }
 
 /// The per-device throughput rows of one run.
@@ -97,6 +125,16 @@ impl ThroughputReport {
     /// Total number of units completed across devices.
     pub fn total_units(&self) -> f64 {
         self.rows.iter().map(|r| r.units).sum()
+    }
+
+    /// Total payload bytes on the wire across devices.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.rows.iter().map(|r| r.wire_bytes).sum()
+    }
+
+    /// Total wire frames across devices.
+    pub fn total_wire_frames(&self) -> u64 {
+        self.rows.iter().map(|r| r.wire_frames).sum()
     }
 
     /// The share (in percent) of the total contributed by `device`, as in the
@@ -149,6 +187,24 @@ mod tests {
         assert!(report.rows[0].throughput > 0.0);
         assert!(report.total_throughput() > 0.0);
         assert!(report.elapsed >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn wire_counters_accumulate_per_device() {
+        let meter = ThroughputMeter::new();
+        meter.record("tablet", 1.0);
+        meter.record_wire("tablet", 120);
+        meter.record_wire("tablet", 60);
+        // A device that only produced traffic so far still gets a row.
+        meter.record_wire("phone", 40);
+        let report = meter.report();
+        assert_eq!(report.rows.len(), 2);
+        let tablet = report.rows.iter().find(|r| r.device == "tablet").unwrap();
+        assert_eq!((tablet.wire_bytes, tablet.wire_frames), (180, 2));
+        let phone = report.rows.iter().find(|r| r.device == "phone").unwrap();
+        assert_eq!((phone.tasks, phone.wire_bytes), (0, 40));
+        assert_eq!(report.total_wire_bytes(), 220);
+        assert_eq!(report.total_wire_frames(), 3);
     }
 
     #[test]

@@ -6,11 +6,16 @@
 //! block, reads Pando's output stream, and moves on to the next block once a
 //! valid nonce is found. Both the chain of blocks and the nonce space are
 //! potentially infinite, which the lazy streaming model handles naturally.
+//!
+//! Attempts and outcomes travel through the typed
+//! [`pando_workloads::app::CryptoCodec`] — native structs at both ends,
+//! compact binary payloads on the wire.
 
 use crate::master::Pando;
 use pando_pull_stream::source::Source;
 use pando_pull_stream::{Answer, Request};
-use pando_workloads::crypto;
+use pando_workloads::app::CryptoCodec;
+use pando_workloads::crypto::{self, MiningAttempt};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -77,7 +82,7 @@ impl MiningMonitor {
         let blocks = self.blocks.clone();
         let difficulty = self.difficulty_bits;
         let range = self.range_size;
-        let input = move |request: Request| -> Answer<String> {
+        let input = move |request: Request| -> Answer<MiningAttempt> {
             if request.is_termination() {
                 return Answer::Done;
             }
@@ -88,28 +93,20 @@ impl MiningMonitor {
             let start = state.next_nonce;
             state.next_nonce += range;
             state.attempts_for_block += 1;
-            let attempt = format!(
-                "{}|{}|{}|{}",
-                blocks[state.current_block],
-                start,
-                start + range,
-                difficulty
-            );
-            Answer::Value(attempt)
+            Answer::Value(MiningAttempt {
+                block: blocks[state.current_block].clone(),
+                nonce_start: start,
+                nonce_end: start + range,
+                difficulty_bits: difficulty,
+            })
         };
 
-        let mut output = pando.run(input);
+        let mut output = pando.run_typed(CryptoCodec, input);
         let mut solved = Vec::new();
         loop {
             match output.pull(Request::Ask) {
-                Answer::Value(result) => {
-                    // Result format: "found,<nonce>,<hashes>" or "failed,,<hashes>".
-                    let mut fields = result.split(',');
-                    let status = fields.next().unwrap_or("");
-                    if status != "found" {
-                        continue;
-                    }
-                    let Some(nonce) = fields.next().and_then(|n| n.parse::<u64>().ok()) else {
+                Answer::Value(outcome) => {
+                    let Some(nonce) = outcome.nonce else {
                         continue;
                     };
                     let mut state = state.lock();
@@ -143,6 +140,7 @@ mod tests {
     use super::*;
     use crate::config::PandoConfig;
     use crate::worker::{spawn_worker, WorkerOptions};
+    use bytes::Bytes;
     use pando_workloads::app::AppKind;
 
     #[test]
@@ -159,7 +157,7 @@ mod tests {
                 let app = AppKind::CryptoMining.instantiate();
                 spawn_worker(
                     pando.open_volunteer_channel(),
-                    move |input: &str| app.process(input),
+                    move |input: &Bytes| app.process(input),
                     WorkerOptions::default(),
                 )
             })
@@ -185,7 +183,7 @@ mod tests {
         let pando = Pando::new(PandoConfig::local_test());
         let worker = spawn_worker(
             pando.open_volunteer_channel(),
-            |s: &str| Ok(s.to_string()),
+            |input: &Bytes| Ok(bytes::Bytes::copy_from_slice(input)),
             WorkerOptions::default(),
         );
         let monitor = MiningMonitor::new(Vec::new(), 8, 100);

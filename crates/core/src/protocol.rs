@@ -1,38 +1,58 @@
 //! Wire messages exchanged between the master and the workers.
 //!
-//! Values and results are strings (the `'/pando/1.0.0'` convention); each
-//! message is framed with the length-delimited codec of
-//! [`pando_netsim::codec`] so that its wire size is realistic and measurable.
+//! The original Pando streams base64-encoded *strings* (the `'/pando/1.0.0'`
+//! convention); this reproduction's protocol is binary end to end. Every
+//! task and result payload is a [`Bytes`] buffer, the sequence number is a
+//! fixed 8-byte big-endian header (no `format!`/`parse` on the hot path),
+//! and the batched variants pack many `(seq, payload)` records into a single
+//! length-delimited frame of [`pando_netsim::codec`] so a whole batch pays
+//! the channel round-trip once.
+//!
+//! Wire layout (after the 5-byte frame header `tag, u32 len`):
+//!
+//! | Message | Body |
+//! |---|---|
+//! | `Task`, `TaskResult`, `TaskError` | `u64 seq` then the raw payload |
+//! | `TaskBatch`, `ResultBatch` | `u32 count` then per record `u64 seq, u32 len, payload` |
+//! | `Heartbeat`, `Goodbye` | empty |
 
-use bytes::BytesMut;
-use pando_netsim::codec::{decode_frame, encode_frame};
+use bytes::{Bytes, BytesMut};
+use pando_netsim::codec::{
+    decode_frame, decode_record_body, encode_frame, encode_record_body, record_body_len, Record,
+    FRAME_HEADER_LEN,
+};
 use pando_pull_stream::StreamError;
 
 /// A message of the Pando master/worker protocol.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     /// A value to process, tagged with its position in the input stream.
     Task {
         /// Sequence number of the value in the input stream.
         seq: u64,
-        /// The serialized input value.
-        payload: String,
+        /// The encoded input value.
+        payload: Bytes,
     },
     /// The result of a processed value.
     TaskResult {
         /// Sequence number of the value this result answers.
         seq: u64,
-        /// The serialized result value.
-        payload: String,
+        /// The encoded result value.
+        payload: Bytes,
     },
     /// The worker reports an application error for a value; the master treats
     /// the worker as faulty and re-lends the value elsewhere.
     TaskError {
         /// Sequence number of the value that failed.
         seq: u64,
-        /// Error message produced by the processing function.
-        message: String,
+        /// UTF-8 error message produced by the processing function.
+        message: Bytes,
     },
+    /// Several tasks coalesced into one frame: the whole batch pays the
+    /// channel latency and framing overhead once.
+    TaskBatch(Vec<Record>),
+    /// Several results coalesced into one frame by the worker.
+    ResultBatch(Vec<Record>),
     /// Periodic liveness signal.
     Heartbeat,
     /// The sender is leaving cleanly and will not send anything else.
@@ -44,26 +64,85 @@ const TAG_RESULT: u8 = 2;
 const TAG_ERROR: u8 = 3;
 const TAG_HEARTBEAT: u8 = 4;
 const TAG_GOODBYE: u8 = 5;
+const TAG_TASK_BATCH: u8 = 6;
+const TAG_RESULT_BATCH: u8 = 7;
+
+/// Body of a single `(seq, payload)` message: the fixed 8-byte big-endian
+/// sequence header followed by the raw payload.
+fn encode_seq_body(seq: u64, payload: &[u8]) -> Bytes {
+    let mut body = BytesMut::with_capacity(8 + payload.len());
+    body.extend_from_slice(&seq.to_be_bytes());
+    body.extend_from_slice(payload);
+    body.freeze()
+}
+
+/// Splits a single-record body into its sequence header and payload. The
+/// payload is a zero-copy slice of `body`.
+fn decode_seq_body(body: &Bytes) -> Result<(u64, Bytes), StreamError> {
+    if body.len() < 8 {
+        return Err(StreamError::protocol("message body shorter than its sequence header"));
+    }
+    let seq = u64::from_be_bytes(body[..8].try_into().expect("checked length above"));
+    Ok((seq, body.slice(8..)))
+}
 
 impl Message {
     /// Encodes the message as one length-delimited frame.
-    pub fn encode(&self) -> Vec<u8> {
-        let (tag, body) = match self {
-            Message::Task { seq, payload } => (TAG_TASK, format!("{seq}\n{payload}")),
-            Message::TaskResult { seq, payload } => (TAG_RESULT, format!("{seq}\n{payload}")),
-            Message::TaskError { seq, message } => (TAG_ERROR, format!("{seq}\n{message}")),
-            Message::Heartbeat => (TAG_HEARTBEAT, String::new()),
-            Message::Goodbye => (TAG_GOODBYE, String::new()),
-        };
-        encode_frame(tag, body.as_bytes()).to_vec()
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error if the payload (or batch body) exceeds the
+    /// frame-size limit of [`pando_netsim::codec::MAX_FRAME_LEN`]; an
+    /// infallible encode would silently truncate the length field.
+    pub fn encode(&self) -> Result<Bytes, StreamError> {
+        match self {
+            Message::Task { seq, payload } => {
+                encode_frame(TAG_TASK, &encode_seq_body(*seq, payload))
+            }
+            Message::TaskResult { seq, payload } => {
+                encode_frame(TAG_RESULT, &encode_seq_body(*seq, payload))
+            }
+            Message::TaskError { seq, message } => {
+                encode_frame(TAG_ERROR, &encode_seq_body(*seq, message))
+            }
+            Message::TaskBatch(records) => {
+                encode_frame(TAG_TASK_BATCH, &encode_record_body(records)?)
+            }
+            Message::ResultBatch(records) => {
+                encode_frame(TAG_RESULT_BATCH, &encode_record_body(records)?)
+            }
+            Message::Heartbeat => encode_frame(TAG_HEARTBEAT, b""),
+            Message::Goodbye => encode_frame(TAG_GOODBYE, b""),
+        }
     }
 
     /// Size in bytes of the encoded message, used for bandwidth modelling.
+    /// Computed arithmetically — no allocation or encoding pass.
     pub fn wire_size(&self) -> usize {
-        self.encode().len()
+        FRAME_HEADER_LEN
+            + match self {
+                Message::Task { payload, .. }
+                | Message::TaskResult { payload, .. }
+                | Message::TaskError { message: payload, .. } => 8 + payload.len(),
+                Message::TaskBatch(records) | Message::ResultBatch(records) => {
+                    record_body_len(records)
+                }
+                Message::Heartbeat | Message::Goodbye => 0,
+            }
     }
 
-    /// Decodes a message from one encoded frame.
+    /// Number of task/result records the message carries, for per-record
+    /// channel accounting.
+    pub fn record_count(&self) -> u64 {
+        match self {
+            Message::Task { .. } | Message::TaskResult { .. } | Message::TaskError { .. } => 1,
+            Message::TaskBatch(records) | Message::ResultBatch(records) => records.len() as u64,
+            Message::Heartbeat | Message::Goodbye => 0,
+        }
+    }
+
+    /// Decodes a message from one encoded frame. Record payloads are
+    /// zero-copy slices of the frame buffer.
     ///
     /// # Errors
     ///
@@ -73,30 +152,21 @@ impl Message {
         let mut buf = BytesMut::from(frame);
         let decoded = decode_frame(&mut buf)?
             .ok_or_else(|| StreamError::protocol("truncated message frame"))?;
-        let body = String::from_utf8(decoded.payload.to_vec())
-            .map_err(|_| StreamError::protocol("message body is not valid UTF-8"))?;
-        let parse_seq_body = |body: &str| -> Result<(u64, String), StreamError> {
-            let (seq, rest) = body
-                .split_once('\n')
-                .ok_or_else(|| StreamError::protocol("missing sequence separator"))?;
-            let seq = seq
-                .parse()
-                .map_err(|_| StreamError::protocol("sequence number is not an integer"))?;
-            Ok((seq, rest.to_string()))
-        };
         match decoded.tag {
             TAG_TASK => {
-                let (seq, payload) = parse_seq_body(&body)?;
+                let (seq, payload) = decode_seq_body(&decoded.payload)?;
                 Ok(Message::Task { seq, payload })
             }
             TAG_RESULT => {
-                let (seq, payload) = parse_seq_body(&body)?;
+                let (seq, payload) = decode_seq_body(&decoded.payload)?;
                 Ok(Message::TaskResult { seq, payload })
             }
             TAG_ERROR => {
-                let (seq, message) = parse_seq_body(&body)?;
+                let (seq, message) = decode_seq_body(&decoded.payload)?;
                 Ok(Message::TaskError { seq, message })
             }
+            TAG_TASK_BATCH => Ok(Message::TaskBatch(decode_record_body(&decoded.payload)?)),
+            TAG_RESULT_BATCH => Ok(Message::ResultBatch(decode_record_body(&decoded.payload)?)),
             TAG_HEARTBEAT => Ok(Message::Heartbeat),
             TAG_GOODBYE => Ok(Message::Goodbye),
             other => Err(StreamError::protocol(format!("unknown message tag {other}"))),
@@ -108,33 +178,88 @@ impl Message {
 mod tests {
     use super::*;
 
+    fn bytes(data: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+
     #[test]
     fn round_trip_every_variant() {
         let messages = [
-            Message::Task { seq: 0, payload: "0.52".to_string() },
-            Message::TaskResult { seq: 7, payload: "Zm9vYmFy".to_string() },
-            Message::TaskError { seq: 3, message: "render failed".to_string() },
+            Message::Task { seq: 0, payload: bytes(b"0.52") },
+            Message::TaskResult { seq: 7, payload: bytes(b"foobar") },
+            Message::TaskError { seq: 3, message: bytes(b"render failed") },
+            Message::TaskBatch(vec![
+                Record::new(1, bytes(b"a")),
+                Record::new(2, bytes(b"")),
+                Record::new(u64::MAX, bytes(&[0, 10, 255])),
+            ]),
+            Message::ResultBatch(vec![Record::new(9, bytes(b"r"))]),
             Message::Heartbeat,
             Message::Goodbye,
         ];
         for message in messages {
-            let encoded = message.encode();
+            let encoded = message.encode().unwrap();
             assert_eq!(Message::decode(&encoded).unwrap(), message);
+            assert_eq!(encoded.len(), message.wire_size(), "wire_size must match the encoding");
         }
     }
 
     #[test]
-    fn payloads_with_newlines_survive() {
-        let message = Message::Task { seq: 1, payload: "line1\nline2\nline3".to_string() };
-        assert_eq!(Message::decode(&message.encode()).unwrap(), message);
+    fn binary_payloads_survive() {
+        // Newlines, NUL bytes and invalid UTF-8 are all fine: the seq header
+        // is fixed-width, not separator-based.
+        let payload = bytes(&[b'\n', 0, 0xff, 0xfe, b'\n', 0]);
+        let message = Message::Task { seq: 1, payload };
+        assert_eq!(Message::decode(&message.encode().unwrap()).unwrap(), message);
     }
 
     #[test]
     fn wire_size_grows_with_payload() {
-        let small = Message::Task { seq: 0, payload: "x".to_string() };
-        let large = Message::Task { seq: 0, payload: "x".repeat(10_000) };
+        let small = Message::Task { seq: 0, payload: bytes(b"x") };
+        let large = Message::Task { seq: 0, payload: Bytes::from(vec![b'x'; 10_000]) };
         assert!(large.wire_size() > small.wire_size() + 9_000);
         assert!(Message::Heartbeat.wire_size() < 10);
+    }
+
+    #[test]
+    fn batching_amortises_framing_overhead() {
+        // Per record the batch pays a 4-byte length field more than a single
+        // frame's body, but saves the 5-byte frame header — so beyond ~9
+        // records a batch is also smaller in bytes, on top of collapsing N
+        // channel round-trips into one.
+        let singles: usize =
+            (0..16).map(|seq| Message::Task { seq, payload: bytes(b"payload") }.wire_size()).sum();
+        let batch =
+            Message::TaskBatch((0..16).map(|seq| Record::new(seq, bytes(b"payload"))).collect());
+        assert!(
+            batch.wire_size() < singles,
+            "batch {} must be smaller than 16 single frames {singles}",
+            batch.wire_size()
+        );
+        assert_eq!(batch.record_count(), 16);
+        assert_eq!(Message::Heartbeat.record_count(), 0);
+    }
+
+    #[test]
+    fn decoded_batch_payloads_share_one_allocation() {
+        let message = Message::TaskBatch(vec![
+            Record::new(0, bytes(b"first")),
+            Record::new(1, bytes(b"second")),
+        ]);
+        let Message::TaskBatch(records) = Message::decode(&message.encode().unwrap()).unwrap()
+        else {
+            panic!("expected a task batch");
+        };
+        assert!(records[0].payload.shares_allocation_with(&records[1].payload));
+    }
+
+    #[test]
+    fn oversized_message_encode_fails_cleanly() {
+        let message = Message::Task {
+            seq: 0,
+            payload: Bytes::from(vec![0u8; pando_netsim::codec::MAX_FRAME_LEN + 1]),
+        };
+        assert!(message.encode().unwrap_err().is_protocol());
     }
 
     #[test]
@@ -142,13 +267,13 @@ mod tests {
         assert!(Message::decode(&[]).is_err());
         assert!(Message::decode(&[1, 2, 3]).is_err());
         // Unknown tag.
-        let frame = pando_netsim::codec::encode_frame(42, b"0\nx");
+        let frame = encode_frame(42, &encode_seq_body(0, b"x")).unwrap();
         assert!(Message::decode(&frame).is_err());
-        // Task without a sequence separator.
-        let frame = pando_netsim::codec::encode_frame(1, b"no-separator");
+        // Task too short for the fixed seq header.
+        let frame = encode_frame(TAG_TASK, b"1234").unwrap();
         assert!(Message::decode(&frame).is_err());
-        // Non-numeric sequence number.
-        let frame = pando_netsim::codec::encode_frame(1, b"abc\npayload");
+        // Batch with a corrupt record body.
+        let frame = encode_frame(TAG_TASK_BATCH, &[0, 0, 0, 5]).unwrap();
         assert!(Message::decode(&frame).is_err());
     }
 }

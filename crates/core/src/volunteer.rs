@@ -3,15 +3,17 @@
 //! A volunteer starts as a *candidate* (it opened the volunteer URL and is
 //! negotiating a connection) and becomes a *processor* once its channel is
 //! established and the worker code is running (paper Figure 7). This module
-//! wires the [`Pando`](crate::master::Pando) master to a
-//! [`PublicServer`](pando_netsim::signaling::PublicServer) so volunteers can
+//! wires the [`crate::master::Pando`] master to a
+//! [`pando_netsim::signaling::PublicServer`] so volunteers can
 //! join by "opening a URL", exactly like the deployment story of the paper.
 
 use crate::master::Pando;
 use crate::protocol::Message;
-use crate::worker::{spawn_worker, WorkerHandle, WorkerOptions};
+use crate::worker::{spawn_typed_worker, WorkerHandle, WorkerOptions};
+use bytes::Bytes;
 use pando_netsim::channel::ChannelKind;
 use pando_netsim::signaling::{PublicServer, VolunteerUrl};
+use pando_pull_stream::codec::TaskCodec;
 use pando_pull_stream::StreamError;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -73,31 +75,55 @@ pub fn serve(
 }
 
 /// Joins the deployment at `url` as a volunteer device and starts processing
-/// with `process`.
+/// with the typed function `process` through `codec` — the bundle the
+/// volunteer's browser would download.
 ///
 /// # Errors
 ///
 /// Returns an error if the deployment no longer accepts volunteers.
-pub fn join_as_volunteer<F>(
+pub fn join_as_volunteer<C, F>(
+    server: &PublicServer<Message>,
+    url: &VolunteerUrl,
+    codec: C,
+    process: F,
+    options: WorkerOptions,
+) -> Result<(WorkerHandle, ChannelKind), StreamError>
+where
+    C: TaskCodec,
+    F: Fn(&C::Task) -> Result<C::Result, StreamError> + Send + 'static,
+{
+    let (endpoint, kind) = server.join(url)?;
+    Ok((spawn_typed_worker(endpoint, codec, process, options), kind))
+}
+
+/// Like [`join_as_volunteer`] but with a processing function over the raw
+/// binary payloads, for bundles that do their own decoding.
+///
+/// # Errors
+///
+/// Returns an error if the deployment no longer accepts volunteers.
+pub fn join_as_raw_volunteer<F>(
     server: &PublicServer<Message>,
     url: &VolunteerUrl,
     process: F,
     options: WorkerOptions,
 ) -> Result<(WorkerHandle, ChannelKind), StreamError>
 where
-    F: Fn(&str) -> Result<String, StreamError> + Send + 'static,
+    F: Fn(&Bytes) -> Result<Bytes, StreamError> + Send + 'static,
 {
     let (endpoint, kind) = server.join(url)?;
-    Ok((spawn_worker(endpoint, process, options), kind))
+    Ok((crate::worker::spawn_worker(endpoint, process, options), kind))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::PandoConfig;
+    use pando_pull_stream::codec::StringCodec;
     use pando_pull_stream::source::{count, SourceExt};
 
-    fn double(input: &str) -> Result<String, StreamError> {
+    #[allow(clippy::ptr_arg)] // must match Fn(&C::Task) with C::Task = String
+    fn double(input: &String) -> Result<String, StreamError> {
         let n: u64 = input.parse().map_err(|_| StreamError::new("nan"))?;
         Ok((n * 2).to_string())
     }
@@ -110,13 +136,18 @@ mod tests {
 
         // Two friends open the URL in their browser.
         let (worker_a, kind_a) =
-            join_as_volunteer(&server, &url, double, WorkerOptions::default()).unwrap();
+            join_as_volunteer(&server, &url, StringCodec, double, WorkerOptions::default())
+                .unwrap();
         let (worker_b, kind_b) =
-            join_as_volunteer(&server, &url, double, WorkerOptions::default()).unwrap();
+            join_as_volunteer(&server, &url, StringCodec, double, WorkerOptions::default())
+                .unwrap();
         assert_eq!(kind_a, ChannelKind::WebRtc, "open NAT gives direct connections");
         assert_eq!(kind_b, ChannelKind::WebRtc);
 
-        let output = pando.run(count(40).map_values(|v| v.to_string())).collect_values().unwrap();
+        let output = pando
+            .run_typed(StringCodec, count(40).map_values(|v| v.to_string()))
+            .collect_values()
+            .unwrap();
         assert_eq!(output, (1..=40u64).map(|v| (v * 2).to_string()).collect::<Vec<_>>());
 
         server.unhost(&url);
@@ -128,12 +159,42 @@ mod tests {
     }
 
     #[test]
+    fn raw_volunteers_process_binary_payloads() {
+        let server: Arc<PublicServer<Message>> = Arc::new(PublicServer::local());
+        let pando = Pando::new(PandoConfig::local_test());
+        let (url, acceptor) = serve(&pando, &server);
+        let (worker, _kind) = join_as_raw_volunteer(
+            &server,
+            &url,
+            |input: &Bytes| Ok(Bytes::copy_from_slice(&[input.len() as u8])),
+            WorkerOptions::default(),
+        )
+        .unwrap();
+        let inputs =
+            vec![Bytes::copy_from_slice(&[0, 0, 0]), Bytes::new(), Bytes::copy_from_slice(b"xy")];
+        let output =
+            pando.run(pando_pull_stream::source::from_iter(inputs)).collect_values().unwrap();
+        assert_eq!(
+            output,
+            vec![
+                Bytes::copy_from_slice(&[3]),
+                Bytes::copy_from_slice(&[0]),
+                Bytes::copy_from_slice(&[2]),
+            ]
+        );
+        server.unhost(&url);
+        acceptor.join().unwrap();
+        let _ = worker.join();
+    }
+
+    #[test]
     fn joining_after_unhost_fails() {
         let server: Arc<PublicServer<Message>> = Arc::new(PublicServer::local());
         let pando = Pando::new(PandoConfig::local_test());
         let (url, acceptor) = serve(&pando, &server);
         server.unhost(&url);
-        let err = join_as_volunteer(&server, &url, double, WorkerOptions::default()).unwrap_err();
+        let err = join_as_volunteer(&server, &url, StringCodec, double, WorkerOptions::default())
+            .unwrap_err();
         assert!(err.is_transport());
         acceptor.join().unwrap();
     }

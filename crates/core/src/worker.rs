@@ -1,15 +1,25 @@
 //! The volunteer-side worker loop.
 //!
 //! A worker is the code that runs inside a volunteer's browser tab: it
-//! receives tasks over its channel, applies the user-provided processing
-//! function (the `AsyncMap(f)` module of paper Figure 7), and sends results
-//! back. It may crash at a scripted point (fault injection) to reproduce the
-//! failure scenarios of the evaluation.
+//! receives task frames over its channel — single tasks or whole batches —
+//! applies the processing function (the `AsyncMap(f)` module of paper
+//! Figure 7) to each record, and replies in kind: one result for a single
+//! task, one coalesced [`Message::ResultBatch`] for a batch. Payloads are
+//! opaque bytes; [`spawn_typed_worker`] layers a [`TaskCodec`] on top for
+//! processing functions with native types. A worker may crash at a scripted
+//! point (fault injection) to reproduce the failure scenarios of the
+//! evaluation, and a *panicking* processing function is reported as a crash
+//! instead of poisoning the joiner.
 
 use crate::protocol::Message;
+use bytes::Bytes;
 use pando_netsim::channel::{Endpoint, RecvError, SendError};
+use pando_netsim::codec::{record_body_len, Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
 use pando_netsim::fault::FaultPlan;
+use pando_pull_stream::codec::{Payload, TaskCodec};
 use pando_pull_stream::StreamError;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Options controlling one worker.
@@ -30,8 +40,9 @@ pub struct WorkerReport {
     pub processed: u64,
     /// Number of tasks whose processing function returned an error.
     pub errors: u64,
-    /// `true` if the worker crashed (fault injection), `false` if it left
-    /// cleanly after the master closed the stream.
+    /// `true` if the worker crashed (fault injection or a panicking
+    /// processing function), `false` if it left cleanly after the master
+    /// closed the stream.
     pub crashed: bool,
 }
 
@@ -39,12 +50,19 @@ pub struct WorkerReport {
 #[derive(Debug)]
 pub struct WorkerHandle {
     handle: JoinHandle<WorkerReport>,
+    name: String,
 }
 
 impl WorkerHandle {
     /// Waits for the worker to finish and returns its report.
+    ///
+    /// A worker whose processing function panicked is reported as `crashed`
+    /// — the panic is contained inside the worker thread and never poisons
+    /// the joining thread.
     pub fn join(self) -> WorkerReport {
-        self.handle.join().expect("worker threads do not panic")
+        let fallback =
+            WorkerReport { name: self.name.clone(), processed: 0, errors: 0, crashed: true };
+        self.handle.join().unwrap_or(fallback)
     }
 
     /// Returns `true` once the worker thread has finished.
@@ -53,74 +71,127 @@ impl WorkerHandle {
     }
 }
 
-/// Spawns a worker thread processing tasks from `endpoint` with `process`.
+/// Spawns a worker thread processing binary task payloads from `endpoint`
+/// with `process`.
 ///
 /// `process` is the Rust equivalent of the function exported under
-/// `'/pando/1.0.0'` (paper Figure 2): it receives the input as a string and
-/// returns either the result string or an error.
+/// `'/pando/1.0.0'` (paper Figure 2), over the binary wire form: it receives
+/// a task payload (a zero-copy slice of the received frame) and returns
+/// either the result payload or an error. For native task/result types, see
+/// [`spawn_typed_worker`].
 pub fn spawn_worker<F>(
     endpoint: Endpoint<Message>,
     process: F,
     options: WorkerOptions,
 ) -> WorkerHandle
 where
-    F: Fn(&str) -> Result<String, StreamError> + Send + 'static,
+    F: Fn(&Payload) -> Result<Bytes, StreamError> + Send + 'static,
 {
+    let name = options.name.clone();
     let handle = std::thread::Builder::new()
         .name(format!("pando-worker-{}", options.name))
-        .spawn(move || run_worker(endpoint, process, options))
+        .spawn(move || {
+            let endpoint = Arc::new(endpoint);
+            let report = {
+                let endpoint = endpoint.clone();
+                let options = options.clone();
+                std::panic::catch_unwind(AssertUnwindSafe(move || {
+                    run_worker(&endpoint, process, options)
+                }))
+            };
+            report.unwrap_or_else(|_| {
+                // The processing function panicked: indistinguishable from a
+                // browser tab dying mid-task, so crash the channel and report
+                // it as such instead of propagating the panic to the joiner.
+                endpoint.crash();
+                WorkerReport { name: options.name, processed: 0, errors: 0, crashed: true }
+            })
+        })
         .expect("spawn worker thread");
-    WorkerHandle { handle }
+    WorkerHandle { handle, name }
+}
+
+/// Spawns a worker whose processing function works on the native task and
+/// result types of `codec`; payloads are decoded and encoded at the channel
+/// boundary.
+pub fn spawn_typed_worker<C, F>(
+    endpoint: Endpoint<Message>,
+    codec: C,
+    process: F,
+    options: WorkerOptions,
+) -> WorkerHandle
+where
+    C: TaskCodec,
+    F: Fn(&C::Task) -> Result<C::Result, StreamError> + Send + 'static,
+{
+    spawn_worker(
+        endpoint,
+        move |payload: &Payload| {
+            let task = codec.decode_task(payload)?;
+            let result = process(&task)?;
+            Ok(codec.encode_result(&result))
+        },
+        options,
+    )
+}
+
+/// Outcome of processing one task frame (single or batch).
+struct FrameOutcome {
+    results: Vec<Record>,
+    error: Option<(u64, StreamError)>,
+    crashed: bool,
 }
 
 /// Runs the worker loop on the calling thread until the master closes the
 /// channel or the fault plan triggers a crash.
 pub fn run_worker<F>(
-    endpoint: Endpoint<Message>,
+    endpoint: &Endpoint<Message>,
     process: F,
     options: WorkerOptions,
 ) -> WorkerReport
 where
-    F: Fn(&str) -> Result<String, StreamError>,
+    F: Fn(&Payload) -> Result<Bytes, StreamError>,
 {
     let mut report =
         WorkerReport { name: options.name.clone(), processed: 0, errors: 0, crashed: false };
     let mut fault = options.fault.arm();
+
     loop {
         if fault.should_crash() {
             endpoint.crash();
             report.crashed = true;
             return report;
         }
-        match endpoint.recv() {
+        let batch = match endpoint.recv() {
             Ok(Message::Task { seq, payload }) => {
-                let reply = match process(&payload) {
-                    Ok(result) => {
-                        report.processed += 1;
-                        Message::TaskResult { seq, payload: result }
-                    }
-                    Err(err) => {
-                        report.errors += 1;
-                        Message::TaskError { seq, message: err.to_string() }
-                    }
-                };
-                fault.record_task();
-                if fault.should_crash() {
+                let outcome = process_records(
+                    &[Record::new(seq, payload)],
+                    &process,
+                    &mut fault,
+                    &mut report,
+                );
+                if outcome.crashed {
                     // The crash happens before the result reaches the master,
                     // like a tab closed mid-upload.
                     endpoint.crash();
                     report.crashed = true;
                     return report;
                 }
-                let size = reply.wire_size();
-                match endpoint.send_with_size(reply, size) {
-                    Ok(()) => {}
-                    Err(SendError::Closed) | Err(SendError::PeerFailed) => return report,
+                (outcome, false)
+            }
+            Ok(Message::TaskBatch(records)) => {
+                let outcome = process_records(&records, &process, &mut fault, &mut report);
+                if outcome.crashed {
+                    endpoint.crash();
+                    report.crashed = true;
+                    return report;
                 }
+                (outcome, true)
             }
             Ok(Message::Heartbeat) => continue,
             Ok(Message::Goodbye)
             | Ok(Message::TaskResult { .. })
+            | Ok(Message::ResultBatch(_))
             | Ok(Message::TaskError { .. }) => {
                 // Unexpected on the worker side; treat as end of stream.
                 endpoint.close();
@@ -134,27 +205,135 @@ where
             }
             Err(RecvError::PeerFailed) => return report,
             Err(RecvError::Timeout) | Err(RecvError::Empty) => continue,
+        };
+        let (outcome, batched) = batch;
+        // Results of a batch are coalesced into one frame, mirroring the
+        // master's task batching; a lone task is answered in kind. Large
+        // result sets are split so no reply frame exceeds the wire limit.
+        let mut replies = Vec::with_capacity(2);
+        if !outcome.results.is_empty() {
+            let mut results = outcome.results;
+            if batched {
+                for chunk in split_by_frame_limit(results) {
+                    replies.push(Message::ResultBatch(chunk));
+                }
+            } else {
+                let record = results.pop().expect("non-empty results");
+                replies.push(Message::TaskResult { seq: record.seq, payload: record.payload });
+            }
+        }
+        if let Some((seq, err)) = outcome.error {
+            replies.push(Message::TaskError {
+                seq,
+                message: Bytes::copy_from_slice(err.message().as_bytes()),
+            });
+        }
+        for reply in replies {
+            let size = reply.wire_size();
+            let count = reply.record_count();
+            match endpoint.send_records_with_size(reply, size, count) {
+                Ok(()) => {}
+                Err(SendError::Closed) | Err(SendError::PeerFailed) => return report,
+            }
         }
     }
+}
+
+/// Applies the processing function to every record of one frame, honouring
+/// the fault plan between records. Processing stops at the first application
+/// error: the master treats an erroring volunteer as faulty anyway.
+fn process_records<F>(
+    records: &[Record],
+    process: &F,
+    fault: &mut pando_netsim::fault::ArmedFaultPlan,
+    report: &mut WorkerReport,
+) -> FrameOutcome
+where
+    F: Fn(&Payload) -> Result<Bytes, StreamError>,
+{
+    let mut outcome =
+        FrameOutcome { results: Vec::with_capacity(records.len()), error: None, crashed: false };
+    for record in records {
+        // Errored tasks count towards the fault plan like successful ones:
+        // the plan scripts "after N tasks handled", not "after N successes".
+        let failed = match process(&record.payload) {
+            Ok(payload) => {
+                report.processed += 1;
+                outcome.results.push(Record::new(record.seq, payload));
+                false
+            }
+            Err(err) => {
+                report.errors += 1;
+                outcome.error = Some((record.seq, err));
+                true
+            }
+        };
+        fault.record_task();
+        if fault.should_crash() {
+            outcome.crashed = true;
+            break;
+        }
+        if failed {
+            break;
+        }
+    }
+    outcome
+}
+
+/// Splits result records into chunks whose encoded batch body stays within
+/// [`MAX_FRAME_LEN`], so a worker answering a large batch (for example
+/// rendered frames) never produces an unencodable reply frame.
+fn split_by_frame_limit(records: Vec<Record>) -> Vec<Vec<Record>> {
+    if record_body_len(&records) <= MAX_FRAME_LEN {
+        return vec![records];
+    }
+    let mut chunks = Vec::new();
+    let mut chunk: Vec<Record> = Vec::new();
+    let mut body = 4usize;
+    for record in records {
+        let add = RECORD_HEADER_LEN + record.payload.len();
+        if !chunk.is_empty() && body + add > MAX_FRAME_LEN {
+            chunks.push(std::mem::take(&mut chunk));
+            body = 4;
+        }
+        body += add;
+        chunk.push(record);
+    }
+    if !chunk.is_empty() {
+        chunks.push(chunk);
+    }
+    chunks
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pando_netsim::channel::{pair, ChannelConfig};
+    use pando_pull_stream::codec::StringCodec;
 
-    fn upper(input: &str) -> Result<String, StreamError> {
+    #[allow(clippy::ptr_arg)] // must match Fn(&C::Task) with C::Task = String
+    fn upper(input: &String) -> Result<String, StreamError> {
         Ok(input.to_uppercase())
+    }
+
+    fn task(seq: u64, payload: &[u8]) -> Message {
+        Message::Task { seq, payload: Bytes::copy_from_slice(payload) }
     }
 
     #[test]
     fn worker_processes_tasks_and_leaves_cleanly() {
         let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
-        let worker = spawn_worker(volunteer, upper, WorkerOptions::default());
-        master.send(Message::Task { seq: 0, payload: "hello".into() }).unwrap();
-        master.send(Message::Task { seq: 1, payload: "world".into() }).unwrap();
-        assert_eq!(master.recv().unwrap(), Message::TaskResult { seq: 0, payload: "HELLO".into() });
-        assert_eq!(master.recv().unwrap(), Message::TaskResult { seq: 1, payload: "WORLD".into() });
+        let worker = spawn_typed_worker(volunteer, StringCodec, upper, WorkerOptions::default());
+        master.send(task(0, b"hello")).unwrap();
+        master.send(task(1, b"world")).unwrap();
+        assert_eq!(
+            master.recv().unwrap(),
+            Message::TaskResult { seq: 0, payload: Bytes::copy_from_slice(b"HELLO") }
+        );
+        assert_eq!(
+            master.recv().unwrap(),
+            Message::TaskResult { seq: 1, payload: Bytes::copy_from_slice(b"WORLD") }
+        );
         master.close();
         let report = worker.join();
         assert_eq!(report.processed, 2);
@@ -165,17 +344,42 @@ mod tests {
     }
 
     #[test]
+    fn task_batches_come_back_as_one_result_batch() {
+        let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
+        let worker = spawn_typed_worker(volunteer, StringCodec, upper, WorkerOptions::default());
+        master
+            .send(Message::TaskBatch(vec![
+                Record::new(4, Bytes::copy_from_slice(b"a")),
+                Record::new(5, Bytes::copy_from_slice(b"b")),
+                Record::new(6, Bytes::copy_from_slice(b"c")),
+            ]))
+            .unwrap();
+        assert_eq!(
+            master.recv().unwrap(),
+            Message::ResultBatch(vec![
+                Record::new(4, Bytes::copy_from_slice(b"A")),
+                Record::new(5, Bytes::copy_from_slice(b"B")),
+                Record::new(6, Bytes::copy_from_slice(b"C")),
+            ])
+        );
+        master.close();
+        let report = worker.join();
+        assert_eq!(report.processed, 3);
+        assert!(!report.crashed);
+    }
+
+    #[test]
     fn worker_reports_application_errors() {
         let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
         let worker = spawn_worker(
             volunteer,
-            |_input: &str| Err(StreamError::new("cannot render")),
+            |_input: &Bytes| Err(StreamError::new("cannot render")),
             WorkerOptions::default(),
         );
-        master.send(Message::Task { seq: 5, payload: "x".into() }).unwrap();
+        master.send(task(5, b"x")).unwrap();
         assert_eq!(
             master.recv().unwrap(),
-            Message::TaskError { seq: 5, message: "cannot render".into() }
+            Message::TaskError { seq: 5, message: Bytes::copy_from_slice(b"cannot render") }
         );
         master.close();
         let report = worker.join();
@@ -184,18 +388,91 @@ mod tests {
     }
 
     #[test]
+    fn batch_error_still_delivers_earlier_results() {
+        let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
+        let worker = spawn_worker(
+            volunteer,
+            |input: &Bytes| {
+                if &input[..] == b"bad" {
+                    Err(StreamError::new("nope"))
+                } else {
+                    Ok(Bytes::copy_from_slice(input))
+                }
+            },
+            WorkerOptions::default(),
+        );
+        master
+            .send(Message::TaskBatch(vec![
+                Record::new(0, Bytes::copy_from_slice(b"ok")),
+                Record::new(1, Bytes::copy_from_slice(b"bad")),
+                Record::new(2, Bytes::copy_from_slice(b"never-reached")),
+            ]))
+            .unwrap();
+        // The successful prefix arrives first, then the error.
+        assert_eq!(
+            master.recv().unwrap(),
+            Message::ResultBatch(vec![Record::new(0, Bytes::copy_from_slice(b"ok"))])
+        );
+        assert_eq!(
+            master.recv().unwrap(),
+            Message::TaskError { seq: 1, message: Bytes::copy_from_slice(b"nope") }
+        );
+        master.close();
+        let report = worker.join();
+        assert_eq!((report.processed, report.errors), (1, 1));
+    }
+
+    #[test]
+    fn errored_tasks_count_towards_the_fault_plan() {
+        let (master, volunteer) = pair::<Message>(ChannelConfig {
+            failure_timeout: std::time::Duration::from_millis(40),
+            ..ChannelConfig::instant()
+        });
+        // Every task errors; the plan still crashes after three *handled*
+        // tasks, exactly like the replaced per-message loop did.
+        let worker = spawn_worker(
+            volunteer,
+            |_input: &Bytes| Err(StreamError::new("always fails")),
+            WorkerOptions { fault: FaultPlan::AfterTasks(3), ..WorkerOptions::default() },
+        );
+        for seq in 0..5 {
+            let _ = master.send(task(seq, b"x"));
+        }
+        let report = worker.join();
+        assert!(report.crashed, "errored tasks must advance the fault plan");
+        assert_eq!(report.errors, 3);
+    }
+
+    #[test]
+    fn oversized_result_batches_are_split_at_the_frame_limit() {
+        let nine_mb = Bytes::from(vec![7u8; 9 * 1024 * 1024]);
+        let records: Vec<Record> = (0..3).map(|seq| Record::new(seq, nine_mb.clone())).collect();
+        let chunks = split_by_frame_limit(records.clone());
+        assert!(chunks.len() > 1, "27MB of results cannot travel in one frame");
+        for chunk in &chunks {
+            assert!(pando_netsim::codec::record_body_len(chunk) <= MAX_FRAME_LEN);
+        }
+        let rejoined: Vec<Record> = chunks.into_iter().flatten().collect();
+        assert_eq!(rejoined, records, "splitting preserves order and content");
+        // Small batches stay in one frame.
+        let small = vec![Record::new(0, Bytes::copy_from_slice(b"x"))];
+        assert_eq!(split_by_frame_limit(small.clone()), vec![small]);
+    }
+
+    #[test]
     fn fault_plan_crashes_the_worker() {
         let (master, volunteer) = pair::<Message>(ChannelConfig {
             failure_timeout: std::time::Duration::from_millis(40),
             ..ChannelConfig::instant()
         });
-        let worker = spawn_worker(
+        let worker = spawn_typed_worker(
             volunteer,
+            StringCodec,
             upper,
             WorkerOptions { fault: FaultPlan::AfterTasks(1), name: "tablet".into() },
         );
-        master.send(Message::Task { seq: 0, payload: "only".into() }).unwrap();
-        master.send(Message::Task { seq: 1, payload: "never answered".into() }).unwrap();
+        master.send(task(0, b"only")).unwrap();
+        master.send(task(1, b"never answered")).unwrap();
         let report = worker.join();
         assert!(report.crashed);
         assert_eq!(report.name, "tablet");
@@ -215,9 +492,39 @@ mod tests {
     }
 
     #[test]
+    fn panicking_process_function_is_reported_as_a_crash() {
+        let (master, volunteer) = pair::<Message>(ChannelConfig {
+            failure_timeout: std::time::Duration::from_millis(40),
+            ..ChannelConfig::instant()
+        });
+        let worker = spawn_worker(
+            volunteer,
+            |_input: &Bytes| panic!("worker code exploded"),
+            WorkerOptions { name: "flaky".into(), ..WorkerOptions::default() },
+        );
+        master.send(task(0, b"boom")).unwrap();
+        // Joining must not propagate the panic.
+        let report = worker.join();
+        assert!(report.crashed);
+        assert_eq!(report.name, "flaky");
+        // The master sees the crash through the failure detector.
+        let mut saw_failure = false;
+        for _ in 0..10 {
+            match master.recv() {
+                Err(RecvError::PeerFailed) => {
+                    saw_failure = true;
+                    break;
+                }
+                _ => continue,
+            }
+        }
+        assert!(saw_failure, "a panicked worker must look crashed to its peer");
+    }
+
+    #[test]
     fn is_finished_reflects_thread_state() {
         let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
-        let worker = spawn_worker(volunteer, upper, WorkerOptions::default());
+        let worker = spawn_typed_worker(volunteer, StringCodec, upper, WorkerOptions::default());
         assert!(!worker.is_finished());
         master.close();
         let report = worker.join();

@@ -202,9 +202,12 @@ struct SideState {
     /// Next time at which a message may be delivered (keeps FIFO order even
     /// with jitter).
     next_delivery: Instant,
-    /// Bytes and messages sent by this side.
+    /// Bytes, messages and task/result records sent by this side. One
+    /// batched message may carry many records, which is exactly what the
+    /// `records_sent / messages_sent` ratio measures.
     messages_sent: u64,
     bytes_sent: u64,
+    records_sent: u64,
 }
 
 struct Shared {
@@ -258,6 +261,7 @@ pub fn pair<T: Send + 'static>(config: ChannelConfig) -> (Endpoint<T>, Endpoint<
             next_delivery: now,
             messages_sent: 0,
             bytes_sent: 0,
+            records_sent: 0,
         }),
         b: Mutex::new(SideState {
             crashed_at: None,
@@ -266,6 +270,7 @@ pub fn pair<T: Send + 'static>(config: ChannelConfig) -> (Endpoint<T>, Endpoint<
             next_delivery: now,
             messages_sent: 0,
             bytes_sent: 0,
+            records_sent: 0,
         }),
     });
     let dir_ab = Direction { tx: a_to_b.0, rx: a_to_b.1 };
@@ -333,6 +338,23 @@ impl<T: Send + 'static> Endpoint<T> {
     ///
     /// Same conditions as [`Endpoint::send`].
     pub fn send_with_size(&self, payload: T, size: usize) -> Result<(), SendError> {
+        self.send_records_with_size(payload, size, 1)
+    }
+
+    /// Sends one message of `size` bytes carrying `records` task or result
+    /// records — a batched frame. The whole batch pays the propagation
+    /// latency and jitter **once**, and the transmission time of its total
+    /// size; the per-record counter lets callers observe the amortisation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Endpoint::send`].
+    pub fn send_records_with_size(
+        &self,
+        payload: T,
+        size: usize,
+        records: u64,
+    ) -> Result<(), SendError> {
         {
             let peer = self.peer_state().lock();
             if let Some(crashed_at) = peer.crashed_at {
@@ -359,6 +381,7 @@ impl<T: Send + 'static> Endpoint<T> {
         mine.next_delivery = deliver_at;
         mine.messages_sent += 1;
         mine.bytes_sent += size as u64;
+        mine.records_sent += records;
         drop(mine);
         self.outgoing.send(Frame::Data { payload, deliver_at }).map_err(|_| SendError::Closed)
     }
@@ -521,6 +544,13 @@ impl<T: Send + 'static> Endpoint<T> {
     /// Number of payload bytes sent from this endpoint so far.
     pub fn bytes_sent(&self) -> u64 {
         self.my_state().lock().bytes_sent
+    }
+
+    /// Number of task/result records sent from this endpoint so far. With
+    /// batching enabled this grows faster than [`Endpoint::messages_sent`]:
+    /// the ratio is the average batch size actually achieved on the wire.
+    pub fn records_sent(&self) -> u64 {
+        self.my_state().lock().records_sent
     }
 
     /// Converts the endpoint into a pull-stream duplex: the source yields
@@ -699,8 +729,37 @@ mod tests {
         a.send_with_size(2, 20).unwrap();
         assert_eq!(a.messages_sent(), 2);
         assert_eq!(a.bytes_sent(), 30);
+        assert_eq!(a.records_sent(), 2);
         assert_eq!(b.messages_sent(), 0);
         let _ = b;
+    }
+
+    #[test]
+    fn batched_sends_count_records_per_message() {
+        let (a, b) = pair::<u32>(ChannelConfig::instant());
+        // One wire message carrying an 8-record batch.
+        a.send_records_with_size(1, 96, 8).unwrap();
+        a.send_records_with_size(2, 40, 3).unwrap();
+        assert_eq!(a.messages_sent(), 2);
+        assert_eq!(a.records_sent(), 11);
+        assert_eq!(a.bytes_sent(), 136);
+        assert_eq!(b.recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn batch_pays_latency_once_not_per_record() {
+        let mut config = ChannelConfig::instant();
+        config.latency = Duration::from_millis(20);
+        let (a, b) = pair::<u8>(config);
+        let start = Instant::now();
+        a.send_records_with_size(7, 0, 16).unwrap();
+        assert_eq!(b.recv().unwrap(), 7);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(15));
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "a 16-record batch must not pay 16 latencies ({elapsed:?})"
+        );
     }
 
     #[test]

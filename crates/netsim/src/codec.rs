@@ -1,11 +1,13 @@
-//! Length-delimited frame codec.
+//! Length-delimited frame codec with multi-record (batched) frames.
 //!
 //! Pando transmits base64-encoded strings over WebSocket / WebRTC messages.
-//! This module provides the equivalent wire framing for the reproduction: a
-//! frame is a 4-byte big-endian length followed by that many payload bytes,
-//! with a tag byte identifying the message kind. It is used by the core
-//! protocol both to give messages a realistic size (so bandwidth modelling is
-//! meaningful) and to exercise an actual encode/decode path.
+//! This module provides the binary wire framing for the reproduction: a
+//! frame is a tag byte, a 4-byte big-endian length and that many payload
+//! bytes. On top of single frames it adds *multi-record* frames — one frame
+//! carrying many `(seq, payload)` records — which is what lets the master
+//! coalesce a batch of tasks (and a worker a batch of results) into a single
+//! channel round-trip. Decoding a record frame is zero-copy: every record
+//! payload is a [`Bytes`] slice into the frame's single allocation.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pando_pull_stream::StreamError;
@@ -14,13 +16,32 @@ use pando_pull_stream::StreamError;
 /// limitation that forced the paper's raytracing scenes to be shrunk (§5.1).
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
+/// Bytes of framing overhead per frame: tag byte plus 4-byte length.
+pub const FRAME_HEADER_LEN: usize = 5;
+
+/// Bytes of overhead per record inside a record frame: 8-byte sequence
+/// number plus 4-byte payload length.
+pub const RECORD_HEADER_LEN: usize = 12;
+
 /// Encodes one frame: tag byte, 4-byte big-endian length, payload.
-pub fn encode_frame(tag: u8, payload: &[u8]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(5 + payload.len());
+///
+/// # Errors
+///
+/// Returns a protocol error if the payload exceeds [`MAX_FRAME_LEN`]; an
+/// unchecked `as u32` cast here would silently truncate the length field and
+/// desynchronise the stream.
+pub fn encode_frame(tag: u8, payload: &[u8]) -> Result<Bytes, StreamError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(StreamError::protocol(format!(
+            "frame payload of {} bytes exceeds the {MAX_FRAME_LEN} byte limit",
+            payload.len()
+        )));
+    }
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_LEN + payload.len());
     buf.put_u8(tag);
     buf.put_u32(payload.len() as u32);
     buf.put_slice(payload);
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// A frame decoded by [`decode_frame`].
@@ -40,7 +61,7 @@ pub struct Frame {
 ///
 /// Returns an error if the advertised length exceeds [`MAX_FRAME_LEN`].
 pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Frame>, StreamError> {
-    if buf.len() < 5 {
+    if buf.len() < FRAME_HEADER_LEN {
         return Ok(None);
     }
     let tag = buf[0];
@@ -50,16 +71,105 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Frame>, StreamError> {
             "frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte limit"
         )));
     }
-    if buf.len() < 5 + len {
+    if buf.len() < FRAME_HEADER_LEN + len {
         return Ok(None);
     }
-    buf.advance(5);
+    buf.advance(FRAME_HEADER_LEN);
     let payload = buf.split_to(len).freeze();
     Ok(Some(Frame { tag, payload }))
 }
 
+/// One `(sequence number, payload)` record of a batched frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Position of the value in the input stream.
+    pub seq: u64,
+    /// The value's binary payload.
+    pub payload: Bytes,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(seq: u64, payload: Bytes) -> Self {
+        Self { seq, payload }
+    }
+}
+
+/// Number of body bytes a record batch occupies inside a frame: a 4-byte
+/// record count plus, per record, [`RECORD_HEADER_LEN`] and the payload.
+pub fn record_body_len(records: &[Record]) -> usize {
+    4 + records.iter().map(|r| RECORD_HEADER_LEN + r.payload.len()).sum::<usize>()
+}
+
+/// Encodes many records into one frame body: a 4-byte big-endian record
+/// count, then per record an 8-byte big-endian sequence number, a 4-byte
+/// big-endian payload length and the payload bytes.
+///
+/// # Errors
+///
+/// Returns a protocol error if the body would exceed [`MAX_FRAME_LEN`] or a
+/// single record payload exceeds it (its length field would truncate).
+pub fn encode_record_body(records: &[Record]) -> Result<Bytes, StreamError> {
+    let body_len = record_body_len(records);
+    if body_len > MAX_FRAME_LEN {
+        return Err(StreamError::protocol(format!(
+            "record batch of {body_len} bytes exceeds the {MAX_FRAME_LEN} byte frame limit"
+        )));
+    }
+    let mut buf = BytesMut::with_capacity(body_len);
+    buf.put_u32(records.len() as u32);
+    for record in records {
+        buf.put_u64(record.seq);
+        buf.put_u32(record.payload.len() as u32);
+        buf.put_slice(&record.payload);
+    }
+    Ok(buf.freeze())
+}
+
+/// Decodes a record-batch frame body produced by [`encode_record_body`].
+///
+/// Zero-copy: each returned record's payload is a slice sharing `body`'s
+/// allocation.
+///
+/// # Errors
+///
+/// Returns a protocol error on truncated bodies, trailing garbage or record
+/// counts that do not match the body.
+pub fn decode_record_body(body: &Bytes) -> Result<Vec<Record>, StreamError> {
+    if body.len() < 4 {
+        return Err(StreamError::protocol("record batch body shorter than its count field"));
+    }
+    let count = u32::from_be_bytes([body[0], body[1], body[2], body[3]]) as usize;
+    let mut records = Vec::with_capacity(count.min(1024));
+    let mut offset = 4usize;
+    for _ in 0..count {
+        if body.len() < offset + RECORD_HEADER_LEN {
+            return Err(StreamError::protocol("record batch truncated in a record header"));
+        }
+        let seq =
+            u64::from_be_bytes(body[offset..offset + 8].try_into().expect("checked length above"));
+        let len = u32::from_be_bytes(
+            body[offset + 8..offset + 12].try_into().expect("checked length above"),
+        ) as usize;
+        offset += RECORD_HEADER_LEN;
+        if body.len() < offset + len {
+            return Err(StreamError::protocol("record batch truncated in a record payload"));
+        }
+        records.push(Record { seq, payload: body.slice(offset..offset + len) });
+        offset += len;
+    }
+    if offset != body.len() {
+        return Err(StreamError::protocol(format!(
+            "record batch has {} trailing bytes",
+            body.len() - offset
+        )));
+    }
+    Ok(records)
+}
+
 /// Encodes a string payload the way Pando does for binary results: a base64
 /// encoding of the raw bytes, which inflates the size by 4/3 (paper §2.1.1).
+/// Kept as the reference point the binary codec is measured against.
 pub fn base64_encode(data: &[u8]) -> String {
     const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
@@ -126,7 +236,7 @@ mod tests {
 
     #[test]
     fn frame_round_trip() {
-        let frame = encode_frame(7, b"hello world");
+        let frame = encode_frame(7, b"hello world").unwrap();
         let mut buf = BytesMut::from(&frame[..]);
         let decoded = decode_frame(&mut buf).unwrap().unwrap();
         assert_eq!(decoded.tag, 7);
@@ -136,7 +246,7 @@ mod tests {
 
     #[test]
     fn partial_frames_wait_for_more_data() {
-        let frame = encode_frame(1, &[0u8; 100]);
+        let frame = encode_frame(1, &[0u8; 100]).unwrap();
         let mut buf = BytesMut::from(&frame[..50]);
         assert_eq!(decode_frame(&mut buf).unwrap(), None);
         buf.extend_from_slice(&frame[50..]);
@@ -146,8 +256,8 @@ mod tests {
     #[test]
     fn several_frames_in_one_buffer() {
         let mut buf = BytesMut::new();
-        buf.extend_from_slice(&encode_frame(1, b"a"));
-        buf.extend_from_slice(&encode_frame(2, b"bb"));
+        buf.extend_from_slice(&encode_frame(1, b"a").unwrap());
+        buf.extend_from_slice(&encode_frame(2, b"bb").unwrap());
         let first = decode_frame(&mut buf).unwrap().unwrap();
         let second = decode_frame(&mut buf).unwrap().unwrap();
         assert_eq!((first.tag, &first.payload[..]), (1, &b"a"[..]));
@@ -164,11 +274,74 @@ mod tests {
     }
 
     #[test]
+    fn oversized_payload_is_rejected_on_encode() {
+        // Before the fix, a payload longer than u32::MAX (or MAX_FRAME_LEN)
+        // silently truncated the length field; now encoding is fallible.
+        let payload = vec![0u8; MAX_FRAME_LEN + 1];
+        let err = encode_frame(1, &payload).unwrap_err();
+        assert!(err.is_protocol());
+        assert!(err.message().contains("exceeds"));
+    }
+
+    #[test]
     fn empty_payload_is_fine() {
-        let frame = encode_frame(9, b"");
+        let frame = encode_frame(9, b"").unwrap();
         let mut buf = BytesMut::from(&frame[..]);
         let decoded = decode_frame(&mut buf).unwrap().unwrap();
         assert_eq!(decoded.payload.len(), 0);
+    }
+
+    #[test]
+    fn record_batch_round_trip_is_zero_copy() {
+        let records = vec![
+            Record::new(3, Bytes::from(b"alpha".to_vec())),
+            Record::new(9, Bytes::new()),
+            Record::new(u64::MAX, Bytes::from(vec![0u8, b'\n', 255, 0])),
+        ];
+        let body = encode_record_body(&records).unwrap();
+        assert_eq!(body.len(), record_body_len(&records));
+        let decoded = decode_record_body(&body).unwrap();
+        assert_eq!(decoded, records);
+        for record in &decoded {
+            assert!(
+                record.payload.shares_allocation_with(&body),
+                "decoded payloads must alias the frame buffer"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_record_batch_round_trips() {
+        let body = encode_record_body(&[]).unwrap();
+        assert_eq!(decode_record_body(&body).unwrap(), Vec::<Record>::new());
+    }
+
+    #[test]
+    fn corrupt_record_batches_are_rejected() {
+        // Too short for the count field.
+        assert!(decode_record_body(&Bytes::from(vec![0u8, 0])).is_err());
+        // Count says one record but the body ends.
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        assert!(decode_record_body(&buf.freeze()).is_err());
+        // Record length field points past the end.
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u64(0);
+        buf.put_u32(100);
+        buf.put_slice(b"short");
+        assert!(decode_record_body(&buf.freeze()).is_err());
+        // Trailing garbage after the advertised records.
+        let mut body =
+            encode_record_body(&[Record::new(1, Bytes::from(b"x".to_vec()))]).unwrap().to_vec();
+        body.push(0);
+        assert!(decode_record_body(&Bytes::from(body)).is_err());
+    }
+
+    #[test]
+    fn oversized_record_batch_is_rejected() {
+        let records = vec![Record::new(0, Bytes::from(vec![0u8; MAX_FRAME_LEN - 8])); 2];
+        assert!(encode_record_body(&records).is_err());
     }
 
     #[test]

@@ -189,7 +189,11 @@ where
         }
     }
 
-    /// Non-blocking ask: `None` means "nothing available right now".
+    /// Non-blocking ask: `None` means "nothing available right now". The
+    /// input is only consulted through [`Source::try_pull`], so an
+    /// interactive input (a stubborn queue, a network endpoint) never blocks
+    /// a caller that is merely coalescing a batch — blocking there could
+    /// deadlock on a value the caller has borrowed but not yet sent.
     fn try_ask(&self, id: SubStreamId) -> Option<Lend<T>> {
         let mut state = self.state.lock();
         if state.output_closed || !state.borrowed_by.contains_key(&id) {
@@ -203,7 +207,7 @@ where
         if state.input_done || state.input_checked_out {
             return None;
         }
-        let lend = self.pull_input_locked(&mut state, id);
+        let lend = self.pull_input_locked_with(&mut state, id, |input| input.try_pull())?;
         drop(state);
         self.notify();
         lend
@@ -232,12 +236,36 @@ where
         state: &mut MutexGuard<'_, State<T, R>>,
         id: SubStreamId,
     ) -> Option<Lend<T>> {
+        self.pull_input_locked_with(state, id, |input| Some(input.pull(Request::Ask)))
+            .expect("blocking pull always answers")
+    }
+
+    /// Shared body of the blocking and non-blocking input reads: checks the
+    /// input out, asks it through `ask` with the lock released, and books the
+    /// answer. The outer `Option` is `None` only when `ask` reported "would
+    /// block" (the input is left untouched).
+    fn pull_input_locked_with(
+        &self,
+        state: &mut MutexGuard<'_, State<T, R>>,
+        id: SubStreamId,
+        ask: impl FnOnce(&mut BoxSource<T>) -> Option<Answer<T>>,
+    ) -> Option<Option<Lend<T>>> {
         let mut input = state.input.take().expect("input present when not checked out");
         state.input_checked_out = true;
-        let answer = MutexGuard::unlocked(state, || input.pull(Request::Ask));
+        let answer = MutexGuard::unlocked(state, || ask(&mut input));
         state.input = Some(input);
         state.input_checked_out = false;
-        match answer {
+        let answer = match answer {
+            Some(answer) => answer,
+            None => {
+                // The input would have to wait: report nothing available, but
+                // wake sub-streams that may have been waiting on the
+                // checked-out input.
+                self.notify();
+                return None;
+            }
+        };
+        Some(match answer {
             Answer::Value(value) => {
                 let seq = state.next_seq;
                 state.next_seq += 1;
@@ -269,7 +297,7 @@ where
                 state.input_error = Some(err);
                 None
             }
-        }
+        })
     }
 
     fn push_result(&self, id: SubStreamId, seq: u64, result: R) -> Result<(), StreamError> {
@@ -620,6 +648,20 @@ where
     guard: Arc<SubGuard<T, R>>,
 }
 
+impl<T, R> SubStreamSource<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    /// Non-blocking pull: returns immediately with `None` when no value is
+    /// available right now (more may arrive later). Used by the batching
+    /// dispatcher to coalesce whatever is ready into one frame without
+    /// stalling on values that are still in flight elsewhere.
+    pub fn try_pull(&mut self) -> Option<Lend<T>> {
+        self.guard.shared.try_ask(self.guard.id)
+    }
+}
+
 impl<T, R> Source<Lend<T>> for SubStreamSource<T, R>
 where
     T: Clone + Send + 'static,
@@ -646,6 +688,39 @@ where
     R: Send + 'static,
 {
     guard: Arc<SubGuard<T, R>>,
+}
+
+impl<T, R> SubStreamSink<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    /// Returns one result to the lender without draining a source, the shape
+    /// used by a receive loop that demultiplexes batched result frames.
+    ///
+    /// A late result for a value that was already re-lent elsewhere is
+    /// reported as a protocol error; callers following the conservative
+    /// property simply drop it (the other copy is authoritative).
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol error if `seq` is not currently borrowed by this
+    /// sub-stream.
+    pub fn push(&self, seq: u64, result: R) -> Result<(), StreamError> {
+        self.guard.shared.push_result(self.guard.id, seq, result)
+    }
+
+    /// Ends the sub-stream explicitly: gracefully when `clean`, with crash
+    /// semantics (borrowed values re-lent) otherwise. Idempotent with the
+    /// guard's drop-based end-of-life.
+    pub fn finish(&self, clean: bool) {
+        if clean {
+            self.guard.ended_clean.store(true, Ordering::SeqCst);
+            self.guard.shared.end_sub(self.guard.id, SubStreamEnd::Completed);
+        } else {
+            self.guard.shared.end_sub(self.guard.id, SubStreamEnd::Crashed);
+        }
+    }
 }
 
 impl<T, R> Sink<Lend<R>> for SubStreamSink<T, R>
@@ -1094,6 +1169,48 @@ mod tests {
         let output = lender.output().collect_values().unwrap();
         worker.join().unwrap();
         assert_eq!(output, vec![1, 4, 9, 16, 25, 36]);
+    }
+
+    #[test]
+    fn duplex_halves_support_nonblocking_batch_pumping() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(5));
+        let (mut source, sink) = lender.lend().into_duplex();
+        // Coalesce everything available without blocking.
+        let mut batch = Vec::new();
+        while let Some(lend) = source.try_pull() {
+            batch.push(lend);
+        }
+        assert_eq!(batch.len(), 5, "all five values are immediately available");
+        // Return results out of band, as a receive loop would.
+        for lend in &batch {
+            sink.push(lend.seq, lend.value + 100).unwrap();
+        }
+        // A second push for the same seq is a protocol error (conservative).
+        assert!(sink.push(batch[0].seq, 0).is_err());
+        sink.finish(true);
+        drop(source);
+        assert_eq!(lender.output().collect_values().unwrap(), vec![101, 102, 103, 104, 105]);
+        assert_eq!(lender.stats().substreams_completed, 1);
+        assert_eq!(lender.stats().substreams_crashed, 0);
+    }
+
+    #[test]
+    fn sink_finish_unclean_relends_borrowed_values() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(3));
+        let (mut source, sink) = lender.lend().into_duplex();
+        let first = source.try_pull().unwrap();
+        assert_eq!(first.seq, 0);
+        sink.finish(false);
+        assert_eq!(lender.failed_pending(), 1);
+        assert_eq!(lender.stats().substreams_crashed, 1);
+        // The crashed half no longer hands out values.
+        assert!(source.try_pull().is_none());
+        drop(sink);
+        drop(source);
+        let worker = square_worker(lender.lend());
+        let output = lender.output().collect_values().unwrap();
+        worker.join().unwrap();
+        assert_eq!(output, vec![1, 4, 9]);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   JavaScript `pull-stream` callback protocol used by Pando;
 //! * a library of composable stream modules (sources, transformers and
 //!   sinks) in [`source`], [`through`] and [`sink`];
+//! * the typed payload layer ([`codec`]): [`codec::Payload`] is the binary
+//!   wire form of every task and result (`bytes::Bytes`, cheap to clone and
+//!   slice), and [`codec::TaskCodec`] maps application types to it —
+//!   replacing the original tool's base64-string convention;
 //! * the [`Limiter`](limit::Limiter) (`pull-limit`), which bounds the number
 //!   of values in flight through a duplex channel so that data transfers can
 //!   overlap with computation without flooding slow workers;
@@ -67,6 +71,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod duplex;
 pub mod error;
 pub mod iter;
@@ -79,6 +84,7 @@ pub mod stubborn;
 pub mod sync;
 pub mod through;
 
+pub use codec::{Payload, TaskCodec};
 pub use error::StreamError;
 pub use protocol::{Answer, End, Request};
 pub use sink::{BoxSink, Sink};

@@ -37,6 +37,20 @@ use crate::through;
 pub trait Source<T>: Send {
     /// Answers a single request from the downstream consumer.
     fn pull(&mut self, request: Request) -> Answer<T>;
+
+    /// Non-blocking ask: `Some(answer)` if the source can answer *right now*
+    /// without waiting on another party, `None` if it would have to wait.
+    ///
+    /// The default conservatively reports `None` ("would block"), which is
+    /// the safe answer for interactive sources (a stubborn queue waiting for
+    /// resubmissions, a network endpoint, standard input). In-memory sources
+    /// and pure adapters override it, which is what lets the batching
+    /// dispatcher of the master coalesce whatever is immediately available
+    /// into one frame without risking a deadlock on values it has not sent
+    /// yet.
+    fn try_pull(&mut self) -> Option<Answer<T>> {
+        None
+    }
 }
 
 /// A boxed, type-erased [`Source`].
@@ -45,6 +59,10 @@ pub type BoxSource<T> = Box<dyn Source<T> + Send>;
 impl<T> Source<T> for BoxSource<T> {
     fn pull(&mut self, request: Request) -> Answer<T> {
         self.as_mut().pull(request)
+    }
+
+    fn try_pull(&mut self) -> Option<Answer<T>> {
+        self.as_mut().try_pull()
     }
 }
 
@@ -309,6 +327,11 @@ where
             }
         }
     }
+
+    fn try_pull(&mut self) -> Option<Answer<I::Item>> {
+        // In-memory: the next item is always immediately available.
+        Some(self.pull(Request::Ask))
+    }
 }
 
 /// Infinite generator source. Created by [`infinite`].
@@ -335,6 +358,11 @@ where
         let index = self.next;
         self.next += 1;
         Answer::Value((self.f)(index))
+    }
+
+    fn try_pull(&mut self) -> Option<Answer<T>> {
+        // Generators compute rather than wait; answering is immediate.
+        Some(self.pull(Request::Ask))
     }
 }
 
@@ -368,6 +396,10 @@ where
                 Answer::Done
             }
         }
+    }
+
+    fn try_pull(&mut self) -> Option<Answer<T>> {
+        Some(self.pull(Request::Ask))
     }
 }
 

@@ -31,6 +31,10 @@ where
     fn pull(&mut self, request: Request) -> Answer<U> {
         self.upstream.pull(request).map(&mut self.f)
     }
+
+    fn try_pull(&mut self) -> Option<Answer<U>> {
+        self.upstream.try_pull().map(|answer| answer.map(&mut self.f))
+    }
 }
 
 /// Maps every value with a fallible function; the first error aborts the
@@ -79,6 +83,24 @@ where
             Answer::Err(err) => Answer::Err(err),
         }
     }
+
+    fn try_pull(&mut self) -> Option<Answer<U>> {
+        if self.failed {
+            return Some(Answer::Done);
+        }
+        Some(match self.upstream.try_pull()? {
+            Answer::Value(v) => match (self.f)(v) {
+                Ok(mapped) => Answer::Value(mapped),
+                Err(err) => {
+                    self.failed = true;
+                    let _ = self.upstream.pull(Request::Fail(err.clone()));
+                    Answer::Err(err)
+                }
+            },
+            Answer::Done => Answer::Done,
+            Answer::Err(err) => Answer::Err(err),
+        })
+    }
 }
 
 /// Keeps only values matching a predicate. Created by
@@ -111,6 +133,16 @@ where
                 Answer::Value(v) if (self.predicate)(&v) => return Answer::Value(v),
                 Answer::Value(_) => continue,
                 other => return other,
+            }
+        }
+    }
+
+    fn try_pull(&mut self) -> Option<Answer<T>> {
+        loop {
+            match self.upstream.try_pull()? {
+                Answer::Value(v) if (self.predicate)(&v) => return Some(Answer::Value(v)),
+                Answer::Value(_) => continue,
+                other => return Some(other),
             }
         }
     }
@@ -154,6 +186,19 @@ where
                 },
                 Answer::Done => return Answer::Done,
                 Answer::Err(e) => return Answer::Err(e),
+            }
+        }
+    }
+
+    fn try_pull(&mut self) -> Option<Answer<U>> {
+        loop {
+            match self.upstream.try_pull()? {
+                Answer::Value(v) => match (self.f)(v) {
+                    Some(mapped) => return Some(Answer::Value(mapped)),
+                    None => continue,
+                },
+                Answer::Done => return Some(Answer::Done),
+                Answer::Err(e) => return Some(Answer::Err(e)),
             }
         }
     }
@@ -205,6 +250,27 @@ where
             }
         }
     }
+
+    fn try_pull(&mut self) -> Option<Answer<T>> {
+        if self.terminated {
+            return Some(Answer::Done);
+        }
+        if self.remaining == 0 {
+            self.terminated = true;
+            let _ = self.upstream.pull(Request::Abort);
+            return Some(Answer::Done);
+        }
+        Some(match self.upstream.try_pull()? {
+            Answer::Value(v) => {
+                self.remaining -= 1;
+                Answer::Value(v)
+            }
+            other => {
+                self.terminated = true;
+                other
+            }
+        })
+    }
 }
 
 /// Observes every value flowing through without modifying it. Created by
@@ -235,6 +301,16 @@ where
                 Answer::Value(v)
             }
             other => other,
+        }
+    }
+
+    fn try_pull(&mut self) -> Option<Answer<T>> {
+        match self.upstream.try_pull()? {
+            Answer::Value(v) => {
+                (self.f)(&v);
+                Some(Answer::Value(v))
+            }
+            other => Some(other),
         }
     }
 }
@@ -276,6 +352,22 @@ where
                 return end.clone_end();
             }
             match self.upstream.pull(Request::Ask) {
+                Answer::Value(batch) => self.buffer.extend(batch),
+                Answer::Done => self.terminated = Some(Answer::Done),
+                Answer::Err(e) => self.terminated = Some(Answer::Err(e)),
+            }
+        }
+    }
+
+    fn try_pull(&mut self) -> Option<Answer<T>> {
+        loop {
+            if let Some(v) = self.buffer.pop_front() {
+                return Some(Answer::Value(v));
+            }
+            if let Some(end) = &self.terminated {
+                return Some(end.clone_end());
+            }
+            match self.upstream.try_pull()? {
                 Answer::Value(batch) => self.buffer.extend(batch),
                 Answer::Done => self.terminated = Some(Answer::Done),
                 Answer::Err(e) => self.terminated = Some(Answer::Err(e)),

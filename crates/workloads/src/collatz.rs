@@ -3,7 +3,7 @@
 //! For an input integer `n`, repeatedly apply `n -> n/2` when `n` is even and
 //! `n -> 3n + 1` when it is odd, counting the steps until the value reaches 1.
 //! The post-processing stage keeps the input with the largest step count. The
-//! computation is done with [`BigUint`](crate::bignum::BigUint) so that the
+//! computation is done with [`crate::bignum::BigUint`] so that the
 //! intermediate values may exceed 64 bits, as in the original BOINC project.
 
 use crate::bignum::BigUint;

@@ -13,9 +13,12 @@
 //! | [`mlagent`] | Hyper-parameter search for an RL agent | learning rate | reward curve | Steps/s |
 //! | [`arxiv`] | Crowd tagging of papers | paper metadata | tag | (not measured) |
 //!
-//! The [`app`] module exposes every application through the uniform
-//! string-in/string-out interface of Pando's `'/pando/1.0.0'` convention, so
-//! the distributed-map layer can treat them interchangeably.
+//! The [`app`] module exposes every application two ways: a native
+//! [`TaskCodec`](pando_pull_stream::codec::TaskCodec) per application (typed
+//! tasks and results with compact binary wire layouts — raw pixels,
+//! big-endian words, IEEE-754 bits) and the uniform binary-payload
+//! [`app::PandoApp`] facade over those codecs, so the
+//! distributed-map layer can treat them interchangeably.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,6 +1,8 @@
 //! Synchronous parallel search (paper §4.2): volunteers joining through the
 //! public server mine a small chain of blocks coordinated by the monitor's
-//! feedback loop.
+//! feedback loop. Attempts and outcomes travel through the typed
+//! `CryptoCodec` — native `MiningAttempt`/`MiningOutcome` structs at both
+//! ends, compact binary payloads on the wire.
 //!
 //! Run with: `cargo run --release --example crypto_mining`
 
@@ -10,7 +12,8 @@ use pando_core::monitor::MiningMonitor;
 use pando_core::volunteer::{join_as_volunteer, serve};
 use pando_core::worker::WorkerOptions;
 use pando_netsim::signaling::PublicServer;
-use pando_workloads::app::AppKind;
+use pando_workloads::app::CryptoCodec;
+use pando_workloads::crypto::{mine, MiningAttempt};
 use std::sync::Arc;
 
 fn main() {
@@ -22,11 +25,11 @@ fn main() {
     // Three friends join by opening the URL (WebRTC when NAT allows it).
     let mut workers = Vec::new();
     for i in 0..3 {
-        let app = AppKind::CryptoMining.instantiate();
         let (handle, kind) = join_as_volunteer(
             &server,
             &url,
-            move |input: &str| app.process(input),
+            CryptoCodec,
+            |attempt: &MiningAttempt| Ok(mine(attempt)),
             WorkerOptions { name: format!("friend-{i}"), ..WorkerOptions::default() },
         )
         .expect("the deployment accepts volunteers");

@@ -1,25 +1,27 @@
 //! Hyper-parameter search for a reinforcement-learning agent (paper §4.1):
 //! each volunteer trains the agent with one learning-rate candidate; the
-//! best candidate is selected downstream.
+//! best candidate is selected downstream. Candidates and outcomes travel
+//! through the typed `MlAgentCodec` — `f64` in, `TrainingOutcome` out, no
+//! string formatting or parsing anywhere.
 //!
 //! Run with: `cargo run --release --example hyperparameter_search`
 
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
-use pando_core::worker::{spawn_worker, WorkerOptions};
+use pando_core::worker::{spawn_typed_worker, WorkerOptions};
 use pando_pull_stream::source::{from_iter, SourceExt};
-use pando_workloads::app::AppKind;
-use pando_workloads::mlagent::learning_rate_candidates;
+use pando_workloads::app::MlAgentCodec;
+use pando_workloads::mlagent::{learning_rate_candidates, train, TrainingConfig};
 
 fn main() {
     let candidates = learning_rate_candidates(12);
     let pando = Pando::new(PandoConfig::local_test());
     let workers: Vec<_> = (0..4)
         .map(|i| {
-            let app = AppKind::MlAgentTraining.instantiate();
-            spawn_worker(
+            spawn_typed_worker(
                 pando.open_volunteer_channel(),
-                move |input: &str| app.process(input),
+                MlAgentCodec,
+                |rate: &f64| Ok(train(*rate, &TrainingConfig::default())),
                 WorkerOptions { name: format!("device-{i}"), ..WorkerOptions::default() },
             )
         })
@@ -27,19 +29,18 @@ fn main() {
 
     println!("Searching {} learning-rate candidates on 4 devices...", candidates.len());
     let results = pando
-        .run(from_iter(candidates.into_iter().map(|lr| format!("{lr:.8}"))))
+        .run_typed(MlAgentCodec, from_iter(candidates))
         .collect_values()
         .expect("all candidates evaluated");
 
-    // Each result is "learning_rate,final_reward,steps".
     let mut best: Option<(f64, f64)> = None;
-    for line in &results {
-        let fields: Vec<&str> = line.split(',').collect();
-        let lr: f64 = fields[0].parse().unwrap();
-        let reward: f64 = fields[1].parse().unwrap();
-        println!("lr = {lr:<12.6} final reward = {reward:>8.3}");
-        if best.map(|(_, r)| reward > r).unwrap_or(true) {
-            best = Some((lr, reward));
+    for outcome in &results {
+        println!(
+            "lr = {:<12.6} final reward = {:>8.3}",
+            outcome.learning_rate, outcome.final_reward
+        );
+        if best.map(|(_, r)| outcome.final_reward > r).unwrap_or(true) {
+            best = Some((outcome.learning_rate, outcome.final_reward));
         }
     }
     let (lr, reward) = best.expect("at least one candidate");

@@ -1,16 +1,17 @@
 //! Stubborn processing with failure-prone external data distribution
 //! (paper §4.3): blur Landsat-like tiles on volunteers while the result
-//! download sometimes fails and must be resubmitted.
+//! download sometimes fails and must be resubmitted. Tile ids and digests
+//! travel through the typed `ImageProcCodec`.
 //!
 //! Run with: `cargo run --release --example image_processing_stubborn`
 
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
-use pando_core::worker::{spawn_worker, WorkerOptions};
+use pando_core::worker::{spawn_typed_worker, WorkerOptions};
 use pando_pull_stream::source::{from_iter, SourceExt};
 use pando_pull_stream::stubborn::StubbornQueue;
 use pando_pull_stream::{Answer, Request, Source};
-use pando_workloads::app::AppKind;
+use pando_workloads::app::{ImageProcApp, ImageProcCodec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -21,10 +22,11 @@ fn main() {
     let pando = Pando::new(PandoConfig::local_test());
     let workers: Vec<_> = (0..2)
         .map(|i| {
-            let app = AppKind::ImageProcessing.instantiate();
-            spawn_worker(
+            let app = ImageProcApp { tile_size: 128, radius: 3 };
+            spawn_typed_worker(
                 pando.open_volunteer_channel(),
-                move |input: &str| app.process(input),
+                ImageProcCodec,
+                move |seed: &u64| Ok(app.digest(*seed)),
                 WorkerOptions { name: format!("device-{i}"), ..WorkerOptions::default() },
             )
         })
@@ -36,26 +38,29 @@ fn main() {
     let (queue, handle) = StubbornQueue::new(from_iter(0..tiles), 4);
     let tracking: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
     let record = tracking.clone();
-    let mut output = pando.run(queue.map_values(move |tracked| {
-        record.lock().unwrap().insert(tracked.value, tracked.id);
-        tracked.value.to_string()
-    }));
+    let mut output = pando.run_typed(
+        ImageProcCodec,
+        queue.map_values(move |tracked| {
+            record.lock().unwrap().insert(tracked.value, tracked.id);
+            tracked.value
+        }),
+    );
 
     let mut rng = StdRng::seed_from_u64(42);
     let mut confirmed = 0u64;
     println!("Blurring {tiles} tiles with an unreliable result download (25% failures)...");
-    while let Answer::Value(result) = output.pull(Request::Ask) {
-        // The worker answers "seed,digest"; recover the tracking id
+    while let Answer::Value(digest) = output.pull(Request::Ask) {
+        // The worker answers with a typed digest; recover the tracking id
         // from the tile number.
-        let seed: u64 = result.split(',').next().unwrap().parse().unwrap();
-        let id = tracking.lock().unwrap()[&seed];
+        let id = tracking.lock().unwrap()[&digest.seed];
         if rng.gen_bool(0.75) {
             handle.confirm(id).unwrap();
             confirmed += 1;
         } else {
             let retried = handle.resubmit(id).unwrap();
             println!(
-                "tile {seed}: download failed ({})",
+                "tile {}: download failed ({})",
+                digest.seed,
                 if retried { "resubmitted" } else { "abandoned" }
             );
         }

@@ -5,14 +5,16 @@
 
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
-use pando_core::worker::{spawn_worker, WorkerOptions};
+use pando_core::worker::{spawn_typed_worker, WorkerOptions};
+use pando_pull_stream::codec::StringCodec;
 use pando_pull_stream::source::{count, SourceExt};
 use pando_pull_stream::StreamError;
 
 fn main() {
-    // The processing function, following the '/pando/1.0.0' convention:
-    // string in, string out, errors through the Result (paper Figure 2).
-    let square = |input: &str| -> Result<String, StreamError> {
+    // The processing function, typed through a codec. `StringCodec` keeps
+    // the original '/pando/1.0.0' text convention at the application layer;
+    // on the wire the values travel as binary payloads in batched frames.
+    let square = |input: &String| -> Result<String, StreamError> {
         let n: u64 = input.parse().map_err(|_| StreamError::new("input is not an integer"))?;
         Ok((n * n).to_string())
     };
@@ -26,8 +28,9 @@ fn main() {
         .into_iter()
         .map(|name| {
             println!("{name}: joined");
-            spawn_worker(
+            spawn_typed_worker(
                 pando.open_volunteer_channel(),
+                StringCodec,
                 square,
                 WorkerOptions { name: name.to_string(), ..WorkerOptions::default() },
             )
@@ -36,7 +39,7 @@ fn main() {
 
     // Stream 1..=20 through the deployment; outputs come back in order.
     let outputs = pando
-        .run(count(20).map_values(|v| v.to_string()))
+        .run_typed(StringCodec, count(20).map_values(|v| v.to_string()))
         .collect_values()
         .expect("the stream completes");
     println!("outputs: {}", outputs.join(" "));

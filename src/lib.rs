@@ -12,7 +12,8 @@
 //! * [`devices`] — device profiles calibrated to the paper's Table 2;
 //! * [`workloads`] — the six evaluated compute-bound applications;
 //! * [`core`] — the master/worker coordination system;
-//! * [`bench`] — the harness regenerating the paper's tables and figures.
+//! * [`bench`](mod@bench) — the harness regenerating the paper's tables and
+//!   figures.
 //!
 //! Start from [`core::master::Pando`] or run `cargo run --example quickstart`.
 

@@ -3,18 +3,20 @@
 //! Exercises the cross-crate wiring CI needs covered beyond unit tests — a
 //! master from `pando-core` lending work over `pando-netsim` channels opened
 //! with `open_volunteer_channel`, two worker loops processing through the
-//! `pando-pull-stream` substrate — and asserts the ordered-output guarantee
-//! of the programming model (paper Table 1).
+//! `pando-pull-stream` substrate and the typed `StringCodec` payload layer —
+//! and asserts the ordered-output guarantee of the programming model (paper
+//! Table 1).
 
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
-use pando_core::worker::{spawn_worker, WorkerOptions};
+use pando_core::worker::{spawn_typed_worker, WorkerOptions};
+use pando_pull_stream::codec::StringCodec;
 use pando_pull_stream::source::{count, SourceExt};
 use pando_pull_stream::StreamError;
 
 #[test]
 fn quickstart_path_two_workers_ordered_output() {
-    let square = |input: &str| -> Result<String, StreamError> {
+    let square = |input: &String| -> Result<String, StreamError> {
         let n: u64 = input.parse().map_err(|_| StreamError::new("input is not an integer"))?;
         Ok((n * n).to_string())
     };
@@ -23,8 +25,9 @@ fn quickstart_path_two_workers_ordered_output() {
     let workers: Vec<_> = ["tablet", "phone"]
         .into_iter()
         .map(|name| {
-            spawn_worker(
+            spawn_typed_worker(
                 pando.open_volunteer_channel(),
+                StringCodec,
                 square,
                 WorkerOptions { name: name.to_string(), ..WorkerOptions::default() },
             )
@@ -32,7 +35,7 @@ fn quickstart_path_two_workers_ordered_output() {
         .collect();
 
     let outputs = pando
-        .run(count(20).map_values(|v| v.to_string()))
+        .run_typed(StringCodec, count(20).map_values(|v| v.to_string()))
         .collect_values()
         .expect("stream completes");
 

@@ -1,41 +1,77 @@
 //! Minimal in-tree stand-in for the `bytes` crate.
 //!
 //! Provides [`Bytes`], [`BytesMut`] and the [`Buf`] / [`BufMut`] traits with
-//! the subset of operations the workspace's frame codec uses. The upstream
-//! crate's zero-copy slicing is replaced by plain `Vec<u8>` storage — frames
-//! here are small and the codec is not on a measured hot path.
+//! the subset of operations the workspace uses. [`Bytes`] is a reference
+//! into a shared, immutable allocation: cloning and [`Bytes::slice`] are
+//! O(1) and never copy the underlying bytes, which is what makes the batched
+//! wire protocol zero-copy — decoding a multi-record frame hands out
+//! sub-slices of the single receive buffer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// An immutable, cheaply clonable byte buffer.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+///
+/// Internally a `(Arc<[u8]>, offset, len)` triple: clones and slices share
+/// the same allocation.
+#[derive(Debug, Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Self { data: Arc::from([] as [u8; 0]) }
+        Self::default()
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self { data: Arc::from(data) }
+        Self { data: Arc::from(data), offset: 0, len: data.len() }
     }
 
     /// Number of bytes in the buffer.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Returns `true` if the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// Returns a view of a sub-range of the buffer **without copying**: the
+    /// returned `Bytes` shares the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "slice start {start} beyond end {end}");
+        assert!(end <= self.len, "slice end {end} out of bounds of {}", self.len);
+        Bytes { data: self.data.clone(), offset: self.offset + start, len: end - start }
+    }
+
+    /// Returns `true` if `self` and `other` are views into the same
+    /// allocation (they were produced by cloning or slicing one buffer).
+    pub fn shares_allocation_with(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 }
 
@@ -43,25 +79,52 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Self { data: Arc::from(data) }
+        let len = data.len();
+        Self { data: Arc::from(data), offset: 0, len }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(data: &[u8]) -> Self {
         Self::copy_from_slice(data)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(text: String) -> Self {
+        Bytes::from(text.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(text: &str) -> Self {
+        Bytes::copy_from_slice(text.as_bytes())
     }
 }
 
@@ -85,6 +148,9 @@ pub trait BufMut {
 
     /// Appends a `u32` in big-endian byte order.
     fn put_u32(&mut self, value: u32);
+
+    /// Appends a `u64` in big-endian byte order.
+    fn put_u64(&mut self, value: u64);
 
     /// Appends a slice of bytes.
     fn put_slice(&mut self, data: &[u8]);
@@ -160,6 +226,10 @@ impl BufMut for BytesMut {
         self.data.extend_from_slice(&value.to_be_bytes());
     }
 
+    fn put_u64(&mut self, value: u64) {
+        self.data.extend_from_slice(&value.to_be_bytes());
+    }
+
     fn put_slice(&mut self, data: &[u8]) {
         self.data.extend_from_slice(data);
     }
@@ -205,6 +275,13 @@ mod tests {
     }
 
     #[test]
+    fn put_u64_is_big_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_u64(0x0102_0304_0506_0708);
+        assert_eq!(&buf[..], &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
     fn advance_and_split_consume_the_front() {
         let mut buf = BytesMut::from(&b"hello world"[..]);
         buf.advance(6);
@@ -221,5 +298,44 @@ mod tests {
         assert_eq!(&frozen[..], b"abc");
         assert_eq!(frozen.to_vec(), b"abc".to_vec());
         assert_eq!(frozen.clone(), frozen);
+    }
+
+    #[test]
+    fn slice_shares_the_allocation() {
+        let bytes = Bytes::from(b"0123456789".to_vec());
+        let mid = bytes.slice(3..7);
+        assert_eq!(&mid[..], b"3456");
+        assert!(mid.shares_allocation_with(&bytes));
+        let sub = mid.slice(1..=2);
+        assert_eq!(&sub[..], b"45");
+        assert!(sub.shares_allocation_with(&bytes));
+        assert_eq!(bytes.slice(..), bytes);
+        assert!(bytes.slice(5..5).is_empty());
+    }
+
+    #[test]
+    fn equality_and_hash_compare_contents_not_offsets() {
+        use std::collections::HashSet;
+        let a = Bytes::from(b"xxabyy".to_vec()).slice(2..4);
+        let b = Bytes::from(b"ab".to_vec());
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let bytes = Bytes::from(b"abc".to_vec());
+        let _ = bytes.slice(1..5);
+    }
+
+    #[test]
+    fn string_conversions() {
+        let bytes = Bytes::from("héllo");
+        assert_eq!(std::str::from_utf8(&bytes).unwrap(), "héllo");
+        let owned = Bytes::from(String::from("x"));
+        assert_eq!(&owned[..], b"x");
     }
 }

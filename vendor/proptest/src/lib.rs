@@ -1,7 +1,7 @@
 //! Minimal in-tree stand-in for the `proptest` crate.
 //!
-//! Provides the subset the workspace's property tests use: the [`Strategy`]
-//! trait with `prop_map`, integer-range and [`Just`] strategies, weighted
+//! Provides the subset the workspace's property tests use: the [`strategy::Strategy`]
+//! trait with `prop_map`, integer-range and [`strategy::Just`] strategies, weighted
 //! unions via [`prop_oneof!`], vector generation via [`collection::vec`],
 //! [`test_runner::ProptestConfig`], and the [`proptest!`] macro that expands
 //! each property into a `#[test]` running a configurable number of seeded
@@ -53,7 +53,7 @@ pub mod collection {
         VecStrategy { element, length }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
