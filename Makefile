@@ -1,7 +1,7 @@
 # Local invocations matching the CI jobs in .github/workflows/ci.yml —
 # `make lint test` before pushing reproduces what CI will run.
 
-.PHONY: all build test lint fmt doc bench bench-run clean
+.PHONY: all build test lint fmt doc bench bench-run scale clean
 
 all: lint build test doc
 
@@ -28,6 +28,11 @@ bench:
 
 bench-run:
 	cargo bench --workspace
+
+# The 10k-volunteer reactor demonstration: one master, a fixed thread pool,
+# results seq-checked. CI runs the same example at 1k (its default).
+scale:
+	SCALE_VOLUNTEERS=10000 cargo run --release --example scale_smoke
 
 clean:
 	cargo clean

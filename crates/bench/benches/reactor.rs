@@ -1,0 +1,70 @@
+//! Criterion bench comparing the two volunteer backends end to end: the
+//! legacy thread-per-volunteer pumps against the event-driven reactor, at
+//! fleet sizes where the thread-pair model is respectively comfortable and
+//! strained. The measured quantity is the wall-clock of a complete run
+//! (wire volunteers, stream the input, collect every result, tear down).
+//!
+//! Run with: `cargo bench --bench reactor`
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pando_core::config::{PandoConfig, VolunteerBackend};
+use pando_core::master::Pando;
+use pando_core::worker::{spawn_worker_pool, WorkerOptions};
+use pando_netsim::channel::ChannelConfig;
+use pando_pull_stream::source::{count, SourceExt};
+use std::time::Duration;
+
+/// One full deployment: `volunteers` devices served by a worker pool, a
+/// stream of `tasks` trivial values, results collected and seq-checked.
+fn run_fleet(backend: VolunteerBackend, volunteers: usize, tasks: u64) {
+    let channel = ChannelConfig {
+        heartbeat_interval: Duration::from_millis(500),
+        failure_timeout: Duration::from_secs(30),
+        ..ChannelConfig::instant()
+    };
+    let config = PandoConfig::local_test()
+        .with_batch_size(4)
+        .with_backend(backend)
+        .with_reactor_threads(4)
+        .with_channel(channel);
+    let pando = Pando::new(config);
+    let endpoints: Vec<_> = (0..volunteers).map(|_| pando.open_volunteer_channel()).collect();
+    let pool = spawn_worker_pool(
+        endpoints,
+        |payload: &Bytes| Ok(payload.clone()),
+        8,
+        WorkerOptions::default(),
+    );
+    let output = pando
+        .run(count(tasks).map_values(|v| Bytes::from(v.to_string().into_bytes())))
+        .collect_values()
+        .expect("stream completes");
+    assert_eq!(output.len() as u64, tasks);
+    assert_eq!(output[0].as_ref(), b"1", "results stay ordered");
+    pool.join();
+    pando.join_volunteers();
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("volunteer_backend");
+    group.sample_size(10);
+    // 64 volunteers: both backends are comfortable. 512 volunteers: the
+    // thread backend spawns 1024 pump threads per run; the reactor stays at
+    // its fixed pool.
+    for volunteers in [64usize, 512] {
+        let tasks = (volunteers as u64) * 8;
+        group.throughput(Throughput::Elements(tasks));
+        for (label, backend) in
+            [("threads", VolunteerBackend::Threads), ("reactor", VolunteerBackend::Reactor)]
+        {
+            group.bench_with_input(BenchmarkId::new(label, volunteers), &backend, |b, &backend| {
+                b.iter(|| run_fleet(backend, volunteers, tasks))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -3,6 +3,21 @@
 use pando_netsim::channel::ChannelConfig;
 use std::time::Duration;
 
+/// How the master wires volunteer endpoints to the StreamLender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VolunteerBackend {
+    /// Event-driven: every volunteer is a registration on a shared reactor
+    /// pool of [`PandoConfig::reactor_threads`] threads; ready endpoints are
+    /// queued and drained without blocking, so one master scales to tens of
+    /// thousands of volunteers with a constant thread count.
+    #[default]
+    Reactor,
+    /// Thread-per-volunteer: two dedicated pump threads (dispatcher +
+    /// receiver) per volunteer, the original shape. Kept for A/B comparison;
+    /// caps a master at low thousands of volunteers.
+    Threads,
+}
+
 /// Configuration of one Pando deployment.
 ///
 /// A deployment is specific to a single user, project and task lifetime
@@ -23,6 +38,14 @@ pub struct PandoConfig {
     /// pay the channel round-trip once. `Some(1)` reproduces the original
     /// one-frame-per-task protocol.
     pub tasks_per_frame: Option<usize>,
+    /// How volunteer endpoints are driven: the event-driven reactor (the
+    /// default) or the legacy thread-per-volunteer pumps.
+    pub backend: VolunteerBackend,
+    /// Number of OS threads in the reactor pool when
+    /// [`PandoConfig::backend`] is [`VolunteerBackend::Reactor`]. All
+    /// volunteers are multiplexed over this fixed pool (plus one input-pump
+    /// thread), so the thread count no longer grows with the fleet.
+    pub reactor_threads: usize,
     /// Network profile of the channels towards the volunteers.
     pub channel: ChannelConfig,
     /// How long the master waits for the first volunteer before reporting
@@ -42,12 +65,20 @@ impl PandoConfig {
     /// The protocol version implemented by this crate.
     pub const PROTOCOL_VERSION: &'static str = "/pando/1.0.0";
 
+    /// Default size of the reactor pool: enough to keep a few cores busy
+    /// with dispatch/receive bookkeeping while volunteers do the actual
+    /// compute. Deterministic (not derived from the host's core count) so
+    /// runs are reproducible.
+    pub const DEFAULT_REACTOR_THREADS: usize = 4;
+
     /// A configuration suitable for in-process tests: instant channels and a
     /// batch size of 2.
     pub fn local_test() -> Self {
         Self {
             batch_size: 2,
             tasks_per_frame: None,
+            backend: VolunteerBackend::default(),
+            reactor_threads: 2,
             channel: ChannelConfig::instant(),
             startup_grace: Duration::from_millis(100),
             measurement_window: Duration::from_secs(1),
@@ -62,6 +93,8 @@ impl PandoConfig {
         Self {
             batch_size: 2,
             tasks_per_frame: None,
+            backend: VolunteerBackend::default(),
+            reactor_threads: Self::DEFAULT_REACTOR_THREADS,
             channel: ChannelConfig::lan(),
             startup_grace: Duration::from_secs(1),
             measurement_window: Duration::from_secs(300),
@@ -95,6 +128,23 @@ impl PandoConfig {
     pub fn with_tasks_per_frame(mut self, tasks_per_frame: usize) -> Self {
         assert!(tasks_per_frame > 0, "tasks per frame must be at least 1");
         self.tasks_per_frame = Some(tasks_per_frame);
+        self
+    }
+
+    /// Returns the configuration with a different volunteer backend.
+    pub fn with_backend(mut self, backend: VolunteerBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Returns the configuration with a different reactor pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reactor_threads` is zero.
+    pub fn with_reactor_threads(mut self, reactor_threads: usize) -> Self {
+        assert!(reactor_threads > 0, "reactor threads must be at least 1");
+        self.reactor_threads = reactor_threads;
         self
     }
 
@@ -150,5 +200,21 @@ mod tests {
     #[should_panic(expected = "tasks per frame")]
     fn zero_tasks_per_frame_is_rejected() {
         let _ = PandoConfig::local_test().with_tasks_per_frame(0);
+    }
+
+    #[test]
+    fn reactor_is_the_default_backend() {
+        let config = PandoConfig::default();
+        assert_eq!(config.backend, VolunteerBackend::Reactor);
+        assert_eq!(config.reactor_threads, PandoConfig::DEFAULT_REACTOR_THREADS);
+        let config = config.with_backend(VolunteerBackend::Threads).with_reactor_threads(8);
+        assert_eq!(config.backend, VolunteerBackend::Threads);
+        assert_eq!(config.reactor_threads, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "reactor threads")]
+    fn zero_reactor_threads_is_rejected() {
+        let _ = PandoConfig::local_test().with_reactor_threads(0);
     }
 }

@@ -79,7 +79,11 @@ where
         pando.open_volunteer_channel(),
         StringCodec,
         slow_render,
-        WorkerOptions { fault: FaultPlan::AfterTasks(1), name: "tablet".into() },
+        WorkerOptions {
+            fault: FaultPlan::AfterTasks(1),
+            name: "tablet".into(),
+            ..Default::default()
+        },
     );
     trace.push(DeployEvent::Joined { device: "tablet".into() });
 

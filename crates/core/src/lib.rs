@@ -13,7 +13,11 @@
 //!   and their framed encoding;
 //! * [`master`] — the [`master::Pando`] master: StreamLender +
 //!   Limiter per volunteer + ordered output;
-//! * [`worker`] — the volunteer-side processing loop (`AsyncMap(f)`);
+//! * [`reactor`] — the event-driven backend: a fixed thread pool
+//!   multiplexing dispatch and receive for every volunteer (the default;
+//!   the thread-per-volunteer pumps remain available for A/B runs);
+//! * [`worker`] — the volunteer-side processing loop (`AsyncMap(f)`), as a
+//!   thread per device or a pool serving thousands of simulated devices;
 //! * [`volunteer`] — volunteer lifecycle (candidate → processor) and
 //!   deployment over a [`PublicServer`](pando_netsim::signaling::PublicServer);
 //! * [`monitor`] — the synchronous-parallel-search feedback loop used by the
@@ -72,6 +76,7 @@ pub mod master;
 pub mod metrics;
 pub mod monitor;
 pub mod protocol;
+pub mod reactor;
 pub mod sim;
 pub mod volunteer;
 pub mod worker;

@@ -1,21 +1,29 @@
 //! The Pando master process.
 //!
 //! The master (paper Figure 7) owns the StreamLender that coordinates the
-//! distributed map: for every volunteer that connects, it creates a
-//! sub-stream and two pump threads. The *dispatcher* borrows values from the
-//! sub-stream — bounded by the batch-size window — and coalesces whatever is
-//! immediately available into a single [`Message::TaskBatch`] frame, so a
-//! whole window pays the channel round-trip once. The *receiver*
-//! demultiplexes [`Message::ResultBatch`] frames back into the lender and
-//! releases window slots. Results are emitted on a single ordered output
-//! stream.
+//! distributed map. Each volunteer is wired to a fresh sub-stream through
+//! one of two backends ([`PandoConfig::backend`]):
 //!
+//! * **Reactor** (default): the volunteer becomes a registration on the
+//!   shared [`reactor`](crate::reactor) pool — a fixed number of threads
+//!   multiplexes dispatch and receive for *all* volunteers, so one master
+//!   scales to tens of thousands of endpoints.
+//! * **Threads** (legacy, kept for A/B comparison): two dedicated pump
+//!   threads per volunteer. The *dispatcher* borrows values from the
+//!   sub-stream — bounded by the batch-size window — and coalesces whatever
+//!   is immediately available into a single [`Message::TaskBatch`] frame, so
+//!   a whole window pays the channel round-trip once. The *receiver*
+//!   demultiplexes [`Message::ResultBatch`] frames back into the lender and
+//!   releases window slots.
+//!
+//! Either way, results are emitted on a single ordered output stream.
 //! Payloads are opaque [`Bytes`] end to end; [`Pando::run_typed`] layers a
 //! [`TaskCodec`] on top for applications with native task/result types.
 
-use crate::config::PandoConfig;
+use crate::config::{PandoConfig, VolunteerBackend};
 use crate::metrics::ThroughputMeter;
 use crate::protocol::Message;
+use crate::reactor::{DriverHandle, Reactor, ReactorStats};
 use bytes::Bytes;
 use pando_netsim::channel::{pair, Endpoint, RecvError, SendError};
 use pando_netsim::codec::{Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
@@ -40,6 +48,9 @@ pub struct Pando {
 
 struct MasterState {
     lender: Option<StreamLender<Bytes, Bytes>>,
+    /// The reactor pool, created lazily on the first reactor-backed wiring.
+    /// Dropping the last Pando handle joins its threads.
+    reactor: Option<Arc<Reactor>>,
     /// Volunteer endpoints accepted before the input stream was attached.
     pending: Vec<(String, Endpoint<Message>)>,
     links: Vec<VolunteerLink>,
@@ -74,6 +85,7 @@ impl Pando {
             meter: ThroughputMeter::new(),
             state: Arc::new(Mutex::new(MasterState {
                 lender: None,
+                reactor: None,
                 pending: Vec::new(),
                 links: Vec::new(),
                 next_volunteer: 0,
@@ -112,13 +124,49 @@ impl Pando {
         let mut state = self.state.lock();
         state.next_volunteer += 1;
         state.volunteers_connected += 1;
-        match &state.lender {
+        match state.lender.clone() {
             Some(lender) => {
-                let link = wire_volunteer(lender, &name, endpoint, &self.config, &self.meter);
+                let reactor = self.reactor_for(&mut state, &lender);
+                let link = wire_volunteer(
+                    &lender,
+                    reactor.as_deref(),
+                    &name,
+                    endpoint,
+                    &self.config,
+                    &self.meter,
+                );
                 state.links.push(link);
             }
             None => state.pending.push((name, endpoint)),
         }
+    }
+
+    /// Returns the shared reactor when the reactor backend is active,
+    /// creating the pool (and attaching it to the lender) on first use.
+    fn reactor_for(
+        &self,
+        state: &mut MasterState,
+        lender: &StreamLender<Bytes, Bytes>,
+    ) -> Option<Arc<Reactor>> {
+        match self.config.backend {
+            VolunteerBackend::Threads => None,
+            VolunteerBackend::Reactor => Some(
+                state
+                    .reactor
+                    .get_or_insert_with(|| {
+                        let reactor = Arc::new(Reactor::new(&self.config));
+                        reactor.attach_lender(lender);
+                        reactor
+                    })
+                    .clone(),
+            ),
+        }
+    }
+
+    /// Scheduling counters of the reactor pool, if the reactor backend is
+    /// active and at least one volunteer was wired.
+    pub fn reactor_stats(&self) -> Option<ReactorStats> {
+        self.state.lock().reactor.as_ref().map(|reactor| reactor.stats())
     }
 
     /// Number of volunteers that have connected so far (including ones that
@@ -150,7 +198,15 @@ impl Pando {
         let lender = StreamLender::new(input);
         let pending: Vec<(String, Endpoint<Message>)> = state.pending.drain(..).collect();
         for (name, endpoint) in pending {
-            let link = wire_volunteer(&lender, &name, endpoint, &self.config, &self.meter);
+            let reactor = self.reactor_for(&mut state, &lender);
+            let link = wire_volunteer(
+                &lender,
+                reactor.as_deref(),
+                &name,
+                endpoint,
+                &self.config,
+                &self.meter,
+            );
             state.links.push(link);
         }
         let output = lender.output();
@@ -200,49 +256,73 @@ impl Pando {
     }
 }
 
-/// Handle on the dispatcher and receiver pump threads of one volunteer.
+/// Handle on the machinery driving one volunteer: either the dispatcher and
+/// receiver pump threads (legacy backend) or a registration on the shared
+/// reactor pool.
 #[derive(Debug)]
-pub struct VolunteerLink {
-    dispatcher: JoinHandle<Result<(), StreamError>>,
-    receiver: JoinHandle<Result<(), StreamError>>,
+pub enum VolunteerLink {
+    /// Thread-per-volunteer pumps.
+    Threads {
+        /// The dispatcher pump thread.
+        dispatcher: JoinHandle<Result<(), StreamError>>,
+        /// The receiver pump thread.
+        receiver: JoinHandle<Result<(), StreamError>>,
+    },
+    /// A driver registered on the reactor pool.
+    Reactor(DriverHandle),
 }
 
 impl VolunteerLink {
-    /// Waits for both pump threads and reports the first error.
+    /// Waits for the volunteer session to end and reports the first error.
     ///
     /// # Errors
     ///
-    /// Returns the first stream error reported by either pump.
+    /// Returns the first stream error reported by either direction.
     pub fn join(self) -> Result<(), StreamError> {
-        let dispatcher = self
-            .dispatcher
-            .join()
-            .map_err(|_| StreamError::protocol("volunteer dispatcher panicked"))?;
-        let receiver = self
-            .receiver
-            .join()
-            .map_err(|_| StreamError::protocol("volunteer receiver panicked"))?;
-        dispatcher.and(receiver)
+        match self {
+            VolunteerLink::Threads { dispatcher, receiver } => {
+                let dispatcher = dispatcher
+                    .join()
+                    .map_err(|_| StreamError::protocol("volunteer dispatcher panicked"))?;
+                let receiver = receiver
+                    .join()
+                    .map_err(|_| StreamError::protocol("volunteer receiver panicked"))?;
+                dispatcher.and(receiver)
+            }
+            VolunteerLink::Reactor(handle) => handle.join(),
+        }
     }
 
-    /// Returns `true` once both pump threads have finished.
+    /// Returns `true` once the volunteer session has ended.
     pub fn is_finished(&self) -> bool {
-        self.dispatcher.is_finished() && self.receiver.is_finished()
+        match self {
+            VolunteerLink::Threads { dispatcher, receiver } => {
+                dispatcher.is_finished() && receiver.is_finished()
+            }
+            VolunteerLink::Reactor(handle) => handle.is_finished(),
+        }
     }
 }
 
-/// Wires one volunteer endpoint to a fresh sub-stream of the lender: a
-/// dispatcher thread that batches borrowed values into task frames, and a
-/// receiver thread that demultiplexes result frames (paper Figures 7 and 9,
-/// with protocol-level batching on top).
+/// Wires one volunteer endpoint to a fresh sub-stream of the lender. On the
+/// reactor backend this is a registration on the shared pool; on the legacy
+/// backend it spawns a dispatcher thread that batches borrowed values into
+/// task frames and a receiver thread that demultiplexes result frames (paper
+/// Figures 7 and 9, with protocol-level batching on top).
 fn wire_volunteer(
     lender: &StreamLender<Bytes, Bytes>,
+    reactor: Option<&Reactor>,
     name: &str,
     endpoint: Endpoint<Message>,
     config: &PandoConfig,
     meter: &ThroughputMeter,
 ) -> VolunteerLink {
     let (source, sink) = lender.lend().into_duplex();
+    if let Some(reactor) = reactor {
+        return VolunteerLink::Reactor(
+            reactor.register(name, endpoint, source, sink, config, meter),
+        );
+    }
     let endpoint = Arc::new(endpoint);
     // The in-flight window: `batch_size` slots, one per borrowed value that
     // has not produced a result yet (the Limiter of the original pipeline,
@@ -268,7 +348,7 @@ fn wire_volunteer(
             .spawn(move || run_receiver(sink, endpoint, window, meter, name))
             .expect("spawn volunteer receiver thread")
     };
-    VolunteerLink { dispatcher, receiver }
+    VolunteerLink::Threads { dispatcher, receiver }
 }
 
 /// Dispatcher pump: borrows values from the sub-stream within the in-flight
@@ -333,12 +413,7 @@ fn run_dispatcher(
                 }
             }
         }
-        let message = if records.len() == 1 {
-            let record = records.pop().expect("one record present");
-            Message::Task { seq: record.seq, payload: record.payload }
-        } else {
-            Message::TaskBatch(records)
-        };
+        let message = Message::task_frame(records);
         let size = message.wire_size();
         let count = message.record_count();
         match endpoint.send_records_with_size(message, size, count) {
@@ -365,7 +440,7 @@ fn run_receiver(
     meter: ThroughputMeter,
     name: String,
 ) -> Result<(), StreamError> {
-    let accept = |seq: u64, payload: Bytes| {
+    let mut accept = |seq: u64, payload: Bytes| {
         // A late or duplicate result for a value this sub-stream no longer
         // borrows is dropped (the conservative property makes the other copy
         // authoritative) — and it neither frees a window slot nor counts as
@@ -379,15 +454,7 @@ fn run_receiver(
         match endpoint.recv() {
             Ok(message @ Message::TaskResult { .. }) | Ok(message @ Message::ResultBatch(_)) => {
                 meter.record_wire(&name, message.wire_size() as u64);
-                match message {
-                    Message::TaskResult { seq, payload } => accept(seq, payload),
-                    Message::ResultBatch(records) => {
-                        for record in records {
-                            accept(record.seq, record.payload);
-                        }
-                    }
-                    _ => unreachable!("matched above"),
-                }
+                message.demux_results(&mut accept);
             }
             Ok(Message::TaskError { seq, message }) => {
                 // The processing function reported an error for this value;

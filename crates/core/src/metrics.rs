@@ -23,6 +23,8 @@ struct MeterState {
     units: BTreeMap<String, f64>,
     bytes: BTreeMap<String, u64>,
     frames: BTreeMap<String, u64>,
+    heartbeats: BTreeMap<String, u64>,
+    heartbeats_suppressed: BTreeMap<String, u64>,
 }
 
 impl ThroughputMeter {
@@ -35,6 +37,8 @@ impl ThroughputMeter {
                 units: BTreeMap::new(),
                 bytes: BTreeMap::new(),
                 frames: BTreeMap::new(),
+                heartbeats: BTreeMap::new(),
+                heartbeats_suppressed: BTreeMap::new(),
             })),
         }
     }
@@ -56,13 +60,27 @@ impl ThroughputMeter {
         *state.frames.entry(device.to_string()).or_insert(0) += 1;
     }
 
+    /// Records the fate of one heartbeat slot on the channel of `device`: a
+    /// standalone control frame actually sent, or one suppressed because data
+    /// traffic within the heartbeat interval already proved liveness.
+    pub fn record_heartbeat(&self, device: &str, suppressed: bool) {
+        let mut state = self.inner.lock();
+        let map = if suppressed { &mut state.heartbeats_suppressed } else { &mut state.heartbeats };
+        *map.entry(device.to_string()).or_insert(0) += 1;
+    }
+
     /// Renders the counts observed so far into a report.
     pub fn report(&self) -> ThroughputReport {
         let state = self.inner.lock();
         let elapsed = state.started_at.elapsed();
         let mut devices: Vec<&String> = state.counts.keys().collect();
-        for device in state.bytes.keys() {
-            if !state.counts.contains_key(device) {
+        for device in state
+            .bytes
+            .keys()
+            .chain(state.heartbeats.keys())
+            .chain(state.heartbeats_suppressed.keys())
+        {
+            if !state.counts.contains_key(device) && !devices.contains(&device) {
                 devices.push(device);
             }
         }
@@ -77,6 +95,12 @@ impl ThroughputMeter {
                     throughput: units / elapsed.as_secs_f64().max(1e-9),
                     wire_bytes: state.bytes.get(device).copied().unwrap_or(0),
                     wire_frames: state.frames.get(device).copied().unwrap_or(0),
+                    heartbeats_sent: state.heartbeats.get(device).copied().unwrap_or(0),
+                    heartbeats_suppressed: state
+                        .heartbeats_suppressed
+                        .get(device)
+                        .copied()
+                        .unwrap_or(0),
                 }
             })
             .collect();
@@ -105,6 +129,11 @@ pub struct DeviceThroughput {
     pub wire_bytes: u64,
     /// Wire frames that carried those bytes (batching lowers frames/task).
     pub wire_frames: u64,
+    /// Standalone heartbeat control frames actually sent on this channel.
+    pub heartbeats_sent: u64,
+    /// Heartbeats suppressed because a data frame within the interval
+    /// already proved liveness (piggybacked heartbeats).
+    pub heartbeats_suppressed: u64,
 }
 
 /// The per-device throughput rows of one run.
@@ -135,6 +164,16 @@ impl ThroughputReport {
     /// Total wire frames across devices.
     pub fn total_wire_frames(&self) -> u64 {
         self.rows.iter().map(|r| r.wire_frames).sum()
+    }
+
+    /// Total standalone heartbeats sent across devices.
+    pub fn total_heartbeats_sent(&self) -> u64 {
+        self.rows.iter().map(|r| r.heartbeats_sent).sum()
+    }
+
+    /// Total heartbeats suppressed by piggybacking across devices.
+    pub fn total_heartbeats_suppressed(&self) -> u64 {
+        self.rows.iter().map(|r| r.heartbeats_suppressed).sum()
     }
 
     /// The share (in percent) of the total contributed by `device`, as in the
@@ -205,6 +244,23 @@ mod tests {
         assert_eq!((phone.tasks, phone.wire_bytes), (0, 40));
         assert_eq!(report.total_wire_bytes(), 220);
         assert_eq!(report.total_wire_frames(), 3);
+    }
+
+    #[test]
+    fn heartbeat_counters_accumulate_per_device() {
+        let meter = ThroughputMeter::new();
+        meter.record_heartbeat("tablet", false);
+        meter.record_heartbeat("tablet", true);
+        meter.record_heartbeat("tablet", true);
+        // A device with only suppressed heartbeats still gets a row.
+        meter.record_heartbeat("phone", true);
+        let report = meter.report();
+        let tablet = report.rows.iter().find(|r| r.device == "tablet").unwrap();
+        assert_eq!((tablet.heartbeats_sent, tablet.heartbeats_suppressed), (1, 2));
+        let phone = report.rows.iter().find(|r| r.device == "phone").unwrap();
+        assert_eq!((phone.heartbeats_sent, phone.heartbeats_suppressed), (0, 1));
+        assert_eq!(report.total_heartbeats_sent(), 1);
+        assert_eq!(report.total_heartbeats_suppressed(), 3);
     }
 
     #[test]

@@ -141,6 +141,45 @@ impl Message {
         }
     }
 
+    /// Builds the task frame for one coalesced dispatch batch: a lone record
+    /// travels as [`Message::Task`], several as [`Message::TaskBatch`]. Both
+    /// volunteer backends build their frames through this one function so
+    /// the wire protocol cannot diverge between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty — the dispatcher never coalesces an
+    /// empty frame.
+    pub fn task_frame(mut records: Vec<Record>) -> Message {
+        assert!(!records.is_empty(), "a task frame carries at least one record");
+        if records.len() == 1 {
+            let record = records.pop().expect("one record present");
+            Message::Task { seq: record.seq, payload: record.payload }
+        } else {
+            Message::TaskBatch(records)
+        }
+    }
+
+    /// Demultiplexes a result frame into per-record calls of `accept` and
+    /// returns `true`, or returns `false` for any non-result message. The
+    /// shared receive rule of both volunteer backends: the caller decides
+    /// (through `accept`) what a late or duplicate result means.
+    pub fn demux_results(self, mut accept: impl FnMut(u64, Bytes)) -> bool {
+        match self {
+            Message::TaskResult { seq, payload } => {
+                accept(seq, payload);
+                true
+            }
+            Message::ResultBatch(records) => {
+                for record in records {
+                    accept(record.seq, record.payload);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Decodes a message from one encoded frame. Record payloads are
     /// zero-copy slices of the frame buffer.
     ///
@@ -174,12 +213,134 @@ impl Message {
     }
 }
 
+/// What a [`HeartbeatPacer`] decided at a poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatAction {
+    /// The heartbeat interval has not elapsed yet; nothing to do.
+    NotDue,
+    /// A standalone [`Message::Heartbeat`] frame should be sent now: the
+    /// channel has been idle for a full interval.
+    Send,
+    /// A heartbeat was due but a data frame travelled within the interval and
+    /// already proved liveness — the control frame is suppressed (piggyback).
+    Suppressed,
+}
+
+/// Piggybacks heartbeats on data traffic: a standalone [`Message::Heartbeat`]
+/// control frame is only emitted when the sender has been silent for a full
+/// heartbeat interval. Any outgoing `TaskBatch`/`ResultBatch` (or any other
+/// frame) counts as a sign of life and suppresses the next standalone
+/// heartbeat, cutting idle-channel chatter to zero on busy channels.
+#[derive(Debug, Clone)]
+pub struct HeartbeatPacer {
+    interval: std::time::Duration,
+    last_traffic: std::time::Instant,
+    next_due: std::time::Instant,
+    suppressed: u64,
+    sent: u64,
+}
+
+impl HeartbeatPacer {
+    /// Creates a pacer; the first heartbeat is due one interval from now.
+    pub fn new(interval: std::time::Duration) -> Self {
+        let now = std::time::Instant::now();
+        Self { interval, last_traffic: now, next_due: now + interval, suppressed: 0, sent: 0 }
+    }
+
+    /// Records that a data frame was just sent on the channel.
+    pub fn on_traffic(&mut self) {
+        self.last_traffic = std::time::Instant::now();
+    }
+
+    /// Decides whether a standalone heartbeat is required right now. When it
+    /// answers [`HeartbeatAction::Send`] the caller must actually send the
+    /// frame (and need not call [`HeartbeatPacer::on_traffic`] for it — the
+    /// pacer books it itself).
+    pub fn poll(&mut self) -> HeartbeatAction {
+        let now = std::time::Instant::now();
+        if now < self.next_due {
+            return HeartbeatAction::NotDue;
+        }
+        self.next_due = now + self.interval;
+        if now.duration_since(self.last_traffic) < self.interval {
+            self.suppressed += 1;
+            HeartbeatAction::Suppressed
+        } else {
+            self.sent += 1;
+            self.last_traffic = now;
+            HeartbeatAction::Send
+        }
+    }
+
+    /// The instant at which the next standalone heartbeat may become due.
+    pub fn next_due(&self) -> std::time::Instant {
+        self.next_due
+    }
+
+    /// Number of standalone heartbeats sent so far.
+    pub fn heartbeats_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Number of heartbeats suppressed by piggybacking on data traffic.
+    pub fn heartbeats_suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn bytes(data: &[u8]) -> Bytes {
         Bytes::copy_from_slice(data)
+    }
+
+    #[test]
+    fn task_frame_picks_the_single_or_batched_variant() {
+        let single = Message::task_frame(vec![Record::new(3, bytes(b"x"))]);
+        assert_eq!(single, Message::Task { seq: 3, payload: bytes(b"x") });
+        let batch =
+            Message::task_frame(vec![Record::new(1, bytes(b"a")), Record::new(2, bytes(b"b"))]);
+        assert_eq!(batch.record_count(), 2);
+    }
+
+    #[test]
+    fn demux_results_visits_result_records_only() {
+        let mut seen = Vec::new();
+        assert!(Message::TaskResult { seq: 4, payload: bytes(b"r") }
+            .demux_results(|seq, payload| seen.push((seq, payload))));
+        assert!(Message::ResultBatch(vec![
+            Record::new(5, bytes(b"s")),
+            Record::new(6, bytes(b"t")),
+        ])
+        .demux_results(|seq, payload| seen.push((seq, payload))));
+        assert_eq!(
+            seen,
+            vec![(4, bytes(b"r")), (5, bytes(b"s")), (6, bytes(b"t"))],
+            "records arrive in frame order"
+        );
+        assert!(!Message::Heartbeat.demux_results(|_, _| panic!("no records")));
+        assert!(!Message::Task { seq: 0, payload: bytes(b"") }.demux_results(|_, _| ()));
+    }
+
+    #[test]
+    fn pacer_sends_only_after_a_silent_interval() {
+        use std::time::Duration;
+        let mut pacer = HeartbeatPacer::new(Duration::from_millis(20));
+        assert_eq!(pacer.poll(), HeartbeatAction::NotDue);
+        std::thread::sleep(Duration::from_millis(25));
+        // Idle for a full interval: a standalone heartbeat goes out.
+        assert_eq!(pacer.poll(), HeartbeatAction::Send);
+        assert_eq!(pacer.poll(), HeartbeatAction::NotDue);
+        // Traffic inside the next interval suppresses the following beat.
+        std::thread::sleep(Duration::from_millis(15));
+        pacer.on_traffic();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(pacer.poll(), HeartbeatAction::Suppressed);
+        assert_eq!(pacer.heartbeats_sent(), 1);
+        assert_eq!(pacer.heartbeats_suppressed(), 1);
+        assert!(pacer.next_due() > std::time::Instant::now());
     }
 
     #[test]

@@ -1,0 +1,791 @@
+//! The event-driven volunteer reactor.
+//!
+//! The original master wired every volunteer with two dedicated pump threads
+//! (dispatcher + receiver), which caps one master at low thousands of
+//! volunteers. This module replaces those pumps with an epoll-style reactor:
+//! a small fixed pool of [`PandoConfig::reactor_threads`](crate::config::PandoConfig::reactor_threads)
+//! OS threads multiplexes dispatch *and* receive for all volunteers.
+//!
+//! The moving parts:
+//!
+//! * **Ready queue** — every volunteer is a driver state machine. An
+//!   endpoint waker ([`Endpoint::set_waker`]) enqueues the driver when a
+//!   frame arrives or the peer closes/crashes/drops; a wake while the driver
+//!   is being polled sets a *dirty* flag so the poll is re-run instead of
+//!   lost (no missed wake-ups).
+//! * **Timer heap** — frames whose simulated latency has not elapsed, crash
+//!   suspicions that mature later ([`Endpoint::next_ready_at`]) and heartbeat
+//!   deadlines are re-polled via a monotonic timer heap; reactor threads
+//!   sleep exactly until the earliest deadline.
+//! * **Starved set** — a driver with free window slots but no lendable value
+//!   parks in a starved set; the StreamLender's change waker
+//!   ([`StreamLender::add_waker`]) kicks the set whenever a value may have
+//!   become available (input progress, a re-lend after a crash). An epoch
+//!   counter closes the register-vs-notify race.
+//! * **Input pump** — reactor threads never block, but some inputs only
+//!   answer blocking pulls (interactive queues, feedback loops). One
+//!   dedicated pump thread calls [`StreamLender::prefetch_one`] while
+//!   starved drivers demand input, staging values for non-blocking asks.
+//!   This is the single `+ const` thread of the design.
+//!
+//! Dispatch preserves the batching semantics of the threaded path: values
+//! are coalesced up to `tasks_per_frame` and the [`MAX_FRAME_LEN`] byte
+//! budget, window slots bound the in-flight count per volunteer, and
+//! heartbeats piggyback on data frames (an endpoint with traffic inside the
+//! heartbeat interval suppresses the standalone control frame).
+
+use crate::config::PandoConfig;
+use crate::metrics::ThroughputMeter;
+use crate::protocol::{HeartbeatAction, HeartbeatPacer, Message};
+use bytes::Bytes;
+use pando_netsim::channel::{Endpoint, RecvError, SendError};
+use pando_netsim::codec::{Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
+use pando_pull_stream::lender::{StreamLender, SubStreamSink, SubStreamSource};
+use pando_pull_stream::source::Source;
+use pando_pull_stream::sync::Signal;
+use pando_pull_stream::{Answer, Request, StreamError};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Driver scheduling states (see [`wake`]).
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const RUNNING_DIRTY: u8 = 3;
+
+/// Snapshot of the reactor's scheduling counters, the observability
+/// counterpart of the per-device rows in [`crate::metrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Number of OS threads in the pool.
+    pub threads: usize,
+    /// Volunteers registered over the reactor's lifetime.
+    pub registered: u64,
+    /// Volunteers currently live (not yet terminal).
+    pub active: u64,
+    /// Wake-ups that enqueued a driver (endpoint events, lender kicks,
+    /// timers; coalesced wake-ups of an already-queued driver not counted).
+    pub wakeups: u64,
+    /// Driver poll loops executed by the pool.
+    pub polls: u64,
+    /// Timer deadlines fired (delayed frames, crash suspicions, heartbeats).
+    pub timer_fires: u64,
+    /// Current depth of the ready queue.
+    pub ready_depth: u64,
+    /// High-water mark of the ready queue depth.
+    pub max_ready_depth: u64,
+    /// Drivers currently parked in the starved set (waiting for input).
+    pub starved: u64,
+    /// Values read ahead by the input pump on behalf of starved drivers.
+    pub pump_prefetches: u64,
+}
+
+struct Stats {
+    registered: AtomicU64,
+    active: AtomicU64,
+    wakeups: AtomicU64,
+    polls: AtomicU64,
+    timer_fires: AtomicU64,
+    max_ready_depth: AtomicU64,
+    pump_prefetches: AtomicU64,
+}
+
+/// A timer heap entry; ordered by deadline through `Reverse` so the
+/// `BinaryHeap` pops the earliest first.
+struct Timer {
+    at: Instant,
+    driver: Weak<Driver>,
+}
+
+impl PartialEq for Timer {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+impl Eq for Timer {}
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at)
+    }
+}
+
+struct Inner {
+    ready: Mutex<VecDeque<Arc<Driver>>>,
+    ready_cond: Condvar,
+    timers: Mutex<BinaryHeap<Reverse<Timer>>>,
+    starved: Mutex<Vec<Weak<Driver>>>,
+    /// Live drivers, kept so shutdown can force-finish them.
+    registered: Mutex<Vec<Arc<Driver>>>,
+    /// Bumped by every lender kick; closes the starve-vs-notify race.
+    kick_epoch: AtomicU64,
+    /// Signals the input pump that a driver starved. The pump itself decides
+    /// whether to read ahead (see [`pump_loop`]); the mutex carries no data.
+    demand: Mutex<()>,
+    demand_cond: Condvar,
+    shutdown: AtomicBool,
+    stats: Stats,
+}
+
+impl Inner {
+    fn next_timer_at(&self) -> Option<Instant> {
+        self.timers.lock().peek().map(|Reverse(timer)| timer.at)
+    }
+
+    /// Pops and wakes every timer whose deadline has passed.
+    fn fire_due_timers(&self, now: Instant) {
+        loop {
+            let driver = {
+                let mut timers = self.timers.lock();
+                match timers.peek() {
+                    Some(Reverse(timer)) if timer.at <= now => {
+                        let Reverse(timer) = timers.pop().expect("peeked entry present");
+                        timer.driver
+                    }
+                    _ => return,
+                }
+            };
+            if let Some(driver) = driver.upgrade() {
+                if !driver.finished.fired() {
+                    driver.scheduled_at.lock().take();
+                    self.stats.timer_fires.fetch_add(1, Ordering::Relaxed);
+                    wake(self, &driver);
+                }
+            }
+        }
+    }
+
+    /// Moves every starved driver back onto the ready queue. Invoked by the
+    /// lender's change waker: any state change may have made a value
+    /// lendable.
+    fn kick_starved(&self) {
+        self.kick_epoch.fetch_add(1, Ordering::SeqCst);
+        let drained: Vec<Weak<Driver>> = std::mem::take(&mut *self.starved.lock());
+        for weak in drained {
+            if let Some(driver) = weak.upgrade() {
+                driver.in_starved.store(false, Ordering::SeqCst);
+                wake(self, &driver);
+            }
+        }
+    }
+
+    fn signal_pump(&self) {
+        let demand = self.demand.lock();
+        drop(demand);
+        self.demand_cond.notify_one();
+    }
+}
+
+/// Enqueues `driver` for a poll unless it is already queued; a wake during a
+/// running poll flags it dirty so the poll re-runs.
+fn wake(inner: &Inner, driver: &Arc<Driver>) {
+    if driver.finished.fired() {
+        return;
+    }
+    loop {
+        let state = driver.sched.load(Ordering::SeqCst);
+        let (target, enqueue) = match state {
+            IDLE => (QUEUED, true),
+            RUNNING => (RUNNING_DIRTY, false),
+            _ => return, // already queued or dirty: the wake is coalesced
+        };
+        if driver.sched.compare_exchange(state, target, Ordering::SeqCst, Ordering::SeqCst).is_ok()
+        {
+            if enqueue {
+                let mut ready = inner.ready.lock();
+                ready.push_back(driver.clone());
+                let depth = ready.len() as u64;
+                drop(ready);
+                inner.stats.wakeups.fetch_add(1, Ordering::Relaxed);
+                inner.stats.max_ready_depth.fetch_max(depth, Ordering::Relaxed);
+                inner.ready_cond.notify_one();
+            }
+            return;
+        }
+    }
+}
+
+/// The per-volunteer dispatch/receive state machine, polled by the pool.
+struct Driver {
+    name: String,
+    endpoint: Arc<Endpoint<Message>>,
+    meter: ThroughputMeter,
+    tasks_per_frame: usize,
+    sched: AtomicU8,
+    in_starved: AtomicBool,
+    /// Earliest timer currently scheduled for this driver, to avoid flooding
+    /// the heap with duplicates.
+    scheduled_at: Mutex<Option<Instant>>,
+    io: Mutex<DriverIo>,
+    result: Mutex<Option<Result<(), StreamError>>>,
+    finished: Signal,
+}
+
+struct DriverIo {
+    source: SubStreamSource<Bytes, Bytes>,
+    sink: SubStreamSink<Bytes, Bytes>,
+    /// Free in-flight window slots (the `batch_size` Limiter of the paper):
+    /// one is consumed per dispatched task and released per accepted result.
+    credits: usize,
+    /// A value pulled for a frame that had no byte budget left; it opens the
+    /// next frame (its window slot is already consumed).
+    carry: Option<Record>,
+    /// Set once the task flow ended (lender done, channel closed, or send
+    /// failure); receive may still be running.
+    dispatch_done: bool,
+    /// First dispatch-side error, reported over a clean receive shutdown.
+    dispatch_error: Option<StreamError>,
+    pacer: HeartbeatPacer,
+}
+
+/// What a poll decided about the driver's future.
+enum PollOutcome {
+    /// Wait for the next waker or the given timer.
+    Pending { timer: Option<Instant>, starved: bool, starve_epoch: u64 },
+    /// The volunteer session ended; the driver was finished.
+    Terminal,
+}
+
+impl Driver {
+    /// Runs one non-blocking dispatch + receive round.
+    fn poll(self: &Arc<Self>, inner: &Inner) -> PollOutcome {
+        if self.finished.fired() {
+            // A stale wake (timer or lender kick) raced termination.
+            return PollOutcome::Terminal;
+        }
+        let mut io = self.io.lock();
+
+        // Receive: drain every deliverable frame, demultiplex results into
+        // the lender and release window slots (send-window readiness is
+        // re-checked by the dispatch phase below in the same poll).
+        loop {
+            match self.endpoint.try_recv() {
+                Ok(message @ Message::TaskResult { .. })
+                | Ok(message @ Message::ResultBatch(_)) => {
+                    self.meter.record_wire(&self.name, message.wire_size() as u64);
+                    message.demux_results(|seq, payload| {
+                        // A late result for a value this sub-stream no longer
+                        // borrows is dropped (conservative property): no
+                        // window slot is released for it.
+                        if io.sink.push(seq, payload).is_ok() {
+                            self.meter.record(&self.name, 1.0);
+                            io.credits += 1;
+                        }
+                    });
+                }
+                Ok(Message::TaskError { seq, message }) => {
+                    // An application error marks the volunteer faulty; its
+                    // values are re-lent elsewhere (crash-stop model).
+                    io.sink.finish(false);
+                    self.endpoint.close();
+                    let text = String::from_utf8_lossy(&message).into_owned();
+                    let name = &self.name;
+                    return self.finish(
+                        inner,
+                        io,
+                        Err(StreamError::new(format!(
+                            "volunteer {name} failed on value {seq}: {text}"
+                        ))),
+                    );
+                }
+                Ok(Message::Heartbeat) => continue,
+                Ok(Message::Goodbye) | Ok(Message::Task { .. }) | Ok(Message::TaskBatch(_)) => {
+                    io.sink.finish(true);
+                    let _ = io.source.pull(Request::Abort);
+                    return self.finish(inner, io, Ok(()));
+                }
+                Err(RecvError::Closed) => {
+                    io.sink.finish(true);
+                    let _ = io.source.pull(Request::Abort);
+                    return self.finish(inner, io, Ok(()));
+                }
+                Err(RecvError::PeerFailed) => {
+                    io.sink.finish(false);
+                    let name = &self.name;
+                    let err = StreamError::transport(format!(
+                        "volunteer {name} disconnected (heartbeat timeout)"
+                    ));
+                    let _ = io.source.pull(Request::Fail(err.clone()));
+                    return self.finish(inner, io, Err(err));
+                }
+                Err(RecvError::Empty) | Err(RecvError::Timeout) => break,
+            }
+        }
+
+        // Dispatch: coalesce whatever the lender can hand out *right now*
+        // into frames, within the window and the byte budget.
+        let mut starved = false;
+        let mut starve_epoch = 0;
+        while !io.dispatch_done {
+            let first = match io.carry.take() {
+                Some(record) => record,
+                None => {
+                    if io.credits == 0 {
+                        break;
+                    }
+                    let epoch = inner.kick_epoch.load(Ordering::SeqCst);
+                    match io.source.poll_pull() {
+                        None => {
+                            starved = true;
+                            starve_epoch = epoch;
+                            break;
+                        }
+                        Some(Answer::Value(lend)) => {
+                            io.credits -= 1;
+                            Record::new(lend.seq, lend.value)
+                        }
+                        Some(Answer::Done) | Some(Answer::Err(_)) => {
+                            // The task flow is over; the channel half-closes
+                            // and receive drains the remaining results.
+                            self.endpoint.close();
+                            io.dispatch_done = true;
+                            break;
+                        }
+                    }
+                }
+            };
+            let mut body = 4 + RECORD_HEADER_LEN + first.payload.len();
+            let mut records = vec![first];
+            while records.len() < self.tasks_per_frame && body < MAX_FRAME_LEN && io.credits > 0 {
+                match io.source.try_pull() {
+                    Some(lend) => {
+                        let add = RECORD_HEADER_LEN + lend.value.len();
+                        if body + add > MAX_FRAME_LEN {
+                            io.credits -= 1;
+                            io.carry = Some(Record::new(lend.seq, lend.value));
+                            break;
+                        }
+                        io.credits -= 1;
+                        body += add;
+                        records.push(Record::new(lend.seq, lend.value));
+                    }
+                    None => break,
+                }
+            }
+            let message = Message::task_frame(records);
+            let size = message.wire_size();
+            let count = message.record_count();
+            match self.endpoint.send_records_with_size(message, size, count) {
+                Ok(()) => {
+                    self.meter.record_wire(&self.name, size as u64);
+                    io.pacer.on_traffic();
+                }
+                Err(SendError::Closed) => {
+                    let _ = io.source.pull(Request::Abort);
+                    io.dispatch_done = true;
+                }
+                Err(SendError::PeerFailed) => {
+                    let err = StreamError::transport("volunteer failed while sending tasks");
+                    let _ = io.source.pull(Request::Fail(err.clone()));
+                    io.dispatch_error = Some(err);
+                    io.dispatch_done = true;
+                }
+            }
+        }
+
+        // Heartbeat pacing: data traffic above suppressed the control frame;
+        // a fully idle interval emits a standalone heartbeat.
+        match io.pacer.poll() {
+            HeartbeatAction::NotDue => {}
+            HeartbeatAction::Send => {
+                self.meter.record_heartbeat(&self.name, false);
+                let _ = self.endpoint.send(Message::Heartbeat);
+            }
+            HeartbeatAction::Suppressed => {
+                self.meter.record_heartbeat(&self.name, true);
+            }
+        }
+
+        let timer = match self.endpoint.next_ready_at() {
+            Some(ready_at) => Some(ready_at.min(io.pacer.next_due())),
+            None => Some(io.pacer.next_due()),
+        };
+        PollOutcome::Pending { timer, starved, starve_epoch }
+    }
+
+    /// Marks the driver terminal: books the result (dispatch errors win over
+    /// a clean receive end, like the threaded `VolunteerLink::join`),
+    /// deregisters it and fires the completion signal.
+    fn finish(
+        self: &Arc<Self>,
+        inner: &Inner,
+        mut io: parking_lot::MutexGuard<'_, DriverIo>,
+        result: Result<(), StreamError>,
+    ) -> PollOutcome {
+        io.dispatch_done = true;
+        let result = match io.dispatch_error.take() {
+            Some(err) => Err(err),
+            None => result,
+        };
+        drop(io);
+        self.endpoint.clear_waker();
+        *self.result.lock() = Some(result);
+        inner.stats.active.fetch_sub(1, Ordering::Relaxed);
+        inner.registered.lock().retain(|d| !Arc::ptr_eq(d, self));
+        // Leave the starved set too: a stale entry would make the input pump
+        // read ahead with no real demand, breaking its laziness guarantee.
+        if self.in_starved.swap(false, Ordering::SeqCst) {
+            inner
+                .starved
+                .lock()
+                .retain(|weak| weak.upgrade().map(|d| !Arc::ptr_eq(&d, self)).unwrap_or(false));
+        }
+        self.finished.fire();
+        PollOutcome::Terminal
+    }
+}
+
+/// Handle on one volunteer registered with a [`Reactor`]; the event-driven
+/// counterpart of the pump-thread pair of the threaded backend.
+pub struct DriverHandle {
+    driver: Arc<Driver>,
+}
+
+impl std::fmt::Debug for DriverHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriverHandle")
+            .field("name", &self.driver.name)
+            .field("finished", &self.driver.finished.fired())
+            .finish()
+    }
+}
+
+impl DriverHandle {
+    /// Waits until the volunteer session ends and returns its outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stream error observed on either the dispatch or the
+    /// receive side, like the threaded `VolunteerLink::join`.
+    pub fn join(self) -> Result<(), StreamError> {
+        self.driver.finished.wait();
+        self.driver.result.lock().clone().expect("result set before the signal fires")
+    }
+
+    /// Returns `true` once the volunteer session has ended.
+    pub fn is_finished(&self) -> bool {
+        self.driver.finished.fired()
+    }
+}
+
+/// A fixed pool of reactor threads multiplexing every volunteer of one Pando
+/// deployment. Created by the master when the
+/// [`Reactor`](crate::config::VolunteerBackend::Reactor) backend is active.
+pub struct Reactor {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    pump: Mutex<Option<JoinHandle<()>>>,
+    thread_count: usize,
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("threads", &self.thread_count)
+            .field("active", &self.inner.stats.active.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Reactor {
+    /// Starts a reactor pool of `config.reactor_threads` threads.
+    pub fn new(config: &PandoConfig) -> Self {
+        let inner = Arc::new(Inner {
+            ready: Mutex::new(VecDeque::new()),
+            ready_cond: Condvar::new(),
+            timers: Mutex::new(BinaryHeap::new()),
+            starved: Mutex::new(Vec::new()),
+            registered: Mutex::new(Vec::new()),
+            kick_epoch: AtomicU64::new(0),
+            demand: Mutex::new(()),
+            demand_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: Stats {
+                registered: AtomicU64::new(0),
+                active: AtomicU64::new(0),
+                wakeups: AtomicU64::new(0),
+                polls: AtomicU64::new(0),
+                timer_fires: AtomicU64::new(0),
+                max_ready_depth: AtomicU64::new(0),
+                pump_prefetches: AtomicU64::new(0),
+            },
+        });
+        let thread_count = config.reactor_threads.max(1);
+        let threads = (0..thread_count)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("pando-reactor-{i}"))
+                    .spawn(move || reactor_loop(&inner))
+                    .expect("spawn reactor thread")
+            })
+            .collect();
+        Self { inner, threads: Mutex::new(threads), pump: Mutex::new(None), thread_count }
+    }
+
+    /// Connects the reactor to the deployment's StreamLender: registers the
+    /// change waker that kicks starved drivers and starts the input pump
+    /// thread. Called once when the input stream is attached.
+    pub fn attach_lender(&self, lender: &StreamLender<Bytes, Bytes>) {
+        let waker_inner = Arc::downgrade(&self.inner);
+        lender.add_waker(Arc::new(move || {
+            if let Some(inner) = waker_inner.upgrade() {
+                inner.kick_starved();
+            }
+        }));
+        let mut pump = self.pump.lock();
+        if pump.is_some() {
+            return;
+        }
+        let inner = self.inner.clone();
+        let lender = lender.clone();
+        *pump = Some(
+            std::thread::Builder::new()
+                .name("pando-input-pump".to_string())
+                .spawn(move || pump_loop(&inner, &lender))
+                .expect("spawn input pump thread"),
+        );
+    }
+
+    /// Registers one volunteer endpoint: the event-driven replacement of the
+    /// dispatcher/receiver thread pair.
+    pub fn register(
+        &self,
+        name: &str,
+        endpoint: Endpoint<Message>,
+        source: SubStreamSource<Bytes, Bytes>,
+        sink: SubStreamSink<Bytes, Bytes>,
+        config: &PandoConfig,
+        meter: &ThroughputMeter,
+    ) -> DriverHandle {
+        let endpoint = Arc::new(endpoint);
+        let driver = Arc::new(Driver {
+            name: name.to_string(),
+            endpoint: endpoint.clone(),
+            meter: meter.clone(),
+            tasks_per_frame: config.effective_tasks_per_frame(),
+            sched: AtomicU8::new(IDLE),
+            in_starved: AtomicBool::new(false),
+            scheduled_at: Mutex::new(None),
+            io: Mutex::new(DriverIo {
+                source,
+                sink,
+                credits: config.batch_size,
+                carry: None,
+                dispatch_done: false,
+                dispatch_error: None,
+                pacer: HeartbeatPacer::new(config.channel.heartbeat_interval),
+            }),
+            result: Mutex::new(None),
+            finished: Signal::new(),
+        });
+        let weak_driver = Arc::downgrade(&driver);
+        let weak_inner = Arc::downgrade(&self.inner);
+        endpoint.set_waker(Arc::new(move || {
+            if let (Some(driver), Some(inner)) = (weak_driver.upgrade(), weak_inner.upgrade()) {
+                wake(&inner, &driver);
+            }
+        }));
+        self.inner.stats.registered.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.active.fetch_add(1, Ordering::Relaxed);
+        self.inner.registered.lock().push(driver.clone());
+        wake(&self.inner, &driver);
+        DriverHandle { driver }
+    }
+
+    /// A snapshot of the scheduling counters.
+    pub fn stats(&self) -> ReactorStats {
+        let stats = &self.inner.stats;
+        ReactorStats {
+            threads: self.thread_count,
+            registered: stats.registered.load(Ordering::Relaxed),
+            active: stats.active.load(Ordering::Relaxed),
+            wakeups: stats.wakeups.load(Ordering::Relaxed),
+            polls: stats.polls.load(Ordering::Relaxed),
+            timer_fires: stats.timer_fires.load(Ordering::Relaxed),
+            ready_depth: self.inner.ready.lock().len() as u64,
+            max_ready_depth: stats.max_ready_depth.load(Ordering::Relaxed),
+            starved: self.inner.starved.lock().len() as u64,
+            pump_prefetches: stats.pump_prefetches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the pool: wakes every thread, joins them, and force-finishes any
+    /// driver still live (its sub-stream ends with crash semantics so
+    /// borrowed values are re-lent — relevant only when tearing down
+    /// mid-run).
+    fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.ready_cond.notify_all();
+        self.inner.demand_cond.notify_all();
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(pump) = self.pump.lock().take() {
+            let _ = pump.join();
+        }
+        let leftover: Vec<Arc<Driver>> = self.inner.registered.lock().drain(..).collect();
+        for driver in leftover {
+            driver.endpoint.clear_waker();
+            driver.endpoint.close();
+            let io = driver.io.lock();
+            io.sink.finish(false);
+            drop(io);
+            *driver.result.lock() = Some(Err(StreamError::transport("reactor shut down")));
+            self.inner.stats.active.fetch_sub(1, Ordering::Relaxed);
+            driver.finished.fire();
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Body of one reactor pool thread.
+fn reactor_loop(inner: &Inner) {
+    loop {
+        inner.fire_due_timers(Instant::now());
+        let driver = {
+            let mut ready = inner.ready.lock();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(driver) = ready.pop_front() {
+                    break driver;
+                }
+                match inner.next_timer_at() {
+                    Some(at) => {
+                        if at <= Instant::now() {
+                            drop(ready);
+                            inner.fire_due_timers(Instant::now());
+                            ready = inner.ready.lock();
+                            continue;
+                        }
+                        inner.ready_cond.wait_until(&mut ready, at);
+                    }
+                    None => inner.ready_cond.wait(&mut ready),
+                }
+            }
+        };
+        driver.sched.store(RUNNING, Ordering::SeqCst);
+        inner.stats.polls.fetch_add(1, Ordering::Relaxed);
+        let outcome = driver.poll(inner);
+        match outcome {
+            PollOutcome::Terminal => {
+                driver.sched.store(IDLE, Ordering::SeqCst);
+            }
+            PollOutcome::Pending { timer, starved, starve_epoch } => {
+                if let Some(at) = timer {
+                    let mut scheduled = driver.scheduled_at.lock();
+                    let stale = scheduled.map(|existing| at < existing).unwrap_or(true);
+                    if stale {
+                        *scheduled = Some(at);
+                        drop(scheduled);
+                        inner
+                            .timers
+                            .lock()
+                            .push(Reverse(Timer { at, driver: Arc::downgrade(&driver) }));
+                        // A sleeping sibling may need to shorten its wait.
+                        inner.ready_cond.notify_one();
+                    }
+                }
+                if starved && !driver.in_starved.swap(true, Ordering::SeqCst) {
+                    inner.starved.lock().push(Arc::downgrade(&driver));
+                    inner.signal_pump();
+                }
+                // Transition out of RUNNING; a wake observed mid-poll means
+                // the poll must re-run.
+                if driver
+                    .sched
+                    .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+                {
+                    driver.sched.store(QUEUED, Ordering::SeqCst);
+                    let mut ready = inner.ready.lock();
+                    ready.push_back(driver.clone());
+                    drop(ready);
+                    inner.ready_cond.notify_one();
+                } else if starved && inner.kick_epoch.load(Ordering::SeqCst) != starve_epoch {
+                    // A lender kick raced our starve registration: re-poll.
+                    wake(inner, &driver);
+                }
+            }
+        }
+    }
+}
+
+/// Body of the input pump thread.
+///
+/// The pump preserves the lender's *laziness*: it reads ahead only while at
+/// least one driver is parked starved **and** the staged pool is empty, so
+/// the read-ahead never exceeds one value beyond actual consumption —
+/// exactly the per-ask rhythm of the blocking dispatcher it replaces. (An
+/// eager pump would let feedback-loop inputs like the mining monitor race
+/// millions of values ahead of the workers.)
+fn pump_loop(inner: &Inner, lender: &StreamLender<Bytes, Bytes>) {
+    loop {
+        {
+            let mut demand = inner.demand.lock();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if !inner.starved.lock().is_empty() && lender.failed_pending() == 0 {
+                    break;
+                }
+                inner.demand_cond.wait(&mut demand);
+            }
+        }
+        if lender.prefetch_one() {
+            inner.stats.pump_prefetches.fetch_add(1, Ordering::Relaxed);
+            // The staged value triggered the lender waker, which kicks the
+            // starved drivers; they will re-signal if they starve again.
+        } else {
+            // The input is exhausted (or the output closed): no amount of
+            // pumping will produce more values. Starved drivers terminate
+            // through their own Done observations; park until shut down.
+            let mut demand = inner.demand.lock();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                inner.demand_cond.wait(&mut demand);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_snapshot_starts_clean() {
+        let reactor = Reactor::new(&PandoConfig::local_test());
+        let stats = reactor.stats();
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.registered, 0);
+        assert_eq!(stats.active, 0);
+        assert_eq!(stats.ready_depth, 0);
+    }
+
+    #[test]
+    fn drop_joins_the_pool() {
+        let reactor = Reactor::new(&PandoConfig::local_test().with_reactor_threads(3));
+        assert_eq!(reactor.stats().threads, 3);
+        drop(reactor); // must not hang
+    }
+}

@@ -29,6 +29,12 @@ pub struct WorkerOptions {
     pub fault: FaultPlan,
     /// Name used in logs and reports.
     pub name: String,
+    /// Emit periodic [`Message::Heartbeat`] frames while idle, piggybacked
+    /// on result traffic: an interval that saw a data frame suppresses the
+    /// standalone control frame. Off by default — unit tests asserting exact
+    /// frame sequences stay deterministic — and enabled by deployments that
+    /// model real channel chatter (the scale examples, the worker pool).
+    pub heartbeats: bool,
 }
 
 /// What a worker did during its lifetime.
@@ -44,6 +50,29 @@ pub struct WorkerReport {
     /// processing function), `false` if it left cleanly after the master
     /// closed the stream.
     pub crashed: bool,
+    /// Standalone heartbeat frames sent (only with
+    /// [`WorkerOptions::heartbeats`]).
+    pub heartbeats_sent: u64,
+    /// Heartbeats suppressed because result traffic inside the interval
+    /// already proved liveness.
+    pub heartbeats_suppressed: u64,
+}
+
+impl WorkerReport {
+    fn new(name: String) -> Self {
+        Self {
+            name,
+            processed: 0,
+            errors: 0,
+            crashed: false,
+            heartbeats_sent: 0,
+            heartbeats_suppressed: 0,
+        }
+    }
+
+    fn crashed(name: String) -> Self {
+        Self { crashed: true, ..Self::new(name) }
+    }
 }
 
 /// Handle on a running worker thread.
@@ -60,8 +89,7 @@ impl WorkerHandle {
     /// — the panic is contained inside the worker thread and never poisons
     /// the joining thread.
     pub fn join(self) -> WorkerReport {
-        let fallback =
-            WorkerReport { name: self.name.clone(), processed: 0, errors: 0, crashed: true };
+        let fallback = WorkerReport::crashed(self.name.clone());
         self.handle.join().unwrap_or(fallback)
     }
 
@@ -104,7 +132,7 @@ where
                 // browser tab dying mid-task, so crash the channel and report
                 // it as such instead of propagating the panic to the joiner.
                 endpoint.crash();
-                WorkerReport { name: options.name, processed: 0, errors: 0, crashed: true }
+                WorkerReport::crashed(options.name)
             })
         })
         .expect("spawn worker thread");
@@ -142,6 +170,176 @@ struct FrameOutcome {
     crashed: bool,
 }
 
+/// Handle on a pool of threads multiplexing many volunteer endpoints.
+#[derive(Debug)]
+pub struct WorkerPoolHandle {
+    threads: Vec<JoinHandle<Vec<WorkerReport>>>,
+}
+
+impl WorkerPoolHandle {
+    /// Waits for every endpoint to finish and returns one report per
+    /// volunteer, in registration order within each pool thread.
+    pub fn join(self) -> Vec<WorkerReport> {
+        self.threads.into_iter().flat_map(|handle| handle.join().unwrap_or_default()).collect()
+    }
+}
+
+/// Spawns `threads` pool threads that together serve every endpoint in
+/// `endpoints` — the volunteer-side mirror of the master's reactor, used to
+/// simulate fleets of thousands of devices without a thread per device.
+///
+/// Each pool thread owns a disjoint slice of the endpoints and round-robins
+/// over them with non-blocking receives; `process` is shared. Heartbeat
+/// pacing follows [`WorkerOptions::heartbeats`]; scripted faults are not
+/// supported on the pooled path (use [`spawn_worker`] for fault injection).
+pub fn spawn_worker_pool<F>(
+    endpoints: Vec<Endpoint<Message>>,
+    process: F,
+    threads: usize,
+    options: WorkerOptions,
+) -> WorkerPoolHandle
+where
+    F: Fn(&Payload) -> Result<Bytes, StreamError> + Send + Sync + 'static,
+{
+    assert!(threads > 0, "a worker pool needs at least one thread");
+    let process = Arc::new(process);
+    let total = endpoints.len();
+    let per_thread = total.div_ceil(threads.max(1)).max(1);
+    let mut endpoints = endpoints.into_iter();
+    let mut handles = Vec::new();
+    for index in 0..threads {
+        let chunk: Vec<Endpoint<Message>> = endpoints.by_ref().take(per_thread).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        let process = process.clone();
+        let options = options.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("pando-worker-pool-{index}"))
+                .spawn(move || run_worker_slice(chunk, &*process, &options, index))
+                .expect("spawn worker pool thread"),
+        );
+    }
+    WorkerPoolHandle { threads: handles }
+}
+
+/// One pooled endpoint and its per-volunteer state.
+struct PoolSlot {
+    endpoint: Endpoint<Message>,
+    report: WorkerReport,
+    pacer: Option<crate::protocol::HeartbeatPacer>,
+    done: bool,
+}
+
+/// Serves a slice of endpoints from one pool thread until all of them end.
+fn run_worker_slice<F>(
+    endpoints: Vec<Endpoint<Message>>,
+    process: &F,
+    options: &WorkerOptions,
+    thread_index: usize,
+) -> Vec<WorkerReport>
+where
+    F: Fn(&Payload) -> Result<Bytes, StreamError>,
+{
+    let mut fault = FaultPlan::None.arm();
+    let mut slots: Vec<PoolSlot> = endpoints
+        .into_iter()
+        .enumerate()
+        .map(|(i, endpoint)| {
+            let interval = endpoint.config().heartbeat_interval;
+            PoolSlot {
+                endpoint,
+                report: WorkerReport::new(format!(
+                    "{}pool-{thread_index}-{i}",
+                    if options.name.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{}-", options.name)
+                    }
+                )),
+                pacer: options.heartbeats.then(|| crate::protocol::HeartbeatPacer::new(interval)),
+                done: false,
+            }
+        })
+        .collect();
+    let mut live = slots.len();
+    while live > 0 {
+        let mut progressed = false;
+        for slot in slots.iter_mut().filter(|slot| !slot.done) {
+            // Drain a bounded number of frames per visit so one chatty
+            // endpoint cannot starve its siblings.
+            for _ in 0..8 {
+                let (outcome, batched) = match slot.endpoint.try_recv() {
+                    Ok(Message::Task { seq, payload }) => {
+                        let records = [Record::new(seq, payload)];
+                        (process_records(&records, process, &mut fault, &mut slot.report), false)
+                    }
+                    Ok(Message::TaskBatch(records)) => {
+                        (process_records(&records, process, &mut fault, &mut slot.report), true)
+                    }
+                    Ok(Message::Heartbeat) => continue,
+                    Ok(_) => {
+                        slot.endpoint.close();
+                        slot.done = true;
+                        break;
+                    }
+                    Err(RecvError::Closed) => {
+                        let _ = slot.endpoint.send(Message::Goodbye);
+                        slot.endpoint.close();
+                        slot.done = true;
+                        break;
+                    }
+                    Err(RecvError::PeerFailed) => {
+                        slot.done = true;
+                        break;
+                    }
+                    Err(RecvError::Empty) | Err(RecvError::Timeout) => break,
+                };
+                progressed = true;
+                for reply in build_replies(outcome, batched) {
+                    let size = reply.wire_size();
+                    let count = reply.record_count();
+                    match slot.endpoint.send_records_with_size(reply, size, count) {
+                        Ok(()) => {
+                            if let Some(pacer) = &mut slot.pacer {
+                                pacer.on_traffic();
+                            }
+                        }
+                        Err(_) => {
+                            slot.done = true;
+                            break;
+                        }
+                    }
+                }
+                if slot.done {
+                    break;
+                }
+            }
+            if slot.done {
+                live -= 1;
+                continue;
+            }
+            if let Some(pacer) = &mut slot.pacer {
+                match pacer.poll() {
+                    crate::protocol::HeartbeatAction::NotDue => {}
+                    crate::protocol::HeartbeatAction::Send => {
+                        slot.report.heartbeats_sent += 1;
+                        let _ = slot.endpoint.send(Message::Heartbeat);
+                    }
+                    crate::protocol::HeartbeatAction::Suppressed => {
+                        slot.report.heartbeats_suppressed += 1;
+                    }
+                }
+            }
+        }
+        if !progressed {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+    slots.into_iter().map(|slot| slot.report).collect()
+}
+
 /// Runs the worker loop on the calling thread until the master closes the
 /// channel or the fault plan triggers a crash.
 pub fn run_worker<F>(
@@ -152,9 +350,11 @@ pub fn run_worker<F>(
 where
     F: Fn(&Payload) -> Result<Bytes, StreamError>,
 {
-    let mut report =
-        WorkerReport { name: options.name.clone(), processed: 0, errors: 0, crashed: false };
+    let mut report = WorkerReport::new(options.name.clone());
     let mut fault = options.fault.arm();
+    let heartbeat_interval = endpoint.config().heartbeat_interval;
+    let mut pacer =
+        options.heartbeats.then(|| crate::protocol::HeartbeatPacer::new(heartbeat_interval));
 
     loop {
         if fault.should_crash() {
@@ -162,7 +362,27 @@ where
             report.crashed = true;
             return report;
         }
-        let batch = match endpoint.recv() {
+        // With pacing enabled, wake at least once per heartbeat interval so
+        // an idle channel still signals liveness; result traffic below
+        // suppresses the standalone frame (piggyback).
+        let received = match &mut pacer {
+            Some(pacer) => {
+                let received = endpoint.recv_timeout(heartbeat_interval);
+                match pacer.poll() {
+                    crate::protocol::HeartbeatAction::NotDue => {}
+                    crate::protocol::HeartbeatAction::Send => {
+                        report.heartbeats_sent += 1;
+                        let _ = endpoint.send(Message::Heartbeat);
+                    }
+                    crate::protocol::HeartbeatAction::Suppressed => {
+                        report.heartbeats_suppressed += 1;
+                    }
+                }
+                received
+            }
+            None => endpoint.recv(),
+        };
+        let batch = match received {
             Ok(Message::Task { seq, payload }) => {
                 let outcome = process_records(
                     &[Record::new(seq, payload)],
@@ -207,36 +427,45 @@ where
             Err(RecvError::Timeout) | Err(RecvError::Empty) => continue,
         };
         let (outcome, batched) = batch;
-        // Results of a batch are coalesced into one frame, mirroring the
-        // master's task batching; a lone task is answered in kind. Large
-        // result sets are split so no reply frame exceeds the wire limit.
-        let mut replies = Vec::with_capacity(2);
-        if !outcome.results.is_empty() {
-            let mut results = outcome.results;
-            if batched {
-                for chunk in split_by_frame_limit(results) {
-                    replies.push(Message::ResultBatch(chunk));
-                }
-            } else {
-                let record = results.pop().expect("non-empty results");
-                replies.push(Message::TaskResult { seq: record.seq, payload: record.payload });
-            }
-        }
-        if let Some((seq, err)) = outcome.error {
-            replies.push(Message::TaskError {
-                seq,
-                message: Bytes::copy_from_slice(err.message().as_bytes()),
-            });
-        }
-        for reply in replies {
+        for reply in build_replies(outcome, batched) {
             let size = reply.wire_size();
             let count = reply.record_count();
             match endpoint.send_records_with_size(reply, size, count) {
-                Ok(()) => {}
+                Ok(()) => {
+                    if let Some(pacer) = &mut pacer {
+                        pacer.on_traffic();
+                    }
+                }
                 Err(SendError::Closed) | Err(SendError::PeerFailed) => return report,
             }
         }
     }
+}
+
+/// Builds the reply frames for one processed task frame. Results of a batch
+/// are coalesced into one frame, mirroring the master's task batching; a
+/// lone task is answered in kind. Large result sets are split so no reply
+/// frame exceeds the wire limit.
+fn build_replies(outcome: FrameOutcome, batched: bool) -> Vec<Message> {
+    let mut replies = Vec::with_capacity(2);
+    if !outcome.results.is_empty() {
+        let mut results = outcome.results;
+        if batched {
+            for chunk in split_by_frame_limit(results) {
+                replies.push(Message::ResultBatch(chunk));
+            }
+        } else {
+            let record = results.pop().expect("non-empty results");
+            replies.push(Message::TaskResult { seq: record.seq, payload: record.payload });
+        }
+    }
+    if let Some((seq, err)) = outcome.error {
+        replies.push(Message::TaskError {
+            seq,
+            message: Bytes::copy_from_slice(err.message().as_bytes()),
+        });
+    }
+    replies
 }
 
 /// Applies the processing function to every record of one frame, honouring
@@ -469,7 +698,11 @@ mod tests {
             volunteer,
             StringCodec,
             upper,
-            WorkerOptions { fault: FaultPlan::AfterTasks(1), name: "tablet".into() },
+            WorkerOptions {
+                fault: FaultPlan::AfterTasks(1),
+                name: "tablet".into(),
+                ..Default::default()
+            },
         );
         master.send(task(0, b"only")).unwrap();
         master.send(task(1, b"never answered")).unwrap();
@@ -519,6 +752,86 @@ mod tests {
             }
         }
         assert!(saw_failure, "a panicked worker must look crashed to its peer");
+    }
+
+    #[test]
+    fn worker_pool_serves_many_endpoints_with_few_threads() {
+        use crate::config::PandoConfig;
+        use crate::master::Pando;
+        use pando_pull_stream::source::{count, SourceExt};
+
+        let pando = Pando::new(PandoConfig::local_test().with_batch_size(4));
+        let endpoints: Vec<_> = (0..20).map(|_| pando.open_volunteer_channel()).collect();
+        let pool = spawn_worker_pool(
+            endpoints,
+            |payload: &Bytes| {
+                let mut out = payload.to_vec();
+                out.reverse();
+                Ok(Bytes::from(out))
+            },
+            3,
+            WorkerOptions::default(),
+        );
+        let output = pando
+            .run(count(200).map_values(|v| Bytes::from(v.to_string().into_bytes())))
+            .collect_values()
+            .unwrap();
+        let expected: Vec<Bytes> = (1..=200u64)
+            .map(|v| {
+                let mut bytes = v.to_string().into_bytes();
+                bytes.reverse();
+                Bytes::from(bytes)
+            })
+            .collect();
+        assert_eq!(output, expected, "per-volunteer results stay demultiplexed in order");
+        let reports = pool.join();
+        assert_eq!(reports.len(), 20);
+        let total: u64 = reports.iter().map(|r| r.processed).sum();
+        assert_eq!(total, 200);
+        assert!(reports.iter().all(|r| !r.crashed));
+        pando.join_volunteers();
+    }
+
+    #[test]
+    fn idle_worker_emits_heartbeats_and_traffic_suppresses_them() {
+        let (master, volunteer) = pair::<Message>(ChannelConfig {
+            heartbeat_interval: std::time::Duration::from_millis(10),
+            failure_timeout: std::time::Duration::from_millis(200),
+            ..ChannelConfig::instant()
+        });
+        let worker = spawn_typed_worker(
+            volunteer,
+            StringCodec,
+            upper,
+            WorkerOptions { heartbeats: true, ..WorkerOptions::default() },
+        );
+        // Idle for several intervals: standalone heartbeats flow.
+        let mut beats = 0;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(200);
+        while beats < 2 && std::time::Instant::now() < deadline {
+            if let Ok(Message::Heartbeat) =
+                master.recv_timeout(std::time::Duration::from_millis(50))
+            {
+                beats += 1;
+            }
+        }
+        assert!(beats >= 2, "an idle worker must keep signalling liveness");
+        // Steady result traffic for a few intervals suppresses the beats.
+        for seq in 0..8u64 {
+            master.send(task(seq, b"x")).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        master.close();
+        let report = worker.join();
+        assert_eq!(report.processed, 8);
+        assert!(report.heartbeats_sent >= 2);
+        assert!(
+            report.heartbeats_suppressed >= 1,
+            "result traffic within the interval must suppress standalone beats \
+             (sent={}, suppressed={})",
+            report.heartbeats_sent,
+            report.heartbeats_suppressed
+        );
     }
 
     #[test]

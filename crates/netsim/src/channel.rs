@@ -7,6 +7,15 @@
 //! bounded (partial synchrony), a clean close (the volunteer leaves) and a
 //! crash (the browser tab is closed or connectivity is lost) that the peer
 //! only detects after the heartbeat timeout.
+//!
+//! Endpoints can be used either blocking (one pump thread per endpoint, the
+//! original shape) or readiness-driven: [`Endpoint::set_waker`] registers a
+//! callback fired whenever the endpoint *may* have become pollable — a frame
+//! arrived, the peer closed, crashed or was dropped — and
+//! [`Endpoint::next_ready_at`] exposes the earliest instant at which a
+//! buffered-but-undelivered frame (or a pending crash suspicion) matures, so
+//! an epoll-style reactor can multiplex thousands of endpoints over a fixed
+//! thread pool without ever blocking in [`Endpoint::recv`].
 
 use crate::heartbeat::FailureDetector;
 use crossbeam::channel;
@@ -192,6 +201,10 @@ struct Direction<T> {
     rx: channel::Receiver<Frame<T>>,
 }
 
+/// Readiness callback registered with [`Endpoint::set_waker`]: invoked (from
+/// the peer's thread) whenever the endpoint may have become pollable.
+pub type Waker = Arc<dyn Fn() + Send + Sync>;
+
 struct SideState {
     /// Set when this side crashed (abruptly stopped).
     crashed_at: Option<Instant>,
@@ -199,6 +212,12 @@ struct SideState {
     closed: bool,
     /// Set when this side has observed the peer's close notification.
     peer_done: bool,
+    /// Set when this side's endpoint was dropped entirely; the peer treats it
+    /// like a crash unless a clean close preceded it.
+    dropped: bool,
+    /// Readiness callback of this side, fired by the *peer* on frame arrival,
+    /// close, crash and drop.
+    waker: Option<Waker>,
     /// Next time at which a message may be delivered (keeps FIFO order even
     /// with jitter).
     next_delivery: Instant,
@@ -258,6 +277,8 @@ pub fn pair<T: Send + 'static>(config: ChannelConfig) -> (Endpoint<T>, Endpoint<
             crashed_at: None,
             closed: false,
             peer_done: false,
+            dropped: false,
+            waker: None,
             next_delivery: now,
             messages_sent: 0,
             bytes_sent: 0,
@@ -267,6 +288,8 @@ pub fn pair<T: Send + 'static>(config: ChannelConfig) -> (Endpoint<T>, Endpoint<
             crashed_at: None,
             closed: false,
             peer_done: false,
+            dropped: false,
+            waker: None,
             next_delivery: now,
             messages_sent: 0,
             bytes_sent: 0,
@@ -318,6 +341,60 @@ impl<T: Send + 'static> Endpoint<T> {
     /// The configuration this channel was created with.
     pub fn config(&self) -> &ChannelConfig {
         &self.config
+    }
+
+    /// Registers a readiness callback for this endpoint, replacing any
+    /// previous one. The peer invokes it after enqueueing a frame, on clean
+    /// close, on crash and when its endpoint is dropped — every event after
+    /// which a non-blocking poll ([`Endpoint::try_recv`]) may observe
+    /// something new.
+    ///
+    /// The callback must be cheap and must not call back into the endpoint:
+    /// it typically flips a "ready" flag and pushes the endpoint onto a
+    /// reactor queue. Delivery delays are *not* signalled through the waker
+    /// (the frame was already announced when it was sent); pollers combine
+    /// the waker with [`Endpoint::next_ready_at`] to re-poll frames whose
+    /// simulated latency has not elapsed yet.
+    pub fn set_waker(&self, waker: Waker) {
+        self.my_state().lock().waker = Some(waker);
+    }
+
+    /// Removes the readiness callback, if any.
+    pub fn clear_waker(&self) {
+        self.my_state().lock().waker = None;
+    }
+
+    /// Fires the peer's readiness callback, if registered.
+    fn wake_peer(&self) {
+        let waker = self.peer_state().lock().waker.clone();
+        if let Some(waker) = waker {
+            waker();
+        }
+    }
+
+    /// The earliest instant at which this endpoint may become pollable again
+    /// without a new wake event: the delivery time of a buffered frame whose
+    /// simulated latency has not elapsed, or the moment a pending crash
+    /// suspicion matures. `None` means "nothing buffered" — the next
+    /// readiness change will fire the waker.
+    ///
+    /// Note that a frame still in the wire queue is only buffered (and thus
+    /// visible here) after a [`Endpoint::try_recv`] attempted to deliver it,
+    /// so reactors should call `try_recv` first and consult this on `Empty`.
+    pub fn next_ready_at(&self) -> Option<Instant> {
+        let pending = self.pending.lock().as_ref().map(|frame| match frame {
+            Frame::Data { deliver_at, .. } | Frame::Close { deliver_at } => *deliver_at,
+        });
+        let suspicion = self
+            .peer_state()
+            .lock()
+            .crashed_at
+            .map(|crashed_at| crashed_at + self.config.failure_timeout);
+        match (pending, suspicion) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
     }
 
     /// Sends a message, modelling it as having a negligible size.
@@ -383,7 +460,9 @@ impl<T: Send + 'static> Endpoint<T> {
         mine.bytes_sent += size as u64;
         mine.records_sent += records;
         drop(mine);
-        self.outgoing.send(Frame::Data { payload, deliver_at }).map_err(|_| SendError::Closed)
+        self.outgoing.send(Frame::Data { payload, deliver_at }).map_err(|_| SendError::Closed)?;
+        self.wake_peer();
+        Ok(())
     }
 
     /// Receives the next message, blocking until it arrives or the connection
@@ -475,6 +554,20 @@ impl<T: Send + 'static> Endpoint<T> {
                 }
                 Some(Frame::Close { deliver_at }) => {
                     let now = Instant::now();
+                    if deliver_at > deadline {
+                        // The close notification is still in flight: report a
+                        // timeout instead of sleeping past the caller's
+                        // deadline (a `try_recv` must stay non-blocking) and
+                        // keep the frame buffered so it is delivered — not
+                        // consumed early — once its latency has elapsed. FIFO
+                        // order means nothing can arrive before it, so one
+                        // sleep covers the whole remaining window.
+                        *self.pending.lock() = Some(Frame::Close { deliver_at });
+                        if now < deadline {
+                            std::thread::sleep(deadline - now);
+                        }
+                        return Err(RecvError::Timeout);
+                    }
                     if deliver_at > now {
                         std::thread::sleep(deliver_at - now);
                     }
@@ -488,11 +581,19 @@ impl<T: Send + 'static> Endpoint<T> {
                     }
                     // Crash detection: the peer stops sending heartbeats when
                     // it crashes; the detector fires after the failure timeout.
-                    let peer_crashed_at = self.peer_state().lock().crashed_at;
+                    let peer = self.peer_state().lock();
+                    let peer_crashed_at = peer.crashed_at;
+                    let peer_dropped = peer.dropped && !peer.closed;
+                    drop(peer);
                     if let Some(crashed_at) = peer_crashed_at {
                         if self.detector.suspects(crashed_at) {
                             return Err(RecvError::PeerFailed);
                         }
+                    } else if peer_dropped {
+                        // The peer endpoint was dropped without closing: once
+                        // the queue is drained this is indistinguishable from
+                        // a crash, and the drop already woke us.
+                        return Err(RecvError::PeerFailed);
                     }
                     if Instant::now() >= deadline {
                         return Err(RecvError::Timeout);
@@ -515,6 +616,7 @@ impl<T: Send + 'static> Endpoint<T> {
         let deliver_at = (Instant::now() + self.config.latency).max(mine.next_delivery);
         drop(mine);
         let _ = self.outgoing.send(Frame::Close { deliver_at });
+        self.wake_peer();
     }
 
     /// Crashes this endpoint abruptly (crash-stop): nothing more is sent, not
@@ -522,6 +624,9 @@ impl<T: Send + 'static> Endpoint<T> {
     /// failure timeout.
     pub fn crash(&self) {
         self.my_state().lock().crashed_at = Some(Instant::now());
+        // The peer's poller re-checks now and schedules a re-poll for the
+        // moment the failure detector starts suspecting (next_ready_at).
+        self.wake_peer();
     }
 
     /// Returns `true` while the peer is neither closed nor suspected crashed.
@@ -562,6 +667,24 @@ impl<T: Send + 'static> Endpoint<T> {
         Duplex {
             source: Box::new(EndpointSource { endpoint: endpoint.clone() }),
             sink: Box::new(EndpointSink { endpoint }),
+        }
+    }
+}
+
+impl<T> Drop for Endpoint<T> {
+    fn drop(&mut self) {
+        // Mark the side as gone *before* waking the peer, so a reactor thread
+        // polling concurrently either still drains the queued frames or
+        // observes the drop — never sleeps forever on a vanished peer.
+        let (mine, peer) = if self.is_a {
+            (&self.shared.a, &self.shared.b)
+        } else {
+            (&self.shared.b, &self.shared.a)
+        };
+        mine.lock().dropped = true;
+        let waker = peer.lock().waker.clone();
+        if let Some(waker) = waker {
+            waker();
         }
     }
 }
@@ -760,6 +883,95 @@ mod tests {
             elapsed < Duration::from_millis(150),
             "a 16-record batch must not pay 16 latencies ({elapsed:?})"
         );
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking_while_a_frame_is_in_flight() {
+        // Regression: a frame whose simulated delay has not elapsed must make
+        // try_recv report Empty immediately — not sleep, not time out through
+        // the failure-timeout path, not get consumed early.
+        let mut config = ChannelConfig::instant();
+        config.latency = Duration::from_millis(40);
+        let (a, b) = pair::<u32>(config);
+        a.send(9).unwrap();
+        let start = Instant::now();
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::Empty);
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::Empty);
+        assert!(start.elapsed() < Duration::from_millis(20), "try_recv must not block");
+        // The buffered frame advertises its maturity time.
+        let ready_at = b.next_ready_at().expect("an in-flight frame is buffered");
+        assert!(ready_at > start, "delivery lies in the future");
+        std::thread::sleep(Duration::from_millis(45));
+        assert_eq!(b.try_recv().unwrap(), 9);
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking_while_a_close_is_in_flight() {
+        // Regression: an in-flight Close frame used to make try_recv sleep
+        // for the full latency *and* consume the close before its delivery
+        // time.
+        let mut config = ChannelConfig::instant();
+        config.latency = Duration::from_millis(40);
+        let (a, b) = pair::<u32>(config);
+        a.send(1).unwrap();
+        a.close();
+        let start = Instant::now();
+        // Both the data frame and the close are still travelling.
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::Empty);
+        assert!(start.elapsed() < Duration::from_millis(20), "try_recv must not block");
+        std::thread::sleep(Duration::from_millis(45));
+        assert_eq!(b.try_recv().unwrap(), 1);
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::Closed);
+    }
+
+    #[test]
+    fn waker_fires_on_send_close_and_crash() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (a, b) = pair::<u32>(ChannelConfig::instant());
+        let wakeups = Arc::new(AtomicUsize::new(0));
+        let counter = wakeups.clone();
+        b.set_waker(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.send(1).unwrap();
+        assert_eq!(wakeups.load(Ordering::SeqCst), 1);
+        a.send(2).unwrap();
+        assert_eq!(wakeups.load(Ordering::SeqCst), 2);
+        a.close();
+        assert_eq!(wakeups.load(Ordering::SeqCst), 3);
+        a.crash();
+        assert_eq!(wakeups.load(Ordering::SeqCst), 4);
+        b.clear_waker();
+        let _ = b.recv();
+    }
+
+    #[test]
+    fn waker_fires_when_the_peer_is_dropped() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (a, b) = pair::<u32>(ChannelConfig::instant());
+        let wakeups = Arc::new(AtomicUsize::new(0));
+        let counter = wakeups.clone();
+        b.set_waker(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        drop(a);
+        assert_eq!(wakeups.load(Ordering::SeqCst), 1);
+        // A dropped peer without a clean close reads as a failure.
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::PeerFailed);
+    }
+
+    #[test]
+    fn crash_suspicion_is_advertised_through_next_ready_at() {
+        let mut config = ChannelConfig::instant();
+        config.failure_timeout = Duration::from_millis(50);
+        let (a, b) = pair::<u32>(config);
+        assert!(b.next_ready_at().is_none(), "nothing buffered, nothing suspected");
+        a.crash();
+        let ready_at = b.next_ready_at().expect("suspicion maturity is scheduled");
+        assert!(ready_at > Instant::now(), "the detector has not fired yet");
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::Empty);
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::PeerFailed);
     }
 
     #[test]

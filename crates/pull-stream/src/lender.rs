@@ -125,11 +125,19 @@ struct State<T, R> {
     stats: LenderStats,
 }
 
+/// Change callback registered with [`StreamLender::add_waker`]: invoked on
+/// every lender state change (a result arrived, a value became lendable, a
+/// sub-stream ended, the stream terminated).
+pub type LenderWaker = Arc<dyn Fn() + Send + Sync>;
+
 struct Shared<T, R> {
     state: Mutex<State<T, R>>,
     /// Notified whenever work may have become available, a result arrived, or
     /// the stream terminated.
     changed: Condvar,
+    /// External change callbacks, for event-driven consumers that cannot park
+    /// on the condvar (a reactor multiplexing thousands of sub-streams).
+    wakers: Mutex<Vec<LenderWaker>>,
 }
 
 impl<T, R> Shared<T, R>
@@ -139,6 +147,10 @@ where
 {
     fn notify(&self) {
         self.changed.notify_all();
+        let wakers = self.wakers.lock();
+        for waker in wakers.iter() {
+            waker();
+        }
     }
 
     fn register_sub(&self) -> SubStreamId {
@@ -195,22 +207,58 @@ where
     /// a caller that is merely coalescing a batch — blocking there could
     /// deadlock on a value the caller has borrowed but not yet sent.
     fn try_ask(&self, id: SubStreamId) -> Option<Lend<T>> {
+        match self.try_ask_status(id) {
+            Some(Answer::Value(lend)) => Some(lend),
+            _ => None,
+        }
+    }
+
+    /// Non-blocking ask that distinguishes "would block" from termination:
+    /// `None` means nothing is available *right now* but more may come,
+    /// `Some(Answer::Done)` means this sub-stream will never receive another
+    /// value — exactly when the blocking [`Shared::ask`] would return `Done`.
+    /// An event-driven dispatcher needs the distinction to know when to close
+    /// its channel instead of waiting for a wake-up that never comes.
+    fn try_ask_status(&self, id: SubStreamId) -> Option<Answer<Lend<T>>> {
         let mut state = self.state.lock();
         if state.output_closed || !state.borrowed_by.contains_key(&id) {
-            return None;
+            return Some(Answer::Done);
         }
         if let Some(lend) = Self::lend_from_failed(&mut state, id) {
             drop(state);
             self.notify();
-            return Some(lend);
+            return Some(Answer::Value(lend));
         }
-        if state.input_done || state.input_checked_out {
+        if state.input_done {
+            // Same termination rule as the blocking ask: nothing in flight
+            // anywhere and nothing waiting to be re-lent means no value can
+            // ever appear again.
+            if state.in_flight.is_empty() && state.failed.is_empty() {
+                return Some(Answer::Done);
+            }
             return None;
         }
-        let lend = self.pull_input_locked_with(&mut state, id, |input| input.try_pull())?;
-        drop(state);
-        self.notify();
-        lend
+        if state.input_checked_out {
+            return None;
+        }
+        match self.pull_input_locked_with(&mut state, id, |input| input.try_pull()) {
+            // The input would have to wait.
+            None => None,
+            Some(Some(lend)) => {
+                drop(state);
+                self.notify();
+                Some(Answer::Value(lend))
+            }
+            // The input answered with a termination (or the value was
+            // recovered because this sub-stream died mid-ask): re-evaluate,
+            // which may now report Done.
+            Some(None) => {
+                if state.input_done && state.in_flight.is_empty() && state.failed.is_empty() {
+                    return Some(Answer::Done);
+                }
+                None
+            }
+        }
     }
 
     fn lend_from_failed(
@@ -420,8 +468,75 @@ where
                     stats: LenderStats::default(),
                 }),
                 changed: Condvar::new(),
+                wakers: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// Registers a change callback invoked on every state change of the
+    /// lender (a result arrived, a value became lendable, a sub-stream ended,
+    /// the stream terminated). This is the waker hook used by event-driven
+    /// consumers — for example a reactor that must re-poll starved
+    /// sub-streams — instead of parking on the internal condvar.
+    ///
+    /// The callback must be cheap and must not call back into the lender or
+    /// register further wakers.
+    pub fn add_waker(&self, waker: LenderWaker) {
+        self.shared.wakers.lock().push(waker);
+    }
+
+    /// Reads one value from the input — blocking if the input needs time —
+    /// and stages it in the re-lend pool, where the next sub-stream ask picks
+    /// it up. Returns `false` once no further value will ever be produced
+    /// (input exhausted or errored, or the output closed).
+    ///
+    /// This is the *input pump* hook for event-driven deployments: reactor
+    /// threads must never block, so when a sub-stream starves on an input
+    /// that only answers blocking pulls (an interactive queue, a feedback
+    /// loop), a single dedicated pump thread calls `prefetch_one` on demand.
+    /// Demand-driven pumping keeps the input lazy: at most the number of
+    /// values actually asked for is read ahead.
+    pub fn prefetch_one(&self) -> bool {
+        let shared = &self.shared;
+        let mut state = shared.state.lock();
+        loop {
+            if state.output_closed || state.input_done {
+                return false;
+            }
+            if !state.input_checked_out {
+                break;
+            }
+            // Another thread holds the input; wait for it to come back.
+            shared.changed.wait(&mut state);
+        }
+        let mut input = state.input.take().expect("input present when not checked out");
+        state.input_checked_out = true;
+        let answer = MutexGuard::unlocked(&mut state, || input.pull(Request::Ask));
+        state.input = Some(input);
+        state.input_checked_out = false;
+        let produced = match answer {
+            Answer::Value(value) => {
+                let seq = state.next_seq;
+                state.next_seq += 1;
+                state.stats.values_read += 1;
+                // Staged, not lent: the value waits in the re-lend pool until
+                // a sub-stream asks, so `lends` is counted at hand-out time.
+                state.failed.push_back(Lend::new(seq, value));
+                true
+            }
+            Answer::Done => {
+                state.input_done = true;
+                false
+            }
+            Answer::Err(err) => {
+                state.input_done = true;
+                state.input_error = Some(err);
+                false
+            }
+        };
+        drop(state);
+        shared.notify();
+        produced
     }
 
     /// Creates a new sub-stream. Sub-streams may be created at any time, even
@@ -537,6 +652,17 @@ where
             return None;
         }
         self.shared.try_ask(self.id)
+    }
+
+    /// Non-blocking ask that also reports termination: `None` means "would
+    /// block" (a wake-up will follow when the state changes),
+    /// `Some(Answer::Done)` means no value will ever be available again —
+    /// the same condition under which [`SubStream::ask`] answers `Done`.
+    pub fn poll_task(&mut self) -> Option<Answer<Lend<T>>> {
+        if self.ended {
+            return Some(Answer::Done);
+        }
+        self.shared.try_ask_status(self.id)
     }
 
     /// The pull-stream `ask` on the sub-stream's task source, following the
@@ -659,6 +785,15 @@ where
     /// stalling on values that are still in flight elsewhere.
     pub fn try_pull(&mut self) -> Option<Lend<T>> {
         self.guard.shared.try_ask(self.guard.id)
+    }
+
+    /// Non-blocking pull that also reports termination, the shape an
+    /// event-driven dispatcher needs: `None` means "would block" (poll again
+    /// after the lender's waker fires), `Some(Answer::Done)` means this
+    /// sub-stream will never be handed another value, so the dispatcher can
+    /// close its channel.
+    pub fn poll_pull(&mut self) -> Option<Answer<Lend<T>>> {
+        self.guard.shared.try_ask_status(self.guard.id)
     }
 }
 
@@ -1104,6 +1239,96 @@ mod tests {
         a.complete();
         b.complete();
         assert_eq!(lender.output().collect_values().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn poll_task_distinguishes_would_block_from_done() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(1));
+        let mut a = lender.lend();
+        let mut b = lender.lend();
+        let Some(Answer::Value(task)) = a.poll_task() else {
+            panic!("a value is immediately available");
+        };
+        // The only value is borrowed by `a`: `b` must report "would block",
+        // not termination — the value may be re-lent if `a` crashes.
+        assert!(b.poll_task().is_none());
+        a.push_result(task.seq, 7).unwrap();
+        // Input exhausted and nothing in flight: now it is truly Done.
+        assert!(matches!(b.poll_task(), Some(Answer::Done)));
+        assert!(matches!(a.poll_task(), Some(Answer::Done)));
+        a.complete();
+        b.complete();
+        assert_eq!(lender.output().collect_values().unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn poll_pull_reports_done_after_shutdown() {
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(5));
+        let (mut source, sink) = lender.lend().into_duplex();
+        assert!(matches!(source.poll_pull(), Some(Answer::Value(_))));
+        lender.shutdown();
+        assert!(matches!(source.poll_pull(), Some(Answer::Done)));
+        sink.finish(true);
+    }
+
+    #[test]
+    fn wakers_fire_on_state_changes() {
+        use std::sync::atomic::AtomicUsize;
+        let lender: StreamLender<u64, u64> = StreamLender::new(count(2));
+        let wakeups = Arc::new(AtomicUsize::new(0));
+        let counter = wakeups.clone();
+        lender.add_waker(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        let mut sub = lender.lend();
+        let before = wakeups.load(Ordering::SeqCst);
+        assert!(before >= 1, "registering a sub-stream is a state change");
+        let task = sub.next_task().unwrap();
+        assert!(wakeups.load(Ordering::SeqCst) > before, "a lend is a state change");
+        let before = wakeups.load(Ordering::SeqCst);
+        sub.push_result(task.seq, 1).unwrap();
+        assert!(wakeups.load(Ordering::SeqCst) > before, "a result is a state change");
+        sub.complete();
+        lender.shutdown();
+    }
+
+    #[test]
+    fn prefetch_stages_values_for_later_asks() {
+        // An input that only answers blocking pulls, like an interactive
+        // queue: try_pull conservatively reports "would block".
+        let input = |request: Request| -> Answer<u64> {
+            static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            if request.is_termination() {
+                return Answer::Done;
+            }
+            let n = NEXT.fetch_add(1, Ordering::SeqCst);
+            if n < 3 {
+                Answer::Value(n)
+            } else {
+                Answer::Done
+            }
+        };
+        let lender: StreamLender<u64, u64> = StreamLender::new(input);
+        let mut sub = lender.lend();
+        // Nothing available without the pump: the blanket FnMut source cannot
+        // answer non-blocking asks.
+        assert!(sub.poll_task().is_none());
+        assert!(lender.prefetch_one());
+        assert!(lender.prefetch_one());
+        let a = sub.try_next_task().expect("prefetched value is available");
+        let b = sub.try_next_task().expect("second prefetched value is available");
+        assert_eq!((a.seq, b.seq), (0, 1));
+        assert!(lender.prefetch_one());
+        assert!(!lender.prefetch_one(), "the input is exhausted");
+        let c = sub.next_task().unwrap();
+        sub.push_result(a.seq, a.value).unwrap();
+        sub.push_result(b.seq, b.value).unwrap();
+        sub.push_result(c.seq, c.value).unwrap();
+        assert!(matches!(sub.poll_task(), Some(Answer::Done)));
+        sub.complete();
+        assert_eq!(lender.output().collect_values().unwrap(), vec![0, 1, 2]);
+        assert_eq!(lender.stats().values_read, 3);
+        assert_eq!(lender.stats().relends, 0, "prefetching is not a re-lend");
     }
 
     #[test]

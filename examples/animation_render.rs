@@ -35,7 +35,11 @@ fn main() {
         pando.open_volunteer_channel(),
         RaytraceCodec,
         render,
-        WorkerOptions { fault: FaultPlan::AfterTasks(3), name: "tablet".into() },
+        WorkerOptions {
+            fault: FaultPlan::AfterTasks(3),
+            name: "tablet".into(),
+            ..Default::default()
+        },
     );
     let laptops: Vec<_> = (0..2)
         .map(|i| {

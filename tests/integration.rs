@@ -28,7 +28,7 @@ fn app_worker(
     spawn_worker(
         pando.open_volunteer_channel(),
         move |input: &Bytes| app.process(input),
-        WorkerOptions { name: name.to_string(), fault },
+        WorkerOptions { name: name.to_string(), fault, ..Default::default() },
     )
 }
 
