@@ -1,7 +1,7 @@
 # Local invocations matching the CI jobs in .github/workflows/ci.yml —
 # `make lint test` before pushing reproduces what CI will run.
 
-.PHONY: all build test lint fmt doc bench bench-run scale clean
+.PHONY: all build test lint fmt doc bench bench-run scale scale-sharded clean
 
 all: lint build test doc
 
@@ -33,6 +33,11 @@ bench-run:
 # results seq-checked. CI runs the same example at 1k (its default).
 scale:
 	SCALE_VOLUNTEERS=10000 cargo run --release --example scale_smoke
+
+# Same 10k-volunteer run with dispatch sharded over four lender instances
+# (four locks, four input pumps), under the same wall-clock guard.
+scale-sharded:
+	SCALE_VOLUNTEERS=10000 SCALE_SHARDS=4 cargo run --release --example scale_smoke
 
 clean:
 	cargo clean

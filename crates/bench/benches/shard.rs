@@ -1,0 +1,129 @@
+//! Criterion bench for sharded stream lenders: the same dispatch workload —
+//! 512 sub-streams served by a fixed pool of dispatch threads, results
+//! merged back into one ordered output — at 1, 2, 4 and 8 lender shards.
+//!
+//! Two views of the contention:
+//!
+//! * `dispatch_contention` — the lender layer alone (no simulated network):
+//!   every borrow, result and output emission hammers the lender locks from
+//!   8 threads at once, which is exactly the single-mutex ceiling the
+//!   `ShardedLender` removes. This is the end-to-end dispatch throughput of
+//!   the coordination layer: input → borrow → result → merged output.
+//! * `fleet_e2e` — a complete Pando deployment (reactor backend, worker
+//!   pool, netsim channels) at 512 volunteers with the shard count as the
+//!   only variable.
+//!
+//! Run with: `cargo bench --bench shard`
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pando_core::config::PandoConfig;
+use pando_core::master::Pando;
+use pando_core::worker::{spawn_worker_pool, WorkerOptions};
+use pando_netsim::channel::ChannelConfig;
+use pando_pull_stream::lender::SubStream;
+use pando_pull_stream::shard::ShardedLender;
+use pando_pull_stream::source::{count, SourceExt};
+use pando_pull_stream::Answer;
+use std::time::Duration;
+
+const SUBSTREAMS: usize = 512;
+const DISPATCH_THREADS: usize = 8;
+const CHUNK: usize = 8;
+
+/// One complete dispatch run over the lender layer alone: `SUBSTREAMS`
+/// sub-streams (pinned round-robin to the shards) served by
+/// `DISPATCH_THREADS` OS threads, all `tasks` values borrowed, answered and
+/// merged back in order.
+fn run_dispatch(shards: usize, tasks: u64) {
+    let sharded: ShardedLender<u64, u64> = ShardedLender::new(count(tasks), shards, CHUNK);
+    let handles: Vec<_> = (0..DISPATCH_THREADS)
+        .map(|thread| {
+            let mut subs: Vec<SubStream<u64, u64>> = (0..SUBSTREAMS)
+                .filter(|sub| sub % DISPATCH_THREADS == thread)
+                .map(|sub| sharded.lend_on(sub % shards))
+                .collect();
+            std::thread::spawn(move || {
+                let mut processed = 0u64;
+                while !subs.is_empty() {
+                    subs.retain_mut(|sub| match sub.poll_task() {
+                        Some(Answer::Value(lend)) => {
+                            sub.push_result(lend.seq, lend.value * 3 + 1)
+                                .expect("borrowed value is answerable");
+                            processed += 1;
+                            true
+                        }
+                        // Would block: another thread holds the remaining
+                        // values in flight; spin on (transient near the end).
+                        None => true,
+                        Some(_) => false,
+                    });
+                }
+                processed
+            })
+        })
+        .collect();
+    let output = sharded.output().collect_values().expect("stream completes");
+    assert_eq!(output.len() as u64, tasks);
+    assert_eq!(output[0], 4, "merged output stays in input order: f(1) first");
+    let processed: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(processed, tasks, "every value dispatched exactly once");
+}
+
+/// One full deployment at 512 volunteers with `shards` lender shards: wire
+/// the fleet, stream the input, collect every result in order, tear down.
+fn run_fleet(shards: usize, tasks: u64) {
+    let channel = ChannelConfig {
+        heartbeat_interval: Duration::from_millis(500),
+        failure_timeout: Duration::from_secs(30),
+        ..ChannelConfig::instant()
+    };
+    let config = PandoConfig::local_test()
+        .with_batch_size(4)
+        .with_reactor_threads(4)
+        .with_lender_shards(shards)
+        .with_channel(channel);
+    let pando = Pando::new(config);
+    let endpoints: Vec<_> = (0..SUBSTREAMS).map(|_| pando.open_volunteer_channel()).collect();
+    let pool = spawn_worker_pool(
+        endpoints,
+        |payload: &Bytes| Ok(payload.clone()),
+        8,
+        WorkerOptions::default(),
+    );
+    let output = pando
+        .run(count(tasks).map_values(|v| Bytes::from(v.to_string().into_bytes())))
+        .collect_values()
+        .expect("stream completes");
+    assert_eq!(output.len() as u64, tasks);
+    assert_eq!(output[0].as_ref(), b"1", "results stay ordered");
+    pool.join();
+    pando.join_volunteers();
+}
+
+fn bench_shards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_contention");
+    group.sample_size(10);
+    let tasks = 40_960u64; // 80 values per sub-stream
+    group.throughput(Throughput::Elements(tasks));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| run_dispatch(shards, tasks))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fleet_e2e");
+    group.sample_size(10);
+    let tasks = (SUBSTREAMS as u64) * 8;
+    group.throughput(Throughput::Elements(tasks));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| run_fleet(shards, tasks))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shards);
+criterion_main!(benches);

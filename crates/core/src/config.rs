@@ -44,8 +44,25 @@ pub struct PandoConfig {
     /// Number of OS threads in the reactor pool when
     /// [`PandoConfig::backend`] is [`VolunteerBackend::Reactor`]. All
     /// volunteers are multiplexed over this fixed pool (plus one input-pump
-    /// thread), so the thread count no longer grows with the fleet.
+    /// thread per lender shard), so the thread count no longer grows with
+    /// the fleet.
     pub reactor_threads: usize,
+    /// Number of independent StreamLender shards the input stream is
+    /// partitioned across (the
+    /// [`ShardedLender`](pando_pull_stream::shard::ShardedLender) layout):
+    /// each reactor driver is pinned to one shard, so borrows, results and
+    /// crash re-lends of different shards proceed under different locks.
+    /// `None` derives `min(reactor_threads, 4)`; `1` reproduces the single
+    /// global lender exactly. The legacy
+    /// [`VolunteerBackend::Threads`] backend always runs a single shard.
+    pub lender_shards: Option<usize>,
+    /// Enables the adaptive `tasks_per_frame` policy
+    /// ([`BatchPolicy`](crate::protocol::BatchPolicy)): reactor drivers
+    /// start with single-task frames, grow the coalescing limit on channels
+    /// whose frames run full (a high records-per-frame ratio means the
+    /// round-trip dominates) and shrink it when the lender starves. Off by
+    /// default: the static limit keeps frame counts deterministic.
+    pub adaptive_batching: bool,
     /// Network profile of the channels towards the volunteers.
     pub channel: ChannelConfig,
     /// How long the master waits for the first volunteer before reporting
@@ -79,6 +96,8 @@ impl PandoConfig {
             tasks_per_frame: None,
             backend: VolunteerBackend::default(),
             reactor_threads: 2,
+            lender_shards: None,
+            adaptive_batching: false,
             channel: ChannelConfig::instant(),
             startup_grace: Duration::from_millis(100),
             measurement_window: Duration::from_secs(1),
@@ -95,6 +114,8 @@ impl PandoConfig {
             tasks_per_frame: None,
             backend: VolunteerBackend::default(),
             reactor_threads: Self::DEFAULT_REACTOR_THREADS,
+            lender_shards: None,
+            adaptive_batching: false,
             channel: ChannelConfig::lan(),
             startup_grace: Duration::from_secs(1),
             measurement_window: Duration::from_secs(300),
@@ -146,6 +167,38 @@ impl PandoConfig {
         assert!(reactor_threads > 0, "reactor threads must be at least 1");
         self.reactor_threads = reactor_threads;
         self
+    }
+
+    /// Returns the configuration with an explicit lender shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lender_shards` is zero.
+    pub fn with_lender_shards(mut self, lender_shards: usize) -> Self {
+        assert!(lender_shards > 0, "lender shards must be at least 1");
+        self.lender_shards = Some(lender_shards);
+        self
+    }
+
+    /// Returns the configuration with adaptive batching switched on or off.
+    pub fn with_adaptive_batching(mut self, adaptive_batching: bool) -> Self {
+        self.adaptive_batching = adaptive_batching;
+        self
+    }
+
+    /// The lender shard count actually used by the master: the explicit
+    /// [`PandoConfig::lender_shards`] if set, otherwise
+    /// `min(reactor_threads, 4)` — more shards than reactor threads cannot
+    /// dispatch concurrently, and beyond four the splitter serialisation
+    /// dominates. The [`VolunteerBackend::Threads`] backend ignores this and
+    /// always runs a single shard.
+    pub fn effective_lender_shards(&self) -> usize {
+        match self.backend {
+            VolunteerBackend::Threads => 1,
+            VolunteerBackend::Reactor => {
+                self.lender_shards.unwrap_or(self.reactor_threads.min(4)).max(1)
+            }
+        }
     }
 
     /// The coalescing limit actually used by the dispatcher: the explicit
@@ -216,5 +269,31 @@ mod tests {
     #[should_panic(expected = "reactor threads")]
     fn zero_reactor_threads_is_rejected() {
         let _ = PandoConfig::local_test().with_reactor_threads(0);
+    }
+
+    #[test]
+    fn lender_shards_derive_from_the_reactor_pool() {
+        let config = PandoConfig::local_test();
+        assert_eq!(config.lender_shards, None);
+        assert_eq!(config.effective_lender_shards(), 2, "min(reactor_threads = 2, 4)");
+        let config = config.with_reactor_threads(8);
+        assert_eq!(config.effective_lender_shards(), 4, "derived shards cap at 4");
+        let config = config.with_lender_shards(6);
+        assert_eq!(config.effective_lender_shards(), 6, "an explicit count wins");
+        let config = config.with_backend(VolunteerBackend::Threads);
+        assert_eq!(config.effective_lender_shards(), 1, "the threads backend never shards");
+    }
+
+    #[test]
+    #[should_panic(expected = "lender shards")]
+    fn zero_lender_shards_is_rejected() {
+        let _ = PandoConfig::local_test().with_lender_shards(0);
+    }
+
+    #[test]
+    fn adaptive_batching_defaults_off() {
+        let config = PandoConfig::local_test();
+        assert!(!config.adaptive_batching);
+        assert!(config.with_adaptive_batching(true).adaptive_batching);
     }
 }

@@ -28,9 +28,8 @@ use bytes::Bytes;
 use pando_netsim::channel::{pair, Endpoint, RecvError, SendError};
 use pando_netsim::codec::{Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
 use pando_pull_stream::codec::TaskCodec;
-use pando_pull_stream::lender::{
-    LenderOutput, LenderStats, StreamLender, SubStreamSink, SubStreamSource,
-};
+use pando_pull_stream::lender::{LenderStats, SubStreamSink, SubStreamSource};
+use pando_pull_stream::shard::{ShardedLender, ShardedOutput};
 use pando_pull_stream::source::Source;
 use pando_pull_stream::sync::Semaphore;
 use pando_pull_stream::{Answer, Request, StreamError};
@@ -47,7 +46,7 @@ pub struct Pando {
 }
 
 struct MasterState {
-    lender: Option<StreamLender<Bytes, Bytes>>,
+    lender: Option<ShardedLender<Bytes, Bytes>>,
     /// The reactor pool, created lazily on the first reactor-backed wiring.
     /// Dropping the last Pando handle joins its threads.
     reactor: Option<Arc<Reactor>>,
@@ -146,7 +145,7 @@ impl Pando {
     fn reactor_for(
         &self,
         state: &mut MasterState,
-        lender: &StreamLender<Bytes, Bytes>,
+        lender: &ShardedLender<Bytes, Bytes>,
     ) -> Option<Arc<Reactor>> {
         match self.config.backend {
             VolunteerBackend::Threads => None,
@@ -175,9 +174,33 @@ impl Pando {
         self.state.lock().volunteers_connected
     }
 
-    /// Statistics of the underlying StreamLender, if the run has started.
+    /// Aggregated statistics of the underlying lender shards, if the run has
+    /// started.
     pub fn lender_stats(&self) -> Option<LenderStats> {
-        self.state.lock().lender.as_ref().map(StreamLender::stats)
+        self.state.lock().lender.as_ref().map(ShardedLender::stats)
+    }
+
+    /// Per-shard lender statistics, if the run has started. Index `i` is
+    /// shard `i`; a single-shard deployment reports one row.
+    pub fn shard_stats(&self) -> Option<Vec<LenderStats>> {
+        self.state.lock().lender.as_ref().map(ShardedLender::shard_stats)
+    }
+
+    /// Samples every shard's queue gauges (staged depth, in-flight count)
+    /// into the [`ThroughputMeter`], so the next
+    /// [`ThroughputMeter::report`] carries fresh per-shard rows alongside
+    /// the borrow/result counters the dispatch path accumulates.
+    pub fn observe_shards(&self) {
+        let state = self.state.lock();
+        if let Some(lender) = state.lender.as_ref() {
+            for shard in 0..lender.shard_count() {
+                self.meter.observe_shard(
+                    shard,
+                    lender.shard_depth(shard) as u64,
+                    lender.shard_in_flight(shard) as u64,
+                );
+            }
+        }
     }
 
     /// Attaches the binary input stream and returns the ordered output
@@ -192,10 +215,14 @@ impl Pando {
     ///
     /// Panics if `run` was already called: a Pando deployment processes a
     /// single stream during its lifetime (design principle DP1).
-    pub fn run(&self, input: impl Source<Bytes> + 'static) -> LenderOutput<Bytes, Bytes> {
+    pub fn run(&self, input: impl Source<Bytes> + 'static) -> ShardedOutput<Bytes, Bytes> {
         let mut state = self.state.lock();
         assert!(state.lender.is_none(), "a Pando deployment runs a single stream");
-        let lender = StreamLender::new(input);
+        let lender = ShardedLender::new(
+            input,
+            self.config.effective_lender_shards(),
+            self.config.effective_tasks_per_frame(),
+        );
         let pending: Vec<(String, Endpoint<Message>)> = state.pending.drain(..).collect();
         for (name, endpoint) in pending {
             let reactor = self.reactor_for(&mut state, &lender);
@@ -304,25 +331,56 @@ impl VolunteerLink {
     }
 }
 
-/// Wires one volunteer endpoint to a fresh sub-stream of the lender. On the
-/// reactor backend this is a registration on the shared pool; on the legacy
-/// backend it spawns a dispatcher thread that batches borrowed values into
-/// task frames and a receiver thread that demultiplexes result frames (paper
+/// Picks the lender shard a joining volunteer is pinned to: the hash of its
+/// id spreads a fleet uniformly, but a shard left without any device (none
+/// hashed there yet, or its devices crashed away while it still holds
+/// values) takes priority — deepest backlog first — so no shard's work ever
+/// waits for the hash to land on it.
+fn shard_for_volunteer(lender: &ShardedLender<Bytes, Bytes>, name: &str) -> usize {
+    let shards = lender.shard_count();
+    if shards == 1 {
+        return 0;
+    }
+    let mut rescue: Option<(usize, usize)> = None;
+    for shard in 0..shards {
+        if lender.shard_active_substreams(shard) == 0 {
+            let backlog = lender.shard_depth(shard);
+            if rescue.map(|(_, deepest)| backlog > deepest).unwrap_or(true) {
+                rescue = Some((shard, backlog));
+            }
+        }
+    }
+    if let Some((shard, _)) = rescue {
+        return shard;
+    }
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut hasher);
+    (hasher.finish() % shards as u64) as usize
+}
+
+/// Wires one volunteer endpoint to a fresh sub-stream on one lender shard
+/// (volunteer id hash → shard; see [`shard_for_volunteer`]). On the reactor
+/// backend this is a registration on the shared pool; on the legacy backend
+/// it spawns a dispatcher thread that batches borrowed values into task
+/// frames and a receiver thread that demultiplexes result frames (paper
 /// Figures 7 and 9, with protocol-level batching on top).
 fn wire_volunteer(
-    lender: &StreamLender<Bytes, Bytes>,
+    lender: &ShardedLender<Bytes, Bytes>,
     reactor: Option<&Reactor>,
     name: &str,
     endpoint: Endpoint<Message>,
     config: &PandoConfig,
     meter: &ThroughputMeter,
 ) -> VolunteerLink {
-    let (source, sink) = lender.lend().into_duplex();
+    let shard = shard_for_volunteer(lender, name);
+    let duplex = lender.lend_on(shard).into_duplex();
     if let Some(reactor) = reactor {
         return VolunteerLink::Reactor(
-            reactor.register(name, endpoint, source, sink, config, meter),
+            reactor.register(name, shard, endpoint, duplex, config, meter),
         );
     }
+    let (source, sink) = duplex;
     let endpoint = Arc::new(endpoint);
     // The in-flight window: `batch_size` slots, one per borrowed value that
     // has not produced a result yet (the Limiter of the original pipeline,
@@ -417,7 +475,11 @@ fn run_dispatcher(
         let size = message.wire_size();
         let count = message.record_count();
         match endpoint.send_records_with_size(message, size, count) {
-            Ok(()) => meter.record_wire(&name, size as u64),
+            Ok(()) => {
+                meter.record_wire(&name, size as u64);
+                // The threads backend always runs a single shard.
+                meter.record_shard_borrows(0, count);
+            }
             Err(SendError::Closed) => {
                 let _ = source.pull(Request::Abort);
                 return Ok(());
@@ -447,6 +509,8 @@ fn run_receiver(
         // a completed task, since no in-flight borrow corresponds to it.
         if sink.push(seq, payload).is_ok() {
             meter.record(&name, 1.0);
+            // The threads backend always runs a single shard.
+            meter.record_shard_results(0, 1);
             window.release();
         }
     };

@@ -25,6 +25,17 @@ struct MeterState {
     frames: BTreeMap<String, u64>,
     heartbeats: BTreeMap<String, u64>,
     heartbeats_suppressed: BTreeMap<String, u64>,
+    shards: BTreeMap<usize, ShardCounters>,
+}
+
+/// Accumulated dispatch counters and last-observed gauges for one lender
+/// shard.
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardCounters {
+    borrows: u64,
+    results: u64,
+    depth: u64,
+    in_flight: u64,
 }
 
 impl ThroughputMeter {
@@ -39,6 +50,7 @@ impl ThroughputMeter {
                 frames: BTreeMap::new(),
                 heartbeats: BTreeMap::new(),
                 heartbeats_suppressed: BTreeMap::new(),
+                shards: BTreeMap::new(),
             })),
         }
     }
@@ -67,6 +79,28 @@ impl ThroughputMeter {
         let mut state = self.inner.lock();
         let map = if suppressed { &mut state.heartbeats_suppressed } else { &mut state.heartbeats };
         *map.entry(device.to_string()).or_insert(0) += 1;
+    }
+
+    /// Records that `n` values were borrowed from lender shard `shard` and
+    /// dispatched towards a volunteer (including re-lends after crashes).
+    pub fn record_shard_borrows(&self, shard: usize, n: u64) {
+        self.inner.lock().shards.entry(shard).or_default().borrows += n;
+    }
+
+    /// Records that `n` results returned by volunteers were accepted by
+    /// lender shard `shard`.
+    pub fn record_shard_results(&self, shard: usize, n: u64) {
+        self.inner.lock().shards.entry(shard).or_default().results += n;
+    }
+
+    /// Records a point-in-time observation of shard `shard`'s queues:
+    /// `depth` values staged or awaiting re-lend and `in_flight` values
+    /// borrowed but not yet answered. Gauges, overwritten on every call.
+    pub fn observe_shard(&self, shard: usize, depth: u64, in_flight: u64) {
+        let mut state = self.inner.lock();
+        let counters = state.shards.entry(shard).or_default();
+        counters.depth = depth;
+        counters.in_flight = in_flight;
     }
 
     /// Renders the counts observed so far into a report.
@@ -104,7 +138,18 @@ impl ThroughputMeter {
                 }
             })
             .collect();
-        ThroughputReport { elapsed, rows }
+        let shards = state
+            .shards
+            .iter()
+            .map(|(&shard, counters)| ShardThroughput {
+                shard,
+                borrows: counters.borrows,
+                results: counters.results,
+                depth: counters.depth,
+                in_flight: counters.in_flight,
+            })
+            .collect();
+        ThroughputReport { elapsed, rows, shards }
     }
 }
 
@@ -136,6 +181,22 @@ pub struct DeviceThroughput {
     pub heartbeats_suppressed: u64,
 }
 
+/// Dispatch activity of one lender shard: how many borrows and results its
+/// lock served, plus the last observed queue gauges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardThroughput {
+    /// Shard index.
+    pub shard: usize,
+    /// Values borrowed from this shard and dispatched (incl. re-lends).
+    pub borrows: u64,
+    /// Results accepted by this shard.
+    pub results: u64,
+    /// Last observed number of values staged or awaiting re-lend.
+    pub depth: u64,
+    /// Last observed number of values borrowed but not yet answered.
+    pub in_flight: u64,
+}
+
 /// The per-device throughput rows of one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputReport {
@@ -143,6 +204,9 @@ pub struct ThroughputReport {
     pub elapsed: Duration,
     /// One row per device that completed at least one task.
     pub rows: Vec<DeviceThroughput>,
+    /// One row per lender shard that saw dispatch activity (empty when the
+    /// deployment never fed shard counters, e.g. a bare meter).
+    pub shards: Vec<ShardThroughput>,
 }
 
 impl ThroughputReport {
@@ -261,6 +325,26 @@ mod tests {
         assert_eq!((phone.heartbeats_sent, phone.heartbeats_suppressed), (0, 1));
         assert_eq!(report.total_heartbeats_sent(), 1);
         assert_eq!(report.total_heartbeats_suppressed(), 3);
+    }
+
+    #[test]
+    fn shard_counters_accumulate_and_gauges_overwrite() {
+        let meter = ThroughputMeter::new();
+        meter.record_shard_borrows(0, 4);
+        meter.record_shard_borrows(0, 2);
+        meter.record_shard_results(0, 5);
+        meter.record_shard_borrows(2, 1);
+        meter.observe_shard(0, 3, 1);
+        meter.observe_shard(0, 0, 2);
+        let report = meter.report();
+        assert_eq!(report.shards.len(), 2);
+        let shard0 = report.shards.iter().find(|s| s.shard == 0).unwrap();
+        assert_eq!((shard0.borrows, shard0.results), (6, 5));
+        assert_eq!((shard0.depth, shard0.in_flight), (0, 2), "gauges keep the last observation");
+        let shard2 = report.shards.iter().find(|s| s.shard == 2).unwrap();
+        assert_eq!((shard2.borrows, shard2.results), (1, 0));
+        // A meter that never saw shard traffic reports no shard rows.
+        assert!(ThroughputMeter::new().report().shards.is_empty());
     }
 
     #[test]

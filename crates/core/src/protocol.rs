@@ -288,12 +288,135 @@ impl HeartbeatPacer {
     }
 }
 
+/// Adaptive `tasks_per_frame` policy: sizes dispatch frames from observed
+/// channel behaviour instead of a static limit.
+///
+/// The driving signal is the per-channel `records_sent / messages_sent`
+/// ratio already exported by [`pando_netsim::channel::Endpoint`]: when it
+/// runs close to the current limit, every frame leaves full — the channel is
+/// round-trip-bound and larger batches would amortise the RTT further, so
+/// the limit grows (doubling, up to `max`). The policy tracks the same
+/// signal incrementally as a streak of full frames, so no channel snapshot
+/// is needed on the hot path. When the lender starves — the dispatcher had
+/// window slots but no value was available — large frames only add latency
+/// without improving utilisation, so the limit shrinks (halving, down to
+/// `min`).
+///
+/// One `BatchPolicy` lives per reactor driver (per channel): a high-RTT
+/// channel grows independently of a starved one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPolicy {
+    min: usize,
+    max: usize,
+    limit: usize,
+    full_streak: u32,
+}
+
+impl BatchPolicy {
+    /// Number of consecutive full frames required before the limit grows.
+    /// Two in a row distinguishes a round-trip-bound channel from a single
+    /// coincidental burst.
+    const GROW_STREAK: u32 = 2;
+
+    /// Creates a policy bounded by `[min, max]`, starting at `min`: the
+    /// limit must earn its growth by proving frames run full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or exceeds `max`.
+    pub fn new(min: usize, max: usize) -> Self {
+        assert!(min > 0, "the batch limit must be at least 1");
+        assert!(min <= max, "the minimum batch limit cannot exceed the maximum");
+        Self { min, max, limit: min, full_streak: 0 }
+    }
+
+    /// The current per-frame coalescing limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Books one dispatched frame of `records` tasks. A streak of frames
+    /// filled to the limit doubles it (capped at `max`).
+    pub fn on_frame(&mut self, records: usize) {
+        if records >= self.limit && self.limit < self.max {
+            self.full_streak += 1;
+            if self.full_streak >= Self::GROW_STREAK {
+                self.limit = (self.limit * 2).min(self.max);
+                self.full_streak = 0;
+            }
+        } else {
+            self.full_streak = 0;
+        }
+    }
+
+    /// Books a lender starvation observed while dispatching: the channel is
+    /// input-bound, so the limit halves (floored at `min`).
+    pub fn on_starved(&mut self) {
+        self.limit = (self.limit / 2).max(self.min);
+        self.full_streak = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn bytes(data: &[u8]) -> Bytes {
         Bytes::copy_from_slice(data)
+    }
+
+    #[test]
+    fn batch_policy_grows_on_full_frames_and_shrinks_on_starvation() {
+        let mut policy = BatchPolicy::new(1, 16);
+        assert_eq!(policy.limit(), 1);
+        // One full frame is not enough; a streak is.
+        policy.on_frame(1);
+        assert_eq!(policy.limit(), 1);
+        policy.on_frame(1);
+        assert_eq!(policy.limit(), 2);
+        policy.on_frame(2);
+        policy.on_frame(2);
+        assert_eq!(policy.limit(), 4);
+        // A partial frame resets the streak.
+        policy.on_frame(4);
+        policy.on_frame(3);
+        policy.on_frame(4);
+        assert_eq!(policy.limit(), 4);
+        policy.on_frame(4);
+        assert_eq!(policy.limit(), 8);
+        // Growth caps at the maximum.
+        for _ in 0..8 {
+            policy.on_frame(policy.limit());
+        }
+        assert_eq!(policy.limit(), 16);
+        // Starvation halves down to the floor.
+        policy.on_starved();
+        assert_eq!(policy.limit(), 8);
+        for _ in 0..8 {
+            policy.on_starved();
+        }
+        assert_eq!(policy.limit(), 1);
+    }
+
+    #[test]
+    fn batch_policy_degenerate_range_stays_fixed() {
+        let mut policy = BatchPolicy::new(3, 3);
+        policy.on_frame(3);
+        policy.on_frame(3);
+        policy.on_starved();
+        assert_eq!(policy.limit(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn batch_policy_zero_minimum_is_rejected() {
+        let _ = BatchPolicy::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn batch_policy_inverted_range_is_rejected() {
+        let _ = BatchPolicy::new(5, 4);
     }
 
     #[test]

@@ -17,16 +17,21 @@
 //!   suspicions that mature later ([`Endpoint::next_ready_at`]) and heartbeat
 //!   deadlines are re-polled via a monotonic timer heap; reactor threads
 //!   sleep exactly until the earliest deadline.
-//! * **Starved set** — a driver with free window slots but no lendable value
-//!   parks in a starved set; the StreamLender's change waker
-//!   ([`StreamLender::add_waker`]) kicks the set whenever a value may have
-//!   become available (input progress, a re-lend after a crash). An epoch
-//!   counter closes the register-vs-notify race.
-//! * **Input pump** — reactor threads never block, but some inputs only
-//!   answer blocking pulls (interactive queues, feedback loops). One
-//!   dedicated pump thread calls [`StreamLender::prefetch_one`] while
-//!   starved drivers demand input, staging values for non-blocking asks.
-//!   This is the single `+ const` thread of the design.
+//! * **Per-shard starved sets** — every driver is pinned to one lender
+//!   shard ([`ShardedLender`]); a driver with free window slots but no
+//!   lendable value parks in its *shard's* starved set, and the shard's
+//!   change waker ([`ShardedLender::add_shard_waker`]) kicks only that set
+//!   whenever a value may have become available there (input progress, a
+//!   re-lend after a crash). An epoch counter per shard closes the
+//!   register-vs-notify race. A driver whose shard drains while another
+//!   shard still holds work re-lends itself there (*shard hopping*), so
+//!   crashes can never strand values on a device-less shard.
+//! * **Per-shard input pumps** — reactor threads never block, but some
+//!   inputs only answer blocking pulls (interactive queues, feedback
+//!   loops). One dedicated pump thread per shard calls
+//!   [`ShardedLender::prefetch_shard`] while that shard's starved drivers
+//!   demand input, staging values for non-blocking asks. These are the
+//!   `+ shards` constant threads of the design.
 //!
 //! Dispatch preserves the batching semantics of the threaded path: values
 //! are coalesced up to `tasks_per_frame` and the [`MAX_FRAME_LEN`] byte
@@ -36,18 +41,19 @@
 
 use crate::config::PandoConfig;
 use crate::metrics::ThroughputMeter;
-use crate::protocol::{HeartbeatAction, HeartbeatPacer, Message};
+use crate::protocol::{BatchPolicy, HeartbeatAction, HeartbeatPacer, Message};
 use bytes::Bytes;
 use pando_netsim::channel::{Endpoint, RecvError, SendError};
 use pando_netsim::codec::{Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
-use pando_pull_stream::lender::{StreamLender, SubStreamSink, SubStreamSource};
+use pando_pull_stream::lender::{SubStreamSink, SubStreamSource};
+use pando_pull_stream::shard::ShardedLender;
 use pando_pull_stream::source::Source;
 use pando_pull_stream::sync::Signal;
 use pando_pull_stream::{Answer, Request, StreamError};
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -79,10 +85,17 @@ pub struct ReactorStats {
     pub ready_depth: u64,
     /// High-water mark of the ready queue depth.
     pub max_ready_depth: u64,
-    /// Drivers currently parked in the starved set (waiting for input).
+    /// Drivers currently parked in a starved set (waiting for input),
+    /// summed across shards.
     pub starved: u64,
-    /// Values read ahead by the input pump on behalf of starved drivers.
+    /// Values read ahead by the input pumps on behalf of starved drivers,
+    /// summed across shards.
     pub pump_prefetches: u64,
+    /// Lender shards (= starved sets = input pumps) this reactor serves.
+    pub shards: usize,
+    /// Times a driver whose shard drained re-lent itself onto another shard
+    /// that still had pending work (end-game rebalancing / crash rescue).
+    pub shard_hops: u64,
 }
 
 struct Stats {
@@ -93,6 +106,7 @@ struct Stats {
     timer_fires: AtomicU64,
     max_ready_depth: AtomicU64,
     pump_prefetches: AtomicU64,
+    shard_hops: AtomicU64,
 }
 
 /// A timer heap entry; ordered by deadline through `Reverse` so the
@@ -119,19 +133,43 @@ impl Ord for Timer {
     }
 }
 
+/// Per-shard scheduling state: each lender shard has its own starved set,
+/// kick epoch and pump signal, so a result arriving on shard 0 never wakes
+/// (or contends with) the starved drivers of shard 3.
+struct ShardSlot {
+    starved: Mutex<Vec<Weak<Driver>>>,
+    /// Bumped by every kick of this shard; closes the starve-vs-notify race.
+    kick_epoch: AtomicU64,
+    /// Signals the shard's input pump that a driver starved. The pump itself
+    /// decides whether to read ahead (see [`pump_loop`]); the mutex carries
+    /// no data.
+    demand: Mutex<()>,
+    demand_cond: Condvar,
+}
+
+impl ShardSlot {
+    fn new() -> Self {
+        Self {
+            starved: Mutex::new(Vec::new()),
+            kick_epoch: AtomicU64::new(0),
+            demand: Mutex::new(()),
+            demand_cond: Condvar::new(),
+        }
+    }
+}
+
 struct Inner {
     ready: Mutex<VecDeque<Arc<Driver>>>,
     ready_cond: Condvar,
     timers: Mutex<BinaryHeap<Reverse<Timer>>>,
-    starved: Mutex<Vec<Weak<Driver>>>,
+    /// One slot per lender shard (starved set + kick epoch + pump signal).
+    shards: Vec<ShardSlot>,
+    /// The deployment's sharded lender, installed by
+    /// [`Reactor::attach_lender`]; drivers use it to re-lend themselves onto
+    /// a shard that still has work once their own shard drains.
+    lender: Mutex<Option<ShardedLender<Bytes, Bytes>>>,
     /// Live drivers, kept so shutdown can force-finish them.
     registered: Mutex<Vec<Arc<Driver>>>,
-    /// Bumped by every lender kick; closes the starve-vs-notify race.
-    kick_epoch: AtomicU64,
-    /// Signals the input pump that a driver starved. The pump itself decides
-    /// whether to read ahead (see [`pump_loop`]); the mutex carries no data.
-    demand: Mutex<()>,
-    demand_cond: Condvar,
     shutdown: AtomicBool,
     stats: Stats,
 }
@@ -164,12 +202,13 @@ impl Inner {
         }
     }
 
-    /// Moves every starved driver back onto the ready queue. Invoked by the
-    /// lender's change waker: any state change may have made a value
-    /// lendable.
-    fn kick_starved(&self) {
-        self.kick_epoch.fetch_add(1, Ordering::SeqCst);
-        let drained: Vec<Weak<Driver>> = std::mem::take(&mut *self.starved.lock());
+    /// Moves every starved driver of `shard` back onto the ready queue.
+    /// Invoked by the shard's change waker: any state change of that shard
+    /// may have made a value lendable there.
+    fn kick_starved(&self, shard: usize) {
+        let slot = &self.shards[shard];
+        slot.kick_epoch.fetch_add(1, Ordering::SeqCst);
+        let drained: Vec<Weak<Driver>> = std::mem::take(&mut *slot.starved.lock());
         for weak in drained {
             if let Some(driver) = weak.upgrade() {
                 driver.in_starved.store(false, Ordering::SeqCst);
@@ -178,10 +217,29 @@ impl Inner {
         }
     }
 
-    fn signal_pump(&self) {
-        let demand = self.demand.lock();
+    fn signal_pump(&self, shard: usize) {
+        let slot = &self.shards[shard];
+        let demand = slot.demand.lock();
         drop(demand);
-        self.demand_cond.notify_one();
+        slot.demand_cond.notify_one();
+    }
+
+    /// A shard other than `from` that still has work a fresh sub-stream
+    /// could progress (values awaiting re-lend, parked in the splitter, or
+    /// in flight on a crashable borrower). Prefers the deepest backlog.
+    fn hop_target(&self, from: usize) -> Option<usize> {
+        let lender = self.lender.lock().clone()?;
+        let mut best: Option<(usize, usize)> = None;
+        for shard in 0..lender.shard_count() {
+            if shard == from || !lender.shard_needs_help(shard) {
+                continue;
+            }
+            let backlog = lender.shard_depth(shard) + lender.shard_in_flight(shard);
+            if best.map(|(_, deepest)| backlog > deepest).unwrap_or(true) {
+                best = Some((shard, backlog));
+            }
+        }
+        best.map(|(shard, _)| shard)
     }
 }
 
@@ -220,6 +278,11 @@ struct Driver {
     endpoint: Arc<Endpoint<Message>>,
     meter: ThroughputMeter,
     tasks_per_frame: usize,
+    /// Lender shard this driver currently borrows from. Pinned at
+    /// registration (volunteer id hash → shard, with an override for shards
+    /// left without devices); changes only when the driver hops to a shard
+    /// that still has work after its own drained.
+    shard: AtomicUsize,
     sched: AtomicU8,
     in_starved: AtomicBool,
     /// Earliest timer currently scheduled for this driver, to avoid flooding
@@ -245,6 +308,8 @@ struct DriverIo {
     /// First dispatch-side error, reported over a clean receive shutdown.
     dispatch_error: Option<StreamError>,
     pacer: HeartbeatPacer,
+    /// Adaptive `tasks_per_frame` state, when the policy is enabled.
+    policy: Option<BatchPolicy>,
 }
 
 /// What a poll decided about the driver's future.
@@ -272,6 +337,7 @@ impl Driver {
                 Ok(message @ Message::TaskResult { .. })
                 | Ok(message @ Message::ResultBatch(_)) => {
                     self.meter.record_wire(&self.name, message.wire_size() as u64);
+                    let mut accepted = 0u64;
                     message.demux_results(|seq, payload| {
                         // A late result for a value this sub-stream no longer
                         // borrows is dropped (conservative property): no
@@ -279,8 +345,13 @@ impl Driver {
                         if io.sink.push(seq, payload).is_ok() {
                             self.meter.record(&self.name, 1.0);
                             io.credits += 1;
+                            accepted += 1;
                         }
                     });
+                    if accepted > 0 {
+                        self.meter
+                            .record_shard_results(self.shard.load(Ordering::Relaxed), accepted);
+                    }
                 }
                 Ok(Message::TaskError { seq, message }) => {
                     // An application error marks the volunteer faulty; its
@@ -332,9 +403,13 @@ impl Driver {
                     if io.credits == 0 {
                         break;
                     }
-                    let epoch = inner.kick_epoch.load(Ordering::SeqCst);
+                    let shard = self.shard.load(Ordering::Relaxed);
+                    let epoch = inner.shards[shard].kick_epoch.load(Ordering::SeqCst);
                     match io.source.poll_pull() {
                         None => {
+                            if let Some(policy) = io.policy.as_mut() {
+                                policy.on_starved();
+                            }
                             starved = true;
                             starve_epoch = epoch;
                             break;
@@ -344,6 +419,24 @@ impl Driver {
                             Record::new(lend.seq, lend.value)
                         }
                         Some(Answer::Done) | Some(Answer::Err(_)) => {
+                            // This shard will never lend again. Before
+                            // closing the channel, try to re-lend the driver
+                            // onto a shard that still has work (a crash may
+                            // have orphaned values there, or its devices may
+                            // simply be slower): end-game rebalancing that
+                            // keeps every volunteer busy until the whole
+                            // stream drains.
+                            if let Some(target) = inner.hop_target(shard) {
+                                let lender =
+                                    inner.lender.lock().clone().expect("hop target implies lender");
+                                io.sink.finish(true);
+                                let (source, sink) = lender.lend_on(target).into_duplex();
+                                io.source = source;
+                                io.sink = sink;
+                                self.shard.store(target, Ordering::Relaxed);
+                                inner.stats.shard_hops.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
                             // The task flow is over; the channel half-closes
                             // and receive drains the remaining results.
                             self.endpoint.close();
@@ -353,9 +446,10 @@ impl Driver {
                     }
                 }
             };
+            let limit = io.policy.as_ref().map(BatchPolicy::limit).unwrap_or(self.tasks_per_frame);
             let mut body = 4 + RECORD_HEADER_LEN + first.payload.len();
             let mut records = vec![first];
-            while records.len() < self.tasks_per_frame && body < MAX_FRAME_LEN && io.credits > 0 {
+            while records.len() < limit && body < MAX_FRAME_LEN && io.credits > 0 {
                 match io.source.try_pull() {
                     Some(lend) => {
                         let add = RECORD_HEADER_LEN + lend.value.len();
@@ -377,6 +471,10 @@ impl Driver {
             match self.endpoint.send_records_with_size(message, size, count) {
                 Ok(()) => {
                     self.meter.record_wire(&self.name, size as u64);
+                    self.meter.record_shard_borrows(self.shard.load(Ordering::Relaxed), count);
+                    if let Some(policy) = io.policy.as_mut() {
+                        policy.on_frame(count as usize);
+                    }
                     io.pacer.on_traffic();
                 }
                 Err(SendError::Closed) => {
@@ -434,7 +532,8 @@ impl Driver {
         // Leave the starved set too: a stale entry would make the input pump
         // read ahead with no real demand, breaking its laziness guarantee.
         if self.in_starved.swap(false, Ordering::SeqCst) {
-            inner
+            let shard = self.shard.load(Ordering::Relaxed);
+            inner.shards[shard]
                 .starved
                 .lock()
                 .retain(|weak| weak.upgrade().map(|d| !Arc::ptr_eq(&d, self)).unwrap_or(false));
@@ -483,7 +582,9 @@ impl DriverHandle {
 pub struct Reactor {
     inner: Arc<Inner>,
     threads: Mutex<Vec<JoinHandle<()>>>,
-    pump: Mutex<Option<JoinHandle<()>>>,
+    /// One input pump per lender shard, spawned by
+    /// [`Reactor::attach_lender`].
+    pumps: Mutex<Vec<JoinHandle<()>>>,
     thread_count: usize,
 }
 
@@ -497,17 +598,17 @@ impl std::fmt::Debug for Reactor {
 }
 
 impl Reactor {
-    /// Starts a reactor pool of `config.reactor_threads` threads.
+    /// Starts a reactor pool of `config.reactor_threads` threads, laid out
+    /// for `config.effective_lender_shards()` lender shards.
     pub fn new(config: &PandoConfig) -> Self {
+        let shard_count = config.effective_lender_shards();
         let inner = Arc::new(Inner {
             ready: Mutex::new(VecDeque::new()),
             ready_cond: Condvar::new(),
             timers: Mutex::new(BinaryHeap::new()),
-            starved: Mutex::new(Vec::new()),
+            shards: (0..shard_count).map(|_| ShardSlot::new()).collect(),
+            lender: Mutex::new(None),
             registered: Mutex::new(Vec::new()),
-            kick_epoch: AtomicU64::new(0),
-            demand: Mutex::new(()),
-            demand_cond: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: Stats {
                 registered: AtomicU64::new(0),
@@ -517,6 +618,7 @@ impl Reactor {
                 timer_fires: AtomicU64::new(0),
                 max_ready_depth: AtomicU64::new(0),
                 pump_prefetches: AtomicU64::new(0),
+                shard_hops: AtomicU64::new(0),
             },
         });
         let thread_count = config.reactor_threads.max(1);
@@ -529,50 +631,74 @@ impl Reactor {
                     .expect("spawn reactor thread")
             })
             .collect();
-        Self { inner, threads: Mutex::new(threads), pump: Mutex::new(None), thread_count }
+        Self { inner, threads: Mutex::new(threads), pumps: Mutex::new(Vec::new()), thread_count }
     }
 
-    /// Connects the reactor to the deployment's StreamLender: registers the
-    /// change waker that kicks starved drivers and starts the input pump
-    /// thread. Called once when the input stream is attached.
-    pub fn attach_lender(&self, lender: &StreamLender<Bytes, Bytes>) {
-        let waker_inner = Arc::downgrade(&self.inner);
-        lender.add_waker(Arc::new(move || {
-            if let Some(inner) = waker_inner.upgrade() {
-                inner.kick_starved();
-            }
-        }));
-        let mut pump = self.pump.lock();
-        if pump.is_some() {
+    /// Connects the reactor to the deployment's sharded lender: registers
+    /// one change waker per shard (kicking only that shard's starved
+    /// drivers) and starts one input-pump thread per shard. Called once when
+    /// the input stream is attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lender's shard count differs from the reactor's layout
+    /// (both derive from the same [`PandoConfig`]).
+    pub fn attach_lender(&self, lender: &ShardedLender<Bytes, Bytes>) {
+        assert_eq!(
+            lender.shard_count(),
+            self.inner.shards.len(),
+            "lender shards must match the reactor layout"
+        );
+        let mut pumps = self.pumps.lock();
+        if !pumps.is_empty() {
             return;
         }
-        let inner = self.inner.clone();
-        let lender = lender.clone();
-        *pump = Some(
-            std::thread::Builder::new()
-                .name("pando-input-pump".to_string())
-                .spawn(move || pump_loop(&inner, &lender))
-                .expect("spawn input pump thread"),
-        );
+        *self.inner.lender.lock() = Some(lender.clone());
+        for shard in 0..lender.shard_count() {
+            let waker_inner = Arc::downgrade(&self.inner);
+            lender.add_shard_waker(
+                shard,
+                Arc::new(move || {
+                    if let Some(inner) = waker_inner.upgrade() {
+                        inner.kick_starved(shard);
+                    }
+                }),
+            );
+            let inner = self.inner.clone();
+            let lender = lender.clone();
+            pumps.push(
+                std::thread::Builder::new()
+                    .name(format!("pando-input-pump-{shard}"))
+                    .spawn(move || pump_loop(&inner, &lender, shard))
+                    .expect("spawn input pump thread"),
+            );
+        }
     }
 
-    /// Registers one volunteer endpoint: the event-driven replacement of the
-    /// dispatcher/receiver thread pair.
+    /// Registers one volunteer endpoint on lender shard `shard`: the
+    /// event-driven replacement of the dispatcher/receiver thread pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is outside the reactor's shard layout.
     pub fn register(
         &self,
         name: &str,
+        shard: usize,
         endpoint: Endpoint<Message>,
-        source: SubStreamSource<Bytes, Bytes>,
-        sink: SubStreamSink<Bytes, Bytes>,
+        duplex: (SubStreamSource<Bytes, Bytes>, SubStreamSink<Bytes, Bytes>),
         config: &PandoConfig,
         meter: &ThroughputMeter,
     ) -> DriverHandle {
+        assert!(shard < self.inner.shards.len(), "shard {shard} outside the reactor layout");
+        let (source, sink) = duplex;
         let endpoint = Arc::new(endpoint);
         let driver = Arc::new(Driver {
             name: name.to_string(),
             endpoint: endpoint.clone(),
             meter: meter.clone(),
             tasks_per_frame: config.effective_tasks_per_frame(),
+            shard: AtomicUsize::new(shard),
             sched: AtomicU8::new(IDLE),
             in_starved: AtomicBool::new(false),
             scheduled_at: Mutex::new(None),
@@ -584,6 +710,9 @@ impl Reactor {
                 dispatch_done: false,
                 dispatch_error: None,
                 pacer: HeartbeatPacer::new(config.channel.heartbeat_interval),
+                policy: config
+                    .adaptive_batching
+                    .then(|| BatchPolicy::new(1, config.effective_tasks_per_frame())),
             }),
             result: Mutex::new(None),
             finished: Signal::new(),
@@ -614,8 +743,10 @@ impl Reactor {
             timer_fires: stats.timer_fires.load(Ordering::Relaxed),
             ready_depth: self.inner.ready.lock().len() as u64,
             max_ready_depth: stats.max_ready_depth.load(Ordering::Relaxed),
-            starved: self.inner.starved.lock().len() as u64,
+            starved: self.inner.shards.iter().map(|slot| slot.starved.lock().len() as u64).sum(),
             pump_prefetches: stats.pump_prefetches.load(Ordering::Relaxed),
+            shards: self.inner.shards.len(),
+            shard_hops: stats.shard_hops.load(Ordering::Relaxed),
         }
     }
 
@@ -626,11 +757,13 @@ impl Reactor {
     fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.ready_cond.notify_all();
-        self.inner.demand_cond.notify_all();
+        for slot in &self.inner.shards {
+            slot.demand_cond.notify_all();
+        }
         for handle in self.threads.lock().drain(..) {
             let _ = handle.join();
         }
-        if let Some(pump) = self.pump.lock().take() {
+        for pump in self.pumps.lock().drain(..) {
             let _ = pump.join();
         }
         let leftover: Vec<Arc<Driver>> = self.inner.registered.lock().drain(..).collect();
@@ -702,9 +835,10 @@ fn reactor_loop(inner: &Inner) {
                         inner.ready_cond.notify_one();
                     }
                 }
+                let shard = driver.shard.load(Ordering::Relaxed);
                 if starved && !driver.in_starved.swap(true, Ordering::SeqCst) {
-                    inner.starved.lock().push(Arc::downgrade(&driver));
-                    inner.signal_pump();
+                    inner.shards[shard].starved.lock().push(Arc::downgrade(&driver));
+                    inner.signal_pump(shard);
                 }
                 // Transition out of RUNNING; a wake observed mid-poll means
                 // the poll must re-run.
@@ -718,7 +852,9 @@ fn reactor_loop(inner: &Inner) {
                     ready.push_back(driver.clone());
                     drop(ready);
                     inner.ready_cond.notify_one();
-                } else if starved && inner.kick_epoch.load(Ordering::SeqCst) != starve_epoch {
+                } else if starved
+                    && inner.shards[shard].kick_epoch.load(Ordering::SeqCst) != starve_epoch
+                {
                     // A lender kick raced our starve registration: re-poll.
                     wake(inner, &driver);
                 }
@@ -727,42 +863,44 @@ fn reactor_loop(inner: &Inner) {
     }
 }
 
-/// Body of the input pump thread.
+/// Body of one per-shard input pump thread.
 ///
 /// The pump preserves the lender's *laziness*: it reads ahead only while at
-/// least one driver is parked starved **and** the staged pool is empty, so
-/// the read-ahead never exceeds one value beyond actual consumption —
-/// exactly the per-ask rhythm of the blocking dispatcher it replaces. (An
-/// eager pump would let feedback-loop inputs like the mining monitor race
-/// millions of values ahead of the workers.)
-fn pump_loop(inner: &Inner, lender: &StreamLender<Bytes, Bytes>) {
+/// least one of its shard's drivers is parked starved **and** the shard's
+/// staged pool is empty, so the read-ahead never exceeds one value per shard
+/// beyond actual consumption — the per-ask rhythm of the blocking dispatcher
+/// it replaces. (An eager pump would let feedback-loop inputs like the
+/// mining monitor race millions of values ahead of the workers.)
+fn pump_loop(inner: &Inner, lender: &ShardedLender<Bytes, Bytes>, shard: usize) {
+    let slot = &inner.shards[shard];
     loop {
         {
-            let mut demand = inner.demand.lock();
+            let mut demand = slot.demand.lock();
             loop {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if !inner.starved.lock().is_empty() && lender.failed_pending() == 0 {
+                if !slot.starved.lock().is_empty() && lender.shard_failed_pending(shard) == 0 {
                     break;
                 }
-                inner.demand_cond.wait(&mut demand);
+                slot.demand_cond.wait(&mut demand);
             }
         }
-        if lender.prefetch_one() {
+        if lender.prefetch_shard(shard) {
             inner.stats.pump_prefetches.fetch_add(1, Ordering::Relaxed);
-            // The staged value triggered the lender waker, which kicks the
+            // The staged value triggered the shard's waker, which kicks its
             // starved drivers; they will re-signal if they starve again.
         } else {
-            // The input is exhausted (or the output closed): no amount of
-            // pumping will produce more values. Starved drivers terminate
-            // through their own Done observations; park until shut down.
-            let mut demand = inner.demand.lock();
+            // This shard will never receive another value: the input is
+            // exhausted (or the output closed). Starved drivers terminate
+            // (or hop) through their own Done observations; park until shut
+            // down.
+            let mut demand = slot.demand.lock();
             loop {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                inner.demand_cond.wait(&mut demand);
+                slot.demand_cond.wait(&mut demand);
             }
         }
     }

@@ -233,6 +233,14 @@ struct PoolSlot {
 }
 
 /// Serves a slice of endpoints from one pool thread until all of them end.
+///
+/// Idle behaviour is event-driven, not polled: the thread registers one
+/// shared waker on every endpoint it serves ([`Endpoint::set_waker`]) and
+/// parks on a condvar when a full round over its endpoints made no
+/// progress. Frame arrivals, closes and crashes wake it immediately; the
+/// wait is additionally capped by the earliest simulated-latency
+/// deliverability instant ([`Endpoint::next_ready_at`]), the next heartbeat
+/// deadline, and a coarse safety timeout.
 fn run_worker_slice<F>(
     endpoints: Vec<Endpoint<Message>>,
     process: &F,
@@ -242,12 +250,20 @@ fn run_worker_slice<F>(
 where
     F: Fn(&Payload) -> Result<Bytes, StreamError>,
 {
+    use parking_lot::{Condvar, Mutex};
     let mut fault = FaultPlan::None.arm();
+    let park: Arc<(Mutex<bool>, Condvar)> = Arc::new((Mutex::new(false), Condvar::new()));
     let mut slots: Vec<PoolSlot> = endpoints
         .into_iter()
         .enumerate()
         .map(|(i, endpoint)| {
             let interval = endpoint.config().heartbeat_interval;
+            let park = park.clone();
+            endpoint.set_waker(Arc::new(move || {
+                let (woken, cond) = &*park;
+                *woken.lock() = true;
+                cond.notify_one();
+            }));
             PoolSlot {
                 endpoint,
                 report: WorkerReport::new(format!(
@@ -318,6 +334,7 @@ where
             }
             if slot.done {
                 live -= 1;
+                slot.endpoint.clear_waker();
                 continue;
             }
             if let Some(pacer) = &mut slot.pacer {
@@ -333,8 +350,27 @@ where
                 }
             }
         }
-        if !progressed {
-            std::thread::sleep(std::time::Duration::from_micros(200));
+        if !progressed && live > 0 {
+            // Park until an endpoint event fires the waker, but never past
+            // the earliest moment something is known to become deliverable
+            // (simulated latency) or a heartbeat falls due; a coarse safety
+            // cap bounds the wait regardless.
+            let now = std::time::Instant::now();
+            let mut deadline = now + std::time::Duration::from_millis(50);
+            for slot in slots.iter().filter(|slot| !slot.done) {
+                if let Some(at) = slot.endpoint.next_ready_at() {
+                    deadline = deadline.min(at);
+                }
+                if let Some(pacer) = &slot.pacer {
+                    deadline = deadline.min(pacer.next_due());
+                }
+            }
+            let (woken, cond) = &*park;
+            let mut flag = woken.lock();
+            if !*flag {
+                cond.wait_until(&mut flag, deadline);
+            }
+            *flag = false;
         }
     }
     slots.into_iter().map(|slot| slot.report).collect()

@@ -137,9 +137,15 @@ fn clean_close_during_dispatch_completes_elsewhere() {
     pando.join_volunteers();
     let stats = pando.lender_stats().unwrap();
     assert_eq!(stats.results_emitted, 60);
-    assert_eq!(
-        stats.substreams_completed, 2,
-        "a clean goodbye ends the sub-stream gracefully, not as a crash"
+    // A clean goodbye ends sub-streams gracefully, never as a crash. The
+    // stayer's driver may legitimately complete more than one sub-stream:
+    // when its own lender shard drains it re-lends itself onto the shard
+    // still holding the leaver's unfinished values (shard hopping).
+    assert_eq!(stats.substreams_crashed, 0);
+    assert!(
+        stats.substreams_completed >= 2,
+        "both volunteers end gracefully (completed {})",
+        stats.substreams_completed
     );
 }
 

@@ -1,0 +1,200 @@
+//! End-to-end tests of sharded dispatch on the master/reactor path:
+//! multi-shard fleets keep global output order, `lender_shards = 1`
+//! reproduces the single-lender protocol exactly, crash rescue crosses
+//! shards through driver hopping, and the per-shard meters account for
+//! every borrow and result.
+
+use bytes::Bytes;
+use pando_core::config::{PandoConfig, VolunteerBackend};
+use pando_core::master::Pando;
+use pando_core::worker::{spawn_typed_worker, spawn_worker_pool, WorkerOptions};
+use pando_netsim::fault::FaultPlan;
+use pando_pull_stream::codec::StringCodec;
+use pando_pull_stream::source::{count, Source, SourceExt};
+use pando_pull_stream::StreamError;
+
+#[allow(clippy::ptr_arg)] // must match Fn(&C::Task) with C::Task = String
+fn echo(input: &String) -> Result<String, StreamError> {
+    Ok(input.clone())
+}
+
+fn numbers(n: u64) -> impl Source<String> + 'static {
+    count(n).map_values(|v| v.to_string())
+}
+
+#[test]
+fn four_shards_keep_global_order_across_a_fleet() {
+    let config =
+        PandoConfig::local_test().with_reactor_threads(4).with_lender_shards(4).with_batch_size(4);
+    let pando = Pando::new(config);
+    let endpoints: Vec<_> = (0..16).map(|_| pando.open_volunteer_channel()).collect();
+    let pool = spawn_worker_pool(
+        endpoints,
+        |payload: &Bytes| Ok(payload.clone()),
+        4,
+        WorkerOptions::default(),
+    );
+    let output = pando
+        .run(count(500).map_values(|v| Bytes::from(v.to_string().into_bytes())))
+        .collect_values()
+        .unwrap();
+    assert_eq!(output.len(), 500);
+    for (i, payload) in output.iter().enumerate() {
+        assert_eq!(
+            payload.as_ref(),
+            (i + 1).to_string().as_bytes(),
+            "result {i} must arrive in global input order"
+        );
+    }
+    let reports = pool.join();
+    pando.join_volunteers();
+    assert_eq!(reports.iter().map(|r| r.processed).sum::<u64>(), 500);
+    let stats = pando.lender_stats().unwrap();
+    assert_eq!(stats.results_emitted, 500);
+    // Work actually spread over more than one shard's lock.
+    pando.observe_shards();
+    let shard_rows = pando.meter().report().shards;
+    assert!(shard_rows.len() > 1, "multiple shards saw dispatch traffic");
+    assert_eq!(shard_rows.iter().map(|s| s.borrows).sum::<u64>(), 500);
+    assert_eq!(shard_rows.iter().map(|s| s.results).sum::<u64>(), 500);
+    assert!(shard_rows.iter().all(|s| s.depth == 0 && s.in_flight == 0), "drained at the end");
+}
+
+#[test]
+fn single_shard_reproduces_the_single_lender_protocol() {
+    // With one shard and tasks_per_frame = 1, the wire pattern of the
+    // pre-sharding master must reproduce exactly: one task frame out and
+    // one result frame back per value.
+    let config =
+        PandoConfig::local_test().with_lender_shards(1).with_batch_size(8).with_tasks_per_frame(1);
+    let pando = Pando::new(config);
+    let worker = spawn_typed_worker(
+        pando.open_volunteer_channel(),
+        StringCodec,
+        echo,
+        WorkerOptions::default(),
+    );
+    let output = pando.run_typed(StringCodec, numbers(40)).collect_values().unwrap();
+    assert_eq!(output, (1..=40u64).map(|v| v.to_string()).collect::<Vec<_>>());
+    worker.join();
+    pando.join_volunteers();
+    let report = pando.meter().report();
+    assert_eq!(report.rows[0].wire_frames, 80, "identical frame count to the single lender");
+    assert_eq!(pando.shard_stats().unwrap().len(), 1);
+    let stats = pando.lender_stats().unwrap();
+    assert_eq!((stats.values_read, stats.results_emitted), (40, 40));
+}
+
+#[test]
+fn crash_on_one_shard_is_rescued_by_volunteers_of_another() {
+    // Two shards, two volunteers — one per shard. The crasher dies holding
+    // borrowed values; its shard is left with no devices. The survivor must
+    // finish its own shard, hop over, and complete the orphaned work.
+    let config = PandoConfig::local_test().with_reactor_threads(2).with_lender_shards(2);
+    let pando = Pando::new(config);
+    let crasher = spawn_typed_worker(
+        pando.open_volunteer_channel(),
+        StringCodec,
+        echo,
+        WorkerOptions { fault: FaultPlan::AfterTasks(3), ..WorkerOptions::default() },
+    );
+    let survivor = spawn_typed_worker(
+        pando.open_volunteer_channel(),
+        StringCodec,
+        echo,
+        WorkerOptions::default(),
+    );
+    let output = pando.run_typed(StringCodec, numbers(80)).collect_values().unwrap();
+    assert_eq!(output, (1..=80u64).map(|v| v.to_string()).collect::<Vec<_>>());
+    assert!(crasher.join().crashed);
+    assert!(!survivor.join().crashed);
+    pando.join_volunteers();
+    let stats = pando.lender_stats().unwrap();
+    assert_eq!(stats.results_emitted, 80);
+    assert_eq!(stats.substreams_crashed, 1);
+    assert!(stats.relends >= 1, "the crasher's values are re-lent");
+    let reactor = pando.reactor_stats().unwrap();
+    assert_eq!(reactor.shards, 2);
+}
+
+#[test]
+fn volunteers_spread_across_shards_before_hashing() {
+    let config = PandoConfig::local_test().with_reactor_threads(4).with_lender_shards(4);
+    let pando = Pando::new(config);
+    let endpoints: Vec<_> = (0..8).map(|_| pando.open_volunteer_channel()).collect();
+    let pool = spawn_worker_pool(
+        endpoints,
+        |payload: &Bytes| Ok(payload.clone()),
+        2,
+        WorkerOptions::default(),
+    );
+    let output = pando
+        .run(count(200).map_values(|v| Bytes::from(v.to_string().into_bytes())))
+        .collect_values()
+        .unwrap();
+    assert_eq!(output.len(), 200);
+    pool.join();
+    pando.join_volunteers();
+    // Every shard got at least one sub-stream: the first four volunteers are
+    // placed on empty shards before the id hash takes over.
+    let shard_stats = pando.shard_stats().unwrap();
+    assert_eq!(shard_stats.len(), 4);
+    for (shard, stats) in shard_stats.iter().enumerate() {
+        assert!(stats.substreams_created >= 1, "shard {shard} never received a volunteer");
+    }
+}
+
+#[test]
+fn adaptive_batching_completes_and_coalesces() {
+    // Smoke the adaptive policy end to end: a wide window, one volunteer,
+    // plenty of immediately available tasks. Frames must still coalesce
+    // (fewer frames than the unbatched two-per-task protocol) and the
+    // output must stay ordered.
+    let config = PandoConfig::local_test()
+        .with_batch_size(16)
+        .with_adaptive_batching(true)
+        .with_lender_shards(1);
+    let pando = Pando::new(config);
+    let worker = spawn_typed_worker(
+        pando.open_volunteer_channel(),
+        StringCodec,
+        echo,
+        WorkerOptions::default(),
+    );
+    let output = pando.run_typed(StringCodec, numbers(300)).collect_values().unwrap();
+    assert_eq!(output.len(), 300);
+    worker.join();
+    pando.join_volunteers();
+    let report = pando.meter().report();
+    let row = &report.rows[0];
+    assert_eq!(row.tasks, 300);
+    assert!(
+        row.wire_frames < 2 * row.tasks,
+        "adaptive batching still coalesces ({} frames for {} tasks)",
+        row.wire_frames,
+        row.tasks
+    );
+}
+
+#[test]
+fn threads_backend_runs_a_single_shard_with_shard_metrics() {
+    let config =
+        PandoConfig::local_test().with_backend(VolunteerBackend::Threads).with_lender_shards(4); // ignored: the threads backend never shards
+    let pando = Pando::new(config);
+    let worker = spawn_typed_worker(
+        pando.open_volunteer_channel(),
+        StringCodec,
+        echo,
+        WorkerOptions::default(),
+    );
+    let output = pando.run_typed(StringCodec, numbers(25)).collect_values().unwrap();
+    assert_eq!(output.len(), 25);
+    worker.join();
+    pando.join_volunteers();
+    assert_eq!(pando.shard_stats().unwrap().len(), 1);
+    pando.observe_shards();
+    let shard_rows = pando.meter().report().shards;
+    assert_eq!(shard_rows.len(), 1);
+    assert_eq!(shard_rows[0].borrows, 25);
+    assert_eq!(shard_rows[0].results, 25);
+}

@@ -485,6 +485,21 @@ where
         self.shared.wakers.lock().push(waker);
     }
 
+    /// Downgrades this handle to a [`WeakLender`] that does not keep the
+    /// lender alive. Used by composite structures (the
+    /// [`ShardedLender`](crate::shard::ShardedLender) splitter) that must
+    /// reference their lenders without creating a reference cycle.
+    pub fn downgrade(&self) -> WeakLender<T, R> {
+        WeakLender { shared: Arc::downgrade(&self.shared) }
+    }
+
+    /// Returns `true` once the lender was shut down (explicitly or because
+    /// its output consumer aborted): sub-streams are told `Done` on their
+    /// next ask and no further value will ever be lent.
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.state.lock().output_closed
+    }
+
     /// Reads one value from the input — blocking if the input needs time —
     /// and stages it in the re-lend pool, where the next sub-stream ask picks
     /// it up. Returns `false` once no further value will ever be produced
@@ -521,6 +536,45 @@ where
                 state.stats.values_read += 1;
                 // Staged, not lent: the value waits in the re-lend pool until
                 // a sub-stream asks, so `lends` is counted at hand-out time.
+                state.failed.push_back(Lend::new(seq, value));
+                true
+            }
+            Answer::Done => {
+                state.input_done = true;
+                false
+            }
+            Answer::Err(err) => {
+                state.input_done = true;
+                state.input_error = Some(err);
+                false
+            }
+        };
+        drop(state);
+        shared.notify();
+        produced
+    }
+
+    /// Like [`StreamLender::prefetch_one`] but never waits for the input:
+    /// if it is currently checked out by another caller, returns `false`
+    /// immediately — the holder observes any state change itself when its
+    /// pull returns. Intended for termination broadcasts, where the input
+    /// is known to answer instantly once the end has been recorded.
+    pub fn try_prefetch_one(&self) -> bool {
+        let shared = &self.shared;
+        let mut state = shared.state.lock();
+        if state.output_closed || state.input_done || state.input_checked_out {
+            return false;
+        }
+        let mut input = state.input.take().expect("input present when not checked out");
+        state.input_checked_out = true;
+        let answer = MutexGuard::unlocked(&mut state, || input.pull(Request::Ask));
+        state.input = Some(input);
+        state.input_checked_out = false;
+        let produced = match answer {
+            Answer::Value(value) => {
+                let seq = state.next_seq;
+                state.next_seq += 1;
+                state.stats.values_read += 1;
                 state.failed.push_back(Lend::new(seq, value));
                 true
             }
@@ -592,6 +646,36 @@ where
         state.output_closed = true;
         drop(state);
         self.shared.notify();
+    }
+}
+
+/// A non-owning handle on a [`StreamLender`], created by
+/// [`StreamLender::downgrade`]. Upgrading yields the lender again as long as
+/// at least one strong handle is still alive.
+pub struct WeakLender<T, R> {
+    shared: std::sync::Weak<Shared<T, R>>,
+}
+
+impl<T, R> Clone for WeakLender<T, R> {
+    fn clone(&self) -> Self {
+        Self { shared: self.shared.clone() }
+    }
+}
+
+impl<T, R> std::fmt::Debug for WeakLender<T, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WeakLender").finish_non_exhaustive()
+    }
+}
+
+impl<T, R> WeakLender<T, R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    /// Attempts to upgrade to a strong [`StreamLender`] handle.
+    pub fn upgrade(&self) -> Option<StreamLender<T, R>> {
+        self.shared.upgrade().map(|shared| StreamLender { shared })
     }
 }
 

@@ -23,6 +23,10 @@
 //!   concurrent *sub-streams*, one per participating device, and merges the
 //!   results back into a single ordered output stream while tolerating
 //!   crash-stop failures of the devices;
+//! * the [`ShardedLender`], which partitions the
+//!   sequence space across `N` independent lender shards behind a splitter
+//!   stage and merges their ordered outputs, so many cores can dispatch
+//!   concurrently without a global lock;
 //! * the [`StubbornQueue`](stubborn::StubbornQueue) (`pull-stubborn`), which
 //!   resubmits inputs whose results could not be confirmed because an
 //!   external data-distribution protocol failed.
@@ -78,6 +82,7 @@ pub mod iter;
 pub mod lender;
 pub mod limit;
 pub mod protocol;
+pub mod shard;
 pub mod sink;
 pub mod source;
 pub mod stubborn;
@@ -87,5 +92,6 @@ pub mod through;
 pub use codec::{Payload, TaskCodec};
 pub use error::StreamError;
 pub use protocol::{Answer, End, Request};
+pub use shard::{ShardedLender, ShardedOutput};
 pub use sink::{BoxSink, Sink};
 pub use source::{BoxSource, Source, SourceExt};
