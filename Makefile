@@ -1,7 +1,7 @@
 # Local invocations matching the CI jobs in .github/workflows/ci.yml —
 # `make lint test` before pushing reproduces what CI will run.
 
-.PHONY: all build test lint fmt doc bench bench-run scale scale-sharded clean
+.PHONY: all build test lint fmt doc bench bench-run scale scale-sharded sim clean
 
 all: lint build test doc
 
@@ -38,6 +38,12 @@ scale:
 # (four locks, four input pumps), under the same wall-clock guard.
 scale-sharded:
 	SCALE_VOLUNTEERS=10000 SCALE_SHARDS=4 cargo run --release --example scale_smoke
+
+# The deterministic fleet simulator at 10k volunteers: the same reactor
+# stack on a virtual clock, run twice from one seed and the canonical event
+# traces compared byte for byte. Same target CI runs.
+sim:
+	cargo run --release --example sim_determinism
 
 clean:
 	cargo clean

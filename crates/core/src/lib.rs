@@ -24,8 +24,10 @@
 //!   crypto-currency mining application (paper §4.2);
 //! * [`metrics`] — per-device throughput accounting over a measurement
 //!   window, as used for Table 2;
-//! * [`sim`] — the deterministic deployment simulator that replays the
-//!   LAN / VPN / WAN experiments on a virtual clock;
+//! * [`sim`] — the deterministic simulators: the analytic model replaying
+//!   the LAN / VPN / WAN experiments, and the virtual-clock *fleet
+//!   simulator* that single-steps the real reactor for tick-for-tick
+//!   reproducible 10k-volunteer runs;
 //! * [`deploy`] — the scripted deployment trace of paper Figure 4.
 //!
 //! The wire protocol is binary end to end: every task and result travels as

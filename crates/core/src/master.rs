@@ -25,7 +25,7 @@ use crate::metrics::ThroughputMeter;
 use crate::protocol::Message;
 use crate::reactor::{DriverHandle, Reactor, ReactorStats};
 use bytes::Bytes;
-use pando_netsim::channel::{pair, Endpoint, RecvError, SendError};
+use pando_netsim::channel::{pair_with_clock, Endpoint, RecvError, SendError};
 use pando_netsim::codec::{Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
 use pando_pull_stream::codec::TaskCodec;
 use pando_pull_stream::lender::{LenderStats, SubStreamSink, SubStreamSource};
@@ -103,15 +103,19 @@ impl Pando {
         &self.meter
     }
 
-    /// Creates a channel pair using the deployment's network profile,
-    /// registers the master side, and returns the volunteer side — the
-    /// in-process equivalent of a device opening the volunteer URL on the
-    /// same LAN.
+    /// Creates a channel pair using the deployment's network profile (and
+    /// clock), registers the master side, and returns the volunteer side —
+    /// the in-process equivalent of a device opening the volunteer URL on
+    /// the same LAN. Each channel's jitter generator is seeded from the
+    /// deployment seed plus the volunteer's join index, so a whole fleet is
+    /// reproducible from one [`PandoConfig::deterministic`] seed.
     pub fn open_volunteer_channel(&self) -> Endpoint<Message> {
-        let seed = self.state.lock().next_volunteer;
+        let index = self.state.lock().next_volunteer;
+        let channel = self.config.channel.clone();
+        let seed = channel.seed.wrapping_add(index);
         let (master_side, volunteer_side) =
-            pair::<Message>(self.config.channel.clone().with_seed(seed));
-        self.add_volunteer_endpoint(format!("volunteer-{seed}"), master_side);
+            pair_with_clock::<Message>(channel.with_seed(seed), self.config.clock.clone());
+        self.add_volunteer_endpoint(format!("volunteer-{index}"), master_side);
         volunteer_side
     }
 
@@ -166,6 +170,21 @@ impl Pando {
     /// active and at least one volunteer was wired.
     pub fn reactor_stats(&self) -> Option<ReactorStats> {
         self.state.lock().reactor.as_ref().map(|reactor| reactor.stats())
+    }
+
+    /// The shared reactor, once the first volunteer was wired on the reactor
+    /// backend. The deterministic fleet simulator uses this to single-step
+    /// an inline reactor.
+    pub(crate) fn reactor_handle(&self) -> Option<Arc<Reactor>> {
+        self.state.lock().reactor.clone()
+    }
+
+    /// The claim log of the underlying sharded lender (chunk index → owning
+    /// shard, in claim order), if the run has started. Under the
+    /// deterministic simulator this sequence is identical across same-seed
+    /// runs; see [`ShardedLender::claim_log`].
+    pub fn claim_log(&self) -> Option<Vec<usize>> {
+        self.state.lock().lender.as_ref().map(ShardedLender::claim_log)
     }
 
     /// Number of volunteers that have connected so far (including ones that

@@ -243,13 +243,25 @@ pub struct HeartbeatPacer {
 impl HeartbeatPacer {
     /// Creates a pacer; the first heartbeat is due one interval from now.
     pub fn new(interval: std::time::Duration) -> Self {
-        let now = std::time::Instant::now();
+        Self::new_at(interval, std::time::Instant::now())
+    }
+
+    /// Creates a pacer whose notion of "now" is supplied by the caller — the
+    /// form used by components on a virtual
+    /// [`Clock`](pando_netsim::sim::Clock). The first heartbeat is due one
+    /// interval after `now`.
+    pub fn new_at(interval: std::time::Duration, now: std::time::Instant) -> Self {
         Self { interval, last_traffic: now, next_due: now + interval, suppressed: 0, sent: 0 }
     }
 
     /// Records that a data frame was just sent on the channel.
     pub fn on_traffic(&mut self) {
-        self.last_traffic = std::time::Instant::now();
+        self.on_traffic_at(std::time::Instant::now());
+    }
+
+    /// Like [`HeartbeatPacer::on_traffic`], against an explicit `now`.
+    pub fn on_traffic_at(&mut self, now: std::time::Instant) {
+        self.last_traffic = now;
     }
 
     /// Decides whether a standalone heartbeat is required right now. When it
@@ -257,7 +269,11 @@ impl HeartbeatPacer {
     /// frame (and need not call [`HeartbeatPacer::on_traffic`] for it — the
     /// pacer books it itself).
     pub fn poll(&mut self) -> HeartbeatAction {
-        let now = std::time::Instant::now();
+        self.poll_at(std::time::Instant::now())
+    }
+
+    /// Like [`HeartbeatPacer::poll`], against an explicit `now`.
+    pub fn poll_at(&mut self, now: std::time::Instant) -> HeartbeatAction {
         if now < self.next_due {
             return HeartbeatAction::NotDue;
         }

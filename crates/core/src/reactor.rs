@@ -38,6 +38,38 @@
 //! budget, window slots bound the in-flight count per volunteer, and
 //! heartbeats piggyback on data frames (an endpoint with traffic inside the
 //! heartbeat interval suppresses the standalone control frame).
+//!
+//! # Inline mode (deterministic stepping)
+//!
+//! All time in the reactor flows through a [`Clock`]
+//! ([`PandoConfig::clock`](crate::config::PandoConfig::clock)). On the wall
+//! clock the reactor is the thread pool described above. With a *virtual*
+//! clock ([`PandoConfig::deterministic`](crate::config::PandoConfig::deterministic))
+//! it spawns **no threads at all**: an external single-threaded scheduler
+//! pops one driver at a time with [`Reactor::step`], pumps starved shards
+//! synchronously with [`Reactor::pump_starved`], and advances the virtual
+//! clock to [`Reactor::next_timer_at`] when the ready queue runs dry. Both
+//! modes share the same poll function, so the inline path exercises exactly
+//! the production state machines — which is what lets the fleet simulator
+//! ([`crate::sim::simulate_fleet`]) replay 10 000-volunteer runs
+//! tick-for-tick reproducibly.
+//!
+//! # Examples
+//!
+//! ```
+//! use pando_core::config::PandoConfig;
+//! use pando_core::reactor::Reactor;
+//!
+//! // Wall clock: a pool of OS threads drains the ready queue.
+//! let pooled = Reactor::new(&PandoConfig::local_test());
+//! assert_eq!(pooled.stats().threads, 2);
+//!
+//! // Virtual clock: nothing spawns; the caller is the scheduler.
+//! let inline = Reactor::new(&PandoConfig::deterministic(7));
+//! assert_eq!(inline.stats().threads, 0);
+//! assert!(!inline.step(), "no driver registered: the ready queue is empty");
+//! assert!(inline.next_timer_at().is_none());
+//! ```
 
 use crate::config::PandoConfig;
 use crate::metrics::ThroughputMeter;
@@ -45,6 +77,7 @@ use crate::protocol::{BatchPolicy, HeartbeatAction, HeartbeatPacer, Message};
 use bytes::Bytes;
 use pando_netsim::channel::{Endpoint, RecvError, SendError};
 use pando_netsim::codec::{Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
+use pando_netsim::sim::Clock;
 use pando_pull_stream::lender::{SubStreamSink, SubStreamSource};
 use pando_pull_stream::shard::ShardedLender;
 use pando_pull_stream::source::Source;
@@ -159,9 +192,15 @@ impl ShardSlot {
 }
 
 struct Inner {
+    /// The clock every timer deadline, heartbeat decision and failure
+    /// suspicion is measured on. Wall for the threaded pool; virtual in
+    /// inline mode, advanced by the external scheduler.
+    clock: Clock,
     ready: Mutex<VecDeque<Arc<Driver>>>,
     ready_cond: Condvar,
     timers: Mutex<BinaryHeap<Reverse<Timer>>>,
+    /// Set once [`Reactor::attach_lender`] ran (it must be idempotent).
+    attached: AtomicBool,
     /// One slot per lender shard (starved set + kick epoch + pump signal).
     shards: Vec<ShardSlot>,
     /// The deployment's sharded lender, installed by
@@ -327,6 +366,7 @@ impl Driver {
             // A stale wake (timer or lender kick) raced termination.
             return PollOutcome::Terminal;
         }
+        let now = inner.clock.now();
         let mut io = self.io.lock();
 
         // Receive: drain every deliverable frame, demultiplex results into
@@ -475,7 +515,7 @@ impl Driver {
                     if let Some(policy) = io.policy.as_mut() {
                         policy.on_frame(count as usize);
                     }
-                    io.pacer.on_traffic();
+                    io.pacer.on_traffic_at(now);
                 }
                 Err(SendError::Closed) => {
                     let _ = io.source.pull(Request::Abort);
@@ -492,7 +532,7 @@ impl Driver {
 
         // Heartbeat pacing: data traffic above suppressed the control frame;
         // a fully idle interval emits a standalone heartbeat.
-        match io.pacer.poll() {
+        match io.pacer.poll_at(now) {
             HeartbeatAction::NotDue => {}
             HeartbeatAction::Send => {
                 self.meter.record_heartbeat(&self.name, false);
@@ -586,6 +626,13 @@ pub struct Reactor {
     /// [`Reactor::attach_lender`].
     pumps: Mutex<Vec<JoinHandle<()>>>,
     thread_count: usize,
+    /// Inline mode: no threads at all. An external single-threaded scheduler
+    /// steps the ready queue ([`Reactor::step`]), fires timers by advancing
+    /// the virtual clock, and pumps starved shards synchronously
+    /// ([`Reactor::pump_starved`]). Selected by a virtual
+    /// [`PandoConfig::clock`]; the basis of the deterministic fleet
+    /// simulator in [`crate::sim`].
+    inline: bool,
 }
 
 impl std::fmt::Debug for Reactor {
@@ -598,14 +645,20 @@ impl std::fmt::Debug for Reactor {
 }
 
 impl Reactor {
-    /// Starts a reactor pool of `config.reactor_threads` threads, laid out
-    /// for `config.effective_lender_shards()` lender shards.
+    /// Starts a reactor laid out for `config.effective_lender_shards()`
+    /// lender shards: a pool of `config.reactor_threads` OS threads on the
+    /// wall clock, or — when [`PandoConfig::clock`] is virtual — an *inline*
+    /// reactor with no threads at all, stepped externally through
+    /// [`Reactor::step`].
     pub fn new(config: &PandoConfig) -> Self {
         let shard_count = config.effective_lender_shards();
+        let inline = config.clock.is_virtual();
         let inner = Arc::new(Inner {
+            clock: config.clock.clone(),
             ready: Mutex::new(VecDeque::new()),
             ready_cond: Condvar::new(),
             timers: Mutex::new(BinaryHeap::new()),
+            attached: AtomicBool::new(false),
             shards: (0..shard_count).map(|_| ShardSlot::new()).collect(),
             lender: Mutex::new(None),
             registered: Mutex::new(Vec::new()),
@@ -621,7 +674,7 @@ impl Reactor {
                 shard_hops: AtomicU64::new(0),
             },
         });
-        let thread_count = config.reactor_threads.max(1);
+        let thread_count = if inline { 0 } else { config.reactor_threads.max(1) };
         let threads = (0..thread_count)
             .map(|i| {
                 let inner = inner.clone();
@@ -631,7 +684,13 @@ impl Reactor {
                     .expect("spawn reactor thread")
             })
             .collect();
-        Self { inner, threads: Mutex::new(threads), pumps: Mutex::new(Vec::new()), thread_count }
+        Self {
+            inner,
+            threads: Mutex::new(threads),
+            pumps: Mutex::new(Vec::new()),
+            thread_count,
+            inline,
+        }
     }
 
     /// Connects the reactor to the deployment's sharded lender: registers
@@ -650,7 +709,7 @@ impl Reactor {
             "lender shards must match the reactor layout"
         );
         let mut pumps = self.pumps.lock();
-        if !pumps.is_empty() {
+        if self.inner.attached.swap(true, Ordering::SeqCst) {
             return;
         }
         *self.inner.lender.lock() = Some(lender.clone());
@@ -664,6 +723,11 @@ impl Reactor {
                     }
                 }),
             );
+            if self.inline {
+                // Inline mode pumps synchronously: the scheduler calls
+                // [`Reactor::pump_starved`] between steps.
+                continue;
+            }
             let inner = self.inner.clone();
             let lender = lender.clone();
             pumps.push(
@@ -709,7 +773,10 @@ impl Reactor {
                 carry: None,
                 dispatch_done: false,
                 dispatch_error: None,
-                pacer: HeartbeatPacer::new(config.channel.heartbeat_interval),
+                pacer: HeartbeatPacer::new_at(
+                    config.channel.heartbeat_interval,
+                    self.inner.clock.now(),
+                ),
                 policy: config
                     .adaptive_batching
                     .then(|| BatchPolicy::new(1, config.effective_tasks_per_frame())),
@@ -729,6 +796,60 @@ impl Reactor {
         self.inner.registered.lock().push(driver.clone());
         wake(&self.inner, &driver);
         DriverHandle { driver }
+    }
+
+    /// Inline mode only: runs one scheduling step — fires every timer due at
+    /// the current (virtual) clock reading, then polls the driver at the
+    /// head of the ready queue. Returns `false` when the ready queue was
+    /// empty (the scheduler should then pump starved shards or advance the
+    /// clock to [`Reactor::next_timer_at`]).
+    ///
+    /// Stepping a threaded reactor is harmless but pointless: the pool
+    /// threads race the caller for the same queue.
+    pub fn step(&self) -> bool {
+        self.inner.fire_due_timers(self.inner.clock.now());
+        let driver = self.inner.ready.lock().pop_front();
+        match driver {
+            Some(driver) => {
+                poll_driver(&self.inner, driver);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The earliest pending timer deadline (delayed frames, crash
+    /// suspicions, heartbeats), if any — the instant an inline scheduler
+    /// should advance the virtual clock to when the ready queue runs dry.
+    pub fn next_timer_at(&self) -> Option<Instant> {
+        self.inner.next_timer_at()
+    }
+
+    /// Inline mode only: one synchronous pass of the per-shard input pumps —
+    /// for every shard with starved drivers and an empty staging pool, reads
+    /// one value ahead on the shard's behalf (the staged value fires the
+    /// shard waker, which re-queues its starved drivers). Returns `true` if
+    /// any shard staged a value, i.e. the scheduler should step again before
+    /// advancing the clock.
+    ///
+    /// The deterministic simulator requires inputs that answer immediately
+    /// (in-memory iterators); an input that truly blocks would block the
+    /// scheduler itself.
+    pub fn pump_starved(&self) -> bool {
+        let Some(lender) = self.inner.lender.lock().clone() else {
+            return false;
+        };
+        let mut staged = false;
+        for (shard, slot) in self.inner.shards.iter().enumerate() {
+            if slot.starved.lock().is_empty() || lender.shard_failed_pending(shard) > 0 {
+                continue;
+            }
+            if lender.prefetch_shard(shard) {
+                self.inner.stats.pump_prefetches.fetch_add(1, Ordering::Relaxed);
+                staged = true;
+            }
+        }
+        staged
     }
 
     /// A snapshot of the scheduling counters.
@@ -789,7 +910,7 @@ impl Drop for Reactor {
 /// Body of one reactor pool thread.
 fn reactor_loop(inner: &Inner) {
     loop {
-        inner.fire_due_timers(Instant::now());
+        inner.fire_due_timers(inner.clock.now());
         let driver = {
             let mut ready = inner.ready.lock();
             loop {
@@ -801,9 +922,9 @@ fn reactor_loop(inner: &Inner) {
                 }
                 match inner.next_timer_at() {
                     Some(at) => {
-                        if at <= Instant::now() {
+                        if at <= inner.clock.now() {
                             drop(ready);
-                            inner.fire_due_timers(Instant::now());
+                            inner.fire_due_timers(inner.clock.now());
                             ready = inner.ready.lock();
                             continue;
                         }
@@ -813,51 +934,60 @@ fn reactor_loop(inner: &Inner) {
                 }
             }
         };
-        driver.sched.store(RUNNING, Ordering::SeqCst);
-        inner.stats.polls.fetch_add(1, Ordering::Relaxed);
-        let outcome = driver.poll(inner);
-        match outcome {
-            PollOutcome::Terminal => {
-                driver.sched.store(IDLE, Ordering::SeqCst);
-            }
-            PollOutcome::Pending { timer, starved, starve_epoch } => {
-                if let Some(at) = timer {
-                    let mut scheduled = driver.scheduled_at.lock();
-                    let stale = scheduled.map(|existing| at < existing).unwrap_or(true);
-                    if stale {
-                        *scheduled = Some(at);
-                        drop(scheduled);
-                        inner
-                            .timers
-                            .lock()
-                            .push(Reverse(Timer { at, driver: Arc::downgrade(&driver) }));
-                        // A sleeping sibling may need to shorten its wait.
-                        inner.ready_cond.notify_one();
-                    }
-                }
-                let shard = driver.shard.load(Ordering::Relaxed);
-                if starved && !driver.in_starved.swap(true, Ordering::SeqCst) {
-                    inner.shards[shard].starved.lock().push(Arc::downgrade(&driver));
-                    inner.signal_pump(shard);
-                }
-                // Transition out of RUNNING; a wake observed mid-poll means
-                // the poll must re-run.
-                if driver
-                    .sched
-                    .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
-                    .is_err()
-                {
-                    driver.sched.store(QUEUED, Ordering::SeqCst);
-                    let mut ready = inner.ready.lock();
-                    ready.push_back(driver.clone());
-                    drop(ready);
+        poll_driver(inner, driver);
+    }
+}
+
+/// Polls one driver popped off the ready queue and books the outcome:
+/// timers are (de-duplicated and) scheduled, starved drivers park in their
+/// shard's starved set, and a wake observed mid-poll re-queues the driver.
+/// Shared verbatim between the pool threads and the inline [`Reactor::step`]
+/// path, so the two modes cannot diverge behaviourally.
+fn poll_driver(inner: &Inner, driver: Arc<Driver>) {
+    driver.sched.store(RUNNING, Ordering::SeqCst);
+    inner.stats.polls.fetch_add(1, Ordering::Relaxed);
+    let outcome = driver.poll(inner);
+    match outcome {
+        PollOutcome::Terminal => {
+            driver.sched.store(IDLE, Ordering::SeqCst);
+        }
+        PollOutcome::Pending { timer, starved, starve_epoch } => {
+            if let Some(at) = timer {
+                let mut scheduled = driver.scheduled_at.lock();
+                let stale = scheduled.map(|existing| at < existing).unwrap_or(true);
+                if stale {
+                    *scheduled = Some(at);
+                    drop(scheduled);
+                    inner
+                        .timers
+                        .lock()
+                        .push(Reverse(Timer { at, driver: Arc::downgrade(&driver) }));
+                    // A sleeping sibling may need to shorten its wait.
                     inner.ready_cond.notify_one();
-                } else if starved
-                    && inner.shards[shard].kick_epoch.load(Ordering::SeqCst) != starve_epoch
-                {
-                    // A lender kick raced our starve registration: re-poll.
-                    wake(inner, &driver);
                 }
+            }
+            let shard = driver.shard.load(Ordering::Relaxed);
+            if starved && !driver.in_starved.swap(true, Ordering::SeqCst) {
+                inner.shards[shard].starved.lock().push(Arc::downgrade(&driver));
+                inner.signal_pump(shard);
+            }
+            // Transition out of RUNNING; a wake observed mid-poll means
+            // the poll must re-run.
+            if driver
+                .sched
+                .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                driver.sched.store(QUEUED, Ordering::SeqCst);
+                let mut ready = inner.ready.lock();
+                ready.push_back(driver.clone());
+                drop(ready);
+                inner.ready_cond.notify_one();
+            } else if starved
+                && inner.shards[shard].kick_epoch.load(Ordering::SeqCst) != starve_epoch
+            {
+                // A lender kick raced our starve registration: re-poll.
+                wake(inner, &driver);
             }
         }
     }

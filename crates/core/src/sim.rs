@@ -1,19 +1,59 @@
-//! Deterministic deployment simulator.
+//! Deterministic simulators: the analytic Table 2 model and the
+//! virtual-clock **fleet simulator** that drives the real reactor.
 //!
-//! The evaluation of the paper measures throughput over five minutes on
-//! twenty physical devices spread over three networks. To regenerate the
-//! shape of Table 2 without that hardware, this module replays a deployment
-//! on a virtual clock: each device is characterised by its per-task service
-//! time (calibrated from the published per-device throughput), the network by
-//! a one-way latency, and the master by the batch-size-limited dispatch
-//! policy of the real implementation (a value is sent to exactly one device;
-//! at most `batch_size` values are outstanding per device; a new value is
-//! sent as soon as a result comes back). Devices may join late or crash, so
-//! the same simulator also replays the Figure 4 deployment example and the
-//! batching sweep of §5.5.
+//! Two engines live here, at different levels of fidelity:
+//!
+//! 1. **The analytic model** ([`simulate`]) replays the *shape* of a
+//!    deployment — per-device service times, one-way latency, the
+//!    batch-size-limited dispatch policy — over an abstract event queue. It
+//!    regenerates Table 2, the Figure 4 deployment example and the §5.5
+//!    batching sweep without hardware, but it models the master; it does not
+//!    run it.
+//! 2. **The fleet simulator** ([`simulate_fleet`]) runs the *actual* stack —
+//!    [`ShardedLender`](pando_pull_stream::shard::ShardedLender), the
+//!    [reactor](crate::reactor) driver state machines, the real wire
+//!    protocol over [`pando_netsim::channel`] endpoints — under a virtual
+//!    [`Clock`](pando_netsim::sim::Clock) and a single-threaded scheduler.
+//!    No reactor threads, no pump threads, no volunteer threads: one loop
+//!    steps the reactor's ready queue, pumps starved shards synchronously,
+//!    polls simulated volunteers, and advances virtual time to the earliest
+//!    pending deadline (channel delivery, crash suspicion, heartbeat).
+//!    Every run from the same seed — including its crash schedule, shard
+//!    claims, heartbeat suppressions and merged output order — is identical
+//!    byte for byte, so fault scenarios become replayable artefacts and
+//!    flaky-hunt turns into seed bisection.
+//!
+//! # Examples
+//!
+//! Two same-seed runs produce identical canonical traces:
+//!
+//! ```
+//! use pando_core::sim::{simulate_fleet, FleetParams};
+//!
+//! let params = FleetParams::new(7, 4, 24);
+//! let a = simulate_fleet(&params);
+//! let b = simulate_fleet(&params);
+//! assert_eq!(a.canonical_trace(), b.canonical_trace());
+//! assert_eq!(a.output_order, (0..24).collect::<Vec<u64>>(), "global order survives");
+//! ```
 
+use crate::config::PandoConfig;
+use crate::master::Pando;
+use crate::protocol::Message;
+use bytes::Bytes;
+use pando_netsim::channel::{Endpoint, RecvError};
+use pando_netsim::codec::Record;
 use pando_netsim::sim::{EventQueue, SimTime};
-use std::time::Duration;
+use pando_pull_stream::source::from_iter;
+use pando_pull_stream::Answer;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One simulated device.
 #[derive(Debug, Clone, PartialEq)]
@@ -219,6 +259,560 @@ fn maybe_start(
     }
 }
 
+// ---------------------------------------------------------------------------
+// The virtual-clock fleet simulator: the real reactor, deterministically.
+// ---------------------------------------------------------------------------
+
+/// Parameters of one deterministic fleet run. Everything a run does —
+/// per-volunteer service times, the crash schedule, channel jitter — derives
+/// from `seed`, so the parameters fully determine the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetParams {
+    /// Master seed: drives channel jitter, service times and the fault
+    /// schedule.
+    pub seed: u64,
+    /// Number of simulated volunteer devices.
+    pub volunteers: usize,
+    /// Number of input values to process.
+    pub tasks: u64,
+    /// Fraction of volunteers that crash mid-run (crash-stop, at a
+    /// seed-derived virtual instant). Volunteer 0 never crashes, so the
+    /// stream always completes.
+    pub crash_fraction: f64,
+}
+
+impl FleetParams {
+    /// Parameters with the default crash fraction (15 % of the fleet).
+    pub fn new(seed: u64, volunteers: usize, tasks: u64) -> Self {
+        Self { seed, volunteers, tasks, crash_fraction: 0.15 }
+    }
+
+    /// Returns the parameters with a different crash fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crash_fraction` is outside `[0, 1]`.
+    pub fn with_crash_fraction(mut self, crash_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&crash_fraction), "crash fraction must be within [0, 1]");
+        self.crash_fraction = crash_fraction;
+        self
+    }
+}
+
+/// Outcome of one deterministic fleet run. All fields except
+/// [`FleetReport::wall_elapsed`] are pure functions of the
+/// [`FleetParams`]; [`FleetReport::canonical_trace`] renders exactly those,
+/// so two same-seed runs compare byte for byte.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The parameters the run was built from.
+    pub params: FleetParams,
+    /// The event trace: volunteer joins, task frames received, replies,
+    /// crashes, goodbyes and the output completion, each stamped with its
+    /// virtual time in microseconds.
+    pub trace: Vec<String>,
+    /// The decoded task index of every output value, in emission order.
+    /// Always `0..tasks`: crashes re-lend, the merge stage restores order.
+    pub output_order: Vec<u64>,
+    /// FNV-1a digest over the raw output payload bytes, in order.
+    pub output_digest: u64,
+    /// Canonical per-device rows of the
+    /// [`ThroughputMeter`](crate::metrics::ThroughputMeter)
+    /// (tasks, wire bytes, wire frames, heartbeats) — the deterministic
+    /// columns only; wall-time-derived rates are excluded.
+    pub meter_rows: Vec<String>,
+    /// Canonical per-shard dispatch rows (borrows and accepted results).
+    pub shard_rows: Vec<String>,
+    /// The sharded lender's claim log: chunk index → owning shard.
+    pub claim_log: Vec<usize>,
+    /// The reactor's final scheduling counters. Deterministic under the
+    /// single-threaded scheduler, so they participate in the canonical
+    /// trace: a diverging poll or wake-up count pinpoints scheduler
+    /// nondeterminism even when the output still matches.
+    pub reactor: crate::reactor::ReactorStats,
+    /// Number of volunteers that actually crashed during the run (scheduled
+    /// crash instants landing after a volunteer finished do not fire).
+    pub crashed: u64,
+    /// Virtual time the run spanned.
+    pub virtual_elapsed: Duration,
+    /// Real time the simulation took (not part of the canonical trace).
+    pub wall_elapsed: Duration,
+}
+
+impl FleetReport {
+    /// Renders every deterministic artefact of the run — the event trace,
+    /// the output order and digest, the shard claim log, the meter and
+    /// shard rows — into one string. Two runs with equal [`FleetParams`]
+    /// produce byte-identical canonical traces; a mismatch pinpoints the
+    /// first nondeterministic event.
+    pub fn canonical_trace(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "params seed={} volunteers={} tasks={} crash_fraction={}\n",
+            self.params.seed, self.params.volunteers, self.params.tasks, self.params.crash_fraction
+        ));
+        for line in &self.trace {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "output n={} digest={:016x}\n",
+            self.output_order.len(),
+            self.output_digest
+        ));
+        let order: Vec<String> = self.output_order.iter().map(u64::to_string).collect();
+        out.push_str(&format!("output_order {}\n", order.join(",")));
+        let claims: Vec<String> = self.claim_log.iter().map(usize::to_string).collect();
+        out.push_str(&format!("claim_log {}\n", claims.join(",")));
+        for row in &self.meter_rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        for row in &self.shard_rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "reactor registered={} polls={} wakeups={} timer_fires={} prefetches={} \
+             shards={} hops={} max_ready_depth={}\n",
+            self.reactor.registered,
+            self.reactor.polls,
+            self.reactor.wakeups,
+            self.reactor.timer_fires,
+            self.reactor.pump_prefetches,
+            self.reactor.shards,
+            self.reactor.shard_hops,
+            self.reactor.max_ready_depth
+        ));
+        out.push_str(&format!(
+            "crashed={} virtual_elapsed_us={}\n",
+            self.crashed,
+            self.virtual_elapsed.as_micros()
+        ));
+        out
+    }
+}
+
+/// A simulated volunteer: the state machine the engine drives instead of a
+/// worker thread. It mirrors [`run_worker`](crate::worker::run_worker) —
+/// decode task frames, apply the processing function, reply in kind — but
+/// computation *time* is virtual: a reply is scheduled `service × records`
+/// after the device becomes free.
+struct SimVolunteer {
+    endpoint: Endpoint<Message>,
+    service: Duration,
+    busy_until: Instant,
+    /// Earliest scheduled re-poll for a frame still in (virtual) flight.
+    repoll_at: Option<Instant>,
+    /// Reply frames scheduled but not yet delivered. A real worker replies
+    /// before it can observe the master's close, so the simulated volunteer
+    /// defers its goodbye until this drains.
+    pending_replies: usize,
+    done: bool,
+    crashed: bool,
+    processed: u64,
+}
+
+/// An engine event at a virtual instant; `seq` breaks ties FIFO so the
+/// schedule order is total.
+struct Timed {
+    at: Instant,
+    seq: u64,
+    ev: Ev,
+}
+
+enum Ev {
+    /// Deliver the prepared reply frames of volunteer `v` (its virtual
+    /// compute finished).
+    Reply { v: usize, frames: Vec<Message> },
+    /// Crash volunteer `v` (crash-stop; scripted by the fault schedule).
+    Crash { v: usize },
+    /// Re-poll volunteer `v`: a frame buffered on its endpoint matures now.
+    Repoll { v: usize },
+}
+
+impl PartialEq for Timed {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Timed {}
+impl PartialOrd for Timed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// The engine's event heap plus the wake list volunteers' endpoint wakers
+/// feed.
+struct Engine {
+    queue: BinaryHeap<Reverse<Timed>>,
+    next_seq: u64,
+    /// Volunteers whose endpoint waker fired since they were last polled.
+    woken: Arc<Mutex<VecDeque<usize>>>,
+    /// Coalescing flags: a volunteer already on the wake list is not pushed
+    /// again.
+    queued: Arc<Vec<AtomicBool>>,
+}
+
+impl Engine {
+    fn schedule(&mut self, at: Instant, ev: Ev) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Timed { at, seq, ev }));
+    }
+
+    fn pop_due(&mut self, now: Instant) -> Option<Ev> {
+        match self.queue.peek() {
+            Some(Reverse(timed)) if timed.at <= now => {
+                Some(self.queue.pop().expect("peeked entry present").0.ev)
+            }
+            _ => None,
+        }
+    }
+
+    fn next_at(&self) -> Option<Instant> {
+        self.queue.peek().map(|Reverse(timed)| timed.at)
+    }
+
+    fn pop_woken(&self) -> Option<usize> {
+        let v = self.woken.lock().pop_front()?;
+        self.queued[v].store(false, Ordering::SeqCst);
+        Some(v)
+    }
+}
+
+/// The processing function every simulated volunteer applies: `3x + 1` over
+/// the task's little-endian `u64` payload. Trivial on purpose — the engine
+/// simulates *coordination*, and compute cost is modelled by the service
+/// time, not by burning host cycles.
+fn process_payload(payload: &Bytes) -> Bytes {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&payload[..8]);
+    let x = u64::from_le_bytes(buf);
+    Bytes::copy_from_slice(&(x.wrapping_mul(3).wrapping_add(1)).to_le_bytes())
+}
+
+/// Decodes the task index a result payload answers (inverts
+/// [`process_payload`]).
+fn decode_result(payload: &Bytes) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&payload[..8]);
+    (u64::from_le_bytes(buf).wrapping_sub(1)) / 3
+}
+
+/// Runs one deterministic fleet deployment: the real master — sharded
+/// lender, inline reactor, wire protocol, heartbeat pacing, crash recovery —
+/// over a virtual clock, single-stepped by one scheduler loop. See the
+/// [module documentation](self) for the determinism contract.
+///
+/// # Panics
+///
+/// Panics if `params.volunteers` is zero, if the run deadlocks (no pending
+/// work and no pending timers — a scheduler bug by construction), or if the
+/// virtual horizon of ten simulated minutes is exceeded.
+pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
+    assert!(params.volunteers > 0, "a fleet needs at least one volunteer");
+    let wall_start = Instant::now();
+    let config = PandoConfig::deterministic(params.seed);
+    let clock = config.clock.clone();
+    let origin = clock.now();
+    let pando = Pando::new(config);
+    let mut trace: Vec<String> = Vec::new();
+    let elapsed_us = |clock: &pando_netsim::sim::Clock| clock.elapsed().as_micros();
+
+    // --- The fleet: seed-derived service times and fault schedule. -------
+    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let woken = Arc::new(Mutex::new(VecDeque::new()));
+    let queued =
+        Arc::new((0..params.volunteers).map(|_| AtomicBool::new(false)).collect::<Vec<_>>());
+    let mut engine = Engine {
+        queue: BinaryHeap::new(),
+        next_seq: 0,
+        woken: woken.clone(),
+        queued: queued.clone(),
+    };
+    let mut volunteers: Vec<SimVolunteer> = Vec::with_capacity(params.volunteers);
+    // Crash instants are drawn from a window scaled to the expected run
+    // length (mean service 1.65 ms, `volunteers` devices in parallel), so
+    // the fault schedule actually lands mid-run instead of after the last
+    // result.
+    let expected_run_us =
+        (params.tasks.saturating_mul(1_650) / params.volunteers.max(1) as u64).max(5_000);
+    for v in 0..params.volunteers {
+        let endpoint = pando.open_volunteer_channel();
+        let woken = woken.clone();
+        let queued = queued.clone();
+        endpoint.set_waker(Arc::new(move || {
+            if !queued[v].swap(true, Ordering::SeqCst) {
+                woken.lock().push_back(v);
+            }
+        }));
+        let service = Duration::from_micros(rng.gen_range(300..3_000));
+        // Volunteer 0 is the survivor that guarantees completion.
+        let crash_at_us = (v != 0 && rng.gen_bool(params.crash_fraction))
+            .then(|| rng.gen_range(1_000u64..expected_run_us));
+        if let Some(at_us) = crash_at_us {
+            engine.schedule(origin + Duration::from_micros(at_us), Ev::Crash { v });
+        }
+        trace.push(format!(
+            "setup v{v} service_us={} crash_at_us={}",
+            service.as_micros(),
+            crash_at_us.map(|us| us.to_string()).unwrap_or_else(|| "never".into())
+        ));
+        volunteers.push(SimVolunteer {
+            endpoint,
+            service,
+            busy_until: origin,
+            repoll_at: None,
+            pending_replies: 0,
+            done: false,
+            crashed: false,
+            processed: 0,
+        });
+    }
+
+    // --- The input stream: task index i as a little-endian u64 payload. --
+    let inputs: Vec<Bytes> =
+        (0..params.tasks).map(|i| Bytes::copy_from_slice(&i.to_le_bytes())).collect();
+    let mut output = pando.run(from_iter(inputs));
+    let reactor =
+        pando.reactor_handle().expect("the deterministic config always uses the reactor backend");
+
+    // --- The scheduler loop. ---------------------------------------------
+    let horizon = origin + Duration::from_secs(600);
+    let mut output_order: Vec<u64> = Vec::with_capacity(params.tasks as usize);
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    let mut finished = false;
+    let mut crashed_fired = 0u64;
+    loop {
+        let mut progress = false;
+        // 1. Drain the reactor's ready queue (fires due timers first).
+        while reactor.step() {
+            progress = true;
+        }
+        // 2. Pump starved shards synchronously; staged values re-queue
+        //    drivers, so go around for more steps before anything else.
+        if reactor.pump_starved() {
+            continue;
+        }
+        // 3. Poll volunteers whose endpoints signalled readiness.
+        while let Some(v) = engine.pop_woken() {
+            poll_volunteer(v, &mut volunteers[v], &mut engine, &clock, &mut trace);
+            progress = true;
+        }
+        // 4. Fire engine events due at the current virtual instant.
+        while let Some(ev) = engine.pop_due(clock.now()) {
+            progress = true;
+            match ev {
+                Ev::Crash { v } => {
+                    let vol = &mut volunteers[v];
+                    if vol.done {
+                        continue;
+                    }
+                    vol.endpoint.crash();
+                    vol.crashed = true;
+                    vol.done = true;
+                    crashed_fired += 1;
+                    trace.push(format!("[{}] v{v} crash", elapsed_us(&clock)));
+                }
+                Ev::Reply { v, frames } => {
+                    let vol = &mut volunteers[v];
+                    vol.pending_replies = vol.pending_replies.saturating_sub(1);
+                    if vol.done {
+                        continue;
+                    }
+                    for frame in frames {
+                        let size = frame.wire_size();
+                        let count = frame.record_count();
+                        if vol.endpoint.send_records_with_size(frame, size, count).is_ok() {
+                            trace.push(format!(
+                                "[{}] v{v} reply records={count}",
+                                elapsed_us(&clock)
+                            ));
+                        }
+                    }
+                }
+                Ev::Repoll { v } => {
+                    volunteers[v].repoll_at = None;
+                    poll_volunteer(v, &mut volunteers[v], &mut engine, &clock, &mut trace);
+                }
+            }
+        }
+        // 5. Drain the merged output without blocking.
+        if !finished {
+            while let Some(answer) = output.next_timeout(Duration::ZERO) {
+                progress = true;
+                match answer {
+                    Answer::Value(payload) => {
+                        for byte in payload.iter() {
+                            digest = (digest ^ u64::from(*byte)).wrapping_mul(0x100_0000_01b3);
+                        }
+                        output_order.push(decode_result(&payload));
+                    }
+                    Answer::Done => {
+                        trace.push(format!("[{}] output done", elapsed_us(&clock)));
+                        finished = true;
+                        break;
+                    }
+                    Answer::Err(err) => {
+                        panic!("the merged output failed under the simulator: {err}");
+                    }
+                }
+            }
+        }
+        if progress {
+            continue;
+        }
+        if finished && reactor.stats().active == 0 {
+            break;
+        }
+        // 6. Quiescent: advance virtual time to the earliest deadline.
+        let next = match (reactor.next_timer_at(), engine.next_at()) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => panic!(
+                "deterministic sim wedged: no pending work, no pending timers \
+                 (finished={finished}, active={})",
+                reactor.stats().active
+            ),
+        };
+        assert!(next <= horizon, "deterministic sim exceeded the 600s virtual horizon");
+        clock.advance_to(next);
+    }
+
+    // --- Canonical artefacts. --------------------------------------------
+    assert_eq!(
+        output_order.len() as u64,
+        params.tasks,
+        "every input value must produce exactly one output"
+    );
+    let report = pando.meter().report();
+    let meter_rows: Vec<String> = report
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                "meter {} tasks={} wire_bytes={} wire_frames={} hb_sent={} hb_suppressed={}",
+                row.device,
+                row.tasks,
+                row.wire_bytes,
+                row.wire_frames,
+                row.heartbeats_sent,
+                row.heartbeats_suppressed
+            )
+        })
+        .collect();
+    let shard_rows: Vec<String> = report
+        .shards
+        .iter()
+        .map(|s| format!("shard {} borrows={} results={}", s.shard, s.borrows, s.results))
+        .collect();
+    let claim_log = pando.claim_log().unwrap_or_default();
+    let reactor_stats = reactor.stats();
+    pando.join_volunteers();
+    FleetReport {
+        params: params.clone(),
+        trace,
+        output_order,
+        output_digest: digest,
+        meter_rows,
+        shard_rows,
+        claim_log,
+        reactor: reactor_stats,
+        crashed: crashed_fired,
+        virtual_elapsed: clock.elapsed(),
+        wall_elapsed: wall_start.elapsed(),
+    }
+}
+
+/// Drains every deliverable frame of one simulated volunteer and reacts the
+/// way a worker thread would: task frames are answered (after virtual
+/// compute time), a clean close gets a goodbye, heartbeats are swallowed.
+fn poll_volunteer(
+    v: usize,
+    vol: &mut SimVolunteer,
+    engine: &mut Engine,
+    clock: &pando_netsim::sim::Clock,
+    trace: &mut Vec<String>,
+) {
+    if vol.done {
+        return;
+    }
+    loop {
+        let (records, batched) = match vol.endpoint.try_recv() {
+            Ok(Message::Task { seq, payload }) => (vec![Record::new(seq, payload)], false),
+            Ok(Message::TaskBatch(records)) => (records, true),
+            Ok(Message::Heartbeat) => continue,
+            Ok(_) => {
+                // Unexpected on the volunteer side; treat as end of stream.
+                vol.endpoint.close();
+                vol.done = true;
+                return;
+            }
+            Err(RecvError::Closed) => {
+                if vol.pending_replies > 0 {
+                    // Still computing: a worker thread would flush those
+                    // replies before its next receive observed the close.
+                    // Re-poll once the device goes idle (reply events at the
+                    // same instant were scheduled earlier, so they fire
+                    // first).
+                    engine.schedule(vol.busy_until.max(clock.now()), Ev::Repoll { v });
+                    return;
+                }
+                let _ = vol.endpoint.send(Message::Goodbye);
+                vol.endpoint.close();
+                vol.done = true;
+                trace.push(format!("[{}] v{v} goodbye", clock.elapsed().as_micros()));
+                return;
+            }
+            Err(RecvError::PeerFailed) => {
+                vol.done = true;
+                return;
+            }
+            Err(RecvError::Empty) | Err(RecvError::Timeout) => {
+                // A frame may still be in virtual flight: re-poll when it
+                // matures (de-duplicated against an earlier pending re-poll).
+                if let Some(at) = vol.endpoint.next_ready_at() {
+                    if vol.repoll_at.map(|existing| at < existing).unwrap_or(true) {
+                        vol.repoll_at = Some(at);
+                        engine.schedule(at, Ev::Repoll { v });
+                    }
+                }
+                return;
+            }
+        };
+        let count = records.len();
+        trace.push(format!(
+            "[{}] v{v} recv records={count} batched={batched}",
+            clock.elapsed().as_micros()
+        ));
+        vol.processed += count as u64;
+        let results: Vec<Record> =
+            records.iter().map(|r| Record::new(r.seq, process_payload(&r.payload))).collect();
+        let reply = if batched {
+            Message::ResultBatch(results)
+        } else {
+            let record = results.into_iter().next().expect("a task frame carries one record");
+            Message::TaskResult { seq: record.seq, payload: record.payload }
+        };
+        // The device computes for `service × records` of virtual time,
+        // serialised after whatever it was already chewing on.
+        let now = clock.now();
+        let start = vol.busy_until.max(now);
+        let finish = start + vol.service * count as u32;
+        vol.busy_until = finish;
+        vol.pending_replies += 1;
+        engine.schedule(finish, Ev::Reply { v, frames: vec![reply] });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,5 +912,63 @@ mod tests {
         let params = SimParams::paper_window(2, ms(2));
         assert_eq!(params.duration, Duration::from_secs(300));
         assert_eq!(params.batch_size, 2);
+    }
+
+    #[test]
+    fn fleet_sim_same_seed_is_byte_identical() {
+        let params = FleetParams::new(1234, 6, 48);
+        let a = simulate_fleet(&params);
+        let b = simulate_fleet(&params);
+        assert_eq!(a.canonical_trace(), b.canonical_trace());
+        assert_eq!(a.output_digest, b.output_digest);
+        assert_eq!(a.output_order, (0..48).collect::<Vec<u64>>());
+        assert_eq!(a.claim_log, b.claim_log);
+    }
+
+    #[test]
+    fn fleet_sim_different_seeds_diverge() {
+        // Not a hard guarantee for every seed pair, but these two must not
+        // collide — jitter, service times and the fault schedule all change.
+        let a = simulate_fleet(&FleetParams::new(1, 6, 48));
+        let b = simulate_fleet(&FleetParams::new(2, 6, 48));
+        assert_ne!(a.canonical_trace(), b.canonical_trace());
+        // Both still complete the stream in order.
+        assert_eq!(a.output_order, b.output_order);
+    }
+
+    #[test]
+    fn fleet_sim_recovers_from_crashes() {
+        // Force a heavy fault schedule: half the fleet crashes, the stream
+        // still completes in order because values are re-lent.
+        let params = FleetParams::new(99, 8, 64).with_crash_fraction(0.9);
+        let report = simulate_fleet(&params);
+        assert!(report.crashed >= 1, "the schedule must actually crash volunteers");
+        assert_eq!(report.output_order, (0..64).collect::<Vec<u64>>());
+        assert!(
+            report.trace.iter().any(|line| line.ends_with("crash")),
+            "crash events appear in the trace"
+        );
+        // Crash recovery costs virtual time (the 500 ms failure timeout),
+        // not wall time.
+        assert!(report.virtual_elapsed >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn fleet_sim_runs_entirely_on_virtual_time() {
+        let report = simulate_fleet(&FleetParams::new(5, 4, 32));
+        assert!(
+            report.wall_elapsed < Duration::from_secs(30),
+            "a 32-task fleet must not take wall-clock minutes ({:?})",
+            report.wall_elapsed
+        );
+        assert!(report.virtual_elapsed > Duration::ZERO);
+        let rows = report.meter_rows.join("\n");
+        assert!(rows.contains("volunteer-0"), "meter rows carry per-device counters: {rows}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one volunteer")]
+    fn fleet_sim_rejects_an_empty_fleet() {
+        let _ = simulate_fleet(&FleetParams::new(0, 0, 1));
     }
 }

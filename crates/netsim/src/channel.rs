@@ -18,6 +18,7 @@
 //! thread pool without ever blocking in [`Endpoint::recv`].
 
 use crate::heartbeat::FailureDetector;
+use crate::sim::Clock;
 use crossbeam::channel;
 use pando_pull_stream::duplex::Duplex;
 use pando_pull_stream::sink::Sink;
@@ -239,6 +240,10 @@ pub struct Endpoint<T> {
     /// `true` for the endpoint returned first by [`pair`].
     is_a: bool,
     config: ChannelConfig,
+    /// The clock delivery times and failure suspicions are measured on: the
+    /// wall clock for real runs, a virtual clock under the deterministic
+    /// simulator (see [`pair_with_clock`]).
+    clock: Clock,
     outgoing: channel::Sender<Frame<T>>,
     incoming: channel::Receiver<Frame<T>>,
     shared: Arc<Shared>,
@@ -269,9 +274,28 @@ impl<T> fmt::Debug for Endpoint<T> {
 /// assert_eq!(worker.recv().unwrap(), "task");
 /// ```
 pub fn pair<T: Send + 'static>(config: ChannelConfig) -> (Endpoint<T>, Endpoint<T>) {
+    pair_with_clock(config, Clock::wall())
+}
+
+/// Creates a connected pair of endpoints reading time from `clock`.
+///
+/// With [`Clock::wall`] this is exactly [`pair`]. With a virtual clock the
+/// channel becomes deterministic *and non-blocking*: delivery instants,
+/// jitter and crash-suspicion maturities are measured on the virtual time
+/// line, and the receive operations never sleep — a frame whose simulated
+/// latency has not elapsed yet reports [`RecvError::Timeout`] (or
+/// [`RecvError::Empty`] through [`Endpoint::try_recv`]) until the scheduler
+/// advances the clock past [`Endpoint::next_ready_at`]. Blocking receives
+/// are therefore only meaningful on the wall clock; virtual-clock endpoints
+/// are driven by a poller such as the reactor or the deterministic fleet
+/// simulator.
+pub fn pair_with_clock<T: Send + 'static>(
+    config: ChannelConfig,
+    clock: Clock,
+) -> (Endpoint<T>, Endpoint<T>) {
     let a_to_b = channel::unbounded();
     let b_to_a = channel::unbounded();
-    let now = Instant::now();
+    let now = clock.now();
     let shared = Arc::new(Shared {
         a: Mutex::new(SideState {
             crashed_at: None,
@@ -301,6 +325,7 @@ pub fn pair<T: Send + 'static>(config: ChannelConfig) -> (Endpoint<T>, Endpoint<
     let a = Endpoint {
         is_a: true,
         config: config.clone(),
+        clock: clock.clone(),
         outgoing: dir_ab.tx,
         incoming: dir_ba.rx,
         shared: shared.clone(),
@@ -311,6 +336,7 @@ pub fn pair<T: Send + 'static>(config: ChannelConfig) -> (Endpoint<T>, Endpoint<
     let b = Endpoint {
         is_a: false,
         config: config.clone(),
+        clock,
         outgoing: dir_ba.tx,
         incoming: dir_ab.rx,
         shared,
@@ -435,7 +461,9 @@ impl<T: Send + 'static> Endpoint<T> {
         {
             let peer = self.peer_state().lock();
             if let Some(crashed_at) = peer.crashed_at {
-                if crashed_at.elapsed() >= self.config.failure_timeout {
+                if self.clock.now().saturating_duration_since(crashed_at)
+                    >= self.config.failure_timeout
+                {
                     return Err(SendError::PeerFailed);
                 }
             }
@@ -454,7 +482,7 @@ impl<T: Send + 'static> Endpoint<T> {
             Duration::from_nanos(self.rng.lock().gen_range(0..=nanos))
         };
         let delay = self.config.latency + jitter + self.config.transmission_delay(size);
-        let deliver_at = (Instant::now() + delay).max(mine.next_delivery);
+        let deliver_at = (self.clock.now() + delay).max(mine.next_delivery);
         mine.next_delivery = deliver_at;
         mine.messages_sent += 1;
         mine.bytes_sent += size as u64;
@@ -472,9 +500,24 @@ impl<T: Send + 'static> Endpoint<T> {
     ///
     /// Returns [`RecvError::Closed`] after a clean close and
     /// [`RecvError::PeerFailed`] once the failure detector suspects the peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a virtual-clock endpoint ([`pair_with_clock`]): virtual
+    /// time cannot pass *inside* a blocking call, so this loop could only
+    /// ever spin. Virtual-clock endpoints must be driven non-blocking
+    /// ([`Endpoint::try_recv`] + [`Endpoint::next_ready_at`]) by the
+    /// scheduler that owns the clock — failing loudly here turns a silent
+    /// 100 %-CPU livelock (e.g. a `spawn_worker` thread handed a
+    /// deterministic-config endpoint) into an immediate diagnosis.
     pub fn recv(&self) -> Result<T, RecvError> {
+        assert!(
+            !self.clock.is_virtual(),
+            "blocking recv() on a virtual-clock endpoint would spin forever: \
+             drive it with try_recv()/next_ready_at() from the clock's scheduler"
+        );
         loop {
-            match self.recv_deadline(Instant::now() + self.config.failure_timeout) {
+            match self.recv_deadline(self.clock.now() + self.config.failure_timeout) {
                 Err(RecvError::Timeout) => continue,
                 other => return other,
             }
@@ -488,7 +531,7 @@ impl<T: Send + 'static> Endpoint<T> {
     /// [`RecvError::Timeout`] if nothing arrived in time; otherwise the same
     /// conditions as [`Endpoint::recv`].
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvError> {
-        self.recv_deadline(Instant::now() + timeout)
+        self.recv_deadline(self.clock.now() + timeout)
     }
 
     /// Returns the next message if one is already available.
@@ -498,7 +541,7 @@ impl<T: Send + 'static> Endpoint<T> {
     /// [`RecvError::Empty`] if no message is ready; otherwise the same
     /// conditions as [`Endpoint::recv`].
     pub fn try_recv(&self) -> Result<T, RecvError> {
-        self.recv_deadline(Instant::now()).map_err(|err| {
+        self.recv_deadline(self.clock.now()).map_err(|err| {
             if err == RecvError::Timeout {
                 RecvError::Empty
             } else {
@@ -529,17 +572,22 @@ impl<T: Send + 'static> Endpoint<T> {
                     }
                 },
             };
+            // On a virtual clock waiting is meaningless: time only moves when
+            // the scheduler advances it, so anything not deliverable *right
+            // now* reports a timeout immediately and the caller re-polls
+            // after advancing past `next_ready_at`.
+            let virtual_time = self.clock.is_virtual();
             match frame {
                 Some(Frame::Data { payload, deliver_at }) => {
-                    let now = Instant::now();
+                    let now = self.clock.now();
                     if deliver_at <= now {
                         return Ok(payload);
                     }
-                    if deliver_at > deadline {
+                    if virtual_time || deliver_at > deadline {
                         // Not deliverable before the caller's deadline: put it
                         // back and report a timeout.
                         *self.pending.lock() = Some(Frame::Data { payload, deliver_at });
-                        if Instant::now() >= deadline {
+                        if virtual_time || Instant::now() >= deadline {
                             return Err(RecvError::Timeout);
                         }
                         std::thread::sleep(
@@ -553,7 +601,13 @@ impl<T: Send + 'static> Endpoint<T> {
                     return Ok(payload);
                 }
                 Some(Frame::Close { deliver_at }) => {
-                    let now = Instant::now();
+                    let now = self.clock.now();
+                    if virtual_time && deliver_at > now {
+                        // Still in flight on the virtual time line: buffer it
+                        // and let the scheduler advance the clock.
+                        *self.pending.lock() = Some(Frame::Close { deliver_at });
+                        return Err(RecvError::Timeout);
+                    }
                     if deliver_at > deadline {
                         // The close notification is still in flight: report a
                         // timeout instead of sleeping past the caller's
@@ -586,7 +640,7 @@ impl<T: Send + 'static> Endpoint<T> {
                     let peer_dropped = peer.dropped && !peer.closed;
                     drop(peer);
                     if let Some(crashed_at) = peer_crashed_at {
-                        if self.detector.suspects(crashed_at) {
+                        if self.detector.suspects_at(crashed_at, self.clock.now()) {
                             return Err(RecvError::PeerFailed);
                         }
                     } else if peer_dropped {
@@ -595,7 +649,7 @@ impl<T: Send + 'static> Endpoint<T> {
                         // a crash, and the drop already woke us.
                         return Err(RecvError::PeerFailed);
                     }
-                    if Instant::now() >= deadline {
+                    if virtual_time || Instant::now() >= deadline {
                         return Err(RecvError::Timeout);
                     }
                     std::thread::sleep(Duration::from_micros(200));
@@ -613,7 +667,7 @@ impl<T: Send + 'static> Endpoint<T> {
             return;
         }
         mine.closed = true;
-        let deliver_at = (Instant::now() + self.config.latency).max(mine.next_delivery);
+        let deliver_at = (self.clock.now() + self.config.latency).max(mine.next_delivery);
         drop(mine);
         let _ = self.outgoing.send(Frame::Close { deliver_at });
         self.wake_peer();
@@ -623,7 +677,7 @@ impl<T: Send + 'static> Endpoint<T> {
     /// even a close notification; the peer only finds out after the heartbeat
     /// failure timeout.
     pub fn crash(&self) {
-        self.my_state().lock().crashed_at = Some(Instant::now());
+        self.my_state().lock().crashed_at = Some(self.clock.now());
         // The peer's poller re-checks now and schedules a re-poll for the
         // moment the failure detector starts suspecting (next_ready_at).
         self.wake_peer();
@@ -636,7 +690,7 @@ impl<T: Send + 'static> Endpoint<T> {
             return false;
         }
         match peer.crashed_at {
-            Some(crashed_at) => !self.detector.suspects(crashed_at),
+            Some(crashed_at) => !self.detector.suspects_at(crashed_at, self.clock.now()),
             None => true,
         }
     }
@@ -1018,6 +1072,59 @@ mod tests {
             Answer::Err(err) => assert!(err.is_transport()),
             other => panic!("expected transport error, got {:?}", other.is_done()),
         }
+    }
+
+    #[test]
+    fn virtual_clock_channel_never_sleeps_and_delivers_on_advance() {
+        use crate::sim::Clock;
+        let clock = Clock::virtual_clock();
+        let mut config = ChannelConfig::instant();
+        config.latency = Duration::from_millis(10);
+        config.failure_timeout = Duration::from_millis(50);
+        let (a, b) = pair_with_clock::<u32>(config, clock.clone());
+        let wall_start = Instant::now();
+        a.send(1).unwrap();
+        // The frame is 10 virtual ms away: polls report Empty without
+        // blocking, and a blocking-shaped recv_timeout degrades to an
+        // immediate Timeout (virtual time cannot pass inside it).
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::Empty);
+        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap_err(), RecvError::Timeout);
+        let ready_at = b.next_ready_at().expect("in-flight frame advertises maturity");
+        clock.advance_to(ready_at);
+        assert_eq!(b.try_recv().unwrap(), 1);
+        // Crash suspicion matures on the virtual time line, not wall time.
+        a.crash();
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::Empty);
+        let suspect_at = b.next_ready_at().expect("suspicion maturity is scheduled");
+        clock.advance_to(suspect_at);
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::PeerFailed);
+        assert!(
+            wall_start.elapsed() < Duration::from_secs(1),
+            "60 virtual ms must not cost real sleeps"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual-clock endpoint")]
+    fn blocking_recv_on_a_virtual_clock_panics() {
+        use crate::sim::Clock;
+        let (_a, b) = pair_with_clock::<u32>(ChannelConfig::instant(), Clock::virtual_clock());
+        let _ = b.recv();
+    }
+
+    #[test]
+    fn virtual_clock_close_is_delivered_on_advance() {
+        use crate::sim::Clock;
+        let clock = Clock::virtual_clock();
+        let mut config = ChannelConfig::instant();
+        config.latency = Duration::from_millis(5);
+        let (a, b) = pair_with_clock::<u32>(config, clock.clone());
+        a.send(7).unwrap();
+        a.close();
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::Empty);
+        clock.advance_to(clock.now() + Duration::from_millis(5));
+        assert_eq!(b.try_recv().unwrap(), 7);
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::Closed);
     }
 
     #[test]

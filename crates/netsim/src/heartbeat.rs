@@ -52,7 +52,15 @@ impl FailureDetector {
     /// Returns `true` if a peer last heard from at `last_seen` should be
     /// suspected of having crashed.
     pub fn suspects(&self, last_seen: Instant) -> bool {
-        last_seen.elapsed() >= self.failure_timeout
+        self.suspects_at(last_seen, Instant::now())
+    }
+
+    /// Like [`FailureDetector::suspects`], but against an explicit `now` —
+    /// the form used by components running on a virtual
+    /// [`Clock`](crate::sim::Clock), where `Instant::now()` would compare
+    /// simulated timestamps against wall time.
+    pub fn suspects_at(&self, last_seen: Instant, now: Instant) -> bool {
+        now.saturating_duration_since(last_seen) >= self.failure_timeout
     }
 }
 

@@ -508,9 +508,11 @@ where
     /// This is the *input pump* hook for event-driven deployments: reactor
     /// threads must never block, so when a sub-stream starves on an input
     /// that only answers blocking pulls (an interactive queue, a feedback
-    /// loop), a single dedicated pump thread calls `prefetch_one` on demand.
-    /// Demand-driven pumping keeps the input lazy: at most the number of
-    /// values actually asked for is read ahead.
+    /// loop), `prefetch_one` is called on demand — by a dedicated pump
+    /// thread per shard in threaded deployments, or synchronously by the
+    /// scheduler loop of the deterministic fleet simulator. Demand-driven
+    /// pumping keeps the input lazy: at most the number of values actually
+    /// asked for is read ahead.
     pub fn prefetch_one(&self) -> bool {
         let shared = &self.shared;
         let mut state = shared.state.lock();

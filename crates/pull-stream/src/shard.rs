@@ -39,6 +39,33 @@
 //! global order restricted to the shard, and the merge stage restores the
 //! global interleaving from the claim log. Wire protocols built on top only
 //! ever see one shard per channel, so local numbering is invisible to them.
+//!
+//! # Examples
+//!
+//! One shard worked synchronously; with a single consumer every chunk is
+//! claimed by that shard, the merged output is the input order, and the
+//! claim log records the chunk → shard assignment:
+//!
+//! ```
+//! use pando_pull_stream::shard::ShardedLender;
+//! use pando_pull_stream::source::{count, SourceExt};
+//!
+//! let sharded: ShardedLender<u64, u64> = ShardedLender::new(count(6), 2, 2);
+//! let mut sub = sharded.lend_on(1);
+//! while let Some(task) = sub.next_task() {
+//!     sub.push_result(task.seq, task.value * 10).unwrap();
+//! }
+//! sub.complete();
+//! assert_eq!(sharded.output().collect_values().unwrap(), vec![10, 20, 30, 40, 50, 60]);
+//! // Three data chunks plus the claim of the ask that found the input
+//! // exhausted — all owned by the only shard that ever asked.
+//! assert_eq!(sharded.claim_log(), vec![1, 1, 1, 1]);
+//! ```
+//!
+//! Claim ordering is demand-driven, so under concurrent shards it depends on
+//! scheduling; a single-threaded scheduler (such as the deterministic
+//! fleet simulator of `pando_core::sim`) makes it — and therefore the whole
+//! dispatch history — reproducible run over run.
 
 use crate::error::StreamError;
 use crate::lender::{LenderOutput, LenderStats, LenderWaker, StreamLender, SubStream, WeakLender};
@@ -460,6 +487,18 @@ where
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.lenders.len()
+    }
+
+    /// The splitter's claim log so far: entry `i` is the shard that owns
+    /// chunk `i` of the sequence space, in claim order. This is the record
+    /// the merge stage replays, and — because chunks are claimed on demand —
+    /// a faithful trace of *which shard dispatched which slice of the
+    /// input*. Under a single-threaded deterministic scheduler (the
+    /// virtual-clock fleet simulator) the log is identical across same-seed
+    /// runs, which makes it the canonical artefact for replaying and
+    /// diffing shard scheduling decisions.
+    pub fn claim_log(&self) -> Vec<usize> {
+        self.splitter.state.lock().assignment.clone()
     }
 
     /// Size of the contiguous seq-space chunks handed to each shard.

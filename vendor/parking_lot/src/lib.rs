@@ -147,6 +147,13 @@ impl Condvar {
         deadline: Instant,
     ) -> WaitTimeoutResult {
         let timeout = deadline.saturating_duration_since(Instant::now());
+        if timeout.is_zero() {
+            // The deadline already passed: report the timeout without paying
+            // a park/unpark round trip. Pollers that drain with a zero
+            // timeout (e.g. `next_timeout(Duration::ZERO)` once per
+            // scheduler tick) hit this path millions of times.
+            return WaitTimeoutResult(true);
+        }
         let std_guard = guard.guard.take().expect("guard present before wait");
         let (std_guard, result) = match self.inner.wait_timeout(std_guard, timeout) {
             Ok((g, r)) => (g, r),
