@@ -1,7 +1,7 @@
 # Local invocations matching the CI jobs in .github/workflows/ci.yml —
 # `make lint test` before pushing reproduces what CI will run.
 
-.PHONY: all build test lint fmt doc bench bench-run scale scale-sharded sim clean
+.PHONY: all build test lint fmt doc bench bench-run scale scale-sharded sim tcp-demo clean
 
 all: lint build test doc
 
@@ -44,6 +44,27 @@ scale-sharded:
 # traces compared byte for byte. Same target CI runs.
 sim:
 	cargo run --release --example sim_determinism
+
+# The fleet across OS processes: one master listening on localhost TCP, one
+# volunteer process that crashes abruptly mid-run (exit 2 — expected), one
+# that survives. The master must detect the crash through the socket,
+# re-lend, and still produce complete in-order output within the budget.
+tcp-demo:
+	cargo build --release --example tcp_master --example tcp_volunteer
+	rm -f target/tcp-demo.addr
+	PANDO_TCP_ADDR_FILE=target/tcp-demo.addr TCP_TASKS=2000 TCP_BUDGET_SECS=120 \
+		TCP_MIN_VOLUNTEERS=48 \
+		target/release/examples/tcp_master & master=$$!; \
+	PANDO_TCP_ADDR_FILE=target/tcp-demo.addr TCP_WORKERS=16 \
+		TCP_NAME_PREFIX=doomed TCP_CRASH_AFTER=200 \
+		target/release/examples/tcp_volunteer & crasher=$$!; \
+	PANDO_TCP_ADDR_FILE=target/tcp-demo.addr TCP_WORKERS=32 \
+		TCP_NAME_PREFIX=steady \
+		target/release/examples/tcp_volunteer & steady=$$!; \
+	wait $$master; status=$$?; \
+	wait $$crasher $$steady 2>/dev/null; \
+	rm -f target/tcp-demo.addr; \
+	exit $$status
 
 clean:
 	cargo clean

@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
 use pando_core::protocol::Message;
-use pando_core::worker::{spawn_worker, WorkerOptions};
+use pando_core::worker::WorkerBuilder;
 use pando_netsim::codec::{base64_decode, base64_encode, Record};
 use pando_pull_stream::source::from_iter;
 use pando_pull_stream::source::SourceExt;
@@ -86,9 +86,8 @@ fn dispatch(tasks: u64, payload_len: usize, legacy: bool) {
         PandoConfig::local_test().with_batch_size(8)
     };
     let pando = Pando::new(config);
-    let worker = spawn_worker(
-        pando.open_volunteer_channel(),
-        move |input: &Bytes| {
+    let worker =
+        WorkerBuilder::new().spawn(pando.open_volunteer_channel(), move |input: &Bytes| {
             if legacy {
                 // The seed's worker had to decode the base64 string and
                 // re-encode its (binary) result the same way.
@@ -98,9 +97,7 @@ fn dispatch(tasks: u64, payload_len: usize, legacy: bool) {
             } else {
                 Ok(Bytes::copy_from_slice(input))
             }
-        },
-        WorkerOptions::default(),
-    );
+        });
     let inputs: Vec<Bytes> = (0..tasks)
         .map(|i| {
             let raw = vec![(i % 256) as u8; payload_len];

@@ -10,7 +10,7 @@ use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pando_core::config::{PandoConfig, VolunteerBackend};
 use pando_core::master::Pando;
-use pando_core::worker::{spawn_worker_pool, WorkerOptions};
+use pando_core::worker::WorkerBuilder;
 use pando_netsim::channel::ChannelConfig;
 use pando_pull_stream::source::{count, SourceExt};
 use std::time::Duration;
@@ -30,12 +30,9 @@ fn run_fleet(backend: VolunteerBackend, volunteers: usize, tasks: u64) {
         .with_channel(channel);
     let pando = Pando::new(config);
     let endpoints: Vec<_> = (0..volunteers).map(|_| pando.open_volunteer_channel()).collect();
-    let pool = spawn_worker_pool(
-        endpoints,
-        |payload: &Bytes| Ok(payload.clone()),
-        8,
-        WorkerOptions::default(),
-    );
+    let pool = WorkerBuilder::new()
+        .pool_threads(8)
+        .spawn_pool(endpoints, |payload: &Bytes| Ok(payload.clone()));
     let output = pando
         .run(count(tasks).map_values(|v| Bytes::from(v.to_string().into_bytes())))
         .collect_values()

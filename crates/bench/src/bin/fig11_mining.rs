@@ -6,7 +6,7 @@ use bytes::Bytes;
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
 use pando_core::monitor::MiningMonitor;
-use pando_core::worker::{spawn_worker, WorkerOptions};
+use pando_core::worker::WorkerBuilder;
 use pando_workloads::app::AppKind;
 
 fn main() {
@@ -16,11 +16,9 @@ fn main() {
     let workers: Vec<_> = (0..3)
         .map(|i| {
             let app = AppKind::CryptoMining.instantiate();
-            spawn_worker(
-                pando.open_volunteer_channel(),
-                move |input: &Bytes| app.process(input),
-                WorkerOptions { name: format!("miner-{i}"), ..WorkerOptions::default() },
-            )
+            WorkerBuilder::new()
+                .name(format!("miner-{i}"))
+                .spawn(pando.open_volunteer_channel(), move |input: &Bytes| app.process(input))
         })
         .collect();
     println!("Mining {} blocks at difficulty {difficulty} with 3 volunteers...\n", blocks.len());

@@ -1,5 +1,29 @@
 //! Deployment configuration.
+//!
+//! [`PandoConfig`] groups its knobs into nested sub-configs, one per
+//! subsystem: [`BatchingConfig`] (how values are windowed and framed),
+//! [`ReactorConfig`] (how volunteer endpoints are driven and how the lender
+//! is sharded), [`TransportConfig`] (how bytes reach the volunteers) and
+//! [`RunConfig`] (clock, reporting windows, bundle identity). Every
+//! sub-config implements `Default`, so a custom deployment can override one
+//! group without spelling out the rest:
+//!
+//! ```
+//! use pando_core::config::{BatchingConfig, PandoConfig};
+//!
+//! let config = PandoConfig {
+//!     batching: BatchingConfig { batch_size: 8, ..BatchingConfig::default() },
+//!     ..PandoConfig::default()
+//! };
+//! assert_eq!(config.batching.batch_size, 8);
+//! assert_eq!(config.reactor.threads, PandoConfig::DEFAULT_REACTOR_THREADS);
+//! ```
+//!
+//! The `with_*` builder methods remain the recommended way to tweak a
+//! preset ([`PandoConfig::local_test`], [`PandoConfig::lan`],
+//! [`PandoConfig::deterministic`]); they write through to the nested fields.
 
+use crate::transport::tcp::TcpConfig;
 use pando_netsim::channel::ChannelConfig;
 use pando_netsim::sim::Clock;
 use std::time::Duration;
@@ -8,7 +32,7 @@ use std::time::Duration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VolunteerBackend {
     /// Event-driven: every volunteer is a registration on a shared reactor
-    /// pool of [`PandoConfig::reactor_threads`] threads; ready endpoints are
+    /// pool of [`ReactorConfig::threads`] threads; ready endpoints are
     /// queued and drained without blocking, so one master scales to tens of
     /// thousands of volunteers with a constant thread count.
     #[default]
@@ -19,53 +43,139 @@ pub enum VolunteerBackend {
     Threads,
 }
 
-/// Configuration of one Pando deployment.
+/// How values are windowed towards each volunteer and coalesced into wire
+/// frames.
 ///
-/// A deployment is specific to a single user, project and task lifetime
-/// (design principle DP1): the configuration is created on startup, passed to
-/// [`Pando::new`](crate::master::Pando::new) and dropped when the stream of
-/// values is exhausted.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PandoConfig {
+/// ```
+/// use pando_core::config::BatchingConfig;
+///
+/// let batching = BatchingConfig::default();
+/// assert_eq!(batching.batch_size, 2);
+/// assert_eq!(batching.tasks_per_frame, None); // pack up to the window
+/// assert!(!batching.adaptive);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchingConfig {
     /// Number of values that may be in flight towards one volunteer at a
     /// time (the `--batch-size` argument of the original tool). A batch size
-    /// of 2 lets one input travel while another is being processed,
-    /// which is enough to hide the network latency of compute-bound
-    /// applications (paper §5.5).
+    /// of 2 lets one input travel while another is being processed, which is
+    /// enough to hide the network latency of compute-bound applications
+    /// (paper §5.5). Example: `PandoConfig::local_test().with_batch_size(8)`
+    /// widens the window for latency-bound workloads.
     pub batch_size: usize,
     /// Maximum number of tasks (and results) coalesced into one wire frame.
     /// `None` means "up to the batch size": the dispatcher packs whatever is
     /// immediately available, so a whole window can travel in one frame and
-    /// pay the channel round-trip once. `Some(1)` reproduces the original
-    /// one-frame-per-task protocol.
+    /// pay the channel round-trip once. `Some(1)` (or
+    /// `with_tasks_per_frame(1)`) reproduces the original one-frame-per-task
+    /// protocol.
     pub tasks_per_frame: Option<usize>,
-    /// How volunteer endpoints are driven: the event-driven reactor (the
-    /// default) or the legacy thread-per-volunteer pumps.
-    pub backend: VolunteerBackend,
-    /// Number of OS threads in the reactor pool when
-    /// [`PandoConfig::backend`] is [`VolunteerBackend::Reactor`]. All
-    /// volunteers are multiplexed over this fixed pool (plus one input-pump
-    /// thread per lender shard), so the thread count no longer grows with
-    /// the fleet.
-    pub reactor_threads: usize,
-    /// Number of independent StreamLender shards the input stream is
-    /// partitioned across (the
-    /// [`ShardedLender`](pando_pull_stream::shard::ShardedLender) layout):
-    /// each reactor driver is pinned to one shard, so borrows, results and
-    /// crash re-lends of different shards proceed under different locks.
-    /// `None` derives `min(reactor_threads, 4)`; `1` reproduces the single
-    /// global lender exactly. The legacy
-    /// [`VolunteerBackend::Threads`] backend always runs a single shard.
-    pub lender_shards: Option<usize>,
     /// Enables the adaptive `tasks_per_frame` policy
     /// ([`BatchPolicy`](crate::protocol::BatchPolicy)): reactor drivers
     /// start with single-task frames, grow the coalescing limit on channels
     /// whose frames run full (a high records-per-frame ratio means the
     /// round-trip dominates) and shrink it when the lender starves. Off by
     /// default: the static limit keeps frame counts deterministic.
-    pub adaptive_batching: bool,
-    /// Network profile of the channels towards the volunteers.
+    pub adaptive: bool,
+}
+
+impl Default for BatchingConfig {
+    fn default() -> Self {
+        Self { batch_size: 2, tasks_per_frame: None, adaptive: false }
+    }
+}
+
+/// How volunteer endpoints are driven and how the stream lender is sharded.
+///
+/// ```
+/// use pando_core::config::{ReactorConfig, VolunteerBackend};
+///
+/// let reactor = ReactorConfig::default();
+/// assert_eq!(reactor.backend, VolunteerBackend::Reactor);
+/// assert_eq!(reactor.threads, 4);
+/// assert_eq!(reactor.lender_shards, None); // derived from the pool size
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReactorConfig {
+    /// How volunteer endpoints are driven: the event-driven reactor (the
+    /// default) or the legacy thread-per-volunteer pumps. Example:
+    /// `PandoConfig::local_test().with_backend(VolunteerBackend::Threads)`
+    /// switches a deployment to the legacy pumps for an A/B run.
+    pub backend: VolunteerBackend,
+    /// Number of OS threads in the reactor pool when [`Self::backend`] is
+    /// [`VolunteerBackend::Reactor`]. All volunteers are multiplexed over
+    /// this fixed pool (plus one input-pump thread per lender shard), so the
+    /// thread count no longer grows with the fleet. Example:
+    /// `PandoConfig::lan().with_reactor_threads(8)`.
+    pub threads: usize,
+    /// Number of independent StreamLender shards the input stream is
+    /// partitioned across (the
+    /// [`ShardedLender`](pando_pull_stream::shard::ShardedLender) layout):
+    /// each reactor driver is pinned to one shard, so borrows, results and
+    /// crash re-lends of different shards proceed under different locks.
+    /// `None` derives `min(threads, 4)`; `Some(1)` (or
+    /// `with_lender_shards(1)`) reproduces the single global lender exactly.
+    /// The legacy [`VolunteerBackend::Threads`] backend always runs a single
+    /// shard.
+    pub lender_shards: Option<usize>,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self {
+            backend: VolunteerBackend::default(),
+            threads: PandoConfig::DEFAULT_REACTOR_THREADS,
+            lender_shards: None,
+        }
+    }
+}
+
+/// How bytes reach the volunteers: the profile of the simulated
+/// [`pando_netsim`] channels and the knobs of the real-socket
+/// [`TcpTransport`](crate::transport::tcp::TcpTransport) backend. Both live
+/// here because a deployment may mix them — in-process simulated volunteers
+/// and remote TCP ones attach to the same master.
+///
+/// ```
+/// use pando_core::config::TransportConfig;
+///
+/// let transport = TransportConfig::default();
+/// assert_eq!(transport.channel.latency.as_millis(), 2); // LAN profile
+/// assert!(transport.tcp.nodelay);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportConfig {
+    /// Network profile of the simulated channels towards in-process
+    /// volunteers (latency, jitter, heartbeat cadence, failure timeout,
+    /// seed). Example: `PandoConfig::local_test()
+    /// .with_channel(ChannelConfig::wan())` simulates wide-area links.
     pub channel: ChannelConfig,
+    /// Liveness and socket options for volunteers connecting over real TCP
+    /// ([`TcpAcceptor`](crate::transport::tcp::TcpAcceptor)). Example:
+    /// `TcpConfig::local_test()` tightens the crash-detection windows for
+    /// localhost demos.
+    pub tcp: TcpConfig,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        Self { channel: ChannelConfig::lan(), tcp: TcpConfig::default() }
+    }
+}
+
+/// Clock, reporting windows and the identity of the served bundle — the
+/// knobs of the run as a whole rather than of any one subsystem.
+///
+/// ```
+/// use pando_core::config::RunConfig;
+///
+/// let run = RunConfig::default();
+/// assert!(!run.clock.is_virtual());
+/// assert_eq!(run.measurement_window.as_secs(), 300); // the paper's window
+/// assert_eq!(run.protocol_version, "/pando/1.0.0");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
     /// The clock the deployment reads time from. [`Clock::wall`] (the
     /// default) runs in real time with the threaded reactor pool; a virtual
     /// clock ([`PandoConfig::deterministic`]) switches the reactor to its
@@ -87,6 +197,41 @@ pub struct PandoConfig {
     pub protocol_version: String,
 }
 
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            clock: Clock::wall(),
+            startup_grace: Duration::from_secs(1),
+            measurement_window: Duration::from_secs(300),
+            bundle_name: "bundle.js".to_string(),
+            protocol_version: PandoConfig::PROTOCOL_VERSION.to_string(),
+        }
+    }
+}
+
+/// Configuration of one Pando deployment.
+///
+/// A deployment is specific to a single user, project and task lifetime
+/// (design principle DP1): the configuration is created on startup, passed to
+/// [`Pando::new`](crate::master::Pando::new) and dropped when the stream of
+/// values is exhausted.
+///
+/// The knobs are grouped into nested sub-configs — [`BatchingConfig`],
+/// [`ReactorConfig`], [`TransportConfig`], [`RunConfig`] — each with a
+/// `Default`; see the [module docs](self) for the struct-update idiom. The
+/// `with_*` builders below write through to the nested fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PandoConfig {
+    /// Windowing and frame coalescing; see [`BatchingConfig`].
+    pub batching: BatchingConfig,
+    /// Endpoint driving and lender sharding; see [`ReactorConfig`].
+    pub reactor: ReactorConfig,
+    /// Simulated-channel profile and TCP knobs; see [`TransportConfig`].
+    pub transport: TransportConfig,
+    /// Clock, windows and bundle identity; see [`RunConfig`].
+    pub run: RunConfig,
+}
+
 impl PandoConfig {
     /// The protocol version implemented by this crate.
     pub const PROTOCOL_VERSION: &'static str = "/pando/1.0.0";
@@ -97,42 +242,29 @@ impl PandoConfig {
     /// runs are reproducible.
     pub const DEFAULT_REACTOR_THREADS: usize = 4;
 
-    /// A configuration suitable for in-process tests: instant channels and a
-    /// batch size of 2.
+    /// A configuration suitable for in-process tests: instant channels, a
+    /// batch size of 2, a two-thread reactor and tightened TCP liveness
+    /// windows.
     pub fn local_test() -> Self {
         Self {
-            batch_size: 2,
-            tasks_per_frame: None,
-            backend: VolunteerBackend::default(),
-            reactor_threads: 2,
-            lender_shards: None,
-            adaptive_batching: false,
-            channel: ChannelConfig::instant(),
-            clock: Clock::wall(),
-            startup_grace: Duration::from_millis(100),
-            measurement_window: Duration::from_secs(1),
-            bundle_name: "bundle.js".to_string(),
-            protocol_version: Self::PROTOCOL_VERSION.to_string(),
+            reactor: ReactorConfig { threads: 2, ..ReactorConfig::default() },
+            transport: TransportConfig {
+                channel: ChannelConfig::instant(),
+                tcp: TcpConfig::local_test(),
+            },
+            run: RunConfig {
+                startup_grace: Duration::from_millis(100),
+                measurement_window: Duration::from_secs(1),
+                ..RunConfig::default()
+            },
+            ..Self::default()
         }
     }
 
     /// The configuration used by the paper's LAN experiment (batch size 2,
-    /// Wi-Fi profile, five-minute window).
+    /// Wi-Fi profile, five-minute window). This is also the `Default`.
     pub fn lan() -> Self {
-        Self {
-            batch_size: 2,
-            tasks_per_frame: None,
-            backend: VolunteerBackend::default(),
-            reactor_threads: Self::DEFAULT_REACTOR_THREADS,
-            lender_shards: None,
-            adaptive_batching: false,
-            channel: ChannelConfig::lan(),
-            clock: Clock::wall(),
-            startup_grace: Duration::from_secs(1),
-            measurement_window: Duration::from_secs(300),
-            bundle_name: "bundle.js".to_string(),
-            protocol_version: Self::PROTOCOL_VERSION.to_string(),
-        }
+        Self::default()
     }
 
     /// Returns the configuration with a different batch size.
@@ -142,13 +274,19 @@ impl PandoConfig {
     /// Panics if `batch_size` is zero.
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be at least 1");
-        self.batch_size = batch_size;
+        self.batching.batch_size = batch_size;
         self
     }
 
     /// Returns the configuration with a different channel profile.
     pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
-        self.channel = channel;
+        self.transport.channel = channel;
+        self
+    }
+
+    /// Returns the configuration with different TCP transport knobs.
+    pub fn with_tcp(mut self, tcp: TcpConfig) -> Self {
+        self.transport.tcp = tcp;
         self
     }
 
@@ -159,13 +297,13 @@ impl PandoConfig {
     /// Panics if `tasks_per_frame` is zero.
     pub fn with_tasks_per_frame(mut self, tasks_per_frame: usize) -> Self {
         assert!(tasks_per_frame > 0, "tasks per frame must be at least 1");
-        self.tasks_per_frame = Some(tasks_per_frame);
+        self.batching.tasks_per_frame = Some(tasks_per_frame);
         self
     }
 
     /// Returns the configuration with a different volunteer backend.
     pub fn with_backend(mut self, backend: VolunteerBackend) -> Self {
-        self.backend = backend;
+        self.reactor.backend = backend;
         self
     }
 
@@ -176,7 +314,7 @@ impl PandoConfig {
     /// Panics if `reactor_threads` is zero.
     pub fn with_reactor_threads(mut self, reactor_threads: usize) -> Self {
         assert!(reactor_threads > 0, "reactor threads must be at least 1");
-        self.reactor_threads = reactor_threads;
+        self.reactor.threads = reactor_threads;
         self
     }
 
@@ -187,13 +325,13 @@ impl PandoConfig {
     /// Panics if `lender_shards` is zero.
     pub fn with_lender_shards(mut self, lender_shards: usize) -> Self {
         assert!(lender_shards > 0, "lender shards must be at least 1");
-        self.lender_shards = Some(lender_shards);
+        self.reactor.lender_shards = Some(lender_shards);
         self
     }
 
     /// Returns the configuration with adaptive batching switched on or off.
     pub fn with_adaptive_batching(mut self, adaptive_batching: bool) -> Self {
-        self.adaptive_batching = adaptive_batching;
+        self.batching.adaptive = adaptive_batching;
         self
     }
 
@@ -212,18 +350,16 @@ impl PandoConfig {
     /// manually.
     pub fn deterministic(seed: u64) -> Self {
         Self {
-            batch_size: 2,
-            tasks_per_frame: None,
-            backend: VolunteerBackend::Reactor,
-            reactor_threads: Self::DEFAULT_REACTOR_THREADS,
-            lender_shards: None,
-            adaptive_batching: false,
-            channel: ChannelConfig::lan().with_seed(seed),
-            clock: Clock::virtual_clock(),
-            startup_grace: Duration::from_millis(100),
-            measurement_window: Duration::from_secs(300),
-            bundle_name: "bundle.js".to_string(),
-            protocol_version: Self::PROTOCOL_VERSION.to_string(),
+            transport: TransportConfig {
+                channel: ChannelConfig::lan().with_seed(seed),
+                ..TransportConfig::default()
+            },
+            run: RunConfig {
+                clock: Clock::virtual_clock(),
+                startup_grace: Duration::from_millis(100),
+                ..RunConfig::default()
+            },
+            ..Self::default()
         }
     }
 
@@ -231,35 +367,29 @@ impl PandoConfig {
     /// puts the reactor in inline (thread-free, externally stepped) mode;
     /// see [`PandoConfig::deterministic`].
     pub fn with_clock(mut self, clock: Clock) -> Self {
-        self.clock = clock;
+        self.run.clock = clock;
         self
     }
 
     /// The lender shard count actually used by the master: the explicit
-    /// [`PandoConfig::lender_shards`] if set, otherwise
-    /// `min(reactor_threads, 4)` — more shards than reactor threads cannot
+    /// [`ReactorConfig::lender_shards`] if set, otherwise
+    /// `min(threads, 4)` — more shards than reactor threads cannot
     /// dispatch concurrently, and beyond four the splitter serialisation
     /// dominates. The [`VolunteerBackend::Threads`] backend ignores this and
     /// always runs a single shard.
     pub fn effective_lender_shards(&self) -> usize {
-        match self.backend {
+        match self.reactor.backend {
             VolunteerBackend::Threads => 1,
             VolunteerBackend::Reactor => {
-                self.lender_shards.unwrap_or(self.reactor_threads.min(4)).max(1)
+                self.reactor.lender_shards.unwrap_or(self.reactor.threads.min(4)).max(1)
             }
         }
     }
 
     /// The coalescing limit actually used by the dispatcher: the explicit
-    /// [`PandoConfig::tasks_per_frame`] if set, otherwise the batch size.
+    /// [`BatchingConfig::tasks_per_frame`] if set, otherwise the batch size.
     pub fn effective_tasks_per_frame(&self) -> usize {
-        self.tasks_per_frame.unwrap_or(self.batch_size).max(1)
-    }
-}
-
-impl Default for PandoConfig {
-    fn default() -> Self {
-        Self::lan()
+        self.batching.tasks_per_frame.unwrap_or(self.batching.batch_size).max(1)
     }
 }
 
@@ -270,17 +400,33 @@ mod tests {
     #[test]
     fn defaults_match_the_paper() {
         let config = PandoConfig::default();
-        assert_eq!(config.batch_size, 2);
-        assert_eq!(config.measurement_window, Duration::from_secs(300));
-        assert_eq!(config.protocol_version, "/pando/1.0.0");
+        assert_eq!(config.batching.batch_size, 2);
+        assert_eq!(config.run.measurement_window, Duration::from_secs(300));
+        assert_eq!(config.run.protocol_version, "/pando/1.0.0");
+        assert_eq!(config, PandoConfig::lan(), "the default is the paper's LAN setup");
     }
 
     #[test]
     fn builders_adjust_fields() {
         let config =
             PandoConfig::local_test().with_batch_size(4).with_channel(ChannelConfig::wan());
-        assert_eq!(config.batch_size, 4);
-        assert_eq!(config.channel, ChannelConfig::wan());
+        assert_eq!(config.batching.batch_size, 4);
+        assert_eq!(config.transport.channel, ChannelConfig::wan());
+        let config = config.with_tcp(TcpConfig::default());
+        assert_eq!(config.transport.tcp, TcpConfig::default());
+    }
+
+    #[test]
+    fn sub_configs_compose_with_struct_update() {
+        let config = PandoConfig {
+            batching: BatchingConfig { batch_size: 16, ..BatchingConfig::default() },
+            reactor: ReactorConfig { threads: 8, ..ReactorConfig::default() },
+            ..PandoConfig::default()
+        };
+        assert_eq!(config.batching.batch_size, 16);
+        assert_eq!(config.reactor.threads, 8);
+        assert_eq!(config.transport, TransportConfig::default());
+        assert_eq!(config.run, RunConfig::default());
     }
 
     #[test]
@@ -292,7 +438,7 @@ mod tests {
     #[test]
     fn tasks_per_frame_defaults_to_the_batch_size() {
         let config = PandoConfig::local_test().with_batch_size(8);
-        assert_eq!(config.tasks_per_frame, None);
+        assert_eq!(config.batching.tasks_per_frame, None);
         assert_eq!(config.effective_tasks_per_frame(), 8);
         let config = config.with_tasks_per_frame(3);
         assert_eq!(config.effective_tasks_per_frame(), 3);
@@ -307,11 +453,11 @@ mod tests {
     #[test]
     fn reactor_is_the_default_backend() {
         let config = PandoConfig::default();
-        assert_eq!(config.backend, VolunteerBackend::Reactor);
-        assert_eq!(config.reactor_threads, PandoConfig::DEFAULT_REACTOR_THREADS);
+        assert_eq!(config.reactor.backend, VolunteerBackend::Reactor);
+        assert_eq!(config.reactor.threads, PandoConfig::DEFAULT_REACTOR_THREADS);
         let config = config.with_backend(VolunteerBackend::Threads).with_reactor_threads(8);
-        assert_eq!(config.backend, VolunteerBackend::Threads);
-        assert_eq!(config.reactor_threads, 8);
+        assert_eq!(config.reactor.backend, VolunteerBackend::Threads);
+        assert_eq!(config.reactor.threads, 8);
     }
 
     #[test]
@@ -323,7 +469,7 @@ mod tests {
     #[test]
     fn lender_shards_derive_from_the_reactor_pool() {
         let config = PandoConfig::local_test();
-        assert_eq!(config.lender_shards, None);
+        assert_eq!(config.reactor.lender_shards, None);
         assert_eq!(config.effective_lender_shards(), 2, "min(reactor_threads = 2, 4)");
         let config = config.with_reactor_threads(8);
         assert_eq!(config.effective_lender_shards(), 4, "derived shards cap at 4");
@@ -342,19 +488,19 @@ mod tests {
     #[test]
     fn deterministic_config_uses_a_virtual_clock() {
         let config = PandoConfig::deterministic(42);
-        assert!(config.clock.is_virtual());
-        assert_eq!(config.channel.seed, 42);
-        assert_eq!(config.backend, VolunteerBackend::Reactor);
-        assert!(!PandoConfig::local_test().clock.is_virtual());
+        assert!(config.run.clock.is_virtual());
+        assert_eq!(config.transport.channel.seed, 42);
+        assert_eq!(config.reactor.backend, VolunteerBackend::Reactor);
+        assert!(!PandoConfig::local_test().run.clock.is_virtual());
         let clock = Clock::virtual_clock();
         let config = PandoConfig::local_test().with_clock(clock.clone());
-        assert_eq!(config.clock, clock);
+        assert_eq!(config.run.clock, clock);
     }
 
     #[test]
     fn adaptive_batching_defaults_off() {
         let config = PandoConfig::local_test();
-        assert!(!config.adaptive_batching);
-        assert!(config.with_adaptive_batching(true).adaptive_batching);
+        assert!(!config.batching.adaptive);
+        assert!(config.with_adaptive_batching(true).batching.adaptive);
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::config::PandoConfig;
 use crate::master::Pando;
-use crate::worker::{spawn_typed_worker, WorkerOptions};
+use crate::worker::WorkerBuilder;
 use pando_netsim::fault::FaultPlan;
 use pando_pull_stream::codec::StringCodec;
 use pando_pull_stream::source::{values, SourceExt};
@@ -75,15 +75,10 @@ where
             render(input)
         }
     };
-    let tablet = spawn_typed_worker(
+    let tablet = WorkerBuilder::new().fault(FaultPlan::AfterTasks(1)).name("tablet").spawn_typed(
         pando.open_volunteer_channel(),
         StringCodec,
         slow_render,
-        WorkerOptions {
-            fault: FaultPlan::AfterTasks(1),
-            name: "tablet".into(),
-            ..Default::default()
-        },
     );
     trace.push(DeployEvent::Joined { device: "tablet".into() });
 
@@ -93,11 +88,10 @@ where
 
     // The phone joins a moment later.
     std::thread::sleep(Duration::from_millis(10));
-    let phone = spawn_typed_worker(
+    let phone = WorkerBuilder::new().name("phone").spawn_typed(
         pando.open_volunteer_channel(),
         StringCodec,
         move |input: &String| render(input),
-        WorkerOptions { name: "phone".into(), ..WorkerOptions::default() },
     );
     trace.push(DeployEvent::Joined { device: "phone".into() });
 

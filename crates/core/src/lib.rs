@@ -28,6 +28,10 @@
 //!   the LAN / VPN / WAN experiments, and the virtual-clock *fleet
 //!   simulator* that single-steps the real reactor for tick-for-tick
 //!   reproducible 10k-volunteer runs;
+//! * [`transport`] — the [`transport::Transport`] seam between the
+//!   coordination layer and the wire: the simulated [`pando_netsim`]
+//!   channels and the real-socket [`transport::tcp::TcpTransport`] backend
+//!   drive the same reactor through one object-safe trait;
 //! * [`deploy`] — the scripted deployment trace of paper Figure 4.
 //!
 //! The wire protocol is binary end to end: every task and result travels as
@@ -42,7 +46,7 @@
 //! ```
 //! use pando_core::config::PandoConfig;
 //! use pando_core::master::Pando;
-//! use pando_core::worker::spawn_typed_worker;
+//! use pando_core::worker::WorkerBuilder;
 //! use pando_pull_stream::codec::StringCodec;
 //! use pando_pull_stream::source::{count, SourceExt};
 //!
@@ -58,7 +62,7 @@
 //! let mut workers = Vec::new();
 //! for _ in 0..2 {
 //!     let endpoint = pando.open_volunteer_channel();
-//!     workers.push(spawn_typed_worker(endpoint, StringCodec, square, Default::default()));
+//!     workers.push(WorkerBuilder::new().spawn_typed(endpoint, StringCodec, square));
 //! }
 //! let output = pando
 //!     .run_typed(StringCodec, count(20).map_values(|v| v.to_string()))
@@ -80,8 +84,11 @@ pub mod monitor;
 pub mod protocol;
 pub mod reactor;
 pub mod sim;
+pub mod transport;
 pub mod volunteer;
 pub mod worker;
 
 pub use config::PandoConfig;
 pub use master::Pando;
+pub use transport::{Transport, TransportError, TransportErrorKind};
+pub use worker::WorkerBuilder;

@@ -2,7 +2,7 @@
 //!
 //! The master (paper Figure 7) owns the StreamLender that coordinates the
 //! distributed map. Each volunteer is wired to a fresh sub-stream through
-//! one of two backends ([`PandoConfig::backend`]):
+//! one of two backends ([`ReactorConfig::backend`](crate::config::ReactorConfig::backend)):
 //!
 //! * **Reactor** (default): the volunteer becomes a registration on the
 //!   shared [`reactor`](crate::reactor) pool — a fixed number of threads
@@ -24,6 +24,7 @@ use crate::config::{PandoConfig, VolunteerBackend};
 use crate::metrics::ThroughputMeter;
 use crate::protocol::Message;
 use crate::reactor::{DriverHandle, Reactor, ReactorStats};
+use crate::transport::Transport;
 use bytes::Bytes;
 use pando_netsim::channel::{pair_with_clock, Endpoint, RecvError, SendError};
 use pando_netsim::codec::{Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
@@ -50,8 +51,8 @@ struct MasterState {
     /// The reactor pool, created lazily on the first reactor-backed wiring.
     /// Dropping the last Pando handle joins its threads.
     reactor: Option<Arc<Reactor>>,
-    /// Volunteer endpoints accepted before the input stream was attached.
-    pending: Vec<(String, Endpoint<Message>)>,
+    /// Volunteer transports accepted before the input stream was attached.
+    pending: Vec<(String, Arc<dyn Transport>)>,
     links: Vec<VolunteerLink>,
     next_volunteer: u64,
     volunteers_connected: u64,
@@ -69,7 +70,7 @@ impl std::fmt::Debug for Pando {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let state = self.state.lock();
         f.debug_struct("Pando")
-            .field("batch_size", &self.config.batch_size)
+            .field("batch_size", &self.config.batching.batch_size)
             .field("volunteers_connected", &state.volunteers_connected)
             .field("running", &state.lender.is_some())
             .finish()
@@ -111,19 +112,28 @@ impl Pando {
     /// reproducible from one [`PandoConfig::deterministic`] seed.
     pub fn open_volunteer_channel(&self) -> Endpoint<Message> {
         let index = self.state.lock().next_volunteer;
-        let channel = self.config.channel.clone();
+        let channel = self.config.transport.channel.clone();
         let seed = channel.seed.wrapping_add(index);
         let (master_side, volunteer_side) =
-            pair_with_clock::<Message>(channel.with_seed(seed), self.config.clock.clone());
+            pair_with_clock::<Message>(channel.with_seed(seed), self.config.run.clock.clone());
         self.add_volunteer_endpoint(format!("volunteer-{index}"), master_side);
         volunteer_side
     }
 
-    /// Registers the master side of a volunteer connection, for example one
-    /// delivered by a [`PublicServer`](pando_netsim::signaling::PublicServer).
-    /// Volunteers may be added at any time, before or while the input stream
-    /// is processed (dynamic property).
+    /// Registers the master side of a simulated volunteer connection, for
+    /// example one delivered by a
+    /// [`PublicServer`](pando_netsim::signaling::PublicServer). Shorthand
+    /// for [`Pando::add_volunteer_transport`] with a netsim endpoint.
     pub fn add_volunteer_endpoint(&self, name: String, endpoint: Endpoint<Message>) {
+        self.add_volunteer_transport(name, Arc::new(endpoint));
+    }
+
+    /// Registers the master side of a volunteer connection over any
+    /// [`Transport`] — a simulated channel or a live
+    /// [`TcpTransport`](crate::transport::tcp::TcpTransport) accepted from
+    /// another process. Volunteers may be added at any time, before or while
+    /// the input stream is processed (dynamic property).
+    pub fn add_volunteer_transport(&self, name: String, endpoint: Arc<dyn Transport>) {
         let mut state = self.state.lock();
         state.next_volunteer += 1;
         state.volunteers_connected += 1;
@@ -151,7 +161,7 @@ impl Pando {
         state: &mut MasterState,
         lender: &ShardedLender<Bytes, Bytes>,
     ) -> Option<Arc<Reactor>> {
-        match self.config.backend {
+        match self.config.reactor.backend {
             VolunteerBackend::Threads => None,
             VolunteerBackend::Reactor => Some(
                 state
@@ -242,7 +252,7 @@ impl Pando {
             self.config.effective_lender_shards(),
             self.config.effective_tasks_per_frame(),
         );
-        let pending: Vec<(String, Endpoint<Message>)> = state.pending.drain(..).collect();
+        let pending: Vec<(String, Arc<dyn Transport>)> = state.pending.drain(..).collect();
         for (name, endpoint) in pending {
             let reactor = self.reactor_for(&mut state, &lender);
             let link = wire_volunteer(
@@ -388,7 +398,7 @@ fn wire_volunteer(
     lender: &ShardedLender<Bytes, Bytes>,
     reactor: Option<&Reactor>,
     name: &str,
-    endpoint: Endpoint<Message>,
+    endpoint: Arc<dyn Transport>,
     config: &PandoConfig,
     meter: &ThroughputMeter,
 ) -> VolunteerLink {
@@ -400,11 +410,10 @@ fn wire_volunteer(
         );
     }
     let (source, sink) = duplex;
-    let endpoint = Arc::new(endpoint);
     // The in-flight window: `batch_size` slots, one per borrowed value that
     // has not produced a result yet (the Limiter of the original pipeline,
     // here driving batch coalescing as well).
-    let window = Semaphore::new(config.batch_size);
+    let window = Semaphore::new(config.batching.batch_size);
     let tasks_per_frame = config.effective_tasks_per_frame();
 
     let dispatcher = {
@@ -433,7 +442,7 @@ fn wire_volunteer(
 /// `tasks_per_frame` — into one frame.
 fn run_dispatcher(
     mut source: SubStreamSource<Bytes, Bytes>,
-    endpoint: Arc<Endpoint<Message>>,
+    endpoint: Arc<dyn Transport>,
     window: Semaphore,
     tasks_per_frame: usize,
     meter: ThroughputMeter,
@@ -516,7 +525,7 @@ fn run_dispatcher(
 /// window slots, and decides how the sub-stream ends.
 fn run_receiver(
     sink: SubStreamSink<Bytes, Bytes>,
-    endpoint: Arc<Endpoint<Message>>,
+    endpoint: Arc<dyn Transport>,
     window: Semaphore,
     meter: ThroughputMeter,
     name: String,
@@ -578,7 +587,7 @@ fn run_receiver(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::worker::{spawn_typed_worker, WorkerOptions};
+    use crate::worker::WorkerBuilder;
     use pando_netsim::fault::FaultPlan;
     use pando_pull_stream::codec::StringCodec;
     use pando_pull_stream::source::{count, SourceExt};
@@ -597,7 +606,7 @@ mod tests {
     fn single_volunteer_end_to_end() {
         let pando = Pando::new(PandoConfig::local_test());
         let endpoint = pando.open_volunteer_channel();
-        let worker = spawn_typed_worker(endpoint, StringCodec, square, WorkerOptions::default());
+        let worker = WorkerBuilder::new().spawn_typed(endpoint, StringCodec, square);
         let output = pando.run_typed(StringCodec, number_source(30)).collect_values().unwrap();
         assert_eq!(output, (1..=30u64).map(|v| (v * v).to_string()).collect::<Vec<_>>());
         let report = worker.join();
@@ -614,11 +623,10 @@ mod tests {
         let pando = Pando::new(PandoConfig::local_test());
         let workers: Vec<_> = (0..4)
             .map(|_| {
-                spawn_typed_worker(
+                WorkerBuilder::new().spawn_typed(
                     pando.open_volunteer_channel(),
                     StringCodec,
                     square,
-                    WorkerOptions::default(),
                 )
             })
             .collect();
@@ -633,22 +641,14 @@ mod tests {
     #[test]
     fn volunteer_joining_mid_run_is_used() {
         let pando = Pando::new(PandoConfig::local_test());
-        let first = spawn_typed_worker(
-            pando.open_volunteer_channel(),
-            StringCodec,
-            square,
-            WorkerOptions::default(),
-        );
+        let first =
+            WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, square);
         let output_source = pando.run_typed(StringCodec, number_source(100));
         let collector =
             std::thread::spawn(move || pando_pull_stream::sink::collect(output_source).unwrap());
         std::thread::sleep(std::time::Duration::from_millis(10));
-        let second = spawn_typed_worker(
-            pando.open_volunteer_channel(),
-            StringCodec,
-            square,
-            WorkerOptions::default(),
-        );
+        let second =
+            WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, square);
         let output = collector.join().unwrap();
         assert_eq!(output.len(), 100);
         let (a, b) = (first.join().processed, second.join().processed);
@@ -659,18 +659,13 @@ mod tests {
     fn crashed_volunteer_work_is_recovered() {
         let pando = Pando::new(PandoConfig::local_test());
         // A volunteer that crashes after 3 tasks, plus a reliable one.
-        let crashing = spawn_typed_worker(
+        let crashing = WorkerBuilder::new().fault(FaultPlan::AfterTasks(3)).spawn_typed(
             pando.open_volunteer_channel(),
             StringCodec,
             square,
-            WorkerOptions { fault: FaultPlan::AfterTasks(3), ..WorkerOptions::default() },
         );
-        let reliable = spawn_typed_worker(
-            pando.open_volunteer_channel(),
-            StringCodec,
-            square,
-            WorkerOptions::default(),
-        );
+        let reliable =
+            WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, square);
         let output = pando.run_typed(StringCodec, number_source(50)).collect_values().unwrap();
         assert_eq!(output, (1..=50u64).map(|v| (v * v).to_string()).collect::<Vec<_>>());
         assert!(crashing.join().crashed);
@@ -694,21 +689,16 @@ mod tests {
                 Ok(n.to_string())
             }
         };
-        let flaky_worker = spawn_typed_worker(
-            pando.open_volunteer_channel(),
-            StringCodec,
-            flaky,
-            WorkerOptions::default(),
-        );
+        let flaky_worker =
+            WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, flaky);
         let output_source = pando.run_typed(StringCodec, number_source(10));
         let collector =
             std::thread::spawn(move || pando_pull_stream::sink::collect(output_source).unwrap());
         std::thread::sleep(std::time::Duration::from_millis(50));
-        let healthy = spawn_typed_worker(
+        let healthy = WorkerBuilder::new().spawn_typed(
             pando.open_volunteer_channel(),
             StringCodec,
             |s: &String| Ok(s.clone()),
-            WorkerOptions::default(),
         );
         let output = collector.join().unwrap();
         assert_eq!(output, (1..=10u64).map(|v| v.to_string()).collect::<Vec<_>>());
@@ -727,12 +717,8 @@ mod tests {
     #[test]
     fn meter_records_volunteer_activity() {
         let pando = Pando::new(PandoConfig::local_test());
-        let worker = spawn_typed_worker(
-            pando.open_volunteer_channel(),
-            StringCodec,
-            square,
-            WorkerOptions::default(),
-        );
+        let worker =
+            WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, square);
         let _ = pando.run_typed(StringCodec, number_source(10)).collect_values().unwrap();
         worker.join();
         let report = pando.meter().report();
@@ -747,12 +733,8 @@ mod tests {
         // tasks per frame, so far fewer frames than tasks cross the wire.
         let config = PandoConfig::local_test().with_batch_size(16);
         let pando = Pando::new(config);
-        let worker = spawn_typed_worker(
-            pando.open_volunteer_channel(),
-            StringCodec,
-            square,
-            WorkerOptions::default(),
-        );
+        let worker =
+            WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, square);
         let output = pando.run_typed(StringCodec, number_source(200)).collect_values().unwrap();
         assert_eq!(output.len(), 200);
         worker.join();
@@ -771,12 +753,8 @@ mod tests {
     fn tasks_per_frame_one_reproduces_the_unbatched_protocol() {
         let config = PandoConfig::local_test().with_batch_size(8).with_tasks_per_frame(1);
         let pando = Pando::new(config);
-        let worker = spawn_typed_worker(
-            pando.open_volunteer_channel(),
-            StringCodec,
-            square,
-            WorkerOptions::default(),
-        );
+        let worker =
+            WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, square);
         let output = pando.run_typed(StringCodec, number_source(40)).collect_values().unwrap();
         assert_eq!(output.len(), 40);
         worker.join();
@@ -789,15 +767,11 @@ mod tests {
     #[test]
     fn raw_bytes_run_carries_binary_payloads() {
         let pando = Pando::new(PandoConfig::local_test());
-        let worker = crate::worker::spawn_worker(
-            pando.open_volunteer_channel(),
-            |input: &Bytes| {
-                let mut out = input.to_vec();
-                out.reverse();
-                Ok(Bytes::from(out))
-            },
-            WorkerOptions::default(),
-        );
+        let worker = WorkerBuilder::new().spawn(pando.open_volunteer_channel(), |input: &Bytes| {
+            let mut out = input.to_vec();
+            out.reverse();
+            Ok(Bytes::from(out))
+        });
         use pando_pull_stream::source::from_iter;
         let inputs: Vec<Bytes> = vec![
             Bytes::copy_from_slice(&[0, 1, 2, b'\n', 255]),

@@ -139,7 +139,7 @@ impl MiningMonitor {
 mod tests {
     use super::*;
     use crate::config::PandoConfig;
-    use crate::worker::{spawn_worker, WorkerOptions};
+    use crate::worker::WorkerBuilder;
     use bytes::Bytes;
     use pando_workloads::app::AppKind;
 
@@ -155,11 +155,8 @@ mod tests {
         let workers: Vec<_> = (0..2)
             .map(|_| {
                 let app = AppKind::CryptoMining.instantiate();
-                spawn_worker(
-                    pando.open_volunteer_channel(),
-                    move |input: &Bytes| app.process(input),
-                    WorkerOptions::default(),
-                )
+                WorkerBuilder::new()
+                    .spawn(pando.open_volunteer_channel(), move |input: &Bytes| app.process(input))
             })
             .collect();
 
@@ -181,11 +178,9 @@ mod tests {
     #[test]
     fn empty_chain_finishes_immediately() {
         let pando = Pando::new(PandoConfig::local_test());
-        let worker = spawn_worker(
-            pando.open_volunteer_channel(),
-            |input: &Bytes| Ok(bytes::Bytes::copy_from_slice(input)),
-            WorkerOptions::default(),
-        );
+        let worker = WorkerBuilder::new().spawn(pando.open_volunteer_channel(), |input: &Bytes| {
+            Ok(bytes::Bytes::copy_from_slice(input))
+        });
         let monitor = MiningMonitor::new(Vec::new(), 8, 100);
         assert!(monitor.run(&pando).is_empty());
         let _ = worker.join();

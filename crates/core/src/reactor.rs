@@ -3,18 +3,18 @@
 //! The original master wired every volunteer with two dedicated pump threads
 //! (dispatcher + receiver), which caps one master at low thousands of
 //! volunteers. This module replaces those pumps with an epoll-style reactor:
-//! a small fixed pool of [`PandoConfig::reactor_threads`](crate::config::PandoConfig::reactor_threads)
+//! a small fixed pool of [`ReactorConfig::threads`](crate::config::ReactorConfig::threads)
 //! OS threads multiplexes dispatch *and* receive for all volunteers.
 //!
 //! The moving parts:
 //!
 //! * **Ready queue** — every volunteer is a driver state machine. An
-//!   endpoint waker ([`Endpoint::set_waker`]) enqueues the driver when a
+//!   endpoint waker ([`Endpoint::set_waker`](pando_netsim::channel::Endpoint::set_waker)) enqueues the driver when a
 //!   frame arrives or the peer closes/crashes/drops; a wake while the driver
 //!   is being polled sets a *dirty* flag so the poll is re-run instead of
 //!   lost (no missed wake-ups).
 //! * **Timer heap** — frames whose simulated latency has not elapsed, crash
-//!   suspicions that mature later ([`Endpoint::next_ready_at`]) and heartbeat
+//!   suspicions that mature later ([`Endpoint::next_ready_at`](pando_netsim::channel::Endpoint::next_ready_at)) and heartbeat
 //!   deadlines are re-polled via a monotonic timer heap; reactor threads
 //!   sleep exactly until the earliest deadline.
 //! * **Per-shard starved sets** — every driver is pinned to one lender
@@ -42,7 +42,7 @@
 //! # Inline mode (deterministic stepping)
 //!
 //! All time in the reactor flows through a [`Clock`]
-//! ([`PandoConfig::clock`](crate::config::PandoConfig::clock)). On the wall
+//! ([`RunConfig::clock`](crate::config::RunConfig::clock)). On the wall
 //! clock the reactor is the thread pool described above. With a *virtual*
 //! clock ([`PandoConfig::deterministic`](crate::config::PandoConfig::deterministic))
 //! it spawns **no threads at all**: an external single-threaded scheduler
@@ -74,8 +74,9 @@
 use crate::config::PandoConfig;
 use crate::metrics::ThroughputMeter;
 use crate::protocol::{BatchPolicy, HeartbeatAction, HeartbeatPacer, Message};
+use crate::transport::Transport;
 use bytes::Bytes;
-use pando_netsim::channel::{Endpoint, RecvError, SendError};
+use pando_netsim::channel::{RecvError, SendError};
 use pando_netsim::codec::{Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
 use pando_netsim::sim::Clock;
 use pando_pull_stream::lender::{SubStreamSink, SubStreamSource};
@@ -314,7 +315,7 @@ fn wake(inner: &Inner, driver: &Arc<Driver>) {
 /// The per-volunteer dispatch/receive state machine, polled by the pool.
 struct Driver {
     name: String,
-    endpoint: Arc<Endpoint<Message>>,
+    endpoint: Arc<dyn Transport>,
     meter: ThroughputMeter,
     tasks_per_frame: usize,
     /// Lender shard this driver currently borrows from. Pinned at
@@ -646,15 +647,15 @@ impl std::fmt::Debug for Reactor {
 
 impl Reactor {
     /// Starts a reactor laid out for `config.effective_lender_shards()`
-    /// lender shards: a pool of `config.reactor_threads` OS threads on the
-    /// wall clock, or — when [`PandoConfig::clock`] is virtual — an *inline*
+    /// lender shards: a pool of `config.reactor.threads` OS threads on the
+    /// wall clock, or — when [`RunConfig::clock`](crate::config::RunConfig::clock) is virtual — an *inline*
     /// reactor with no threads at all, stepped externally through
     /// [`Reactor::step`].
     pub fn new(config: &PandoConfig) -> Self {
         let shard_count = config.effective_lender_shards();
-        let inline = config.clock.is_virtual();
+        let inline = config.run.clock.is_virtual();
         let inner = Arc::new(Inner {
-            clock: config.clock.clone(),
+            clock: config.run.clock.clone(),
             ready: Mutex::new(VecDeque::new()),
             ready_cond: Condvar::new(),
             timers: Mutex::new(BinaryHeap::new()),
@@ -674,7 +675,7 @@ impl Reactor {
                 shard_hops: AtomicU64::new(0),
             },
         });
-        let thread_count = if inline { 0 } else { config.reactor_threads.max(1) };
+        let thread_count = if inline { 0 } else { config.reactor.threads.max(1) };
         let threads = (0..thread_count)
             .map(|i| {
                 let inner = inner.clone();
@@ -739,8 +740,10 @@ impl Reactor {
         }
     }
 
-    /// Registers one volunteer endpoint on lender shard `shard`: the
+    /// Registers one volunteer transport on lender shard `shard`: the
     /// event-driven replacement of the dispatcher/receiver thread pair.
+    /// Any [`Transport`] works — a simulated channel endpoint or a live TCP
+    /// connection drive the identical state machine.
     ///
     /// # Panics
     ///
@@ -749,14 +752,13 @@ impl Reactor {
         &self,
         name: &str,
         shard: usize,
-        endpoint: Endpoint<Message>,
+        endpoint: Arc<dyn Transport>,
         duplex: (SubStreamSource<Bytes, Bytes>, SubStreamSink<Bytes, Bytes>),
         config: &PandoConfig,
         meter: &ThroughputMeter,
     ) -> DriverHandle {
         assert!(shard < self.inner.shards.len(), "shard {shard} outside the reactor layout");
         let (source, sink) = duplex;
-        let endpoint = Arc::new(endpoint);
         let driver = Arc::new(Driver {
             name: name.to_string(),
             endpoint: endpoint.clone(),
@@ -769,16 +771,17 @@ impl Reactor {
             io: Mutex::new(DriverIo {
                 source,
                 sink,
-                credits: config.batch_size,
+                credits: config.batching.batch_size,
                 carry: None,
                 dispatch_done: false,
                 dispatch_error: None,
                 pacer: HeartbeatPacer::new_at(
-                    config.channel.heartbeat_interval,
+                    endpoint.heartbeat_interval(),
                     self.inner.clock.now(),
                 ),
                 policy: config
-                    .adaptive_batching
+                    .batching
+                    .adaptive
                     .then(|| BatchPolicy::new(1, config.effective_tasks_per_frame())),
             }),
             result: Mutex::new(None),

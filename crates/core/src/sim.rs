@@ -394,7 +394,7 @@ impl FleetReport {
 }
 
 /// A simulated volunteer: the state machine the engine drives instead of a
-/// worker thread. It mirrors [`run_worker`](crate::worker::run_worker) —
+/// worker thread. It mirrors [`run_worker_on`](crate::worker::run_worker_on) —
 /// decode task frames, apply the processing function, reply in kind — but
 /// computation *time* is virtual: a reply is scheduled `service × records`
 /// after the device becomes free.
@@ -520,7 +520,7 @@ pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
     assert!(params.volunteers > 0, "a fleet needs at least one volunteer");
     let wall_start = Instant::now();
     let config = PandoConfig::deterministic(params.seed);
-    let clock = config.clock.clone();
+    let clock = config.run.clock.clone();
     let origin = clock.now();
     let pando = Pando::new(config);
     let mut trace: Vec<String> = Vec::new();

@@ -1,0 +1,418 @@
+//! The transport seam between the coordination layer and the wire.
+//!
+//! The reactor, the master's dispatch/receive pumps and the worker loops
+//! never cared that messages travelled over in-process [`netsim`] channels —
+//! they consume a narrow, readiness-shaped surface: non-blocking
+//! [`try_recv`](Transport::try_recv), fallible frame
+//! [`send`](Transport::send), waker registration, a
+//! [`next_ready_at`](Transport::next_ready_at) deadline hint and
+//! peer-liveness/close semantics. [`Transport`] formalizes that seam as an
+//! object-safe trait so the same state machines drive
+//!
+//! * [`netsim::Endpoint<Message>`](pando_netsim::channel::Endpoint) — the
+//!   deterministic in-process twin used by the virtual-clock fleet simulator
+//!   and every test, and
+//! * [`TcpTransport`](tcp::TcpTransport) — length-prefixed frames over a real
+//!   socket, taking the fleet across OS processes.
+//!
+//! # Trait contract
+//!
+//! | Aspect | Guarantee |
+//! |---|---|
+//! | Blocking discipline | [`try_recv`](Transport::try_recv) never blocks; [`recv`](Transport::recv)/[`recv_timeout`](Transport::recv_timeout) may block and MUST NOT be called from reactor pool threads. Virtual-clock transports panic on `recv`. |
+//! | Ordering | Frames are delivered reliably and in FIFO order per connection. |
+//! | Waker | The registered waker fires whenever the transport *may* have become pollable: frame arrival, clean close, crash detection, peer drop. One slot: `set_waker` replaces any previous waker. Spurious wakes are allowed; lost wakes are not. |
+//! | Deadline hint | [`next_ready_at`](Transport::next_ready_at) returns the earliest instant at which a currently-known future event matures (a buffered frame's delivery time, a pending crash suspicion). `None` means "nothing scheduled"; the reactor then relies solely on the waker. |
+//! | Close | [`close`](Transport::close) closes the *send* direction; the peer drains in-flight frames then observes [`RecvError::Closed`]. |
+//! | Crash | [`crash`](Transport::crash) abandons the connection without notice; the peer observes [`RecvError::PeerFailed`] once the failure detector's timeout elapses. |
+//!
+//! [`netsim`]: pando_netsim
+
+pub mod tcp;
+
+use crate::protocol::Message;
+use pando_netsim::channel::{Endpoint, RecvError, SendError, Waker};
+use pando_pull_stream::StreamError;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A reliable, ordered, crash-prone message channel to one peer.
+///
+/// Implementations connect the master to exactly one volunteer (or vice
+/// versa). The trait is object-safe: the reactor holds volunteers as
+/// `Arc<dyn Transport>` so deterministic simulation endpoints and real TCP
+/// connections can share one fleet.
+///
+/// See the [module docs](self) for the full contract table.
+pub trait Transport: Send + Sync {
+    /// Returns the next message if one is already available, without
+    /// blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Empty`] when nothing is ready yet, [`RecvError::Closed`]
+    /// after a clean close, [`RecvError::PeerFailed`] once the peer is
+    /// suspected crashed.
+    fn try_recv(&self) -> Result<Message, RecvError>;
+
+    /// Receives the next message, blocking until one arrives or the
+    /// connection terminates.
+    ///
+    /// Only legal on wall-clock transports driven by dedicated threads (the
+    /// legacy `Threads` backend, worker loops). Virtual-clock transports
+    /// panic — they must be driven with [`try_recv`](Self::try_recv) +
+    /// [`next_ready_at`](Self::next_ready_at) by the scheduler that owns the
+    /// clock.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Closed`] or [`RecvError::PeerFailed`] as for
+    /// [`try_recv`](Self::try_recv).
+    fn recv(&self) -> Result<Message, RecvError>;
+
+    /// Receives the next message, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] if nothing arrived in time; otherwise as
+    /// [`recv`](Self::recv).
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError>;
+
+    /// Sends a control message whose wire size is negligible (heartbeats,
+    /// goodbyes).
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Closed`] after either side closed,
+    /// [`SendError::PeerFailed`] once the peer is suspected crashed.
+    fn send(&self, message: Message) -> Result<(), SendError>;
+
+    /// Sends a data frame carrying `records` application records and `size`
+    /// bytes on the wire (drives bandwidth modelling on simulated links and
+    /// accounting on real ones).
+    ///
+    /// # Errors
+    ///
+    /// As for [`send`](Self::send).
+    fn send_records_with_size(
+        &self,
+        message: Message,
+        size: usize,
+        records: u64,
+    ) -> Result<(), SendError>;
+
+    /// Registers `waker`, replacing any previous one. It is invoked whenever
+    /// the transport may have become pollable (frame arrival, close, crash,
+    /// peer drop). Spurious invocations are permitted.
+    fn set_waker(&self, waker: Waker);
+
+    /// Removes the registered waker, if any.
+    fn clear_waker(&self);
+
+    /// The earliest instant at which a currently-buffered frame or a pending
+    /// crash suspicion matures, or `None` when no future event is scheduled.
+    fn next_ready_at(&self) -> Option<Instant>;
+
+    /// Closes the sending direction cleanly; the peer drains in-flight
+    /// frames and then observes [`RecvError::Closed`].
+    fn close(&self);
+
+    /// Abandons the connection without notifying the peer, which only finds
+    /// out via its failure detector ([`RecvError::PeerFailed`]).
+    fn crash(&self);
+
+    /// Whether the peer is currently believed alive (no crash suspicion, no
+    /// observed close).
+    fn is_peer_alive(&self) -> bool;
+
+    /// Interval at which this link expects heartbeats; workers pace their
+    /// keep-alives and the reactor schedules heartbeat timers from this.
+    fn heartbeat_interval(&self) -> Duration;
+}
+
+/// The in-process simulated channel is the first — and deterministic —
+/// transport: every method delegates 1:1 to the inherent [`Endpoint`]
+/// method with identical size accounting, so the virtual-clock fleet
+/// simulator produces byte-identical canonical traces through the trait.
+impl Transport for Endpoint<Message> {
+    fn try_recv(&self) -> Result<Message, RecvError> {
+        Endpoint::try_recv(self)
+    }
+
+    fn recv(&self) -> Result<Message, RecvError> {
+        Endpoint::recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
+        Endpoint::recv_timeout(self, timeout)
+    }
+
+    fn send(&self, message: Message) -> Result<(), SendError> {
+        Endpoint::send(self, message)
+    }
+
+    fn send_records_with_size(
+        &self,
+        message: Message,
+        size: usize,
+        records: u64,
+    ) -> Result<(), SendError> {
+        Endpoint::send_records_with_size(self, message, size, records)
+    }
+
+    fn set_waker(&self, waker: Waker) {
+        Endpoint::set_waker(self, waker)
+    }
+
+    fn clear_waker(&self) {
+        Endpoint::clear_waker(self)
+    }
+
+    fn next_ready_at(&self) -> Option<Instant> {
+        Endpoint::next_ready_at(self)
+    }
+
+    fn close(&self) {
+        Endpoint::close(self)
+    }
+
+    fn crash(&self) {
+        Endpoint::crash(self)
+    }
+
+    fn is_peer_alive(&self) -> bool {
+        Endpoint::is_peer_alive(self)
+    }
+
+    fn heartbeat_interval(&self) -> Duration {
+        self.config().heartbeat_interval
+    }
+}
+
+/// Forwarding impl so `Arc<dyn Transport>` (and `Arc<T>`) satisfy the
+/// generic bounds on [`WorkerBuilder::spawn`](crate::worker::WorkerBuilder::spawn)
+/// and friends without unwrapping.
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn try_recv(&self) -> Result<Message, RecvError> {
+        (**self).try_recv()
+    }
+
+    fn recv(&self) -> Result<Message, RecvError> {
+        (**self).recv()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
+        (**self).recv_timeout(timeout)
+    }
+
+    fn send(&self, message: Message) -> Result<(), SendError> {
+        (**self).send(message)
+    }
+
+    fn send_records_with_size(
+        &self,
+        message: Message,
+        size: usize,
+        records: u64,
+    ) -> Result<(), SendError> {
+        (**self).send_records_with_size(message, size, records)
+    }
+
+    fn set_waker(&self, waker: Waker) {
+        (**self).set_waker(waker)
+    }
+
+    fn clear_waker(&self) {
+        (**self).clear_waker()
+    }
+
+    fn next_ready_at(&self) -> Option<Instant> {
+        (**self).next_ready_at()
+    }
+
+    fn close(&self) {
+        (**self).close()
+    }
+
+    fn crash(&self) {
+        (**self).crash()
+    }
+
+    fn is_peer_alive(&self) -> bool {
+        (**self).is_peer_alive()
+    }
+
+    fn heartbeat_interval(&self) -> Duration {
+        (**self).heartbeat_interval()
+    }
+}
+
+/// A failure raised by a transport backend, classified into a small set of
+/// [`TransportErrorKind`]s that map onto the existing
+/// [`StreamError`]/[`RecvError`]/[`SendError`] taxonomy rather than adding a
+/// parallel error enum per backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError {
+    kind: TransportErrorKind,
+    message: String,
+}
+
+/// Broad classification of a [`TransportError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TransportErrorKind {
+    /// The connection was closed cleanly by either side.
+    Closed,
+    /// The peer crashed or the link failed mid-flight (I/O error, EOF
+    /// without a close notice, heartbeat timeout).
+    PeerFailed,
+    /// The remote spoke a different protocol or violated framing rules
+    /// (bad magic, version mismatch, oversized frame, undecodable message).
+    Protocol,
+    /// A local I/O problem unrelated to the peer (bind failure, socket
+    /// configuration).
+    Io,
+}
+
+impl TransportError {
+    /// Creates an error of the given kind.
+    pub fn new(kind: TransportErrorKind, message: impl Into<String>) -> Self {
+        Self { kind, message: message.into() }
+    }
+
+    /// The broad classification of the failure.
+    pub fn kind(&self) -> TransportErrorKind {
+        self.kind
+    }
+
+    /// The human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(err: std::io::Error) -> Self {
+        use std::io::ErrorKind as IoKind;
+        let kind = match err.kind() {
+            IoKind::UnexpectedEof
+            | IoKind::ConnectionReset
+            | IoKind::ConnectionAborted
+            | IoKind::BrokenPipe => TransportErrorKind::PeerFailed,
+            IoKind::InvalidData => TransportErrorKind::Protocol,
+            _ => TransportErrorKind::Io,
+        };
+        Self::new(kind, err.to_string())
+    }
+}
+
+impl From<TransportError> for StreamError {
+    fn from(err: TransportError) -> Self {
+        match err.kind {
+            TransportErrorKind::Protocol => StreamError::protocol(err.message),
+            _ => StreamError::transport(err.message),
+        }
+    }
+}
+
+impl From<TransportError> for RecvError {
+    fn from(err: TransportError) -> Self {
+        match err.kind {
+            TransportErrorKind::Closed => RecvError::Closed,
+            _ => RecvError::PeerFailed,
+        }
+    }
+}
+
+impl From<TransportError> for SendError {
+    fn from(err: TransportError) -> Self {
+        match err.kind {
+            TransportErrorKind::Closed => SendError::Closed,
+            _ => SendError::PeerFailed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pando_netsim::channel::{pair, ChannelConfig};
+
+    fn dyn_pair() -> (Arc<dyn Transport>, Arc<dyn Transport>) {
+        let (a, b) = pair::<Message>(ChannelConfig::instant());
+        (Arc::new(a), Arc::new(b))
+    }
+
+    #[test]
+    fn endpoint_round_trips_through_the_trait() {
+        let (master, volunteer) = dyn_pair();
+        master.send(Message::Heartbeat).unwrap();
+        assert_eq!(volunteer.recv().unwrap(), Message::Heartbeat);
+        master.close();
+        assert_eq!(volunteer.recv().unwrap_err(), RecvError::Closed);
+    }
+
+    #[test]
+    fn waker_fires_through_the_trait() {
+        let (master, volunteer) = dyn_pair();
+        let fired = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = fired.clone();
+        volunteer.set_waker(Arc::new(move || {
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        }));
+        master.send(Message::Heartbeat).unwrap();
+        assert!(fired.load(std::sync::atomic::Ordering::SeqCst));
+        volunteer.clear_waker();
+    }
+
+    #[test]
+    fn crash_is_detected_through_the_trait() {
+        let (master, volunteer) = dyn_pair();
+        volunteer.crash();
+        std::thread::sleep(ChannelConfig::instant().failure_timeout + Duration::from_millis(5));
+        assert!(!master.is_peer_alive());
+        assert_eq!(master.try_recv().unwrap_err(), RecvError::PeerFailed);
+    }
+
+    #[test]
+    fn heartbeat_interval_comes_from_the_channel_config() {
+        let (master, _volunteer) = dyn_pair();
+        assert_eq!(master.heartbeat_interval(), ChannelConfig::instant().heartbeat_interval);
+    }
+
+    #[test]
+    fn io_errors_classify_into_kinds() {
+        use std::io::{Error, ErrorKind as IoKind};
+        let eof: TransportError = Error::new(IoKind::UnexpectedEof, "eof").into();
+        assert_eq!(eof.kind(), TransportErrorKind::PeerFailed);
+        let bad: TransportError = Error::new(IoKind::InvalidData, "bad").into();
+        assert_eq!(bad.kind(), TransportErrorKind::Protocol);
+        let other: TransportError = Error::new(IoKind::AddrInUse, "busy").into();
+        assert_eq!(other.kind(), TransportErrorKind::Io);
+    }
+
+    #[test]
+    fn transport_error_maps_into_the_existing_taxonomy() {
+        let closed = TransportError::new(TransportErrorKind::Closed, "bye");
+        assert_eq!(RecvError::from(closed.clone()), RecvError::Closed);
+        assert_eq!(SendError::from(closed), SendError::Closed);
+
+        let failed = TransportError::new(TransportErrorKind::PeerFailed, "gone");
+        assert_eq!(RecvError::from(failed.clone()), RecvError::PeerFailed);
+        let stream: StreamError = failed.into();
+        assert!(stream.is_transport());
+
+        let proto = TransportError::new(TransportErrorKind::Protocol, "bad magic");
+        let stream: StreamError = proto.into();
+        assert!(stream.is_protocol());
+    }
+}

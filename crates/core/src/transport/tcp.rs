@@ -1,0 +1,750 @@
+//! Length-prefixed [`Message`] frames over real TCP sockets.
+//!
+//! This is the first transport that takes the fleet out of the process: a
+//! master in one OS process drives volunteer workers in other processes over
+//! localhost (or LAN) TCP, through exactly the same reactor, lender and
+//! failure-detection machinery the deterministic simulator exercises.
+//!
+//! The wire format reuses the existing fallible codec verbatim — every frame
+//! is what [`Message::encode`] produces (`tag: u8`, `len: u32` big-endian,
+//! payload), with tag `0` reserved as a transport-level close marker so a
+//! clean [`close`](Transport::close) is distinguishable from a crash.
+//! A connection starts with a tiny hello:
+//!
+//! ```text
+//! volunteer -> master:  b"PNDO"  version:u8  name_len:u16be  name bytes
+//! master    -> volunteer: b"PNDO"  version:u8
+//! ```
+//!
+//! Crash detection maps onto the same [`FailureDetector`] path as the
+//! simulated channels: every arriving frame refreshes `last_heard`, and once
+//! `failure_timeout` passes without traffic the peer is reported as
+//! [`RecvError::PeerFailed`] — so crash re-lend and shard hopping work
+//! unchanged over sockets. Abrupt socket death (reset, EOF without a close
+//! marker) short-circuits the timeout.
+
+use super::{Transport, TransportError, TransportErrorKind};
+use crate::master::Pando;
+use crate::protocol::Message;
+use bytes::BytesMut;
+use pando_netsim::channel::{RecvError, SendError, Waker};
+use pando_netsim::codec::{encode_frame, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use pando_netsim::heartbeat::FailureDetector;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Magic bytes opening both handshake directions.
+const MAGIC: [u8; 4] = *b"PNDO";
+/// Version byte of the TCP wire protocol; bumped on incompatible change.
+pub const TCP_PROTOCOL_VERSION: u8 = 1;
+/// Frame tag reserved for the transport-level close marker (the protocol's
+/// message tags start at 1).
+const TAG_CLOSE: u8 = 0;
+/// Longest volunteer name accepted in the hello.
+const MAX_NAME_LEN: usize = 256;
+/// Read/write deadline applied only during the handshake so a stalled or
+/// hostile client cannot wedge the accept loop.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Knobs of a TCP link. Liveness settings mirror
+/// [`ChannelConfig`](pando_netsim::channel::ChannelConfig): heartbeats are
+/// expected every `heartbeat_interval` and the peer is declared crashed
+/// after `failure_timeout` of silence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Interval between keep-alive heartbeats while a link is idle.
+    pub heartbeat_interval: Duration,
+    /// Silence after which the peer is suspected crashed; must exceed
+    /// `heartbeat_interval`.
+    pub failure_timeout: Duration,
+    /// Disable Nagle's algorithm (`TCP_NODELAY`); latency beats batching for
+    /// the small control frames of this protocol.
+    pub nodelay: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval: Duration::from_secs(2),
+            failure_timeout: Duration::from_secs(10),
+            nodelay: true,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Tightened liveness windows for tests and localhost demos, where a
+    /// crash should be detected in well under a second.
+    pub fn local_test() -> Self {
+        Self {
+            heartbeat_interval: Duration::from_millis(50),
+            failure_timeout: Duration::from_millis(400),
+            nodelay: true,
+        }
+    }
+}
+
+/// Everything both pump threads and the public API share about one link.
+struct LinkState {
+    /// Decoded messages not yet handed to the consumer, FIFO.
+    inbox: VecDeque<Message>,
+    /// Peer sent the close marker: drain the inbox, then report `Closed`.
+    peer_closed: bool,
+    /// The link died without a close marker (I/O error, EOF, bad frame,
+    /// heartbeat timeout): report `PeerFailed` after draining.
+    failed: Option<TransportError>,
+    /// We closed our sending direction.
+    locally_closed: bool,
+    /// We abandoned the connection abruptly.
+    crashed: bool,
+    /// Last instant any frame arrived from the peer; feeds the detector.
+    last_heard: Instant,
+    /// Readiness callback, one slot.
+    waker: Option<Waker>,
+}
+
+/// Outbound queue drained by the writer thread.
+enum WriteItem {
+    Frame(bytes::Bytes),
+    /// Flush, send the close marker, shut the write half down, exit.
+    Close,
+}
+
+struct WriteState {
+    queue: VecDeque<WriteItem>,
+    /// Writer thread exits once it has drained up to this.
+    done: bool,
+}
+
+struct Shared {
+    state: Mutex<LinkState>,
+    /// Signalled on every inbox/terminal-state change; backs blocking recv.
+    recv_cv: Condvar,
+    write: Mutex<WriteState>,
+    write_cv: Condvar,
+    detector: FailureDetector,
+    config: TcpConfig,
+}
+
+impl Shared {
+    /// Wakes blocking receivers and the registered reactor waker. Must be
+    /// called after every state change that could make the link pollable.
+    fn notify(&self, state: &LinkState) {
+        self.recv_cv.notify_all();
+        if let Some(waker) = &state.waker {
+            waker();
+        }
+    }
+
+    fn fail(&self, error: TransportError) {
+        let mut state = self.state.lock();
+        if state.failed.is_none() && !state.peer_closed {
+            state.failed = Some(error);
+        }
+        self.notify(&state);
+    }
+}
+
+/// One live TCP connection speaking the Pando frame protocol.
+///
+/// Created by [`TcpTransport::connect`] on the volunteer side or handed out
+/// by a [`TcpAcceptor`] on the master side. Dropping the transport closes it
+/// cleanly unless [`crash`](Transport::crash) was called first.
+pub struct TcpTransport {
+    shared: Arc<Shared>,
+    stream: TcpStream,
+    /// Peer name from the handshake (volunteer side: our own name).
+    peer: String,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("peer", &self.peer)
+            .field("local", &self.stream.local_addr().ok())
+            .finish()
+    }
+}
+
+impl TcpTransport {
+    /// Connects to a master at `addr`, introduces this volunteer as `name`
+    /// and returns the live transport.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportErrorKind::Io`] if the connection cannot be established,
+    /// [`TransportErrorKind::Protocol`] if the master answers with the wrong
+    /// magic or an incompatible version.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        config: TcpConfig,
+    ) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(config.nodelay)?;
+        stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        stream.set_write_timeout(Some(HANDSHAKE_TIMEOUT))?;
+
+        let name_bytes = name.as_bytes();
+        if name_bytes.is_empty() || name_bytes.len() > MAX_NAME_LEN {
+            return Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                format!("volunteer name must be 1..={MAX_NAME_LEN} bytes"),
+            ));
+        }
+        let mut hello = Vec::with_capacity(MAGIC.len() + 3 + name_bytes.len());
+        hello.extend_from_slice(&MAGIC);
+        hello.push(TCP_PROTOCOL_VERSION);
+        hello.extend_from_slice(&(name_bytes.len() as u16).to_be_bytes());
+        hello.extend_from_slice(name_bytes);
+        let mut stream_ref = &stream;
+        stream_ref.write_all(&hello)?;
+
+        let mut ack = [0u8; 5];
+        stream_ref.read_exact(&mut ack)?;
+        if ack[..4] != MAGIC {
+            return Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                "master answered with wrong magic (not a pando master?)",
+            ));
+        }
+        if ack[4] != TCP_PROTOCOL_VERSION {
+            return Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                format!(
+                    "protocol version mismatch: master speaks v{}, this build speaks v{}",
+                    ack[4], TCP_PROTOCOL_VERSION
+                ),
+            ));
+        }
+
+        stream.set_read_timeout(None)?;
+        stream.set_write_timeout(None)?;
+        Ok(Self::spawn_pumps(stream, name.to_string(), config))
+    }
+
+    /// Performs the master side of the handshake on an accepted socket and
+    /// returns the volunteer's self-declared name with the live transport.
+    fn accept_handshake(
+        stream: TcpStream,
+        config: TcpConfig,
+    ) -> Result<(String, Self), TransportError> {
+        stream.set_nodelay(config.nodelay)?;
+        stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        stream.set_write_timeout(Some(HANDSHAKE_TIMEOUT))?;
+
+        let mut stream_ref = &stream;
+        let mut head = [0u8; 7];
+        stream_ref.read_exact(&mut head)?;
+        if head[..4] != MAGIC {
+            return Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                "client sent wrong magic",
+            ));
+        }
+        if head[4] != TCP_PROTOCOL_VERSION {
+            return Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                format!(
+                    "protocol version mismatch: client speaks v{}, this build speaks v{}",
+                    head[4], TCP_PROTOCOL_VERSION
+                ),
+            ));
+        }
+        let name_len = u16::from_be_bytes([head[5], head[6]]) as usize;
+        if name_len == 0 || name_len > MAX_NAME_LEN {
+            return Err(TransportError::new(
+                TransportErrorKind::Protocol,
+                format!("volunteer name length {name_len} outside 1..={MAX_NAME_LEN}"),
+            ));
+        }
+        let mut name = vec![0u8; name_len];
+        stream_ref.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| {
+            TransportError::new(TransportErrorKind::Protocol, "volunteer name is not UTF-8")
+        })?;
+
+        let mut ack = [0u8; 5];
+        ack[..4].copy_from_slice(&MAGIC);
+        ack[4] = TCP_PROTOCOL_VERSION;
+        stream_ref.write_all(&ack)?;
+
+        stream.set_read_timeout(None)?;
+        stream.set_write_timeout(None)?;
+        let transport = Self::spawn_pumps(stream, name.clone(), config);
+        Ok((name, transport))
+    }
+
+    /// Wires the shared state and starts the reader/writer pump threads.
+    fn spawn_pumps(stream: TcpStream, peer: String, config: TcpConfig) -> Self {
+        let detector = FailureDetector::new(config.heartbeat_interval, config.failure_timeout);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(LinkState {
+                inbox: VecDeque::new(),
+                peer_closed: false,
+                failed: None,
+                locally_closed: false,
+                crashed: false,
+                last_heard: Instant::now(),
+                waker: None,
+            }),
+            recv_cv: Condvar::new(),
+            write: Mutex::new(WriteState { queue: VecDeque::new(), done: false }),
+            write_cv: Condvar::new(),
+            detector,
+            config,
+        });
+
+        let reader_shared = shared.clone();
+        let reader_stream = stream.try_clone().expect("clone TCP stream for reader");
+        thread::Builder::new()
+            .name(format!("tcp-read-{peer}"))
+            .spawn(move || run_reader(reader_stream, reader_shared))
+            .expect("spawn tcp reader thread");
+
+        let writer_shared = shared.clone();
+        let writer_stream = stream.try_clone().expect("clone TCP stream for writer");
+        thread::Builder::new()
+            .name(format!("tcp-write-{peer}"))
+            .spawn(move || run_writer(writer_stream, writer_shared))
+            .expect("spawn tcp writer thread");
+
+        Self { shared, stream, peer }
+    }
+
+    /// The peer's handshake name (on the master side) or this volunteer's
+    /// own name (on the connecting side).
+    pub fn peer_name(&self) -> &str {
+        &self.peer
+    }
+
+    /// The socket address of the remote end.
+    pub fn peer_addr(&self) -> Option<SocketAddr> {
+        self.stream.peer_addr().ok()
+    }
+
+    /// Core non-blocking poll shared by `try_recv`/`recv_timeout`.
+    fn poll_inbox(&self, state: &mut LinkState) -> Result<Message, RecvError> {
+        if let Some(message) = state.inbox.pop_front() {
+            return Ok(message);
+        }
+        if state.peer_closed {
+            return Err(RecvError::Closed);
+        }
+        if state.crashed {
+            return Err(RecvError::Closed);
+        }
+        if state.failed.is_some() {
+            return Err(RecvError::PeerFailed);
+        }
+        if self.shared.detector.suspects_at(state.last_heard, Instant::now()) {
+            state.failed = Some(TransportError::new(
+                TransportErrorKind::PeerFailed,
+                "peer silent past the failure timeout",
+            ));
+            return Err(RecvError::PeerFailed);
+        }
+        Err(RecvError::Empty)
+    }
+
+    fn enqueue(&self, item: WriteItem) -> Result<(), SendError> {
+        let mut write = self.shared.write.lock();
+        if write.done {
+            return Err(SendError::Closed);
+        }
+        if matches!(item, WriteItem::Close) {
+            write.done = true;
+        }
+        write.queue.push_back(item);
+        self.shared.write_cv.notify_one();
+        Ok(())
+    }
+
+    fn send_frame(&self, message: &Message) -> Result<(), SendError> {
+        {
+            let state = self.shared.state.lock();
+            if state.locally_closed || state.crashed {
+                return Err(SendError::Closed);
+            }
+            if state.failed.is_some() {
+                return Err(SendError::PeerFailed);
+            }
+            if state.peer_closed {
+                return Err(SendError::Closed);
+            }
+        }
+        let frame = match message.encode() {
+            Ok(frame) => frame,
+            Err(err) => {
+                // An unencodable (oversized) frame poisons the link: the
+                // peer could never receive it, so pretending it was sent
+                // would silently drop records.
+                self.shared.fail(TransportError::new(TransportErrorKind::Protocol, err.message()));
+                return Err(SendError::PeerFailed);
+            }
+        };
+        self.enqueue(WriteItem::Frame(frame))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn try_recv(&self) -> Result<Message, RecvError> {
+        let mut state = self.shared.state.lock();
+        self.poll_inbox(&mut state)
+    }
+
+    fn recv(&self) -> Result<Message, RecvError> {
+        loop {
+            match self.recv_timeout(self.shared.config.failure_timeout) {
+                Err(RecvError::Timeout) => continue,
+                other => return other,
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock();
+        loop {
+            match self.poll_inbox(&mut state) {
+                Err(RecvError::Empty) => {}
+                other => return other,
+            }
+            // Wake early enough to notice a heartbeat timeout even if the
+            // caller asked for a longer wait.
+            let suspect_at = state.last_heard + self.shared.config.failure_timeout;
+            let wait_until = deadline.min(suspect_at);
+            if Instant::now() >= wait_until {
+                if Instant::now() >= deadline {
+                    return Err(RecvError::Timeout);
+                }
+                continue; // suspicion matured; re-poll classifies it
+            }
+            self.shared.recv_cv.wait_until(&mut state, wait_until);
+        }
+    }
+
+    fn send(&self, message: Message) -> Result<(), SendError> {
+        self.send_frame(&message)
+    }
+
+    fn send_records_with_size(
+        &self,
+        message: Message,
+        _size: usize,
+        _records: u64,
+    ) -> Result<(), SendError> {
+        // Real sockets carry the actual bytes; the simulated bandwidth
+        // accounting parameters are meaningless here.
+        self.send_frame(&message)
+    }
+
+    fn set_waker(&self, waker: Waker) {
+        let mut state = self.shared.state.lock();
+        state.waker = Some(waker);
+    }
+
+    fn clear_waker(&self) {
+        let mut state = self.shared.state.lock();
+        state.waker = None;
+    }
+
+    fn next_ready_at(&self) -> Option<Instant> {
+        let state = self.shared.state.lock();
+        if state.peer_closed || state.crashed || state.failed.is_some() {
+            return None;
+        }
+        if !state.inbox.is_empty() {
+            return Some(Instant::now());
+        }
+        // The only future event a quiet socket schedules is crash suspicion
+        // maturing; the reactor arms a timer for it so heartbeat-timeout
+        // detection works without a dedicated thread.
+        Some(state.last_heard + self.shared.config.failure_timeout)
+    }
+
+    fn close(&self) {
+        {
+            let mut state = self.shared.state.lock();
+            if state.locally_closed || state.crashed {
+                return;
+            }
+            state.locally_closed = true;
+        }
+        let _ = self.enqueue(WriteItem::Close);
+    }
+
+    fn crash(&self) {
+        {
+            let mut state = self.shared.state.lock();
+            if state.crashed {
+                return;
+            }
+            state.crashed = true;
+            self.shared.notify(&state);
+        }
+        {
+            let mut write = self.shared.write.lock();
+            write.done = true;
+            write.queue.clear();
+            self.shared.write_cv.notify_one();
+        }
+        // Abrupt: no close marker, both directions torn down. The peer sees
+        // EOF (or a reset) without the marker and classifies it as a crash.
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn is_peer_alive(&self) -> bool {
+        let state = self.shared.state.lock();
+        state.failed.is_none()
+            && !state.peer_closed
+            && !self.shared.detector.suspects_at(state.last_heard, Instant::now())
+    }
+
+    fn heartbeat_interval(&self) -> Duration {
+        self.shared.config.heartbeat_interval
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Reader pump: socket bytes → frames → decoded messages → inbox + waker.
+fn run_reader(mut stream: TcpStream, shared: Arc<Shared>) {
+    let mut buf = BytesMut::with_capacity(16 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Drain every complete frame currently buffered.
+        loop {
+            if buf.len() < FRAME_HEADER_LEN {
+                break;
+            }
+            let tag = buf[0];
+            let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+            if len > MAX_FRAME_LEN {
+                shared.fail(TransportError::new(
+                    TransportErrorKind::Protocol,
+                    format!("incoming frame of {len} bytes exceeds the {MAX_FRAME_LEN} limit"),
+                ));
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            if buf.len() < FRAME_HEADER_LEN + len {
+                break;
+            }
+            let frame = buf.split_to(FRAME_HEADER_LEN + len);
+            let mut state = shared.state.lock();
+            state.last_heard = Instant::now();
+            if tag == TAG_CLOSE {
+                state.peer_closed = true;
+                shared.notify(&state);
+                // The peer will not send again; wait for EOF below so the
+                // socket drains before the thread exits.
+                continue;
+            }
+            match Message::decode(&frame) {
+                Ok(message) => {
+                    state.inbox.push_back(message);
+                    shared.notify(&state);
+                }
+                Err(err) => {
+                    drop(state);
+                    shared.fail(TransportError::new(
+                        TransportErrorKind::Protocol,
+                        format!("undecodable frame: {err}"),
+                    ));
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        }
+
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                let mut state = shared.state.lock();
+                let mid_frame = !buf.is_empty();
+                if !state.peer_closed && state.failed.is_none() {
+                    // EOF without the close marker — or worse, mid-frame —
+                    // is a crash, not a clean shutdown.
+                    state.failed = Some(TransportError::new(
+                        TransportErrorKind::PeerFailed,
+                        if mid_frame {
+                            "connection dropped mid-frame"
+                        } else {
+                            "connection dropped without close marker"
+                        },
+                    ));
+                }
+                shared.notify(&state);
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(err) => {
+                shared.fail(err.into());
+                return;
+            }
+        }
+    }
+}
+
+/// Writer pump: outbound queue → socket. Exits after the close marker or on
+/// the first I/O error (which is reported as a link failure).
+fn run_writer(mut stream: TcpStream, shared: Arc<Shared>) {
+    loop {
+        let item = {
+            let mut write = shared.write.lock();
+            loop {
+                if let Some(item) = write.queue.pop_front() {
+                    break item;
+                }
+                if write.done {
+                    return; // crash() cleared the queue
+                }
+                shared.write_cv.wait(&mut write);
+            }
+        };
+        match item {
+            WriteItem::Frame(frame) => {
+                if let Err(err) = stream.write_all(&frame) {
+                    shared.fail(err.into());
+                    return;
+                }
+            }
+            WriteItem::Close => {
+                let marker = encode_frame(TAG_CLOSE, b"").expect("empty close frame encodes");
+                if stream.write_all(&marker).and_then(|_| stream.flush()).is_ok() {
+                    let _ = stream.shutdown(Shutdown::Write);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Listening socket that accepts volunteer connections and performs the
+/// handshake.
+pub struct TcpAcceptor {
+    listener: TcpListener,
+    config: TcpConfig,
+}
+
+impl TcpAcceptor {
+    /// Binds a listener on `addr` (use port 0 for an OS-assigned port).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportErrorKind::Io`] if the address cannot be bound.
+    pub fn bind(addr: impl ToSocketAddrs, config: TcpConfig) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self { listener, config })
+    }
+
+    /// The bound address, including the resolved port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket has no local address (never on a bound socket).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has a local address")
+    }
+
+    /// Accepts one pending connection, if any, and runs the handshake.
+    /// Returns `Ok(None)` when no connection is waiting.
+    ///
+    /// # Errors
+    ///
+    /// Handshake failures ([`TransportErrorKind::Protocol`]) and accept
+    /// errors ([`TransportErrorKind::Io`]); both leave the acceptor usable.
+    pub fn accept(&self) -> Result<Option<(String, TcpTransport)>, TransportError> {
+        match self.listener.accept() {
+            Ok((stream, _addr)) => {
+                let (name, transport) =
+                    TcpTransport::accept_handshake(stream, self.config.clone())?;
+                Ok(Some((name, transport)))
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    /// Spawns an accept loop that registers every handshaken volunteer with
+    /// `pando` under its self-declared name. Handshake failures are counted
+    /// and skipped — one bad client must not take the fleet down.
+    pub fn serve(self, pando: &Pando) -> TcpServerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let stop_flag = stop.clone();
+        let accepted_counter = accepted.clone();
+        let pando = pando.clone();
+        let handle = thread::Builder::new()
+            .name("tcp-accept".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::SeqCst) {
+                    match self.accept() {
+                        Ok(Some((name, transport))) => {
+                            pando.add_volunteer_transport(name, Arc::new(transport));
+                            accepted_counter.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Ok(None) => thread::sleep(Duration::from_millis(5)),
+                        Err(_) => {
+                            // Rejected handshake or transient accept error;
+                            // keep listening.
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                    }
+                }
+            })
+            .expect("spawn tcp accept thread");
+        TcpServerHandle { stop, accepted, handle }
+    }
+}
+
+/// Handle to a running [`TcpAcceptor::serve`] loop.
+pub struct TcpServerHandle {
+    stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicUsize>,
+    handle: thread::JoinHandle<()>,
+}
+
+impl TcpServerHandle {
+    /// Asks the accept loop to stop after its current iteration.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// How many volunteers have handshaken so far. Live — callers can gate
+    /// the start of a run on a minimum fleet size.
+    pub fn accepted(&self) -> usize {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until at least `count` volunteers have handshaken or `timeout`
+    /// elapses; returns whether the quorum was reached.
+    pub fn wait_for_volunteers(&self, count: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.accepted() < count {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+
+    /// Stops the loop and returns how many volunteers were accepted.
+    pub fn join(self) -> usize {
+        self.stop();
+        let _ = self.handle.join();
+        self.accepted.load(Ordering::SeqCst)
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::master::Pando;
 use crate::protocol::Message;
-use crate::worker::{spawn_typed_worker, WorkerHandle, WorkerOptions};
+use crate::worker::{WorkerBuilder, WorkerHandle, WorkerOptions};
 use bytes::Bytes;
 use pando_netsim::channel::ChannelKind;
 use pando_netsim::signaling::{PublicServer, VolunteerUrl};
@@ -50,11 +50,11 @@ pub fn serve(
     server: &Arc<PublicServer<Message>>,
 ) -> (VolunteerUrl, JoinHandle<Vec<VolunteerInfo>>) {
     let direct = {
-        let mut config = pando.config().channel.clone();
+        let mut config = pando.config().transport.channel.clone();
         config.kind = ChannelKind::WebRtc;
         config
     };
-    let relayed = pando.config().channel.clone();
+    let relayed = pando.config().transport.channel.clone();
     let (url, incoming) = server.host(direct, relayed);
     let master = pando.clone();
     let acceptor = std::thread::Builder::new()
@@ -93,7 +93,7 @@ where
     F: Fn(&C::Task) -> Result<C::Result, StreamError> + Send + 'static,
 {
     let (endpoint, kind) = server.join(url)?;
-    Ok((spawn_typed_worker(endpoint, codec, process, options), kind))
+    Ok((WorkerBuilder::from_options(options).spawn_typed(endpoint, codec, process), kind))
 }
 
 /// Like [`join_as_volunteer`] but with a processing function over the raw
@@ -112,7 +112,7 @@ where
     F: Fn(&Bytes) -> Result<Bytes, StreamError> + Send + 'static,
 {
     let (endpoint, kind) = server.join(url)?;
-    Ok((crate::worker::spawn_worker(endpoint, process, options), kind))
+    Ok((WorkerBuilder::from_options(options).spawn(endpoint, process), kind))
 }
 
 #[cfg(test)]

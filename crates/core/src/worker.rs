@@ -5,13 +5,20 @@
 //! applies the processing function (the `AsyncMap(f)` module of paper
 //! Figure 7) to each record, and replies in kind: one result for a single
 //! task, one coalesced [`Message::ResultBatch`] for a batch. Payloads are
-//! opaque bytes; [`spawn_typed_worker`] layers a [`TaskCodec`] on top for
-//! processing functions with native types. A worker may crash at a scripted
-//! point (fault injection) to reproduce the failure scenarios of the
-//! evaluation, and a *panicking* processing function is reported as a crash
-//! instead of poisoning the joiner.
+//! opaque bytes; [`WorkerBuilder::spawn_typed`] layers a [`TaskCodec`] on
+//! top for processing functions with native types. A worker may crash at a
+//! scripted point (fault injection) to reproduce the failure scenarios of
+//! the evaluation, and a *panicking* processing function is reported as a
+//! crash instead of poisoning the joiner.
+//!
+//! Workers are transport-generic: the same loop serves a simulated
+//! [`Endpoint`] and a live [`TcpTransport`](crate::transport::tcp::TcpTransport)
+//! connected to a master in another process. [`WorkerBuilder`] is the one
+//! entry point — the free functions [`spawn_worker`], [`spawn_typed_worker`]
+//! and [`spawn_worker_pool`] remain as deprecated shims over it.
 
 use crate::protocol::Message;
+use crate::transport::Transport;
 use bytes::Bytes;
 use pando_netsim::channel::{Endpoint, RecvError, SendError};
 use pando_netsim::codec::{record_body_len, Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
@@ -35,6 +42,158 @@ pub struct WorkerOptions {
     /// frame sequences stay deterministic — and enabled by deployments that
     /// model real channel chatter (the scale examples, the worker pool).
     pub heartbeats: bool,
+}
+
+/// One fluent entry point for every way of running volunteer workers:
+/// single thread per transport ([`spawn`](WorkerBuilder::spawn)), typed
+/// through a codec ([`spawn_typed`](WorkerBuilder::spawn_typed)), or a pool
+/// of threads multiplexing many transports
+/// ([`spawn_pool`](WorkerBuilder::spawn_pool)). Transport-generic: pass a
+/// simulated [`Endpoint`] or a live
+/// [`TcpTransport`](crate::transport::tcp::TcpTransport).
+///
+/// # Examples
+///
+/// ```
+/// use pando_core::worker::WorkerBuilder;
+/// use pando_core::protocol::Message;
+/// use pando_netsim::channel::{pair, ChannelConfig};
+/// use bytes::Bytes;
+///
+/// let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
+/// let worker = WorkerBuilder::new()
+///     .name("tablet")
+///     .heartbeats(false)
+///     .spawn(volunteer, |payload: &Bytes| Ok(payload.clone()));
+/// master.close();
+/// assert_eq!(worker.join().name, "tablet");
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkerBuilder {
+    options: WorkerOptions,
+    pool_threads: usize,
+}
+
+impl Default for WorkerBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerBuilder {
+    /// A builder with default options: no name, no scripted fault, no
+    /// standalone heartbeats, one pool thread.
+    pub fn new() -> Self {
+        Self { options: WorkerOptions::default(), pool_threads: 1 }
+    }
+
+    /// Wraps pre-assembled [`WorkerOptions`] (the volunteer-lifecycle API
+    /// hands these through).
+    pub fn from_options(options: WorkerOptions) -> Self {
+        Self { options, pool_threads: 1 }
+    }
+
+    /// Name used in logs, thread names and reports.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.options.name = name.into();
+        self
+    }
+
+    /// Scripted crash behaviour (crash-stop fault injection).
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.options.fault = fault;
+        self
+    }
+
+    /// Whether to emit standalone [`Message::Heartbeat`] frames while idle
+    /// (see [`WorkerOptions::heartbeats`]).
+    pub fn heartbeats(mut self, heartbeats: bool) -> Self {
+        self.options.heartbeats = heartbeats;
+        self
+    }
+
+    /// Number of threads a [`spawn_pool`](WorkerBuilder::spawn_pool) call
+    /// spreads its transports over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn pool_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "a worker pool needs at least one thread");
+        self.pool_threads = threads;
+        self
+    }
+
+    /// Spawns a worker thread processing binary task payloads from
+    /// `transport` with `process` — the Rust equivalent of the function
+    /// exported under `'/pando/1.0.0'` (paper Figure 2), over the binary
+    /// wire form: it receives a task payload (a zero-copy slice of the
+    /// received frame) and returns either the result payload or an error.
+    pub fn spawn<T, F>(self, transport: T, process: F) -> WorkerHandle
+    where
+        T: Transport + 'static,
+        F: Fn(&Payload) -> Result<Bytes, StreamError> + Send + 'static,
+    {
+        spawn_on(Arc::new(transport), process, self.options)
+    }
+
+    /// Spawns a worker whose processing function works on the native task
+    /// and result types of `codec`; payloads are decoded and encoded at the
+    /// transport boundary.
+    pub fn spawn_typed<T, C, F>(self, transport: T, codec: C, process: F) -> WorkerHandle
+    where
+        T: Transport + 'static,
+        C: TaskCodec,
+        F: Fn(&C::Task) -> Result<C::Result, StreamError> + Send + 'static,
+    {
+        self.spawn(transport, move |payload: &Payload| {
+            let task = codec.decode_task(payload)?;
+            let result = process(&task)?;
+            Ok(codec.encode_result(&result))
+        })
+    }
+
+    /// Spawns [`pool_threads`](WorkerBuilder::pool_threads) threads that
+    /// together serve every transport in `transports` — the volunteer-side
+    /// mirror of the master's reactor, used to run fleets of thousands of
+    /// devices without a thread per device.
+    ///
+    /// Each pool thread owns a disjoint slice of the transports and
+    /// round-robins over them with non-blocking receives; `process` is
+    /// shared. Heartbeat pacing follows the builder's
+    /// [`heartbeats`](WorkerBuilder::heartbeats) setting; scripted faults
+    /// are not supported on the pooled path (use
+    /// [`spawn`](WorkerBuilder::spawn) for fault injection).
+    pub fn spawn_pool<T, F>(self, transports: Vec<T>, process: F) -> WorkerPoolHandle
+    where
+        T: Transport + 'static,
+        F: Fn(&Payload) -> Result<Bytes, StreamError> + Send + Sync + 'static,
+    {
+        let threads = self.pool_threads;
+        let options = self.options;
+        let process = Arc::new(process);
+        let transports: Vec<Arc<dyn Transport>> =
+            transports.into_iter().map(|t| Arc::new(t) as Arc<dyn Transport>).collect();
+        let total = transports.len();
+        let per_thread = total.div_ceil(threads).max(1);
+        let mut transports = transports.into_iter();
+        let mut handles = Vec::new();
+        for index in 0..threads {
+            let chunk: Vec<Arc<dyn Transport>> = transports.by_ref().take(per_thread).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            let process = process.clone();
+            let options = options.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pando-worker-pool-{index}"))
+                    .spawn(move || run_worker_slice(chunk, &*process, &options, index))
+                    .expect("spawn worker pool thread"),
+            );
+        }
+        WorkerPoolHandle { threads: handles }
+    }
 }
 
 /// What a worker did during its lifetime.
@@ -101,12 +260,7 @@ impl WorkerHandle {
 
 /// Spawns a worker thread processing binary task payloads from `endpoint`
 /// with `process`.
-///
-/// `process` is the Rust equivalent of the function exported under
-/// `'/pando/1.0.0'` (paper Figure 2), over the binary wire form: it receives
-/// a task payload (a zero-copy slice of the received frame) and returns
-/// either the result payload or an error. For native task/result types, see
-/// [`spawn_typed_worker`].
+#[deprecated(since = "0.1.0", note = "use `WorkerBuilder::new().spawn(transport, process)`")]
 pub fn spawn_worker<F>(
     endpoint: Endpoint<Message>,
     process: F,
@@ -115,33 +269,15 @@ pub fn spawn_worker<F>(
 where
     F: Fn(&Payload) -> Result<Bytes, StreamError> + Send + 'static,
 {
-    let name = options.name.clone();
-    let handle = std::thread::Builder::new()
-        .name(format!("pando-worker-{}", options.name))
-        .spawn(move || {
-            let endpoint = Arc::new(endpoint);
-            let report = {
-                let endpoint = endpoint.clone();
-                let options = options.clone();
-                std::panic::catch_unwind(AssertUnwindSafe(move || {
-                    run_worker(&endpoint, process, options)
-                }))
-            };
-            report.unwrap_or_else(|_| {
-                // The processing function panicked: indistinguishable from a
-                // browser tab dying mid-task, so crash the channel and report
-                // it as such instead of propagating the panic to the joiner.
-                endpoint.crash();
-                WorkerReport::crashed(options.name)
-            })
-        })
-        .expect("spawn worker thread");
-    WorkerHandle { handle, name }
+    WorkerBuilder::from_options(options).spawn(endpoint, process)
 }
 
 /// Spawns a worker whose processing function works on the native task and
-/// result types of `codec`; payloads are decoded and encoded at the channel
-/// boundary.
+/// result types of `codec`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `WorkerBuilder::new().spawn_typed(transport, codec, process)`"
+)]
 pub fn spawn_typed_worker<C, F>(
     endpoint: Endpoint<Message>,
     codec: C,
@@ -152,15 +288,37 @@ where
     C: TaskCodec,
     F: Fn(&C::Task) -> Result<C::Result, StreamError> + Send + 'static,
 {
-    spawn_worker(
-        endpoint,
-        move |payload: &Payload| {
-            let task = codec.decode_task(payload)?;
-            let result = process(&task)?;
-            Ok(codec.encode_result(&result))
-        },
-        options,
-    )
+    WorkerBuilder::from_options(options).spawn_typed(endpoint, codec, process)
+}
+
+/// The worker body behind [`WorkerBuilder::spawn`]: a dedicated thread, a
+/// panic boundary that converts processing-function panics into a crashed
+/// channel plus a crashed report.
+fn spawn_on<F>(transport: Arc<dyn Transport>, process: F, options: WorkerOptions) -> WorkerHandle
+where
+    F: Fn(&Payload) -> Result<Bytes, StreamError> + Send + 'static,
+{
+    let name = options.name.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("pando-worker-{}", options.name))
+        .spawn(move || {
+            let report = {
+                let transport = transport.clone();
+                let options = options.clone();
+                std::panic::catch_unwind(AssertUnwindSafe(move || {
+                    run_worker_loop(&*transport, process, options)
+                }))
+            };
+            report.unwrap_or_else(|_| {
+                // The processing function panicked: indistinguishable from a
+                // browser tab dying mid-task, so crash the channel and report
+                // it as such instead of propagating the panic to the joiner.
+                transport.crash();
+                WorkerReport::crashed(options.name)
+            })
+        })
+        .expect("spawn worker thread");
+    WorkerHandle { handle, name }
 }
 
 /// Outcome of processing one task frame (single or batch).
@@ -170,14 +328,14 @@ struct FrameOutcome {
     crashed: bool,
 }
 
-/// Handle on a pool of threads multiplexing many volunteer endpoints.
+/// Handle on a pool of threads multiplexing many volunteer transports.
 #[derive(Debug)]
 pub struct WorkerPoolHandle {
     threads: Vec<JoinHandle<Vec<WorkerReport>>>,
 }
 
 impl WorkerPoolHandle {
-    /// Waits for every endpoint to finish and returns one report per
+    /// Waits for every transport to finish and returns one report per
     /// volunteer, in registration order within each pool thread.
     pub fn join(self) -> Vec<WorkerReport> {
         self.threads.into_iter().flat_map(|handle| handle.join().unwrap_or_default()).collect()
@@ -185,13 +343,11 @@ impl WorkerPoolHandle {
 }
 
 /// Spawns `threads` pool threads that together serve every endpoint in
-/// `endpoints` — the volunteer-side mirror of the master's reactor, used to
-/// simulate fleets of thousands of devices without a thread per device.
-///
-/// Each pool thread owns a disjoint slice of the endpoints and round-robins
-/// over them with non-blocking receives; `process` is shared. Heartbeat
-/// pacing follows [`WorkerOptions::heartbeats`]; scripted faults are not
-/// supported on the pooled path (use [`spawn_worker`] for fault injection).
+/// `endpoints`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `WorkerBuilder::new().pool_threads(threads).spawn_pool(transports, process)`"
+)]
 pub fn spawn_worker_pool<F>(
     endpoints: Vec<Endpoint<Message>>,
     process: F,
@@ -201,48 +357,28 @@ pub fn spawn_worker_pool<F>(
 where
     F: Fn(&Payload) -> Result<Bytes, StreamError> + Send + Sync + 'static,
 {
-    assert!(threads > 0, "a worker pool needs at least one thread");
-    let process = Arc::new(process);
-    let total = endpoints.len();
-    let per_thread = total.div_ceil(threads.max(1)).max(1);
-    let mut endpoints = endpoints.into_iter();
-    let mut handles = Vec::new();
-    for index in 0..threads {
-        let chunk: Vec<Endpoint<Message>> = endpoints.by_ref().take(per_thread).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        let process = process.clone();
-        let options = options.clone();
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("pando-worker-pool-{index}"))
-                .spawn(move || run_worker_slice(chunk, &*process, &options, index))
-                .expect("spawn worker pool thread"),
-        );
-    }
-    WorkerPoolHandle { threads: handles }
+    WorkerBuilder::from_options(options).pool_threads(threads).spawn_pool(endpoints, process)
 }
 
-/// One pooled endpoint and its per-volunteer state.
+/// One pooled transport and its per-volunteer state.
 struct PoolSlot {
-    endpoint: Endpoint<Message>,
+    endpoint: Arc<dyn Transport>,
     report: WorkerReport,
     pacer: Option<crate::protocol::HeartbeatPacer>,
     done: bool,
 }
 
-/// Serves a slice of endpoints from one pool thread until all of them end.
+/// Serves a slice of transports from one pool thread until all of them end.
 ///
 /// Idle behaviour is event-driven, not polled: the thread registers one
-/// shared waker on every endpoint it serves ([`Endpoint::set_waker`]) and
-/// parks on a condvar when a full round over its endpoints made no
+/// shared waker on every transport it serves ([`Transport::set_waker`]) and
+/// parks on a condvar when a full round over its transports made no
 /// progress. Frame arrivals, closes and crashes wake it immediately; the
-/// wait is additionally capped by the earliest simulated-latency
-/// deliverability instant ([`Endpoint::next_ready_at`]), the next heartbeat
-/// deadline, and a coarse safety timeout.
+/// wait is additionally capped by the earliest known readiness instant
+/// ([`Transport::next_ready_at`]), the next heartbeat deadline, and a coarse
+/// safety timeout.
 fn run_worker_slice<F>(
-    endpoints: Vec<Endpoint<Message>>,
+    transports: Vec<Arc<dyn Transport>>,
     process: &F,
     options: &WorkerOptions,
     thread_index: usize,
@@ -253,11 +389,11 @@ where
     use parking_lot::{Condvar, Mutex};
     let mut fault = FaultPlan::None.arm();
     let park: Arc<(Mutex<bool>, Condvar)> = Arc::new((Mutex::new(false), Condvar::new()));
-    let mut slots: Vec<PoolSlot> = endpoints
+    let mut slots: Vec<PoolSlot> = transports
         .into_iter()
         .enumerate()
         .map(|(i, endpoint)| {
-            let interval = endpoint.config().heartbeat_interval;
+            let interval = endpoint.heartbeat_interval();
             let park = park.clone();
             endpoint.set_waker(Arc::new(move || {
                 let (woken, cond) = &*park;
@@ -378,6 +514,7 @@ where
 
 /// Runs the worker loop on the calling thread until the master closes the
 /// channel or the fault plan triggers a crash.
+#[deprecated(since = "0.1.0", note = "use `WorkerBuilder` to spawn workers, or `run_worker_on`")]
 pub fn run_worker<F>(
     endpoint: &Endpoint<Message>,
     process: F,
@@ -386,9 +523,29 @@ pub fn run_worker<F>(
 where
     F: Fn(&Payload) -> Result<Bytes, StreamError>,
 {
+    run_worker_loop(endpoint, process, options)
+}
+
+/// Runs the worker loop on the calling thread over any [`Transport`], until
+/// the master closes the connection or the fault plan triggers a crash.
+pub fn run_worker_on<F>(
+    transport: &dyn Transport,
+    process: F,
+    options: WorkerOptions,
+) -> WorkerReport
+where
+    F: Fn(&Payload) -> Result<Bytes, StreamError>,
+{
+    run_worker_loop(transport, process, options)
+}
+
+fn run_worker_loop<F>(endpoint: &dyn Transport, process: F, options: WorkerOptions) -> WorkerReport
+where
+    F: Fn(&Payload) -> Result<Bytes, StreamError>,
+{
     let mut report = WorkerReport::new(options.name.clone());
     let mut fault = options.fault.arm();
-    let heartbeat_interval = endpoint.config().heartbeat_interval;
+    let heartbeat_interval = endpoint.heartbeat_interval();
     let mut pacer =
         options.heartbeats.then(|| crate::protocol::HeartbeatPacer::new(heartbeat_interval));
 
@@ -588,7 +745,7 @@ mod tests {
     #[test]
     fn worker_processes_tasks_and_leaves_cleanly() {
         let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
-        let worker = spawn_typed_worker(volunteer, StringCodec, upper, WorkerOptions::default());
+        let worker = WorkerBuilder::new().spawn_typed(volunteer, StringCodec, upper);
         master.send(task(0, b"hello")).unwrap();
         master.send(task(1, b"world")).unwrap();
         assert_eq!(
@@ -611,7 +768,7 @@ mod tests {
     #[test]
     fn task_batches_come_back_as_one_result_batch() {
         let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
-        let worker = spawn_typed_worker(volunteer, StringCodec, upper, WorkerOptions::default());
+        let worker = WorkerBuilder::new().spawn_typed(volunteer, StringCodec, upper);
         master
             .send(Message::TaskBatch(vec![
                 Record::new(4, Bytes::copy_from_slice(b"a")),
@@ -636,11 +793,8 @@ mod tests {
     #[test]
     fn worker_reports_application_errors() {
         let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
-        let worker = spawn_worker(
-            volunteer,
-            |_input: &Bytes| Err(StreamError::new("cannot render")),
-            WorkerOptions::default(),
-        );
+        let worker = WorkerBuilder::new()
+            .spawn(volunteer, |_input: &Bytes| Err(StreamError::new("cannot render")));
         master.send(task(5, b"x")).unwrap();
         assert_eq!(
             master.recv().unwrap(),
@@ -655,17 +809,13 @@ mod tests {
     #[test]
     fn batch_error_still_delivers_earlier_results() {
         let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
-        let worker = spawn_worker(
-            volunteer,
-            |input: &Bytes| {
-                if &input[..] == b"bad" {
-                    Err(StreamError::new("nope"))
-                } else {
-                    Ok(Bytes::copy_from_slice(input))
-                }
-            },
-            WorkerOptions::default(),
-        );
+        let worker = WorkerBuilder::new().spawn(volunteer, |input: &Bytes| {
+            if &input[..] == b"bad" {
+                Err(StreamError::new("nope"))
+            } else {
+                Ok(Bytes::copy_from_slice(input))
+            }
+        });
         master
             .send(Message::TaskBatch(vec![
                 Record::new(0, Bytes::copy_from_slice(b"ok")),
@@ -695,11 +845,9 @@ mod tests {
         });
         // Every task errors; the plan still crashes after three *handled*
         // tasks, exactly like the replaced per-message loop did.
-        let worker = spawn_worker(
-            volunteer,
-            |_input: &Bytes| Err(StreamError::new("always fails")),
-            WorkerOptions { fault: FaultPlan::AfterTasks(3), ..WorkerOptions::default() },
-        );
+        let worker = WorkerBuilder::new()
+            .fault(FaultPlan::AfterTasks(3))
+            .spawn(volunteer, |_input: &Bytes| Err(StreamError::new("always fails")));
         for seq in 0..5 {
             let _ = master.send(task(seq, b"x"));
         }
@@ -730,16 +878,10 @@ mod tests {
             failure_timeout: std::time::Duration::from_millis(40),
             ..ChannelConfig::instant()
         });
-        let worker = spawn_typed_worker(
-            volunteer,
-            StringCodec,
-            upper,
-            WorkerOptions {
-                fault: FaultPlan::AfterTasks(1),
-                name: "tablet".into(),
-                ..Default::default()
-            },
-        );
+        let worker = WorkerBuilder::new()
+            .fault(FaultPlan::AfterTasks(1))
+            .name("tablet")
+            .spawn_typed(volunteer, StringCodec, upper);
         master.send(task(0, b"only")).unwrap();
         master.send(task(1, b"never answered")).unwrap();
         let report = worker.join();
@@ -766,11 +908,9 @@ mod tests {
             failure_timeout: std::time::Duration::from_millis(40),
             ..ChannelConfig::instant()
         });
-        let worker = spawn_worker(
-            volunteer,
-            |_input: &Bytes| panic!("worker code exploded"),
-            WorkerOptions { name: "flaky".into(), ..WorkerOptions::default() },
-        );
+        let worker = WorkerBuilder::new()
+            .name("flaky")
+            .spawn(volunteer, |_input: &Bytes| panic!("worker code exploded"));
         master.send(task(0, b"boom")).unwrap();
         // Joining must not propagate the panic.
         let report = worker.join();
@@ -798,16 +938,11 @@ mod tests {
 
         let pando = Pando::new(PandoConfig::local_test().with_batch_size(4));
         let endpoints: Vec<_> = (0..20).map(|_| pando.open_volunteer_channel()).collect();
-        let pool = spawn_worker_pool(
-            endpoints,
-            |payload: &Bytes| {
-                let mut out = payload.to_vec();
-                out.reverse();
-                Ok(Bytes::from(out))
-            },
-            3,
-            WorkerOptions::default(),
-        );
+        let pool = WorkerBuilder::new().pool_threads(3).spawn_pool(endpoints, |payload: &Bytes| {
+            let mut out = payload.to_vec();
+            out.reverse();
+            Ok(Bytes::from(out))
+        });
         let output = pando
             .run(count(200).map_values(|v| Bytes::from(v.to_string().into_bytes())))
             .collect_values()
@@ -835,12 +970,8 @@ mod tests {
             failure_timeout: std::time::Duration::from_millis(200),
             ..ChannelConfig::instant()
         });
-        let worker = spawn_typed_worker(
-            volunteer,
-            StringCodec,
-            upper,
-            WorkerOptions { heartbeats: true, ..WorkerOptions::default() },
-        );
+        let worker =
+            WorkerBuilder::new().heartbeats(true).spawn_typed(volunteer, StringCodec, upper);
         // Idle for several intervals: standalone heartbeats flow.
         let mut beats = 0;
         let deadline = std::time::Instant::now() + std::time::Duration::from_millis(200);
@@ -873,10 +1004,37 @@ mod tests {
     #[test]
     fn is_finished_reflects_thread_state() {
         let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
-        let worker = spawn_typed_worker(volunteer, StringCodec, upper, WorkerOptions::default());
+        let worker = WorkerBuilder::new().spawn_typed(volunteer, StringCodec, upper);
         assert!(!worker.is_finished());
         master.close();
         let report = worker.join();
         assert_eq!(report.processed, 0);
+    }
+
+    /// The pre-builder entry points stay as working shims so downstream
+    /// code migrates on its own schedule.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_spawn_shims_still_work() {
+        let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
+        let worker = spawn_typed_worker(volunteer, StringCodec, upper, WorkerOptions::default());
+        master.send(task(0, b"shim")).unwrap();
+        assert_eq!(
+            master.recv().unwrap(),
+            Message::TaskResult { seq: 0, payload: Bytes::copy_from_slice(b"SHIM") }
+        );
+        master.close();
+        assert_eq!(worker.join().processed, 1);
+
+        let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
+        let worker = spawn_worker(volunteer, |p: &Bytes| Ok(p.clone()), WorkerOptions::default());
+        master.close();
+        assert!(!worker.join().crashed);
+
+        let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
+        let pool =
+            spawn_worker_pool(vec![volunteer], |p: &Bytes| Ok(p.clone()), 1, Default::default());
+        master.close();
+        assert_eq!(pool.join().len(), 1);
     }
 }

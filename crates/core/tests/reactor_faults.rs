@@ -10,7 +10,7 @@ use bytes::Bytes;
 use pando_core::config::{PandoConfig, VolunteerBackend};
 use pando_core::master::Pando;
 use pando_core::protocol::Message;
-use pando_core::worker::{spawn_typed_worker, spawn_worker, WorkerOptions};
+use pando_core::worker::WorkerBuilder;
 use pando_netsim::channel::RecvError;
 use pando_netsim::fault::FaultPlan;
 use pando_pull_stream::codec::StringCodec;
@@ -59,18 +59,13 @@ fn volunteer_crash_mid_batch_is_recovered_on_the_reactor_path() {
     let _guard = SERIAL.lock();
     // A wide window so the crashing volunteer holds a whole batch in flight.
     let pando = Pando::new(reactor_config().with_batch_size(8));
-    let crashing = spawn_typed_worker(
+    let crashing = WorkerBuilder::new().fault(FaultPlan::AfterTasks(3)).spawn_typed(
         pando.open_volunteer_channel(),
         StringCodec,
         echo,
-        WorkerOptions { fault: FaultPlan::AfterTasks(3), ..WorkerOptions::default() },
     );
-    let reliable = spawn_typed_worker(
-        pando.open_volunteer_channel(),
-        StringCodec,
-        echo,
-        WorkerOptions::default(),
-    );
+    let reliable =
+        WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, echo);
     let output = pando.run_typed(StringCodec, numbers(100)).collect_values().unwrap();
     assert_eq!(
         output,
@@ -123,12 +118,8 @@ fn clean_close_during_dispatch_completes_elsewhere() {
         }
         answered
     });
-    let stayer = spawn_typed_worker(
-        pando.open_volunteer_channel(),
-        StringCodec,
-        echo,
-        WorkerOptions::default(),
-    );
+    let stayer =
+        WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, echo);
     let output = pando.run_typed(StringCodec, numbers(60)).collect_values().unwrap();
     assert_eq!(output.len(), 60, "the leaver's unfinished values complete elsewhere");
     let answered = leaver.join().unwrap();
@@ -158,11 +149,8 @@ fn lender_shutdown_wakes_every_driver_and_reaps_the_pool() {
         let pando = Pando::new(reactor_config().with_reactor_threads(3));
         let workers: Vec<_> = (0..volunteers)
             .map(|_| {
-                spawn_worker(
-                    pando.open_volunteer_channel(),
-                    |payload: &Bytes| Ok(payload.clone()),
-                    WorkerOptions::default(),
-                )
+                WorkerBuilder::new()
+                    .spawn(pando.open_volunteer_channel(), |payload: &Bytes| Ok(payload.clone()))
             })
             .collect();
         // An endless input: the run can only stop through the shutdown.
@@ -195,11 +183,10 @@ fn ten_volunteer_fan_out_keeps_results_demultiplexed() {
     let pando = Pando::new(reactor_config().with_batch_size(4).with_reactor_threads(4));
     let workers: Vec<_> = (0..10)
         .map(|_| {
-            spawn_typed_worker(
+            WorkerBuilder::new().spawn_typed(
                 pando.open_volunteer_channel(),
                 StringCodec,
                 |s: &String| Ok(format!("r{s}")),
-                WorkerOptions::default(),
             )
         })
         .collect();

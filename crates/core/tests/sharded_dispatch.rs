@@ -7,7 +7,7 @@
 use bytes::Bytes;
 use pando_core::config::{PandoConfig, VolunteerBackend};
 use pando_core::master::Pando;
-use pando_core::worker::{spawn_typed_worker, spawn_worker_pool, WorkerOptions};
+use pando_core::worker::WorkerBuilder;
 use pando_netsim::fault::FaultPlan;
 use pando_pull_stream::codec::StringCodec;
 use pando_pull_stream::source::{count, Source, SourceExt};
@@ -28,12 +28,9 @@ fn four_shards_keep_global_order_across_a_fleet() {
         PandoConfig::local_test().with_reactor_threads(4).with_lender_shards(4).with_batch_size(4);
     let pando = Pando::new(config);
     let endpoints: Vec<_> = (0..16).map(|_| pando.open_volunteer_channel()).collect();
-    let pool = spawn_worker_pool(
-        endpoints,
-        |payload: &Bytes| Ok(payload.clone()),
-        4,
-        WorkerOptions::default(),
-    );
+    let pool = WorkerBuilder::new()
+        .pool_threads(4)
+        .spawn_pool(endpoints, |payload: &Bytes| Ok(payload.clone()));
     let output = pando
         .run(count(500).map_values(|v| Bytes::from(v.to_string().into_bytes())))
         .collect_values()
@@ -68,12 +65,8 @@ fn single_shard_reproduces_the_single_lender_protocol() {
     let config =
         PandoConfig::local_test().with_lender_shards(1).with_batch_size(8).with_tasks_per_frame(1);
     let pando = Pando::new(config);
-    let worker = spawn_typed_worker(
-        pando.open_volunteer_channel(),
-        StringCodec,
-        echo,
-        WorkerOptions::default(),
-    );
+    let worker =
+        WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, echo);
     let output = pando.run_typed(StringCodec, numbers(40)).collect_values().unwrap();
     assert_eq!(output, (1..=40u64).map(|v| v.to_string()).collect::<Vec<_>>());
     worker.join();
@@ -92,18 +85,13 @@ fn crash_on_one_shard_is_rescued_by_volunteers_of_another() {
     // finish its own shard, hop over, and complete the orphaned work.
     let config = PandoConfig::local_test().with_reactor_threads(2).with_lender_shards(2);
     let pando = Pando::new(config);
-    let crasher = spawn_typed_worker(
+    let crasher = WorkerBuilder::new().fault(FaultPlan::AfterTasks(3)).spawn_typed(
         pando.open_volunteer_channel(),
         StringCodec,
         echo,
-        WorkerOptions { fault: FaultPlan::AfterTasks(3), ..WorkerOptions::default() },
     );
-    let survivor = spawn_typed_worker(
-        pando.open_volunteer_channel(),
-        StringCodec,
-        echo,
-        WorkerOptions::default(),
-    );
+    let survivor =
+        WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, echo);
     let output = pando.run_typed(StringCodec, numbers(80)).collect_values().unwrap();
     assert_eq!(output, (1..=80u64).map(|v| v.to_string()).collect::<Vec<_>>());
     assert!(crasher.join().crashed);
@@ -122,12 +110,9 @@ fn volunteers_spread_across_shards_before_hashing() {
     let config = PandoConfig::local_test().with_reactor_threads(4).with_lender_shards(4);
     let pando = Pando::new(config);
     let endpoints: Vec<_> = (0..8).map(|_| pando.open_volunteer_channel()).collect();
-    let pool = spawn_worker_pool(
-        endpoints,
-        |payload: &Bytes| Ok(payload.clone()),
-        2,
-        WorkerOptions::default(),
-    );
+    let pool = WorkerBuilder::new()
+        .pool_threads(2)
+        .spawn_pool(endpoints, |payload: &Bytes| Ok(payload.clone()));
     let output = pando
         .run(count(200).map_values(|v| Bytes::from(v.to_string().into_bytes())))
         .collect_values()
@@ -155,12 +140,8 @@ fn adaptive_batching_completes_and_coalesces() {
         .with_adaptive_batching(true)
         .with_lender_shards(1);
     let pando = Pando::new(config);
-    let worker = spawn_typed_worker(
-        pando.open_volunteer_channel(),
-        StringCodec,
-        echo,
-        WorkerOptions::default(),
-    );
+    let worker =
+        WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, echo);
     let output = pando.run_typed(StringCodec, numbers(300)).collect_values().unwrap();
     assert_eq!(output.len(), 300);
     worker.join();
@@ -181,12 +162,8 @@ fn threads_backend_runs_a_single_shard_with_shard_metrics() {
     let config =
         PandoConfig::local_test().with_backend(VolunteerBackend::Threads).with_lender_shards(4); // ignored: the threads backend never shards
     let pando = Pando::new(config);
-    let worker = spawn_typed_worker(
-        pando.open_volunteer_channel(),
-        StringCodec,
-        echo,
-        WorkerOptions::default(),
-    );
+    let worker =
+        WorkerBuilder::new().spawn_typed(pando.open_volunteer_channel(), StringCodec, echo);
     let output = pando.run_typed(StringCodec, numbers(25)).collect_values().unwrap();
     assert_eq!(output.len(), 25);
     worker.join();

@@ -1,0 +1,315 @@
+//! End-to-end coverage of the real-socket TCP transport: handshake accept
+//! and rejection, frame codec round-trips over a live socket pair, oversized
+//! and truncated frames, crash detection feeding re-lend, and a loopback
+//! 32-volunteer fleet driven by one master over localhost TCP.
+
+use bytes::Bytes;
+use pando_core::config::PandoConfig;
+use pando_core::master::Pando;
+use pando_core::protocol::Message;
+use pando_core::transport::tcp::{TcpAcceptor, TcpConfig, TcpTransport, TCP_PROTOCOL_VERSION};
+use pando_core::transport::Transport;
+use pando_core::worker::WorkerBuilder;
+use pando_netsim::channel::RecvError;
+use pando_netsim::codec::{Record, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use pando_netsim::fault::FaultPlan;
+use pando_pull_stream::source::{count, SourceExt};
+use pando_pull_stream::StreamError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Generous liveness windows: these tests assert explicit events, not
+/// timeout-based suspicion, so the timeout must never fire spuriously on a
+/// loaded CI machine.
+fn lenient() -> TcpConfig {
+    TcpConfig {
+        heartbeat_interval: Duration::from_secs(2),
+        failure_timeout: Duration::from_secs(30),
+        nodelay: true,
+    }
+}
+
+/// Accepts exactly one handshaken connection, polling the non-blocking
+/// acceptor until it shows up.
+fn accept_one(acceptor: &TcpAcceptor) -> (String, TcpTransport) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match acceptor.accept() {
+            Ok(Some(pair)) => return pair,
+            Ok(None) => {
+                assert!(Instant::now() < deadline, "no connection within 10s");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(err) => panic!("handshake failed: {err}"),
+        }
+    }
+}
+
+/// Like [`accept_one`] but expects the handshake to be rejected.
+fn accept_expect_error(acceptor: &TcpAcceptor) -> pando_core::TransportError {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match acceptor.accept() {
+            Ok(Some((name, _))) => panic!("handshake unexpectedly succeeded for {name}"),
+            Ok(None) => {
+                assert!(Instant::now() < deadline, "no connection within 10s");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(err) => return err,
+        }
+    }
+}
+
+fn recv_one(transport: &dyn Transport) -> Message {
+    transport.recv_timeout(Duration::from_secs(10)).expect("message arrives")
+}
+
+#[test]
+fn handshake_exchanges_names_and_all_message_kinds_round_trip() {
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", lenient()).unwrap();
+    let addr = acceptor.local_addr();
+    let client = std::thread::spawn(move || {
+        TcpTransport::connect(addr, "tablet-7", lenient()).expect("connect")
+    });
+    let (name, master_side) = accept_one(&acceptor);
+    let volunteer_side = client.join().unwrap();
+    assert_eq!(name, "tablet-7", "the hello carries the volunteer's self-declared name");
+    assert_eq!(master_side.peer_name(), "tablet-7");
+
+    // Every protocol message survives a real socket round-trip, in order.
+    let batch = vec![
+        Record::new(4, Bytes::copy_from_slice(b"first")),
+        Record::new(5, Bytes::copy_from_slice(b"")),
+        Record::new(6, Bytes::from(vec![0xAB; 4096])),
+    ];
+    let outbound = vec![
+        Message::Task { seq: 1, payload: Bytes::copy_from_slice(b"value-1") },
+        Message::TaskBatch(batch.clone()),
+        Message::Heartbeat,
+        Message::Goodbye,
+    ];
+    for message in &outbound {
+        master_side.send(message.clone()).expect("send succeeds");
+    }
+    for expected in &outbound {
+        assert_eq!(&recv_one(&volunteer_side), expected, "FIFO delivery over the socket");
+    }
+
+    let inbound = vec![
+        Message::TaskResult { seq: 1, payload: Bytes::copy_from_slice(b"result-1") },
+        Message::ResultBatch(batch),
+        Message::TaskError { seq: 9, message: Bytes::copy_from_slice(b"boom") },
+    ];
+    for message in &inbound {
+        volunteer_side.send(message.clone()).expect("send succeeds");
+    }
+    for expected in &inbound {
+        assert_eq!(&recv_one(&master_side), expected);
+    }
+
+    // Clean close: the marker is distinguishable from a crash on both ends.
+    volunteer_side.close();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match master_side.try_recv() {
+            Err(RecvError::Closed) => break,
+            Err(RecvError::Empty) => {
+                assert!(Instant::now() < deadline, "close marker never arrived");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            other => panic!("expected a clean close, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_and_wrong_version_are_rejected() {
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", lenient()).unwrap();
+    let addr = acceptor.local_addr();
+
+    // Not a Pando client at all.
+    let bogus = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let _ = stream.read(&mut [0u8; 16]); // wait for the rejection
+    });
+    let err = accept_expect_error(&acceptor);
+    assert!(err.to_string().contains("magic"), "got: {err}");
+    bogus.join().unwrap();
+
+    // Right magic, incompatible version byte.
+    let future = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut hello = Vec::new();
+        hello.extend_from_slice(b"PNDO");
+        hello.push(TCP_PROTOCOL_VERSION + 1);
+        hello.extend_from_slice(&2u16.to_be_bytes());
+        hello.extend_from_slice(b"v2");
+        stream.write_all(&hello).unwrap();
+        let _ = stream.read(&mut [0u8; 16]);
+    });
+    let err = accept_expect_error(&acceptor);
+    assert!(err.to_string().contains("version"), "got: {err}");
+    future.join().unwrap();
+}
+
+/// Performs a valid client-side handshake on a raw socket so the test can
+/// then inject arbitrary bytes at the frame layer.
+fn raw_handshake(addr: std::net::SocketAddr, name: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut hello = Vec::new();
+    hello.extend_from_slice(b"PNDO");
+    hello.push(TCP_PROTOCOL_VERSION);
+    hello.extend_from_slice(&(name.len() as u16).to_be_bytes());
+    hello.extend_from_slice(name.as_bytes());
+    stream.write_all(&hello).unwrap();
+    let mut ack = [0u8; 5];
+    stream.read_exact(&mut ack).unwrap();
+    assert_eq!(&ack[..4], b"PNDO");
+    stream
+}
+
+#[test]
+fn oversized_incoming_frame_fails_the_link() {
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", lenient()).unwrap();
+    let addr = acceptor.local_addr();
+    let client = std::thread::spawn(move || {
+        let mut stream = raw_handshake(addr, "hostile");
+        // A header announcing a frame over the wire limit; the link must be
+        // poisoned before any payload is read.
+        let mut header = vec![1u8];
+        header.extend_from_slice(&((MAX_FRAME_LEN + 1) as u32).to_be_bytes());
+        stream.write_all(&header).unwrap();
+        let _ = stream.read(&mut [0u8; 16]); // wait for the shutdown
+    });
+    let (_, master_side) = accept_one(&acceptor);
+    let err = master_side.recv_timeout(Duration::from_secs(10)).unwrap_err();
+    assert_eq!(err, RecvError::PeerFailed, "an oversized frame is a protocol failure");
+    assert!(!master_side.is_peer_alive());
+    client.join().unwrap();
+}
+
+#[test]
+fn mid_frame_disconnect_is_detected_as_a_crash() {
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", lenient()).unwrap();
+    let addr = acceptor.local_addr();
+    let client = std::thread::spawn(move || {
+        let mut stream = raw_handshake(addr, "flaky");
+        // A valid header promising 100 payload bytes, then only 10 of them,
+        // then the socket dies: EOF mid-frame, no close marker.
+        let mut partial = vec![1u8];
+        partial.extend_from_slice(&100u32.to_be_bytes());
+        partial.extend_from_slice(&[0u8; 10]);
+        stream.write_all(&partial).unwrap();
+        drop(stream);
+    });
+    let (_, master_side) = accept_one(&acceptor);
+    client.join().unwrap();
+    let err = master_side.recv_timeout(Duration::from_secs(10)).unwrap_err();
+    assert_eq!(err, RecvError::PeerFailed, "mid-frame EOF must read as a crash, never a close");
+    assert_eq!(master_side.try_recv().unwrap_err(), RecvError::PeerFailed);
+    assert!(link_is_terminal(&master_side));
+}
+
+/// A failed link reports no future readiness deadline.
+fn link_is_terminal(transport: &dyn Transport) -> bool {
+    transport.next_ready_at().is_none()
+}
+
+#[test]
+fn tcp_volunteer_crash_triggers_re_lend() {
+    let pando = Pando::new(PandoConfig::local_test().with_batch_size(4));
+    // Crash detection in this test rides the EOF fast path, so the lenient
+    // windows are safe and keep loaded CI machines from false suspicions.
+    let tcp = lenient();
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", tcp.clone()).unwrap();
+    let addr = acceptor.local_addr();
+    let server = acceptor.serve(&pando);
+
+    let echo = |payload: &Bytes| -> Result<Bytes, StreamError> { Ok(payload.clone()) };
+    let crashing = WorkerBuilder::new()
+        .name("doomed")
+        .fault(FaultPlan::AfterTasks(3))
+        .heartbeats(true)
+        .spawn(TcpTransport::connect(addr, "doomed", tcp.clone()).unwrap(), echo);
+    let reliable = WorkerBuilder::new()
+        .name("steady")
+        .heartbeats(true)
+        .spawn(TcpTransport::connect(addr, "steady", tcp).unwrap(), echo);
+
+    let output = pando
+        .run(count(60).map_values(|v| Bytes::from(v.to_string().into_bytes())))
+        .collect_values()
+        .unwrap();
+    assert_eq!(output.len(), 60);
+    for (i, payload) in output.iter().enumerate() {
+        assert_eq!(payload.as_ref(), (i + 1).to_string().as_bytes(), "order survives the crash");
+    }
+    assert!(crashing.join().crashed);
+    assert!(!reliable.join().crashed);
+    server.join();
+    pando.join_volunteers();
+    let stats = pando.lender_stats().unwrap();
+    assert_eq!(stats.results_emitted, 60);
+    assert_eq!(stats.substreams_crashed, 1, "the TCP crash reaches the lender as a crash");
+    assert!(stats.relends >= 1, "values held by the crashed volunteer are re-lent");
+}
+
+#[test]
+fn loopback_fleet_of_32_tcp_volunteers_completes_in_order() {
+    let tasks = 480u64;
+    let pando = Pando::new(PandoConfig::local_test().with_batch_size(4).with_reactor_threads(4));
+    let tcp = lenient();
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", tcp.clone()).unwrap();
+    let addr = acceptor.local_addr();
+    let server = acceptor.serve(&pando);
+
+    // 32 real socket connections served by an 8-thread worker pool: the
+    // volunteer-side mirror of a real multi-process fleet, in one test.
+    let transports: Vec<TcpTransport> = (0..32)
+        .map(|i| TcpTransport::connect(addr, &format!("fleet-{i}"), tcp.clone()).unwrap())
+        .collect();
+    let pool = WorkerBuilder::new().heartbeats(true).pool_threads(8).spawn_pool(
+        transports,
+        |payload: &Bytes| {
+            let v: u64 = std::str::from_utf8(payload)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| StreamError::new("not a number"))?;
+            Ok(Bytes::from((v * 3 + 1).to_string().into_bytes()))
+        },
+    );
+
+    let output = pando
+        .run(count(tasks).map_values(|v| Bytes::from(v.to_string().into_bytes())))
+        .collect_values()
+        .unwrap();
+    assert_eq!(output.len() as u64, tasks);
+    for (i, payload) in output.iter().enumerate() {
+        let expected = ((i as u64 + 1) * 3 + 1).to_string();
+        assert_eq!(payload.as_ref(), expected.as_bytes(), "result {i} complete and in order");
+    }
+
+    let reports = pool.join();
+    server.join();
+    pando.join_volunteers();
+    assert_eq!(
+        reports.iter().map(|r| r.processed).sum::<u64>(),
+        tasks,
+        "every task processed exactly once across the TCP fleet"
+    );
+    let stats = pando.lender_stats().unwrap();
+    assert_eq!(stats.results_emitted, tasks);
+    assert_eq!(stats.substreams_crashed, 0, "a healthy fleet ends cleanly");
+}
+
+#[test]
+fn frame_header_constant_matches_the_wire() {
+    // The TCP reader parses headers by hand; pin the layout it assumes.
+    let message = Message::Task { seq: 42, payload: Bytes::copy_from_slice(b"xyz") };
+    let frame = message.encode().unwrap();
+    let len = u32::from_be_bytes([frame[1], frame[2], frame[3], frame[4]]) as usize;
+    assert_eq!(frame.len(), FRAME_HEADER_LEN + len);
+    assert_ne!(frame[0], 0, "protocol tags must never collide with the close marker");
+}

@@ -8,7 +8,7 @@
 use bytes::Bytes;
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
-use pando_core::worker::{spawn_typed_worker, WorkerOptions};
+use pando_core::worker::WorkerBuilder;
 use pando_netsim::fault::FaultPlan;
 use pando_pull_stream::source::from_iter;
 use pando_pull_stream::source::SourceExt;
@@ -31,23 +31,17 @@ fn main() {
     println!("Rendering {frames} frames of {width}x{height} on volunteer devices...");
 
     // A tablet that crashes after three frames and two reliable laptops.
-    let tablet = spawn_typed_worker(
+    let tablet = WorkerBuilder::new().fault(FaultPlan::AfterTasks(3)).name("tablet").spawn_typed(
         pando.open_volunteer_channel(),
         RaytraceCodec,
         render,
-        WorkerOptions {
-            fault: FaultPlan::AfterTasks(3),
-            name: "tablet".into(),
-            ..Default::default()
-        },
     );
     let laptops: Vec<_> = (0..2)
         .map(|i| {
-            spawn_typed_worker(
+            WorkerBuilder::new().name(format!("laptop-{i}")).spawn_typed(
                 pando.open_volunteer_channel(),
                 RaytraceCodec,
                 render,
-                WorkerOptions { name: format!("laptop-{i}"), ..WorkerOptions::default() },
             )
         })
         .collect();

@@ -8,7 +8,7 @@
 
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
-use pando_core::worker::{spawn_typed_worker, WorkerOptions};
+use pando_core::worker::WorkerBuilder;
 use pando_pull_stream::source::{from_iter, SourceExt};
 use pando_workloads::app::MlAgentCodec;
 use pando_workloads::mlagent::{learning_rate_candidates, train, TrainingConfig};
@@ -18,11 +18,10 @@ fn main() {
     let pando = Pando::new(PandoConfig::local_test());
     let workers: Vec<_> = (0..4)
         .map(|i| {
-            spawn_typed_worker(
+            WorkerBuilder::new().name(format!("device-{i}")).spawn_typed(
                 pando.open_volunteer_channel(),
                 MlAgentCodec,
                 |rate: &f64| Ok(train(*rate, &TrainingConfig::default())),
-                WorkerOptions { name: format!("device-{i}"), ..WorkerOptions::default() },
             )
         })
         .collect();

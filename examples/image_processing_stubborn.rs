@@ -7,7 +7,7 @@
 
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
-use pando_core::worker::{spawn_typed_worker, WorkerOptions};
+use pando_core::worker::WorkerBuilder;
 use pando_pull_stream::source::{from_iter, SourceExt};
 use pando_pull_stream::stubborn::StubbornQueue;
 use pando_pull_stream::{Answer, Request, Source};
@@ -23,11 +23,10 @@ fn main() {
     let workers: Vec<_> = (0..2)
         .map(|i| {
             let app = ImageProcApp { tile_size: 128, radius: 3 };
-            spawn_typed_worker(
+            WorkerBuilder::new().name(format!("device-{i}")).spawn_typed(
                 pando.open_volunteer_channel(),
                 ImageProcCodec,
                 move |seed: &u64| Ok(app.digest(*seed)),
-                WorkerOptions { name: format!("device-{i}"), ..WorkerOptions::default() },
             )
         })
         .collect();

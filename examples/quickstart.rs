@@ -5,7 +5,7 @@
 
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
-use pando_core::worker::{spawn_typed_worker, WorkerOptions};
+use pando_core::worker::WorkerBuilder;
 use pando_pull_stream::codec::StringCodec;
 use pando_pull_stream::source::{count, SourceExt};
 use pando_pull_stream::StreamError;
@@ -28,11 +28,10 @@ fn main() {
         .into_iter()
         .map(|name| {
             println!("{name}: joined");
-            spawn_typed_worker(
+            WorkerBuilder::new().name(name).spawn_typed(
                 pando.open_volunteer_channel(),
                 StringCodec,
                 square,
-                WorkerOptions { name: name.to_string(), ..WorkerOptions::default() },
             )
         })
         .collect();

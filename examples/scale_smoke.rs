@@ -22,7 +22,7 @@
 use bytes::Bytes;
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
-use pando_core::worker::{spawn_worker_pool, WorkerOptions};
+use pando_core::worker::WorkerBuilder;
 use pando_netsim::channel::ChannelConfig;
 use pando_pull_stream::source::{count, SourceExt};
 use std::time::{Duration, Instant};
@@ -63,7 +63,7 @@ fn main() {
     let baseline_threads = thread_count();
     let pando = Pando::new(config);
     let endpoints: Vec<_> = (0..volunteers).map(|_| pando.open_volunteer_channel()).collect();
-    let pool = spawn_worker_pool(
+    let pool = WorkerBuilder::new().heartbeats(true).pool_threads(worker_pool_threads).spawn_pool(
         endpoints,
         |payload: &Bytes| {
             // A trivial but checkable function: f(v) = v * 3 + 1.
@@ -73,8 +73,6 @@ fn main() {
                 .ok_or_else(|| pando_pull_stream::StreamError::new("not a number"))?;
             Ok(Bytes::from((v * 3 + 1).to_string().into_bytes()))
         },
-        worker_pool_threads,
-        WorkerOptions { heartbeats: true, ..WorkerOptions::default() },
     );
     println!("{volunteers} volunteers wired in {:?}", started.elapsed());
 

@@ -1,0 +1,116 @@
+//! TCP demo, master half: one OS process that listens for volunteer
+//! connections on localhost TCP, streams a checkable workload through
+//! whatever fleet shows up, and asserts the output is complete and in input
+//! order — including across a volunteer *process* crash mid-run.
+//!
+//! Run the two halves in separate terminals (or use `make tcp-demo`):
+//!
+//! ```text
+//! PANDO_TCP_ADDR_FILE=/tmp/pando.addr cargo run --release --example tcp_master
+//! PANDO_TCP_ADDR_FILE=/tmp/pando.addr cargo run --release --example tcp_volunteer
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `PANDO_TCP_ADDR` — listen address (default `127.0.0.1:0`, an
+//!   OS-assigned port)
+//! * `PANDO_TCP_ADDR_FILE` — if set, the resolved address is written here so
+//!   volunteer processes can discover the port
+//! * `TCP_TASKS` — number of values to stream (default 2000)
+//! * `TCP_MIN_VOLUNTEERS` — wait until this many volunteers handshake
+//!   before streaming (default 1), so fast workloads do not finish before
+//!   the whole fleet joins
+//! * `TCP_BUDGET_SECS` — wall-clock guard; the process exits non-zero if the
+//!   run exceeds it (default 120)
+
+use bytes::Bytes;
+use pando_core::config::PandoConfig;
+use pando_core::master::Pando;
+use pando_core::transport::tcp::{TcpAcceptor, TcpConfig};
+use pando_pull_stream::source::{count, SourceExt};
+use std::time::{Duration, Instant};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Liveness windows for the localhost demo: heartbeats five times a second,
+/// crash suspicion after three silent seconds. An abrupt process death is
+/// detected much faster through the socket EOF; the timeout only backstops
+/// wedged-but-open connections.
+fn demo_tcp_config() -> TcpConfig {
+    TcpConfig {
+        heartbeat_interval: Duration::from_millis(200),
+        failure_timeout: Duration::from_secs(3),
+        nodelay: true,
+    }
+}
+
+fn main() {
+    let addr = std::env::var("PANDO_TCP_ADDR").unwrap_or_else(|_| "127.0.0.1:0".to_string());
+    let tasks = env_u64("TCP_TASKS", 2_000);
+    let budget = Duration::from_secs(env_u64("TCP_BUDGET_SECS", 120));
+
+    let config = PandoConfig::local_test()
+        .with_batch_size(8)
+        .with_reactor_threads(4)
+        .with_tcp(demo_tcp_config());
+    let tcp = config.transport.tcp.clone();
+    let pando = Pando::new(config);
+
+    let acceptor = TcpAcceptor::bind(&addr, tcp).expect("bind TCP listener");
+    let local = acceptor.local_addr();
+    println!("pando master listening on {local}");
+    if let Ok(path) = std::env::var("PANDO_TCP_ADDR_FILE") {
+        // Write via a temp file + rename so readers never see a partial line.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, local.to_string()).expect("write address file");
+        std::fs::rename(&tmp, &path).expect("publish address file");
+        println!("address published to {path}");
+    }
+    let server = acceptor.serve(&pando);
+
+    let min_volunteers = env_u64("TCP_MIN_VOLUNTEERS", 1) as usize;
+    assert!(
+        server.wait_for_volunteers(min_volunteers, Duration::from_secs(30)),
+        "only {} of {min_volunteers} volunteers joined within 30s",
+        server.accepted()
+    );
+    println!("{} volunteers joined; streaming {tasks} tasks", server.accepted());
+
+    // The workload: f(v) = 3v + 1 over v = 1..=tasks, checkable per index.
+    let started = Instant::now();
+    let output = pando
+        .run(count(tasks).map_values(|v| Bytes::from(v.to_string().into_bytes())))
+        .collect_values()
+        .expect("stream completes");
+    let elapsed = started.elapsed();
+
+    assert_eq!(output.len() as u64, tasks, "every value must produce a result");
+    for (i, payload) in output.iter().enumerate() {
+        let v = (i + 1) as u64;
+        let expected = (v * 3 + 1).to_string();
+        assert_eq!(
+            payload.as_ref(),
+            expected.as_bytes(),
+            "result {i} out of order or demultiplexed incorrectly"
+        );
+    }
+
+    let accepted = server.join();
+    pando.join_volunteers();
+    let stats = pando.lender_stats().expect("the run started");
+    println!(
+        "{tasks} tasks over {accepted} TCP volunteers in {elapsed:?} ({:.0} tasks/s)",
+        tasks as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "lender: {} values read, {} results emitted, {} re-lent, {} sub-streams crashed",
+        stats.values_read, stats.results_emitted, stats.relends, stats.substreams_crashed
+    );
+    assert!(
+        elapsed <= budget,
+        "wall-clock guard exceeded: {elapsed:?} > {budget:?} — the TCP path regressed"
+    );
+    println!("tcp master OK: output complete and in order");
+}

@@ -1,0 +1,104 @@
+//! TCP demo, volunteer half: a separate OS process that connects a fleet of
+//! worker loops to a running `tcp_master` over localhost TCP and processes
+//! tasks until the master closes the stream — or, with `TCP_CRASH_AFTER`
+//! set, kills itself abruptly mid-run to exercise crash detection and
+//! re-lend across a real process boundary.
+//!
+//! See `examples/tcp_master.rs` for the two-terminal walkthrough and
+//! `make tcp-demo` for the scripted version.
+//!
+//! Environment knobs:
+//!
+//! * `PANDO_TCP_ADDR` — master address (`host:port`)
+//! * `PANDO_TCP_ADDR_FILE` — file to read the address from (written by the
+//!   master; polled until it appears)
+//! * `TCP_WORKERS` — number of volunteer connections to open (default 32)
+//! * `TCP_NAME_PREFIX` — volunteer name prefix (default `vol`)
+//! * `TCP_CRASH_AFTER` — if set, the whole process calls
+//!   `std::process::exit(2)` once this many tasks were processed across the
+//!   fleet: no close markers, no goodbyes, sockets torn down by the OS —
+//!   exactly the "volunteer device dies" scenario of the paper.
+
+use bytes::Bytes;
+use pando_core::transport::tcp::{TcpConfig, TcpTransport};
+use pando_core::worker::WorkerBuilder;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Must mirror the master's liveness windows (see `tcp_master.rs`).
+fn demo_tcp_config() -> TcpConfig {
+    TcpConfig {
+        heartbeat_interval: Duration::from_millis(200),
+        failure_timeout: Duration::from_secs(3),
+        nodelay: true,
+    }
+}
+
+/// Resolves the master address from `PANDO_TCP_ADDR`, or polls
+/// `PANDO_TCP_ADDR_FILE` until the master publishes it.
+fn master_addr() -> String {
+    if let Ok(addr) = std::env::var("PANDO_TCP_ADDR") {
+        return addr;
+    }
+    let path =
+        std::env::var("PANDO_TCP_ADDR_FILE").expect("set PANDO_TCP_ADDR or PANDO_TCP_ADDR_FILE");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match std::fs::read_to_string(&path) {
+            Ok(addr) if !addr.trim().is_empty() => return addr.trim().to_string(),
+            _ if Instant::now() > deadline => panic!("no master address in {path} after 30s"),
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn main() {
+    let addr = master_addr();
+    let workers = env_u64("TCP_WORKERS", 32) as usize;
+    let prefix = std::env::var("TCP_NAME_PREFIX").unwrap_or_else(|_| "vol".to_string());
+    let crash_after = std::env::var("TCP_CRASH_AFTER").ok().and_then(|v| v.parse::<u64>().ok());
+    let processed = Arc::new(AtomicU64::new(0));
+
+    println!(
+        "joining master at {addr} with {workers} workers{}",
+        crash_after.map(|n| format!(", crashing the process after {n} tasks")).unwrap_or_default()
+    );
+    let handles: Vec<_> = (0..workers)
+        .map(|i| {
+            let transport =
+                TcpTransport::connect(&addr, &format!("{prefix}-{i}"), demo_tcp_config())
+                    .expect("connect to master");
+            let processed = processed.clone();
+            WorkerBuilder::new().name(format!("{prefix}-{i}")).heartbeats(true).spawn(
+                transport,
+                move |payload: &Bytes| {
+                    let v: u64 = std::str::from_utf8(payload)
+                        .ok()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| pando_pull_stream::StreamError::new("not a number"))?;
+                    let done = processed.fetch_add(1, Ordering::SeqCst) + 1;
+                    if let Some(limit) = crash_after {
+                        if done >= limit {
+                            // Abrupt process death: no unwinding, no close
+                            // markers. The master must detect the crash and
+                            // re-lend every value this fleet held.
+                            std::process::exit(2);
+                        }
+                    }
+                    Ok(Bytes::from((v * 3 + 1).to_string().into_bytes()))
+                },
+            )
+        })
+        .collect();
+
+    let mut total = 0u64;
+    for handle in handles {
+        total += handle.join().processed;
+    }
+    println!("volunteer process done: {total} tasks processed across {workers} workers");
+}

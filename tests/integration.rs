@@ -8,7 +8,7 @@ use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
 use pando_core::monitor::MiningMonitor;
 use pando_core::volunteer::{join_as_volunteer, serve};
-use pando_core::worker::{spawn_worker, WorkerOptions};
+use pando_core::worker::{WorkerBuilder, WorkerOptions};
 use pando_netsim::channel::ChannelConfig;
 use pando_netsim::fault::FaultPlan;
 use pando_netsim::signaling::PublicServer;
@@ -25,11 +25,10 @@ fn app_worker(
     fault: FaultPlan,
 ) -> pando_core::worker::WorkerHandle {
     let app = kind.instantiate();
-    spawn_worker(
-        pando.open_volunteer_channel(),
-        move |input: &Bytes| app.process(input),
-        WorkerOptions { name: name.to_string(), fault, ..Default::default() },
-    )
+    WorkerBuilder::new()
+        .name(name)
+        .fault(fault)
+        .spawn(pando.open_volunteer_channel(), move |input: &Bytes| app.process(input))
 }
 
 /// Streaming map + ordered outputs: the raytracing animation comes back in
@@ -42,13 +41,12 @@ fn animation_frames_come_back_in_order() {
     let _fast = app_worker(&pando, AppKind::Raytrace, "fast", FaultPlan::None);
     let _slow = {
         let app = AppKind::Raytrace.instantiate();
-        spawn_worker(
+        WorkerBuilder::new().name("slow").spawn(
             pando.open_volunteer_channel(),
             move |input: &Bytes| {
                 std::thread::sleep(Duration::from_millis(5));
                 app.process(input)
             },
-            WorkerOptions { name: "slow".into(), ..WorkerOptions::default() },
         )
     };
     let inputs: Vec<Bytes> = (0..12).map(|i| app.input(i)).collect();
@@ -197,14 +195,13 @@ fn batching_does_not_deadlock_on_interactive_inputs() {
     let _workers: Vec<_> = (0..2)
         .map(|i| {
             let small = pando_workloads::app::ImageProcApp { tile_size: 32, radius: 1 };
-            spawn_worker(
+            WorkerBuilder::new().name(format!("w{i}")).spawn(
                 pando.open_volunteer_channel(),
                 move |input: &Bytes| {
                     use pando_pull_stream::codec::TaskCodec;
                     let seed = ImageProcCodec.decode_task(input)?;
                     Ok(ImageProcCodec.encode_result(&small.digest(seed)))
                 },
-                WorkerOptions { name: format!("w{i}"), ..WorkerOptions::default() },
             )
         })
         .collect();

@@ -9,7 +9,7 @@
 
 use pando_core::config::PandoConfig;
 use pando_core::master::Pando;
-use pando_core::worker::{spawn_typed_worker, WorkerOptions};
+use pando_core::worker::WorkerBuilder;
 use pando_pull_stream::codec::StringCodec;
 use pando_pull_stream::source::{count, SourceExt};
 use pando_pull_stream::StreamError;
@@ -25,11 +25,10 @@ fn quickstart_path_two_workers_ordered_output() {
     let workers: Vec<_> = ["tablet", "phone"]
         .into_iter()
         .map(|name| {
-            spawn_typed_worker(
+            WorkerBuilder::new().name(name).spawn_typed(
                 pando.open_volunteer_channel(),
                 StringCodec,
                 square,
-                WorkerOptions { name: name.to_string(), ..WorkerOptions::default() },
             )
         })
         .collect();
