@@ -94,6 +94,7 @@ impl Default for BatchingConfig {
 /// assert_eq!(reactor.backend, VolunteerBackend::Reactor);
 /// assert_eq!(reactor.threads, 4);
 /// assert_eq!(reactor.lender_shards, None); // derived from the pool size
+/// assert!(reactor.bounded_wakes);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReactorConfig {
@@ -118,6 +119,14 @@ pub struct ReactorConfig {
     /// The legacy [`VolunteerBackend::Threads`] backend always runs a single
     /// shard.
     pub lender_shards: Option<usize>,
+    /// Whether `kick_starved` wakes only `min(parked, shard lendable depth)`
+    /// drivers per lender change (the work-conserving default) or broadcasts
+    /// to every parked driver of the shard (the pre-bounded behaviour, kept
+    /// for A/B runs: `with_bounded_wakes(false)`). Liveness under bounded
+    /// wakes is guaranteed by the kick-epoch counter plus a
+    /// heartbeat-interval backstop timer that re-kicks any shard holding
+    /// lendable work while drivers are parked.
+    pub bounded_wakes: bool,
 }
 
 impl Default for ReactorConfig {
@@ -126,6 +135,7 @@ impl Default for ReactorConfig {
             backend: VolunteerBackend::default(),
             threads: PandoConfig::DEFAULT_REACTOR_THREADS,
             lender_shards: None,
+            bounded_wakes: true,
         }
     }
 }
@@ -329,6 +339,14 @@ impl PandoConfig {
         self
     }
 
+    /// Returns the configuration with bounded starved-kicks switched on or
+    /// off; see [`ReactorConfig::bounded_wakes`]. `false` restores the
+    /// broadcast kicks for A/B comparison.
+    pub fn with_bounded_wakes(mut self, bounded_wakes: bool) -> Self {
+        self.reactor.bounded_wakes = bounded_wakes;
+        self
+    }
+
     /// Returns the configuration with adaptive batching switched on or off.
     pub fn with_adaptive_batching(mut self, adaptive_batching: bool) -> Self {
         self.batching.adaptive = adaptive_batching;
@@ -427,6 +445,15 @@ mod tests {
         assert_eq!(config.reactor.threads, 8);
         assert_eq!(config.transport, TransportConfig::default());
         assert_eq!(config.run, RunConfig::default());
+    }
+
+    #[test]
+    fn bounded_wakes_defaults_on_and_toggles() {
+        assert!(ReactorConfig::default().bounded_wakes);
+        assert!(PandoConfig::local_test().reactor.bounded_wakes);
+        let config = PandoConfig::local_test().with_bounded_wakes(false);
+        assert!(!config.reactor.bounded_wakes);
+        assert!(config.with_bounded_wakes(true).reactor.bounded_wakes);
     }
 
     #[test]

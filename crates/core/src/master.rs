@@ -216,9 +216,10 @@ impl Pando {
     }
 
     /// Samples every shard's queue gauges (staged depth, in-flight count)
-    /// into the [`ThroughputMeter`], so the next
-    /// [`ThroughputMeter::report`] carries fresh per-shard rows alongside
-    /// the borrow/result counters the dispatch path accumulates.
+    /// and the reactor's wake-discipline counters into the
+    /// [`ThroughputMeter`], so the next [`ThroughputMeter::report`] carries
+    /// fresh per-shard rows and a scheduler row alongside the borrow/result
+    /// counters the dispatch path accumulates.
     pub fn observe_shards(&self) {
         let state = self.state.lock();
         if let Some(lender) = state.lender.as_ref() {
@@ -229,6 +230,15 @@ impl Pando {
                     lender.shard_in_flight(shard) as u64,
                 );
             }
+        }
+        if let Some(reactor) = state.reactor.as_ref() {
+            let stats = reactor.stats();
+            self.meter.observe_scheduler(crate::metrics::SchedulerCounters {
+                polls: stats.polls,
+                wasted_polls: stats.wasted_polls,
+                kicks_sent: stats.kicks_sent,
+                kicks_suppressed: stats.kicks_suppressed,
+            });
         }
     }
 

@@ -26,6 +26,24 @@ struct MeterState {
     heartbeats: BTreeMap<String, u64>,
     heartbeats_suppressed: BTreeMap<String, u64>,
     shards: BTreeMap<usize, ShardCounters>,
+    scheduler: Option<SchedulerCounters>,
+}
+
+/// Work-conservation counters of the reactor scheduler: how many driver
+/// polls ran, how many of them made no progress, and how the bounded
+/// starved-kick budget split wakes between sent and suppressed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerCounters {
+    /// Driver polls executed by the reactor.
+    pub polls: u64,
+    /// Polls that returned `Pending` without making any progress (no frame
+    /// received, nothing dispatched): the direct cost of over-waking.
+    pub wasted_polls: u64,
+    /// Starved drivers actually woken by `kick_starved`.
+    pub kicks_sent: u64,
+    /// Starved drivers left parked because the kick budget (the shard's
+    /// lendable depth) was already covered.
+    pub kicks_suppressed: u64,
 }
 
 /// Accumulated dispatch counters and last-observed gauges for one lender
@@ -51,6 +69,7 @@ impl ThroughputMeter {
                 heartbeats: BTreeMap::new(),
                 heartbeats_suppressed: BTreeMap::new(),
                 shards: BTreeMap::new(),
+                scheduler: None,
             })),
         }
     }
@@ -103,6 +122,13 @@ impl ThroughputMeter {
         counters.in_flight = in_flight;
     }
 
+    /// Records a point-in-time observation of the reactor scheduler's
+    /// work-conservation counters. A gauge set, overwritten on every call;
+    /// deployments on the legacy threads backend never feed it.
+    pub fn observe_scheduler(&self, counters: SchedulerCounters) {
+        self.inner.lock().scheduler = Some(counters);
+    }
+
     /// Renders the counts observed so far into a report.
     pub fn report(&self) -> ThroughputReport {
         let state = self.inner.lock();
@@ -149,7 +175,7 @@ impl ThroughputMeter {
                 in_flight: counters.in_flight,
             })
             .collect();
-        ThroughputReport { elapsed, rows, shards }
+        ThroughputReport { elapsed, rows, shards, scheduler: state.scheduler }
     }
 }
 
@@ -207,6 +233,9 @@ pub struct ThroughputReport {
     /// One row per lender shard that saw dispatch activity (empty when the
     /// deployment never fed shard counters, e.g. a bare meter).
     pub shards: Vec<ShardThroughput>,
+    /// Reactor work-conservation counters, if the deployment observed them
+    /// (`None` on the legacy threads backend and bare meters).
+    pub scheduler: Option<SchedulerCounters>,
 }
 
 impl ThroughputReport {
@@ -262,6 +291,30 @@ mod tests {
         assert!(report.rows.is_empty());
         assert_eq!(report.total_units(), 0.0);
         assert_eq!(report.share("phone"), None);
+        assert_eq!(report.scheduler, None);
+    }
+
+    #[test]
+    fn scheduler_counters_are_a_gauge_set() {
+        let meter = ThroughputMeter::new();
+        meter.observe_scheduler(SchedulerCounters {
+            polls: 10,
+            wasted_polls: 4,
+            kicks_sent: 3,
+            kicks_suppressed: 7,
+        });
+        // A later observation overwrites, never accumulates.
+        meter.observe_scheduler(SchedulerCounters {
+            polls: 25,
+            wasted_polls: 6,
+            kicks_sent: 9,
+            kicks_suppressed: 11,
+        });
+        let scheduler = meter.report().scheduler.unwrap();
+        assert_eq!(scheduler.polls, 25);
+        assert_eq!(scheduler.wasted_polls, 6);
+        assert_eq!(scheduler.kicks_sent, 9);
+        assert_eq!(scheduler.kicks_suppressed, 11);
     }
 
     #[test]

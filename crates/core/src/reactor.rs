@@ -17,15 +17,27 @@
 //!   suspicions that mature later ([`Endpoint::next_ready_at`](pando_netsim::channel::Endpoint::next_ready_at)) and heartbeat
 //!   deadlines are re-polled via a monotonic timer heap; reactor threads
 //!   sleep exactly until the earliest deadline.
-//! * **Per-shard starved sets** — every driver is pinned to one lender
-//!   shard ([`ShardedLender`]); a driver with free window slots but no
-//!   lendable value parks in its *shard's* starved set, and the shard's
-//!   change waker ([`ShardedLender::add_shard_waker`]) kicks only that set
-//!   whenever a value may have become available there (input progress, a
-//!   re-lend after a crash). An epoch counter per shard closes the
-//!   register-vs-notify race. A driver whose shard drains while another
-//!   shard still holds work re-lends itself there (*shard hopping*), so
-//!   crashes can never strand values on a device-less shard.
+//! * **Per-shard starved sets with bounded kicks** — every driver is pinned
+//!   to one lender shard ([`ShardedLender`]); a driver with free window
+//!   slots but no lendable value parks in its *shard's* starved set, and the
+//!   shard's change waker ([`ShardedLender::add_shard_waker`]) kicks that
+//!   set whenever a value may have become available there (input progress, a
+//!   re-lend after a crash). A kick is *wake-limited*: it wakes at most
+//!   `min(parked, shard lendable depth)` drivers (never fewer than one), so
+//!   a single staged value no longer thunders the whole herd of parked
+//!   drivers awake. An epoch counter per shard closes the register-vs-notify
+//!   race, and a per-shard heartbeat-interval *backstop timer* re-kicks any
+//!   shard that still has lendable work and parked drivers, so a lost or
+//!   under-counted wake can delay a driver by at most one interval. A driver
+//!   whose shard drains while another shard still holds work re-lends
+//!   itself there (*shard hopping*), so crashes can never strand values on a
+//!   device-less shard.
+//! * **Shard affinity** — the ready queue is segmented per shard: a wake
+//!   enqueues the driver on its shard's FIFO, and pool thread `t` prefers
+//!   the queue of shard `t % shards` before stealing from the others in
+//!   wrap-around order. Drivers of one shard are therefore mostly polled by
+//!   the same thread (warm lender locks and caches) while the stealing
+//!   fallback keeps every thread work-conserving.
 //! * **Per-shard input pumps** — reactor threads never block, but some
 //!   inputs only answer blocking pulls (interactive queues, feedback
 //!   loops). One dedicated pump thread per shard calls
@@ -130,6 +142,16 @@ pub struct ReactorStats {
     /// Times a driver whose shard drained re-lent itself onto another shard
     /// that still had pending work (end-game rebalancing / crash rescue).
     pub shard_hops: u64,
+    /// Driver polls that made no progress: nothing received, nothing
+    /// dispatched, no heartbeat sent. The cost of over-waking; bounded kicks
+    /// exist to keep this low.
+    pub wasted_polls: u64,
+    /// Starved drivers actually woken by lender kicks (bounded by the
+    /// shard's lendable depth per kick).
+    pub kicks_sent: u64,
+    /// Starved drivers left parked by wake-limited kicks (the broadcast
+    /// would have woken them for nothing).
+    pub kicks_suppressed: u64,
 }
 
 struct Stats {
@@ -141,13 +163,27 @@ struct Stats {
     max_ready_depth: AtomicU64,
     pump_prefetches: AtomicU64,
     shard_hops: AtomicU64,
+    wasted_polls: AtomicU64,
+    kicks_sent: AtomicU64,
+    kicks_suppressed: AtomicU64,
+}
+
+/// What a timer heap entry re-schedules when its deadline passes.
+enum TimerTask {
+    /// Re-poll one driver (delayed frame, crash suspicion, heartbeat).
+    Driver(Weak<Driver>),
+    /// Liveness backstop for one shard: re-kick it if it still has lendable
+    /// work and parked drivers (see [`Inner::kick_starved`] — bounded wakes
+    /// may leave drivers parked, and this timer guarantees none stays parked
+    /// past a heartbeat interval while work is available).
+    Backstop(usize),
 }
 
 /// A timer heap entry; ordered by deadline through `Reverse` so the
 /// `BinaryHeap` pops the earliest first.
 struct Timer {
     at: Instant,
-    driver: Weak<Driver>,
+    task: TimerTask,
 }
 
 impl PartialEq for Timer {
@@ -172,8 +208,18 @@ impl Ord for Timer {
 /// (or contends with) the starved drivers of shard 3.
 struct ShardSlot {
     starved: Mutex<Vec<Weak<Driver>>>,
-    /// Bumped by every kick of this shard; closes the starve-vs-notify race.
+    /// Bumped by every kick *request* of this shard; closes the
+    /// starve-vs-notify race.
     kick_epoch: AtomicU64,
+    /// A shard waker fired and the bounded kick has not run yet. The waker
+    /// contract forbids calling back into the lender, so wakers only set
+    /// this flag ([`Inner::request_kick`]) and scheduler threads execute the
+    /// kick ([`Inner::drain_kicks`]) where no lender locks are held.
+    pending_kick: AtomicBool,
+    /// Whether a [`TimerTask::Backstop`] entry for this shard is already on
+    /// the timer heap (armed when a driver parks, re-armed on fire while
+    /// drivers remain parked; one entry per shard at a time).
+    backstop_armed: AtomicBool,
     /// Signals the shard's input pump that a driver starved. The pump itself
     /// decides whether to read ahead (see [`pump_loop`]); the mutex carries
     /// no data.
@@ -186,9 +232,34 @@ impl ShardSlot {
         Self {
             starved: Mutex::new(Vec::new()),
             kick_epoch: AtomicU64::new(0),
+            pending_kick: AtomicBool::new(false),
+            backstop_armed: AtomicBool::new(false),
             demand: Mutex::new(()),
             demand_cond: Condvar::new(),
         }
+    }
+}
+
+/// The ready queue, segmented per lender shard for affinity: a wake pushes
+/// the driver onto its shard's FIFO, and every pop scans the segments
+/// starting at the popping thread's preferred shard (work stealing in
+/// wrap-around order keeps threads busy when their own shard is quiet).
+struct ReadyState {
+    queues: Vec<VecDeque<Arc<Driver>>>,
+    /// Total queued drivers across all segments.
+    len: usize,
+}
+
+impl ReadyState {
+    fn pop_preferring(&mut self, prefer: usize) -> Option<Arc<Driver>> {
+        let shards = self.queues.len();
+        for offset in 0..shards {
+            if let Some(driver) = self.queues[(prefer + offset) % shards].pop_front() {
+                self.len -= 1;
+                return Some(driver);
+            }
+        }
+        None
     }
 }
 
@@ -197,9 +268,17 @@ struct Inner {
     /// suspicion is measured on. Wall for the threaded pool; virtual in
     /// inline mode, advanced by the external scheduler.
     clock: Clock,
-    ready: Mutex<VecDeque<Arc<Driver>>>,
+    ready: Mutex<ReadyState>,
     ready_cond: Condvar,
     timers: Mutex<BinaryHeap<Reverse<Timer>>>,
+    /// Cadence of the per-shard liveness backstop (the channel's heartbeat
+    /// interval): the longest a parked driver can wait while its shard has
+    /// lendable work, whatever happens to individual kicks.
+    backstop_interval: std::time::Duration,
+    /// `false` reverts [`Inner::kick_starved`] to the historical broadcast
+    /// (every parked driver woken on every lender change) for A/B runs; see
+    /// [`ReactorConfig::bounded_wakes`](crate::config::ReactorConfig::bounded_wakes).
+    bounded_wakes: bool,
     /// Set once [`Reactor::attach_lender`] ran (it must be idempotent).
     attached: AtomicBool,
     /// One slot per lender shard (starved set + kick epoch + pump signal).
@@ -219,41 +298,142 @@ impl Inner {
         self.timers.lock().peek().map(|Reverse(timer)| timer.at)
     }
 
-    /// Pops and wakes every timer whose deadline has passed.
+    /// Pops and fires every timer whose deadline has passed: driver timers
+    /// re-queue their driver, backstop timers re-kick their shard if it
+    /// still has lendable work and parked drivers.
     fn fire_due_timers(&self, now: Instant) {
         loop {
-            let driver = {
+            let task = {
                 let mut timers = self.timers.lock();
                 match timers.peek() {
                     Some(Reverse(timer)) if timer.at <= now => {
                         let Reverse(timer) = timers.pop().expect("peeked entry present");
-                        timer.driver
+                        timer.task
                     }
                     _ => return,
                 }
             };
-            if let Some(driver) = driver.upgrade() {
-                if !driver.finished.fired() {
-                    driver.scheduled_at.lock().take();
+            match task {
+                TimerTask::Driver(weak) => {
+                    if let Some(driver) = weak.upgrade() {
+                        if !driver.finished.fired() {
+                            driver.scheduled_at.lock().take();
+                            self.stats.timer_fires.fetch_add(1, Ordering::Relaxed);
+                            wake(self, &driver);
+                        }
+                    }
+                }
+                TimerTask::Backstop(shard) => {
+                    let slot = &self.shards[shard];
+                    slot.backstop_armed.store(false, Ordering::SeqCst);
+                    if slot.starved.lock().is_empty() {
+                        // Nobody is parked; the next park re-arms the timer.
+                        continue;
+                    }
                     self.stats.timer_fires.fetch_add(1, Ordering::Relaxed);
-                    wake(self, &driver);
+                    let lendable = self
+                        .lender
+                        .lock()
+                        .as_ref()
+                        .map(|lender| lender.shard_depth(shard))
+                        .unwrap_or(0);
+                    if lendable > 0 {
+                        self.kick_starved(shard);
+                    }
+                    self.arm_backstop(shard, now + self.backstop_interval);
                 }
             }
         }
     }
 
-    /// Moves every starved driver of `shard` back onto the ready queue.
-    /// Invoked by the shard's change waker: any state change of that shard
-    /// may have made a value lendable there.
+    /// Books a liveness-backstop timer for `shard` unless one is already
+    /// pending (at most one heap entry per shard).
+    fn arm_backstop(&self, shard: usize, at: Instant) {
+        let slot = &self.shards[shard];
+        if slot.backstop_armed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.timers.lock().push(Reverse(Timer { at, task: TimerTask::Backstop(shard) }));
+        // A sleeping pool thread may need to shorten its wait.
+        self.ready_cond.notify_one();
+    }
+
+    /// The shard-waker entry point: records that `shard` changed and needs a
+    /// kick, without touching the lender. Wakers fire with lender/splitter
+    /// internals locked (and their contract forbids re-entering the lender),
+    /// so the budget computation of [`Inner::kick_starved`] cannot run here —
+    /// a scheduler thread picks the flag up via [`Inner::drain_kicks`]. The
+    /// epoch bump happens *now* so a driver racing into its starved set
+    /// observes the change and re-polls (see [`poll_driver`]).
+    fn request_kick(&self, shard: usize) {
+        let slot = &self.shards[shard];
+        slot.kick_epoch.fetch_add(1, Ordering::SeqCst);
+        slot.pending_kick.store(true, Ordering::SeqCst);
+        // Lock-fence against a pool thread that just checked the flag and is
+        // about to sleep, then wake one sleeper to run the kick.
+        drop(self.ready.lock());
+        self.ready_cond.notify_one();
+    }
+
+    /// True if any shard has a kick requested but not yet executed.
+    fn has_pending_kicks(&self) -> bool {
+        self.shards.iter().any(|slot| slot.pending_kick.load(Ordering::SeqCst))
+    }
+
+    /// Executes every requested kick. Called from scheduler context only
+    /// (pool-thread loop top and the inline [`Reactor::step`]) where no
+    /// lender or splitter lock is held, so [`Inner::kick_starved`] may query
+    /// shard depths freely.
+    fn drain_kicks(&self) {
+        for shard in 0..self.shards.len() {
+            if self.shards[shard].pending_kick.swap(false, Ordering::SeqCst) {
+                self.kick_starved(shard);
+            }
+        }
+    }
+
+    /// Moves starved drivers of `shard` back onto the ready queue — at most
+    /// as many as the shard could serve right now. Runs in scheduler context
+    /// on behalf of the shard's change waker (see [`Inner::request_kick`]):
+    /// any state change of that shard may have made a value lendable there.
+    ///
+    /// The wake budget is `min(parked, max(lendable depth, 1))`: one staged
+    /// value wakes one driver instead of the whole set, and at least one
+    /// driver always wakes so termination (`Done`, depth zero) propagates
+    /// promptly. Drivers left parked are covered three ways: the next state
+    /// change kicks again, every parked driver re-polls on its own heartbeat
+    /// timer, and the per-shard backstop timer re-kicks a shard that still
+    /// has lendable work. Dead `Weak` entries are pruned on every kick so
+    /// churning fleets do not accumulate stale slots.
     fn kick_starved(&self, shard: usize) {
         let slot = &self.shards[shard];
         slot.kick_epoch.fetch_add(1, Ordering::SeqCst);
-        let drained: Vec<Weak<Driver>> = std::mem::take(&mut *slot.starved.lock());
-        for weak in drained {
-            if let Some(driver) = weak.upgrade() {
-                driver.in_starved.store(false, Ordering::SeqCst);
-                wake(self, &driver);
+        let budget = if self.bounded_wakes {
+            match self.lender.lock().as_ref() {
+                Some(lender) => lender.shard_depth(shard).max(1),
+                // No lender attached (bare reactor): nothing to bound by.
+                None => usize::MAX,
             }
+        } else {
+            usize::MAX
+        };
+        let mut woken: Vec<Arc<Driver>> = Vec::new();
+        let suppressed = {
+            let mut starved = slot.starved.lock();
+            starved.retain(|weak| weak.strong_count() > 0);
+            let take = starved.len().min(budget);
+            for weak in starved.drain(..take) {
+                if let Some(driver) = weak.upgrade() {
+                    driver.in_starved.store(false, Ordering::SeqCst);
+                    woken.push(driver);
+                }
+            }
+            starved.len()
+        };
+        self.stats.kicks_sent.fetch_add(woken.len() as u64, Ordering::Relaxed);
+        self.stats.kicks_suppressed.fetch_add(suppressed as u64, Ordering::Relaxed);
+        for driver in &woken {
+            wake(self, driver);
         }
     }
 
@@ -299,9 +479,11 @@ fn wake(inner: &Inner, driver: &Arc<Driver>) {
         if driver.sched.compare_exchange(state, target, Ordering::SeqCst, Ordering::SeqCst).is_ok()
         {
             if enqueue {
+                let shard = driver.shard.load(Ordering::Relaxed);
                 let mut ready = inner.ready.lock();
-                ready.push_back(driver.clone());
-                let depth = ready.len() as u64;
+                ready.queues[shard].push_back(driver.clone());
+                ready.len += 1;
+                let depth = ready.len as u64;
                 drop(ready);
                 inner.stats.wakeups.fetch_add(1, Ordering::Relaxed);
                 inner.stats.max_ready_depth.fetch_max(depth, Ordering::Relaxed);
@@ -354,8 +536,11 @@ struct DriverIo {
 
 /// What a poll decided about the driver's future.
 enum PollOutcome {
-    /// Wait for the next waker or the given timer.
-    Pending { timer: Option<Instant>, starved: bool, starve_epoch: u64 },
+    /// Wait for the next waker or the given timer. `progressed` records
+    /// whether the poll achieved anything (received, dispatched, or sent a
+    /// heartbeat) — a `false` is a wasted poll, the cost bounded kicks
+    /// exist to avoid.
+    Pending { timer: Option<Instant>, starved: bool, starve_epoch: u64, progressed: bool },
     /// The volunteer session ended; the driver was finished.
     Terminal,
 }
@@ -369,6 +554,7 @@ impl Driver {
         }
         let now = inner.clock.now();
         let mut io = self.io.lock();
+        let mut progressed = false;
 
         // Receive: drain every deliverable frame, demultiplex results into
         // the lender and release window slots (send-window readiness is
@@ -377,6 +563,7 @@ impl Driver {
             match self.endpoint.try_recv() {
                 Ok(message @ Message::TaskResult { .. })
                 | Ok(message @ Message::ResultBatch(_)) => {
+                    progressed = true;
                     self.meter.record_wire(&self.name, message.wire_size() as u64);
                     let mut accepted = 0u64;
                     message.demux_results(|seq, payload| {
@@ -409,7 +596,10 @@ impl Driver {
                         ))),
                     );
                 }
-                Ok(Message::Heartbeat) => continue,
+                Ok(Message::Heartbeat) => {
+                    progressed = true;
+                    continue;
+                }
                 Ok(Message::Goodbye) | Ok(Message::Task { .. }) | Ok(Message::TaskBatch(_)) => {
                     io.sink.finish(true);
                     let _ = io.source.pull(Request::Abort);
@@ -476,12 +666,14 @@ impl Driver {
                                 io.sink = sink;
                                 self.shard.store(target, Ordering::Relaxed);
                                 inner.stats.shard_hops.fetch_add(1, Ordering::Relaxed);
+                                progressed = true;
                                 continue;
                             }
                             // The task flow is over; the channel half-closes
                             // and receive drains the remaining results.
                             self.endpoint.close();
                             io.dispatch_done = true;
+                            progressed = true;
                             break;
                         }
                     }
@@ -511,6 +703,7 @@ impl Driver {
             let count = message.record_count();
             match self.endpoint.send_records_with_size(message, size, count) {
                 Ok(()) => {
+                    progressed = true;
                     self.meter.record_wire(&self.name, size as u64);
                     self.meter.record_shard_borrows(self.shard.load(Ordering::Relaxed), count);
                     if let Some(policy) = io.policy.as_mut() {
@@ -521,12 +714,14 @@ impl Driver {
                 Err(SendError::Closed) => {
                     let _ = io.source.pull(Request::Abort);
                     io.dispatch_done = true;
+                    progressed = true;
                 }
                 Err(SendError::PeerFailed) => {
                     let err = StreamError::transport("volunteer failed while sending tasks");
                     let _ = io.source.pull(Request::Fail(err.clone()));
                     io.dispatch_error = Some(err);
                     io.dispatch_done = true;
+                    progressed = true;
                 }
             }
         }
@@ -536,6 +731,7 @@ impl Driver {
         match io.pacer.poll_at(now) {
             HeartbeatAction::NotDue => {}
             HeartbeatAction::Send => {
+                progressed = true;
                 self.meter.record_heartbeat(&self.name, false);
                 let _ = self.endpoint.send(Message::Heartbeat);
             }
@@ -548,7 +744,7 @@ impl Driver {
             Some(ready_at) => Some(ready_at.min(io.pacer.next_due())),
             None => Some(io.pacer.next_due()),
         };
-        PollOutcome::Pending { timer, starved, starve_epoch }
+        PollOutcome::Pending { timer, starved, starve_epoch, progressed }
     }
 
     /// Marks the driver terminal: books the result (dispatch errors win over
@@ -656,9 +852,14 @@ impl Reactor {
         let inline = config.run.clock.is_virtual();
         let inner = Arc::new(Inner {
             clock: config.run.clock.clone(),
-            ready: Mutex::new(VecDeque::new()),
+            ready: Mutex::new(ReadyState {
+                queues: (0..shard_count).map(|_| VecDeque::new()).collect(),
+                len: 0,
+            }),
             ready_cond: Condvar::new(),
             timers: Mutex::new(BinaryHeap::new()),
+            backstop_interval: config.transport.channel.heartbeat_interval,
+            bounded_wakes: config.reactor.bounded_wakes,
             attached: AtomicBool::new(false),
             shards: (0..shard_count).map(|_| ShardSlot::new()).collect(),
             lender: Mutex::new(None),
@@ -673,6 +874,9 @@ impl Reactor {
                 max_ready_depth: AtomicU64::new(0),
                 pump_prefetches: AtomicU64::new(0),
                 shard_hops: AtomicU64::new(0),
+                wasted_polls: AtomicU64::new(0),
+                kicks_sent: AtomicU64::new(0),
+                kicks_suppressed: AtomicU64::new(0),
             },
         });
         let thread_count = if inline { 0 } else { config.reactor.threads.max(1) };
@@ -681,7 +885,7 @@ impl Reactor {
                 let inner = inner.clone();
                 std::thread::Builder::new()
                     .name(format!("pando-reactor-{i}"))
-                    .spawn(move || reactor_loop(&inner))
+                    .spawn(move || reactor_loop(&inner, i))
                     .expect("spawn reactor thread")
             })
             .collect();
@@ -720,7 +924,7 @@ impl Reactor {
                 shard,
                 Arc::new(move || {
                     if let Some(inner) = waker_inner.upgrade() {
-                        inner.kick_starved(shard);
+                        inner.request_kick(shard);
                     }
                 }),
             );
@@ -810,8 +1014,9 @@ impl Reactor {
     /// Stepping a threaded reactor is harmless but pointless: the pool
     /// threads race the caller for the same queue.
     pub fn step(&self) -> bool {
+        self.inner.drain_kicks();
         self.inner.fire_due_timers(self.inner.clock.now());
-        let driver = self.inner.ready.lock().pop_front();
+        let driver = self.inner.ready.lock().pop_preferring(0);
         match driver {
             Some(driver) => {
                 poll_driver(&self.inner, driver);
@@ -865,12 +1070,15 @@ impl Reactor {
             wakeups: stats.wakeups.load(Ordering::Relaxed),
             polls: stats.polls.load(Ordering::Relaxed),
             timer_fires: stats.timer_fires.load(Ordering::Relaxed),
-            ready_depth: self.inner.ready.lock().len() as u64,
+            ready_depth: self.inner.ready.lock().len as u64,
             max_ready_depth: stats.max_ready_depth.load(Ordering::Relaxed),
             starved: self.inner.shards.iter().map(|slot| slot.starved.lock().len() as u64).sum(),
             pump_prefetches: stats.pump_prefetches.load(Ordering::Relaxed),
             shards: self.inner.shards.len(),
             shard_hops: stats.shard_hops.load(Ordering::Relaxed),
+            wasted_polls: stats.wasted_polls.load(Ordering::Relaxed),
+            kicks_sent: stats.kicks_sent.load(Ordering::Relaxed),
+            kicks_suppressed: stats.kicks_suppressed.load(Ordering::Relaxed),
         }
     }
 
@@ -910,9 +1118,16 @@ impl Drop for Reactor {
     }
 }
 
-/// Body of one reactor pool thread.
-fn reactor_loop(inner: &Inner) {
-    loop {
+/// Body of one reactor pool thread. `thread_index` selects the thread's
+/// preferred ready-queue segment (shard `thread_index % shards`): drivers of
+/// that shard are popped first, the other segments are stolen from in
+/// wrap-around order when it is empty.
+fn reactor_loop(inner: &Inner, thread_index: usize) {
+    let prefer = thread_index % inner.shards.len().max(1);
+    'schedule: loop {
+        // Requested kicks run here, outside the ready lock and outside any
+        // lender lock (see [`Inner::request_kick`] for why wakers defer).
+        inner.drain_kicks();
         inner.fire_due_timers(inner.clock.now());
         let driver = {
             let mut ready = inner.ready.lock();
@@ -920,8 +1135,13 @@ fn reactor_loop(inner: &Inner) {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(driver) = ready.pop_front() {
+                if let Some(driver) = ready.pop_preferring(prefer) {
                     break driver;
+                }
+                if inner.has_pending_kicks() {
+                    // A waker fired while we idled: restart the cycle so the
+                    // kick executes without the ready lock held.
+                    continue 'schedule;
                 }
                 match inner.next_timer_at() {
                     Some(at) => {
@@ -954,17 +1174,20 @@ fn poll_driver(inner: &Inner, driver: Arc<Driver>) {
         PollOutcome::Terminal => {
             driver.sched.store(IDLE, Ordering::SeqCst);
         }
-        PollOutcome::Pending { timer, starved, starve_epoch } => {
+        PollOutcome::Pending { timer, starved, starve_epoch, progressed } => {
+            if !progressed {
+                inner.stats.wasted_polls.fetch_add(1, Ordering::Relaxed);
+            }
             if let Some(at) = timer {
                 let mut scheduled = driver.scheduled_at.lock();
                 let stale = scheduled.map(|existing| at < existing).unwrap_or(true);
                 if stale {
                     *scheduled = Some(at);
                     drop(scheduled);
-                    inner
-                        .timers
-                        .lock()
-                        .push(Reverse(Timer { at, driver: Arc::downgrade(&driver) }));
+                    inner.timers.lock().push(Reverse(Timer {
+                        at,
+                        task: TimerTask::Driver(Arc::downgrade(&driver)),
+                    }));
                     // A sleeping sibling may need to shorten its wait.
                     inner.ready_cond.notify_one();
                 }
@@ -973,6 +1196,10 @@ fn poll_driver(inner: &Inner, driver: Arc<Driver>) {
             if starved && !driver.in_starved.swap(true, Ordering::SeqCst) {
                 inner.shards[shard].starved.lock().push(Arc::downgrade(&driver));
                 inner.signal_pump(shard);
+                // Liveness backstop: bounded kicks may leave this driver
+                // parked, so guarantee a re-kick within one interval while
+                // the shard has lendable work.
+                inner.arm_backstop(shard, inner.clock.now() + inner.backstop_interval);
             }
             // Transition out of RUNNING; a wake observed mid-poll means
             // the poll must re-run.
@@ -983,7 +1210,8 @@ fn poll_driver(inner: &Inner, driver: Arc<Driver>) {
             {
                 driver.sched.store(QUEUED, Ordering::SeqCst);
                 let mut ready = inner.ready.lock();
-                ready.push_back(driver.clone());
+                ready.queues[shard].push_back(driver.clone());
+                ready.len += 1;
                 drop(ready);
                 inner.ready_cond.notify_one();
             } else if starved
@@ -1021,8 +1249,9 @@ fn pump_loop(inner: &Inner, lender: &ShardedLender<Bytes, Bytes>, shard: usize) 
         }
         if lender.prefetch_shard(shard) {
             inner.stats.pump_prefetches.fetch_add(1, Ordering::Relaxed);
-            // The staged value triggered the shard's waker, which kicks its
-            // starved drivers; they will re-signal if they starve again.
+            // The staged value triggered the shard's waker, which requests a
+            // kick of its starved drivers (executed by a pool thread); they
+            // will re-signal if they starve again.
         } else {
             // This shard will never receive another value: the input is
             // exhausted (or the output closed). Starved drivers terminate

@@ -279,12 +279,18 @@ pub struct FleetParams {
     /// seed-derived virtual instant). Volunteer 0 never crashes, so the
     /// stream always completes.
     pub crash_fraction: f64,
+    /// Whether starved kicks are wake-limited
+    /// ([`ReactorConfig::bounded_wakes`](crate::config::ReactorConfig::bounded_wakes),
+    /// the default) or broadcast to every parked driver. Exposed so the sim
+    /// can A/B the wake discipline exactly: same seed, diff the poll
+    /// counters.
+    pub bounded_wakes: bool,
 }
 
 impl FleetParams {
     /// Parameters with the default crash fraction (15 % of the fleet).
     pub fn new(seed: u64, volunteers: usize, tasks: u64) -> Self {
-        Self { seed, volunteers, tasks, crash_fraction: 0.15 }
+        Self { seed, volunteers, tasks, crash_fraction: 0.15, bounded_wakes: true }
     }
 
     /// Returns the parameters with a different crash fraction.
@@ -295,6 +301,14 @@ impl FleetParams {
     pub fn with_crash_fraction(mut self, crash_fraction: f64) -> Self {
         assert!((0.0..=1.0).contains(&crash_fraction), "crash fraction must be within [0, 1]");
         self.crash_fraction = crash_fraction;
+        self
+    }
+
+    /// Returns the parameters with bounded starved-kicks switched on or off
+    /// (broadcast kicks reproduce the pre-wake-limited reactor for A/B
+    /// comparison).
+    pub fn with_bounded_wakes(mut self, bounded_wakes: bool) -> Self {
+        self.bounded_wakes = bounded_wakes;
         self
     }
 }
@@ -348,8 +362,12 @@ impl FleetReport {
     pub fn canonical_trace(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "params seed={} volunteers={} tasks={} crash_fraction={}\n",
-            self.params.seed, self.params.volunteers, self.params.tasks, self.params.crash_fraction
+            "params seed={} volunteers={} tasks={} crash_fraction={} bounded_wakes={}\n",
+            self.params.seed,
+            self.params.volunteers,
+            self.params.tasks,
+            self.params.crash_fraction,
+            self.params.bounded_wakes
         ));
         for line in &self.trace {
             out.push_str(line);
@@ -374,7 +392,8 @@ impl FleetReport {
         }
         out.push_str(&format!(
             "reactor registered={} polls={} wakeups={} timer_fires={} prefetches={} \
-             shards={} hops={} max_ready_depth={}\n",
+             shards={} hops={} max_ready_depth={} wasted_polls={} kicks_sent={} \
+             kicks_suppressed={}\n",
             self.reactor.registered,
             self.reactor.polls,
             self.reactor.wakeups,
@@ -382,7 +401,10 @@ impl FleetReport {
             self.reactor.pump_prefetches,
             self.reactor.shards,
             self.reactor.shard_hops,
-            self.reactor.max_ready_depth
+            self.reactor.max_ready_depth,
+            self.reactor.wasted_polls,
+            self.reactor.kicks_sent,
+            self.reactor.kicks_suppressed
         ));
         out.push_str(&format!(
             "crashed={} virtual_elapsed_us={}\n",
@@ -519,7 +541,7 @@ fn decode_result(payload: &Bytes) -> u64 {
 pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
     assert!(params.volunteers > 0, "a fleet needs at least one volunteer");
     let wall_start = Instant::now();
-    let config = PandoConfig::deterministic(params.seed);
+    let config = PandoConfig::deterministic(params.seed).with_bounded_wakes(params.bounded_wakes);
     let clock = config.run.clock.clone();
     let origin = clock.now();
     let pando = Pando::new(config);
@@ -693,8 +715,15 @@ pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
         params.tasks,
         "every input value must produce exactly one output"
     );
+    let reactor_stats = reactor.stats();
+    pando.meter().observe_scheduler(crate::metrics::SchedulerCounters {
+        polls: reactor_stats.polls,
+        wasted_polls: reactor_stats.wasted_polls,
+        kicks_sent: reactor_stats.kicks_sent,
+        kicks_suppressed: reactor_stats.kicks_suppressed,
+    });
     let report = pando.meter().report();
-    let meter_rows: Vec<String> = report
+    let mut meter_rows: Vec<String> = report
         .rows
         .iter()
         .map(|row| {
@@ -709,13 +738,21 @@ pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
             )
         })
         .collect();
+    if let Some(scheduler) = report.scheduler {
+        meter_rows.push(format!(
+            "meter scheduler polls={} wasted_polls={} kicks_sent={} kicks_suppressed={}",
+            scheduler.polls,
+            scheduler.wasted_polls,
+            scheduler.kicks_sent,
+            scheduler.kicks_suppressed
+        ));
+    }
     let shard_rows: Vec<String> = report
         .shards
         .iter()
         .map(|s| format!("shard {} borrows={} results={}", s.shard, s.borrows, s.results))
         .collect();
     let claim_log = pando.claim_log().unwrap_or_default();
-    let reactor_stats = reactor.stats();
     pando.join_volunteers();
     FleetReport {
         params: params.clone(),

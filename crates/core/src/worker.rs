@@ -26,6 +26,7 @@ use pando_netsim::fault::FaultPlan;
 use pando_pull_stream::codec::{Payload, TaskCodec};
 use pando_pull_stream::StreamError;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -158,8 +159,10 @@ impl WorkerBuilder {
     /// mirror of the master's reactor, used to run fleets of thousands of
     /// devices without a thread per device.
     ///
-    /// Each pool thread owns a disjoint slice of the transports and
-    /// round-robins over them with non-blocking receives; `process` is
+    /// Each pool thread owns a disjoint slice of the transports and drives
+    /// them through a per-thread ready queue mirroring the master reactor:
+    /// a transport's waker enqueues it when a frame arrives, so a wake costs
+    /// one slot visit instead of a scan over the whole slice. `process` is
     /// shared. Heartbeat pacing follows the builder's
     /// [`heartbeats`](WorkerBuilder::heartbeats) setting; scripted faults
     /// are not supported on the pooled path (use
@@ -370,13 +373,15 @@ struct PoolSlot {
 
 /// Serves a slice of transports from one pool thread until all of them end.
 ///
-/// Idle behaviour is event-driven, not polled: the thread registers one
-/// shared waker on every transport it serves ([`Transport::set_waker`]) and
-/// parks on a condvar when a full round over its transports made no
-/// progress. Frame arrivals, closes and crashes wake it immediately; the
-/// wait is additionally capped by the earliest known readiness instant
+/// Readiness is queue-driven, mirroring the master reactor: each transport's
+/// waker ([`Transport::set_waker`]) enqueues that slot's index on a
+/// per-thread ready queue (an [`AtomicBool`] per slot coalesces duplicate
+/// wakes), and the loop services only queued slots instead of scanning the
+/// whole slice per wake. With the queue empty the thread parks on a condvar,
+/// capped by the earliest known readiness instant
 /// ([`Transport::next_ready_at`]), the next heartbeat deadline, and a coarse
-/// safety timeout.
+/// safety timeout; a timed-out wait requeues every live slot once so paced
+/// heartbeats and matured simulated-latency frames are never missed.
 fn run_worker_slice<F>(
     transports: Vec<Arc<dyn Transport>>,
     process: &F,
@@ -387,18 +392,27 @@ where
     F: Fn(&Payload) -> Result<Bytes, StreamError>,
 {
     use parking_lot::{Condvar, Mutex};
+    use std::collections::VecDeque;
     let mut fault = FaultPlan::None.arm();
-    let park: Arc<(Mutex<bool>, Condvar)> = Arc::new((Mutex::new(false), Condvar::new()));
+    let ready: Arc<(Mutex<VecDeque<usize>>, Condvar)> =
+        Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+    let queued: Vec<Arc<AtomicBool>> =
+        (0..transports.len()).map(|_| Arc::new(AtomicBool::new(false))).collect();
     let mut slots: Vec<PoolSlot> = transports
         .into_iter()
         .enumerate()
         .map(|(i, endpoint)| {
             let interval = endpoint.heartbeat_interval();
-            let park = park.clone();
+            let ready = ready.clone();
+            let flag = queued[i].clone();
             endpoint.set_waker(Arc::new(move || {
-                let (woken, cond) = &*park;
-                *woken.lock() = true;
-                cond.notify_one();
+                // Coalesce: a slot already sitting in the queue absorbs any
+                // number of further wakes until it is serviced.
+                if !flag.swap(true, Ordering::SeqCst) {
+                    let (queue, cond) = &*ready;
+                    queue.lock().push_back(i);
+                    cond.notify_one();
+                }
             }));
             PoolSlot {
                 endpoint,
@@ -416,12 +430,68 @@ where
         })
         .collect();
     let mut live = slots.len();
+    // Seed every slot once: frames may already be waiting from before the
+    // wakers were registered.
+    {
+        let (queue, _) = &*ready;
+        let mut queue = queue.lock();
+        for (i, flag) in queued.iter().enumerate() {
+            flag.store(true, Ordering::SeqCst);
+            queue.push_back(i);
+        }
+    }
     while live > 0 {
-        let mut progressed = false;
-        for slot in slots.iter_mut().filter(|slot| !slot.done) {
+        let next = {
+            let (queue, _) = &*ready;
+            queue.lock().pop_front()
+        };
+        let Some(index) = next else {
+            // Queue drained: park until a waker enqueues a slot, but never
+            // past the earliest moment something is known to become
+            // deliverable (simulated latency) or a heartbeat falls due; a
+            // coarse safety cap bounds the wait regardless.
+            let now = std::time::Instant::now();
+            let mut deadline = now + std::time::Duration::from_millis(50);
+            for slot in slots.iter().filter(|slot| !slot.done) {
+                if let Some(at) = slot.endpoint.next_ready_at() {
+                    deadline = deadline.min(at);
+                }
+                if let Some(pacer) = &slot.pacer {
+                    deadline = deadline.min(pacer.next_due());
+                }
+            }
+            let (queue, cond) = &*ready;
+            let mut queue = queue.lock();
+            if queue.is_empty() {
+                cond.wait_until(&mut queue, deadline);
+            }
+            if queue.is_empty() {
+                // Timed out with nothing queued: requeue every live slot
+                // once so due heartbeats and matured latency frames are
+                // serviced even without a waker event.
+                for (i, slot) in slots.iter().enumerate() {
+                    if !slot.done {
+                        queued[i].store(true, Ordering::SeqCst);
+                        queue.push_back(i);
+                    }
+                }
+            }
+            continue;
+        };
+        // Clear the coalescing flag *before* draining: an event arriving
+        // mid-drain re-enqueues the slot instead of being lost.
+        queued[index].store(false, Ordering::SeqCst);
+        let slot = &mut slots[index];
+        if slot.done {
+            continue;
+        }
+        {
+            let mut drained = 0;
+            let mut more = true;
             // Drain a bounded number of frames per visit so one chatty
             // endpoint cannot starve its siblings.
-            for _ in 0..8 {
+            while drained < 8 {
+                drained += 1;
                 let (outcome, batched) = match slot.endpoint.try_recv() {
                     Ok(Message::Task { seq, payload }) => {
                         let records = [Record::new(seq, payload)];
@@ -446,9 +516,11 @@ where
                         slot.done = true;
                         break;
                     }
-                    Err(RecvError::Empty) | Err(RecvError::Timeout) => break,
+                    Err(RecvError::Empty) | Err(RecvError::Timeout) => {
+                        more = false;
+                        break;
+                    }
                 };
-                progressed = true;
                 for reply in build_replies(outcome, batched) {
                     let size = reply.wire_size();
                     let count = reply.record_count();
@@ -485,28 +557,12 @@ where
                     }
                 }
             }
-        }
-        if !progressed && live > 0 {
-            // Park until an endpoint event fires the waker, but never past
-            // the earliest moment something is known to become deliverable
-            // (simulated latency) or a heartbeat falls due; a coarse safety
-            // cap bounds the wait regardless.
-            let now = std::time::Instant::now();
-            let mut deadline = now + std::time::Duration::from_millis(50);
-            for slot in slots.iter().filter(|slot| !slot.done) {
-                if let Some(at) = slot.endpoint.next_ready_at() {
-                    deadline = deadline.min(at);
-                }
-                if let Some(pacer) = &slot.pacer {
-                    deadline = deadline.min(pacer.next_due());
-                }
+            if more && !queued[index].swap(true, Ordering::SeqCst) {
+                // The frame-drain bound was hit with input still pending:
+                // yield the queue to siblings and come back.
+                let (queue, _) = &*ready;
+                queue.lock().push_back(index);
             }
-            let (woken, cond) = &*park;
-            let mut flag = woken.lock();
-            if !*flag {
-                cond.wait_until(&mut flag, deadline);
-            }
-            *flag = false;
         }
     }
     slots.into_iter().map(|slot| slot.report).collect()

@@ -74,7 +74,7 @@ fn pinned_seed_shape_regression() {
     assert_eq!(report.output_order.len(), 64);
     assert_eq!(report.params.volunteers, 8);
     assert!(!report.claim_log.is_empty());
-    assert_eq!(report.meter_rows.len(), 8, "one meter row per volunteer");
+    assert_eq!(report.meter_rows.len(), 9, "one meter row per volunteer plus the scheduler row");
     // And the run is idempotent, byte for byte.
     let again = simulate_fleet(&FleetParams::new(7, 8, 64));
     assert_eq!(report.canonical_trace(), again.canonical_trace());

@@ -308,8 +308,12 @@ where
             None => {
                 // The input would have to wait: report nothing available, but
                 // wake sub-streams that may have been waiting on the
-                // checked-out input.
-                self.notify();
+                // checked-out input so they re-try it themselves. Only the
+                // condvar fires — not the external wakers: no value became
+                // available, and a waker fire here would re-kick the very
+                // dispatcher whose failed ask we are reporting (a
+                // kick/ask/kick busy loop).
+                self.changed.notify_all();
                 return None;
             }
         };

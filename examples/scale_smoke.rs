@@ -123,6 +123,10 @@ fn main() {
         stats.pump_prefetches,
         stats.shard_hops
     );
+    println!(
+        "wake discipline: {} wasted polls, {} kicks sent, {} kicks suppressed",
+        stats.wasted_polls, stats.kicks_sent, stats.kicks_suppressed
+    );
     pando.observe_shards();
     for row in pando.meter().report().shards {
         println!(

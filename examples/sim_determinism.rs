@@ -16,6 +16,10 @@
 //!   schedule (default 42)
 //! * `SIM_BUDGET_SECS` — wall-clock guard for the pair of runs (default
 //!   480); exceeding it means the scheduler regressed
+//! * `SIM_MAX_POLLS` — committed reactor-poll budget for run 1 (default 0 =
+//!   unchecked); exceeding it means the wake discipline regressed towards
+//!   broadcast kicks. CI pins the 10k fleet well under the 14,991,667 polls
+//!   the pre-bounded reactor spent.
 
 use pando_core::sim::{simulate_fleet, FleetParams};
 use std::time::{Duration, Instant};
@@ -29,6 +33,7 @@ fn main() {
     let tasks = env_u64("SIM_TASKS", 2 * volunteers as u64);
     let seed = env_u64("SIM_SEED", 42);
     let budget = Duration::from_secs(env_u64("SIM_BUDGET_SECS", 480));
+    let max_polls = env_u64("SIM_MAX_POLLS", 0);
     let params = FleetParams::new(seed, volunteers, tasks);
 
     let started = Instant::now();
@@ -64,6 +69,17 @@ fn main() {
     // fault schedule.
     assert_eq!(first.output_order, (0..tasks).collect::<Vec<u64>>(), "global order must survive");
     assert_eq!(first.claim_log, second.claim_log);
+
+    // Optional committed poll budget: a regression towards broadcast kicks
+    // multiplies the poll count long before it hurts wall-clock.
+    if max_polls > 0 {
+        assert!(
+            first.reactor.polls < max_polls,
+            "reactor polls exceeded the committed budget: {} >= {max_polls}",
+            first.reactor.polls
+        );
+        println!("poll budget OK: {} < {max_polls}", first.reactor.polls);
+    }
 
     // A different seed must not produce the same trace (jitter, service
     // times and the fault schedule all derive from it). Checked at a token
