@@ -45,20 +45,22 @@ scale-sharded:
 sim:
 	cargo run --release --example sim_determinism
 
-# The fleet across OS processes: one master listening on localhost TCP, one
-# volunteer process that crashes abruptly mid-run (exit 2 — expected), one
-# that survives. The master must detect the crash through the socket,
-# re-lend, and still produce complete in-order output within the budget.
+# The fleet across OS processes: one master listening on localhost TCP, a
+# 64-volunteer fleet split over one process that crashes abruptly mid-run
+# (exit 2 — expected) and one that survives. The master must detect the
+# crash through the socket, re-lend, and still produce complete in-order
+# output within the budget — while TCP_THREAD_CENSUS=1 asserts its whole
+# transport side runs on poller_threads + 1 OS threads, not 2 per volunteer.
 tcp-demo:
 	cargo build --release --example tcp_master --example tcp_volunteer
 	rm -f target/tcp-demo.addr
 	PANDO_TCP_ADDR_FILE=target/tcp-demo.addr TCP_TASKS=2000 TCP_BUDGET_SECS=120 \
-		TCP_MIN_VOLUNTEERS=48 \
+		TCP_MIN_VOLUNTEERS=64 TCP_THREAD_CENSUS=1 \
 		target/release/examples/tcp_master & master=$$!; \
 	PANDO_TCP_ADDR_FILE=target/tcp-demo.addr TCP_WORKERS=16 \
 		TCP_NAME_PREFIX=doomed TCP_CRASH_AFTER=200 \
 		target/release/examples/tcp_volunteer & crasher=$$!; \
-	PANDO_TCP_ADDR_FILE=target/tcp-demo.addr TCP_WORKERS=32 \
+	PANDO_TCP_ADDR_FILE=target/tcp-demo.addr TCP_WORKERS=48 \
 		TCP_NAME_PREFIX=steady \
 		target/release/examples/tcp_volunteer & steady=$$!; \
 	wait $$master; status=$$?; \

@@ -512,20 +512,34 @@ fn run_dispatcher(
         let message = Message::task_frame(records);
         let size = message.wire_size();
         let count = message.record_count();
-        match endpoint.send_records_with_size(message, size, count) {
-            Ok(()) => {
-                meter.record_wire(&name, size as u64);
-                // The threads backend always runs a single shard.
-                meter.record_shard_borrows(0, count);
-            }
-            Err(SendError::Closed) => {
-                let _ = source.pull(Request::Abort);
-                return Ok(());
-            }
-            Err(SendError::PeerFailed) => {
-                let err = StreamError::transport("volunteer failed while sending tasks");
-                let _ = source.pull(Request::Fail(err.clone()));
-                return Err(err);
+        loop {
+            match endpoint.send_records_with_size(message.clone(), size, count) {
+                Ok(()) => {
+                    meter.record_wire(&name, size as u64);
+                    // The threads backend always runs a single shard.
+                    meter.record_shard_borrows(0, count);
+                    break;
+                }
+                Err(SendError::WouldBlock) => {
+                    // Bounded write queue full: this dedicated dispatcher
+                    // thread blocks until the transport drains, bailing out
+                    // only if the volunteer dies while we wait.
+                    if !endpoint.is_peer_alive() {
+                        let err = StreamError::transport("volunteer failed while sending tasks");
+                        let _ = source.pull(Request::Fail(err.clone()));
+                        return Err(err);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(SendError::Closed) => {
+                    let _ = source.pull(Request::Abort);
+                    return Ok(());
+                }
+                Err(SendError::PeerFailed) => {
+                    let err = StreamError::transport("volunteer failed while sending tasks");
+                    let _ = source.pull(Request::Fail(err.clone()));
+                    return Err(err);
+                }
             }
         }
     }

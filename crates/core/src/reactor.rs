@@ -524,6 +524,11 @@ struct DriverIo {
     /// A value pulled for a frame that had no byte budget left; it opens the
     /// next frame (its window slot is already consumed).
     carry: Option<Record>,
+    /// A fully-built frame the transport refused with
+    /// [`SendError::WouldBlock`] (its wire size and record count ride
+    /// along). It must go out before anything newer — the driver parks on
+    /// the transport waker and retries it first on the next poll.
+    pending: Option<(Message, usize, u64)>,
     /// Set once the task flow ended (lender done, channel closed, or send
     /// failure); receive may still be running.
     dispatch_done: bool,
@@ -628,6 +633,44 @@ impl Driver {
         let mut starved = false;
         let mut starve_epoch = 0;
         while !io.dispatch_done {
+            // A frame parked on a previous send-would-block goes out first:
+            // per-connection FIFO, and its records are already pulled. The
+            // clone is cheap (`Message` wraps refcounted `Bytes`).
+            if let Some((message, size, count)) = io.pending.take() {
+                match self.endpoint.send_records_with_size(message.clone(), size, count) {
+                    Ok(()) => {
+                        progressed = true;
+                        self.meter.record_wire(&self.name, size as u64);
+                        self.meter.record_shard_borrows(self.shard.load(Ordering::Relaxed), count);
+                        if let Some(policy) = io.policy.as_mut() {
+                            policy.on_frame(count as usize);
+                        }
+                        io.pacer.on_traffic_at(now);
+                        continue;
+                    }
+                    Err(SendError::WouldBlock) => {
+                        // Bounded write queue is full: park the frame and
+                        // wait for the transport waker instead of buffering
+                        // unboundedly or spinning.
+                        io.pending = Some((message, size, count));
+                        break;
+                    }
+                    Err(SendError::Closed) => {
+                        let _ = io.source.pull(Request::Abort);
+                        io.dispatch_done = true;
+                        progressed = true;
+                        continue;
+                    }
+                    Err(SendError::PeerFailed) => {
+                        let err = StreamError::transport("volunteer failed while sending tasks");
+                        let _ = io.source.pull(Request::Fail(err.clone()));
+                        io.dispatch_error = Some(err);
+                        io.dispatch_done = true;
+                        progressed = true;
+                        continue;
+                    }
+                }
+            }
             let first = match io.carry.take() {
                 Some(record) => record,
                 None => {
@@ -701,29 +744,9 @@ impl Driver {
             let message = Message::task_frame(records);
             let size = message.wire_size();
             let count = message.record_count();
-            match self.endpoint.send_records_with_size(message, size, count) {
-                Ok(()) => {
-                    progressed = true;
-                    self.meter.record_wire(&self.name, size as u64);
-                    self.meter.record_shard_borrows(self.shard.load(Ordering::Relaxed), count);
-                    if let Some(policy) = io.policy.as_mut() {
-                        policy.on_frame(count as usize);
-                    }
-                    io.pacer.on_traffic_at(now);
-                }
-                Err(SendError::Closed) => {
-                    let _ = io.source.pull(Request::Abort);
-                    io.dispatch_done = true;
-                    progressed = true;
-                }
-                Err(SendError::PeerFailed) => {
-                    let err = StreamError::transport("volunteer failed while sending tasks");
-                    let _ = io.source.pull(Request::Fail(err.clone()));
-                    io.dispatch_error = Some(err);
-                    io.dispatch_done = true;
-                    progressed = true;
-                }
-            }
+            // Route every frame through the pending slot; the loop head owns
+            // the single send site and its would-block parking.
+            io.pending = Some((message, size, count));
         }
 
         // Heartbeat pacing: data traffic above suppressed the control frame;
@@ -977,6 +1000,7 @@ impl Reactor {
                 sink,
                 credits: config.batching.batch_size,
                 carry: None,
+                pending: None,
                 dispatch_done: false,
                 dispatch_error: None,
                 pacer: HeartbeatPacer::new_at(

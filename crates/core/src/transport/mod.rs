@@ -23,11 +23,13 @@
 //! | Ordering | Frames are delivered reliably and in FIFO order per connection. |
 //! | Waker | The registered waker fires whenever the transport *may* have become pollable: frame arrival, clean close, crash detection, peer drop. One slot: `set_waker` replaces any previous waker. Spurious wakes are allowed; lost wakes are not. |
 //! | Deadline hint | [`next_ready_at`](Transport::next_ready_at) returns the earliest instant at which a currently-known future event matures (a buffered frame's delivery time, a pending crash suspicion). `None` means "nothing scheduled"; the reactor then relies solely on the waker. |
+//! | Bounded send | Outbound buffering is byte-bounded. A data send that would overflow the bound fails with [`SendError::WouldBlock`]: nothing is sent, the link stays healthy, and the waker fires once the buffer drains below the bound so the caller parks instead of spinning or buffering unboundedly. Zero-size control sends are always admitted on simulated channels; over TCP a tiny heartbeat frame may still be rejected at the bound and is safe to drop (data traffic proves liveness). A frame larger than the whole bound is admitted alone. |
 //! | Close | [`close`](Transport::close) closes the *send* direction; the peer drains in-flight frames then observes [`RecvError::Closed`]. |
 //! | Crash | [`crash`](Transport::crash) abandons the connection without notice; the peer observes [`RecvError::PeerFailed`] once the failure detector's timeout elapses. |
 //!
 //! [`netsim`]: pando_netsim
 
+pub(crate) mod sys;
 pub mod tcp;
 
 use crate::protocol::Message;
@@ -85,7 +87,10 @@ pub trait Transport: Send + Sync {
     /// # Errors
     ///
     /// [`SendError::Closed`] after either side closed,
-    /// [`SendError::PeerFailed`] once the peer is suspected crashed.
+    /// [`SendError::PeerFailed`] once the peer is suspected crashed,
+    /// [`SendError::WouldBlock`] when the byte-bounded write buffer has no
+    /// room (nothing sent; retry after the waker fires — for control frames
+    /// like heartbeats, dropping the message is safe).
     fn send(&self, message: Message) -> Result<(), SendError>;
 
     /// Sends a data frame carrying `records` application records and `size`
@@ -94,7 +99,9 @@ pub trait Transport: Send + Sync {
     ///
     /// # Errors
     ///
-    /// As for [`send`](Self::send).
+    /// As for [`send`](Self::send). On [`SendError::WouldBlock`] no record
+    /// was handed to the transport: callers park on the waker and retry the
+    /// same frame rather than dropping or re-pulling its records.
     fn send_records_with_size(
         &self,
         message: Message,
@@ -273,6 +280,10 @@ pub enum TransportErrorKind {
     /// A local I/O problem unrelated to the peer (bind failure, socket
     /// configuration).
     Io,
+    /// The byte-bounded write buffer has no room for the frame right now.
+    /// Transient: nothing was sent and the link is healthy; the registered
+    /// waker fires when space frees.
+    WouldBlock,
 }
 
 impl TransportError {
@@ -309,6 +320,7 @@ impl From<std::io::Error> for TransportError {
             | IoKind::ConnectionAborted
             | IoKind::BrokenPipe => TransportErrorKind::PeerFailed,
             IoKind::InvalidData => TransportErrorKind::Protocol,
+            IoKind::WouldBlock => TransportErrorKind::WouldBlock,
             _ => TransportErrorKind::Io,
         };
         Self::new(kind, err.to_string())
@@ -337,6 +349,7 @@ impl From<TransportError> for SendError {
     fn from(err: TransportError) -> Self {
         match err.kind {
             TransportErrorKind::Closed => SendError::Closed,
+            TransportErrorKind::WouldBlock => SendError::WouldBlock,
             _ => SendError::PeerFailed,
         }
     }
@@ -414,5 +427,13 @@ mod tests {
         let proto = TransportError::new(TransportErrorKind::Protocol, "bad magic");
         let stream: StreamError = proto.into();
         assert!(stream.is_protocol());
+    }
+
+    #[test]
+    fn would_block_maps_transiently_not_terminally() {
+        use std::io::{Error, ErrorKind as IoKind};
+        let wb: TransportError = Error::new(IoKind::WouldBlock, "full").into();
+        assert_eq!(wb.kind(), TransportErrorKind::WouldBlock);
+        assert_eq!(SendError::from(wb), SendError::WouldBlock);
     }
 }

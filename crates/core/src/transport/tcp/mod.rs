@@ -5,6 +5,30 @@
 //! localhost (or LAN) TCP, through exactly the same reactor, lender and
 //! failure-detection machinery the deterministic simulator exercises.
 //!
+//! # Readiness backend
+//!
+//! All connections in a process are multiplexed onto a fixed pool of
+//! [`TcpConfig::poller_threads`] epoll poller threads (module `poller`,
+//! syscall shim in `transport::sys`) instead of a read/write pump thread pair
+//! per connection — a 64-volunteer master runs its transport on 2 threads,
+//! not 128. Sockets are non-blocking; a per-connection state machine owns
+//! partial-read reassembly (header → body, mid-frame truncation still
+//! classified as a crash) and partial-write resumption, and every readiness
+//! batch gives each ready connection a bounded slice of work so one
+//! fire-hose peer cannot starve the rest (round-robin fairness via
+//! level-triggered re-reporting).
+//!
+//! The outbound queue is **byte-bounded** at [`TcpConfig::write_buffer_max`]:
+//! a send that would overflow the bound fails with [`SendError::WouldBlock`]
+//! (nothing enqueued, link healthy) and the registered waker fires once the
+//! queue drains below the bound — see the bounded-send row of the
+//! [`Transport`] contract table. The legacy two-threads-per-connection
+//! backend is kept behind the deprecated
+//! [`TcpConfig::pump_threads_backend`] flag for A/B benchmarking and for
+//! non-Linux targets, with the same bounded-queue semantics.
+//!
+//! # Wire format
+//!
 //! The wire format reuses the existing fallible codec verbatim — every frame
 //! is what [`Message::encode`] produces (`tag: u8`, `len: u32` big-endian,
 //! payload), with tag `0` reserved as a transport-level close marker so a
@@ -16,17 +40,41 @@
 //! master    -> volunteer: b"PNDO"  version:u8
 //! ```
 //!
-//! Crash detection maps onto the same [`FailureDetector`] path as the
-//! simulated channels: every arriving frame refreshes `last_heard`, and once
-//! `failure_timeout` passes without traffic the peer is reported as
-//! [`RecvError::PeerFailed`] — so crash re-lend and shard hopping work
-//! unchanged over sockets. Abrupt socket death (reset, EOF without a close
-//! marker) short-circuits the timeout.
+//! # Which layer detects which failure class
+//!
+//! Three detectors run at different depths, fastest-first:
+//!
+//! 1. **Socket events** (this module): reset, EOF without the close marker,
+//!    or EOF mid-frame short-circuit straight to
+//!    [`RecvError::PeerFailed`] — process crashes on a live network are
+//!    caught in milliseconds.
+//! 2. **Application heartbeats** ([`FailureDetector`]): every arriving
+//!    frame refreshes `last_heard`; `failure_timeout` of silence marks the
+//!    peer failed even when the socket looks healthy. This is the only
+//!    layer that catches a *wedged* peer process whose kernel still ACKs.
+//! 3. **TCP keepalive** ([`TcpConfig::keepalive`], probes paced from
+//!    `heartbeat_interval`): kernel-level probing that reaps connections
+//!    whose remote *host* vanished (power loss, cable pull) even if this
+//!    process never tries to write — the probe failure surfaces as a socket
+//!    error, feeding back into layer 1. Keepalive never produces false
+//!    positives on an idle-but-healthy link: probes are answered by the
+//!    peer's kernel without waking the application, so an idle connection
+//!    outlives any number of heartbeat intervals as long as both layers
+//!    above stay quiet.
+//!
+//! Crash detection therefore maps onto the same [`FailureDetector`] path as
+//! the simulated channels, and crash re-lend and shard hopping work
+//! unchanged over sockets.
 
+#[cfg(target_os = "linux")]
+pub(crate) mod poller;
+
+#[cfg(target_os = "linux")]
+use super::sys;
 use super::{Transport, TransportError, TransportErrorKind};
 use crate::master::Pando;
 use crate::protocol::Message;
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use pando_netsim::channel::{RecvError, SendError, Waker};
 use pando_netsim::codec::{encode_frame, FRAME_HEADER_LEN, MAX_FRAME_LEN};
 use pando_netsim::heartbeat::FailureDetector;
@@ -66,14 +114,43 @@ pub struct TcpConfig {
     /// Disable Nagle's algorithm (`TCP_NODELAY`); latency beats batching for
     /// the small control frames of this protocol.
     pub nodelay: bool,
+    /// Number of shared epoll poller threads multiplexing every TCP
+    /// connection in the process. The pool is process-global and sized
+    /// once, by the first connection created; later configs cannot resize
+    /// it.
+    pub poller_threads: usize,
+    /// Byte bound on the per-connection outbound queue. A send that would
+    /// push the queue past this bound fails with [`SendError::WouldBlock`]
+    /// and the waker fires once the queue drains below the bound again; a
+    /// single frame larger than the whole bound is admitted alone (never a
+    /// permanent reject). This is what keeps a slow or stalled reader from
+    /// growing master-side memory without bound.
+    pub write_buffer_max: usize,
+    /// Enable kernel `SO_KEEPALIVE` probing, paced from
+    /// `heartbeat_interval` (rounded up to the kernel's 1s floor). See the
+    /// module docs for how keepalive, heartbeats and socket events split
+    /// the failure-detection work. Linux only; ignored elsewhere.
+    pub keepalive: bool,
+    /// Use the legacy two-OS-threads-per-connection pump backend instead of
+    /// the shared epoll poller. Kept for A/B benchmarking
+    /// (`benches/tcp.rs`) and as the fallback on non-Linux targets, where
+    /// it is used regardless of this flag.
+    #[deprecated(note = "the epoll poller backend is the default; pump threads remain only for \
+                A/B benchmarks and non-Linux fallback")]
+    pub pump_threads_backend: bool,
 }
 
 impl Default for TcpConfig {
+    #[allow(deprecated)]
     fn default() -> Self {
         Self {
             heartbeat_interval: Duration::from_secs(2),
             failure_timeout: Duration::from_secs(10),
             nodelay: true,
+            poller_threads: 2,
+            write_buffer_max: 1024 * 1024,
+            keepalive: true,
+            pump_threads_backend: false,
         }
     }
 }
@@ -85,13 +162,22 @@ impl TcpConfig {
         Self {
             heartbeat_interval: Duration::from_millis(50),
             failure_timeout: Duration::from_millis(400),
-            nodelay: true,
+            ..Self::default()
         }
+    }
+
+    /// Whether connections with this config run on the legacy pump-thread
+    /// backend (explicitly requested, or forced on non-Linux targets).
+    fn use_pump_backend(&self) -> bool {
+        #[allow(deprecated)]
+        let requested = self.pump_threads_backend;
+        requested || !cfg!(target_os = "linux")
     }
 }
 
-/// Everything both pump threads and the public API share about one link.
-struct LinkState {
+/// Consumer-facing link state shared by the poller/pump threads and the
+/// public API.
+pub(crate) struct LinkState {
     /// Decoded messages not yet handed to the consumer, FIFO.
     inbox: VecDeque<Message>,
     /// Peer sent the close marker: drain the inbox, then report `Closed`.
@@ -109,25 +195,72 @@ struct LinkState {
     waker: Option<Waker>,
 }
 
-/// Outbound queue drained by the writer thread.
-enum WriteItem {
-    Frame(bytes::Bytes),
-    /// Flush, send the close marker, shut the write half down, exit.
-    Close,
+/// Inbound reassembly state, touched only by the thread currently reading
+/// the socket (one poller thread, or the pump reader).
+pub(crate) struct ReadState {
+    /// Bytes received but not yet parsed into complete frames.
+    buf: BytesMut,
+    /// The read direction hit EOF; never read again.
+    eof: bool,
 }
 
-struct WriteState {
-    queue: VecDeque<WriteItem>,
-    /// Writer thread exits once it has drained up to this.
-    done: bool,
+/// Outbound queue and partial-write cursor, drained by the poller on
+/// writable events (or by the pump writer thread).
+pub(crate) struct WriteState {
+    /// Fully-encoded frames awaiting the socket, FIFO. The close marker is
+    /// queued as a regular frame so ordering falls out naturally.
+    queue: VecDeque<Bytes>,
+    /// Bytes of `queue[0]` already written (partial-write resumption;
+    /// poller backend only — the pump writer blocks in `write_all`).
+    offset: usize,
+    /// Unwritten bytes across the whole queue; the admission bound.
+    queued_bytes: usize,
+    /// The close marker has been queued: no further frames are accepted,
+    /// and once the queue drains the write half is shut down.
+    closing: bool,
+    /// The write half has been flushed and shut down after a clean close.
+    shutdown_done: bool,
+    /// `crash()` dropped the queue: stop writing, never shut down cleanly.
+    aborted: bool,
+    /// A send bounced with `WouldBlock`; fire the waker once the queue
+    /// drains below the bound.
+    blocked: bool,
+    /// Interest mask currently registered with epoll (poller backend).
+    /// Mutated only under this lock so interest updates cannot race.
+    armed_interest: u32,
+    /// Frames fully written to the socket.
+    frames_written: u64,
+    /// `write`/`writev` syscalls issued (vectored batching makes
+    /// `frames_written / write_calls` exceed 1 under load).
+    write_calls: u64,
+    /// Payload bytes written to the socket.
+    bytes_written: u64,
 }
 
-struct Shared {
+/// Everything one connection's threads share. Lock order within one link:
+/// `read` → `write` → `state` → `registration`; never take an earlier lock
+/// while holding a later one.
+pub(crate) struct Shared {
+    /// The socket itself; reads and writes go through `&TcpStream`.
+    stream: TcpStream,
     state: Mutex<LinkState>,
     /// Signalled on every inbox/terminal-state change; backs blocking recv.
     recv_cv: Condvar,
     write: Mutex<WriteState>,
+    /// Pump backend only: wakes the writer thread on enqueue.
     write_cv: Condvar,
+    read: Mutex<ReadState>,
+    /// EOF seen or link dead: drop read interest, never read again.
+    read_closed: AtomicBool,
+    /// Link failed or crashed: drop write interest, never write again.
+    dead: AtomicBool,
+    /// Poller-backend registration (epoll shard + token); `None` on the
+    /// pump backend or after teardown.
+    #[cfg(target_os = "linux")]
+    registration: Mutex<Option<poller::Registration>>,
+    /// Live [`TcpTransport`] handles over this link; the clean close on
+    /// drop fires only when the last one goes.
+    handles: AtomicUsize,
     detector: FailureDetector,
     config: TcpConfig,
 }
@@ -143,10 +276,98 @@ impl Shared {
     }
 
     fn fail(&self, error: TransportError) {
+        self.read_closed.store(true, Ordering::SeqCst);
+        self.dead.store(true, Ordering::SeqCst);
         let mut state = self.state.lock();
         if state.failed.is_none() && !state.peer_closed {
             state.failed = Some(error);
         }
+        self.notify(&state);
+    }
+
+    /// Drains every complete frame in `read.buf` into the inbox. Returns
+    /// `false` when the link failed on a framing violation (the caller
+    /// tears the socket down).
+    fn drain_frames(&self, read: &mut ReadState) -> bool {
+        loop {
+            if read.buf.len() < FRAME_HEADER_LEN {
+                return true;
+            }
+            let tag = read.buf[0];
+            let len =
+                u32::from_be_bytes([read.buf[1], read.buf[2], read.buf[3], read.buf[4]]) as usize;
+            if len > MAX_FRAME_LEN {
+                self.fail(TransportError::new(
+                    TransportErrorKind::Protocol,
+                    format!("incoming frame of {len} bytes exceeds the {MAX_FRAME_LEN} limit"),
+                ));
+                return false;
+            }
+            if read.buf.len() < FRAME_HEADER_LEN + len {
+                return true;
+            }
+            let frame = read.buf.split_to(FRAME_HEADER_LEN + len);
+            let mut state = self.state.lock();
+            state.last_heard = Instant::now();
+            if tag == TAG_CLOSE {
+                state.peer_closed = true;
+                self.notify(&state);
+                // The peer will not send again; keep reading so the socket
+                // drains to EOF.
+                continue;
+            }
+            match Message::decode(&frame) {
+                Ok(message) => {
+                    state.inbox.push_back(message);
+                    self.notify(&state);
+                }
+                Err(err) => {
+                    drop(state);
+                    self.fail(TransportError::new(
+                        TransportErrorKind::Protocol,
+                        format!("undecodable frame: {err}"),
+                    ));
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Classifies EOF: without the close marker — or worse, mid-frame — it
+    /// is a crash, not a clean shutdown.
+    fn handle_eof(&self, read: &ReadState) {
+        self.read_closed.store(true, Ordering::SeqCst);
+        let mid_frame = !read.buf.is_empty();
+        let mut state = self.state.lock();
+        if !state.peer_closed && state.failed.is_none() {
+            self.dead.store(true, Ordering::SeqCst);
+            state.failed = Some(TransportError::new(
+                TransportErrorKind::PeerFailed,
+                if mid_frame {
+                    "connection dropped mid-frame"
+                } else {
+                    "connection dropped without close marker"
+                },
+            ));
+        }
+        self.notify(&state);
+    }
+
+    /// Clears the would-block flag if the queue drained below the bound.
+    /// Returns whether the caller must fire the waker (after releasing the
+    /// write lock).
+    fn maybe_unblock(&self, write: &mut WriteState) -> bool {
+        if write.blocked && write.queued_bytes < self.config.write_buffer_max {
+            write.blocked = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fires receivers + waker after a `WouldBlock`ed sender got room again.
+    fn notify_unblocked(&self) {
+        let state = self.state.lock();
         self.notify(&state);
     }
 }
@@ -156,9 +377,13 @@ impl Shared {
 /// Created by [`TcpTransport::connect`] on the volunteer side or handed out
 /// by a [`TcpAcceptor`] on the master side. Dropping the transport closes it
 /// cleanly unless [`crash`](Transport::crash) was called first.
+///
+/// Clones share the underlying connection; a clone is a cheap handle for
+/// observing [`stats`](TcpTransport::stats) after the original moved into a
+/// worker or the reactor. The drop-close fires only when the last handle
+/// goes away.
 pub struct TcpTransport {
     shared: Arc<Shared>,
-    stream: TcpStream,
     /// Peer name from the handshake (volunteer side: our own name).
     peer: String,
 }
@@ -167,8 +392,35 @@ impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpTransport")
             .field("peer", &self.peer)
-            .field("local", &self.stream.local_addr().ok())
+            .field("local", &self.shared.stream.local_addr().ok())
             .finish()
+    }
+}
+
+/// A snapshot of one link's write-path counters, for the transport stats
+/// line and the backpressure tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpLinkStats {
+    /// Frames fully written to the socket.
+    pub frames_written: u64,
+    /// `write`/`writev` syscalls issued.
+    pub write_calls: u64,
+    /// Payload bytes written to the socket.
+    pub bytes_written: u64,
+    /// Unwritten bytes currently queued (bounded by
+    /// [`TcpConfig::write_buffer_max`]).
+    pub queued_bytes: usize,
+}
+
+impl TcpLinkStats {
+    /// Average frames drained per `write`/`writev` syscall; above 1 means
+    /// the vectored write path is batching under load.
+    pub fn frames_per_write(&self) -> f64 {
+        if self.write_calls == 0 {
+            0.0
+        } else {
+            self.frames_written as f64 / self.write_calls as f64
+        }
     }
 }
 
@@ -226,7 +478,7 @@ impl TcpTransport {
 
         stream.set_read_timeout(None)?;
         stream.set_write_timeout(None)?;
-        Ok(Self::spawn_pumps(stream, name.to_string(), config))
+        Ok(Self::from_stream(stream, name.to_string(), config))
     }
 
     /// Performs the master side of the handshake on an accepted socket and
@@ -277,14 +529,24 @@ impl TcpTransport {
 
         stream.set_read_timeout(None)?;
         stream.set_write_timeout(None)?;
-        let transport = Self::spawn_pumps(stream, name.clone(), config);
+        let transport = Self::from_stream(stream, name.clone(), config);
         Ok((name, transport))
     }
 
-    /// Wires the shared state and starts the reader/writer pump threads.
-    fn spawn_pumps(stream: TcpStream, peer: String, config: TcpConfig) -> Self {
+    /// Wires the shared state and hands the socket to the poller (default)
+    /// or spawns the legacy pump thread pair.
+    fn from_stream(stream: TcpStream, peer: String, config: TcpConfig) -> Self {
+        #[cfg(target_os = "linux")]
+        if config.keepalive {
+            use std::os::unix::io::AsRawFd;
+            // Best effort: a kernel that rejects the option still leaves
+            // the two application-level detection layers above it.
+            let _ = sys::set_keepalive(stream.as_raw_fd(), config.heartbeat_interval);
+        }
+        let pump = config.use_pump_backend();
         let detector = FailureDetector::new(config.heartbeat_interval, config.failure_timeout);
         let shared = Arc::new(Shared {
+            stream,
             state: Mutex::new(LinkState {
                 inbox: VecDeque::new(),
                 peer_closed: false,
@@ -295,27 +557,52 @@ impl TcpTransport {
                 waker: None,
             }),
             recv_cv: Condvar::new(),
-            write: Mutex::new(WriteState { queue: VecDeque::new(), done: false }),
+            write: Mutex::new(WriteState {
+                queue: VecDeque::new(),
+                offset: 0,
+                queued_bytes: 0,
+                closing: false,
+                shutdown_done: false,
+                aborted: false,
+                blocked: false,
+                armed_interest: 0,
+                frames_written: 0,
+                write_calls: 0,
+                bytes_written: 0,
+            }),
             write_cv: Condvar::new(),
+            read: Mutex::new(ReadState { buf: BytesMut::with_capacity(16 * 1024), eof: false }),
+            read_closed: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            #[cfg(target_os = "linux")]
+            registration: Mutex::new(None),
+            handles: AtomicUsize::new(1),
             detector,
             config,
         });
 
+        if pump {
+            Self::spawn_pumps(&shared, &peer);
+        } else {
+            #[cfg(target_os = "linux")]
+            poller::register(&shared);
+        }
+        Self { shared, peer }
+    }
+
+    /// Starts the legacy reader/writer pump threads (one pair per link).
+    fn spawn_pumps(shared: &Arc<Shared>, peer: &str) {
         let reader_shared = shared.clone();
-        let reader_stream = stream.try_clone().expect("clone TCP stream for reader");
         thread::Builder::new()
             .name(format!("tcp-read-{peer}"))
-            .spawn(move || run_reader(reader_stream, reader_shared))
+            .spawn(move || run_reader(reader_shared))
             .expect("spawn tcp reader thread");
 
         let writer_shared = shared.clone();
-        let writer_stream = stream.try_clone().expect("clone TCP stream for writer");
         thread::Builder::new()
             .name(format!("tcp-write-{peer}"))
-            .spawn(move || run_writer(writer_stream, writer_shared))
+            .spawn(move || run_writer(writer_shared))
             .expect("spawn tcp writer thread");
-
-        Self { shared, stream, peer }
     }
 
     /// The peer's handshake name (on the master side) or this volunteer's
@@ -326,7 +613,32 @@ impl TcpTransport {
 
     /// The socket address of the remote end.
     pub fn peer_addr(&self) -> Option<SocketAddr> {
-        self.stream.peer_addr().ok()
+        self.shared.stream.peer_addr().ok()
+    }
+
+    /// Snapshot of the link's write-path counters.
+    pub fn stats(&self) -> TcpLinkStats {
+        let write = self.shared.write.lock();
+        TcpLinkStats {
+            frames_written: write.frames_written,
+            write_calls: write.write_calls,
+            bytes_written: write.bytes_written,
+            queued_bytes: write.queued_bytes,
+        }
+    }
+
+    /// Whether `SO_KEEPALIVE` is enabled on the socket (`None` where the
+    /// option cannot be read, e.g. non-Linux builds).
+    pub fn keepalive_enabled(&self) -> Option<bool> {
+        #[cfg(target_os = "linux")]
+        {
+            use std::os::unix::io::AsRawFd;
+            sys::keepalive_enabled(self.shared.stream.as_raw_fd()).ok()
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            None
+        }
     }
 
     /// Core non-blocking poll shared by `try_recv`/`recv_timeout`.
@@ -353,17 +665,47 @@ impl TcpTransport {
         Err(RecvError::Empty)
     }
 
-    fn enqueue(&self, item: WriteItem) -> Result<(), SendError> {
-        let mut write = self.shared.write.lock();
-        if write.done {
+    /// Admits `frame` into the bounded outbound queue and nudges whichever
+    /// backend drains it.
+    fn enqueue_frame(&self, frame: Bytes) -> Result<(), SendError> {
+        let shared = &self.shared;
+        let mut write = shared.write.lock();
+        if write.closing || write.aborted {
             return Err(SendError::Closed);
         }
-        if matches!(item, WriteItem::Close) {
-            write.done = true;
+        let size = frame.len();
+        if write.queued_bytes > 0 && write.queued_bytes + size > shared.config.write_buffer_max {
+            // Bound overflow: admit nothing, remember to wake the sender
+            // once the drain dips below the bound. An oversized frame on an
+            // empty queue is admitted alone instead of livelocking.
+            write.blocked = true;
+            return Err(SendError::WouldBlock);
         }
-        write.queue.push_back(item);
-        self.shared.write_cv.notify_one();
+        write.queue.push_back(frame);
+        write.queued_bytes += size;
+        self.kick_writer(&mut write);
         Ok(())
+    }
+
+    /// Wakes the drain path after the queue changed: arms `EPOLLOUT` on the
+    /// poller backend, signals the writer thread on the pump backend.
+    fn kick_writer(&self, write: &mut WriteState) {
+        #[cfg(target_os = "linux")]
+        if !self.shared.config.use_pump_backend() {
+            // Write-on-enqueue fast path: the socket is almost always
+            // writable, so drain inline on the sender's thread instead of
+            // paying an epoll wakeup of latency per frame. Only a partial
+            // write (kernel buffer full) leaves residue, and
+            // `update_interest` then arms `EPOLLOUT` so the poller resumes
+            // it. A link already deregistered (peer gone, queue was idle)
+            // takes the same path, best effort — that only ever carries
+            // the close marker.
+            poller::drain_write_locked(&self.shared, write);
+            poller::update_interest(&self.shared, write);
+            return;
+        }
+        let _ = write;
+        self.shared.write_cv.notify_one();
     }
 
     fn send_frame(&self, message: &Message) -> Result<(), SendError> {
@@ -389,7 +731,7 @@ impl TcpTransport {
                 return Err(SendError::PeerFailed);
             }
         };
-        self.enqueue(WriteItem::Frame(frame))
+        self.enqueue_frame(frame)
     }
 }
 
@@ -477,7 +819,15 @@ impl Transport for TcpTransport {
             }
             state.locally_closed = true;
         }
-        let _ = self.enqueue(WriteItem::Close);
+        let mut write = self.shared.write.lock();
+        if write.closing || write.aborted {
+            return;
+        }
+        write.closing = true;
+        let marker = encode_frame(TAG_CLOSE, b"").expect("empty close frame encodes");
+        write.queued_bytes += marker.len();
+        write.queue.push_back(marker);
+        self.kick_writer(&mut write);
     }
 
     fn crash(&self) {
@@ -487,17 +837,23 @@ impl Transport for TcpTransport {
                 return;
             }
             state.crashed = true;
+            self.shared.read_closed.store(true, Ordering::SeqCst);
+            self.shared.dead.store(true, Ordering::SeqCst);
             self.shared.notify(&state);
         }
         {
             let mut write = self.shared.write.lock();
-            write.done = true;
+            write.aborted = true;
             write.queue.clear();
+            write.queued_bytes = 0;
+            write.offset = 0;
             self.shared.write_cv.notify_one();
         }
+        #[cfg(target_os = "linux")]
+        poller::deregister(&self.shared);
         // Abrupt: no close marker, both directions torn down. The peer sees
         // EOF (or a reset) without the marker and classifies it as a crash.
-        let _ = self.stream.shutdown(Shutdown::Both);
+        let _ = self.shared.stream.shutdown(Shutdown::Both);
     }
 
     fn is_peer_alive(&self) -> bool {
@@ -512,82 +868,41 @@ impl Transport for TcpTransport {
     }
 }
 
-impl Drop for TcpTransport {
-    fn drop(&mut self) {
-        self.close();
+impl Clone for TcpTransport {
+    fn clone(&self) -> Self {
+        self.shared.handles.fetch_add(1, Ordering::SeqCst);
+        Self { shared: self.shared.clone(), peer: self.peer.clone() }
     }
 }
 
-/// Reader pump: socket bytes → frames → decoded messages → inbox + waker.
-fn run_reader(mut stream: TcpStream, shared: Arc<Shared>) {
-    let mut buf = BytesMut::with_capacity(16 * 1024);
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        if self.shared.handles.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.close();
+        }
+    }
+}
+
+/// Legacy reader pump: socket bytes → frames → decoded messages → inbox +
+/// waker. One blocking thread per connection.
+fn run_reader(shared: Arc<Shared>) {
     let mut chunk = [0u8; 16 * 1024];
     loop {
-        // Drain every complete frame currently buffered.
-        loop {
-            if buf.len() < FRAME_HEADER_LEN {
-                break;
-            }
-            let tag = buf[0];
-            let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
-            if len > MAX_FRAME_LEN {
-                shared.fail(TransportError::new(
-                    TransportErrorKind::Protocol,
-                    format!("incoming frame of {len} bytes exceeds the {MAX_FRAME_LEN} limit"),
-                ));
-                let _ = stream.shutdown(Shutdown::Both);
+        let mut read = shared.read.lock();
+        match (&shared.stream).read(&mut chunk) {
+            Ok(0) => {
+                read.eof = true;
+                shared.handle_eof(&read);
                 return;
             }
-            if buf.len() < FRAME_HEADER_LEN + len {
-                break;
-            }
-            let frame = buf.split_to(FRAME_HEADER_LEN + len);
-            let mut state = shared.state.lock();
-            state.last_heard = Instant::now();
-            if tag == TAG_CLOSE {
-                state.peer_closed = true;
-                shared.notify(&state);
-                // The peer will not send again; wait for EOF below so the
-                // socket drains before the thread exits.
-                continue;
-            }
-            match Message::decode(&frame) {
-                Ok(message) => {
-                    state.inbox.push_back(message);
-                    shared.notify(&state);
-                }
-                Err(err) => {
-                    drop(state);
-                    shared.fail(TransportError::new(
-                        TransportErrorKind::Protocol,
-                        format!("undecodable frame: {err}"),
-                    ));
-                    let _ = stream.shutdown(Shutdown::Both);
+            Ok(n) => {
+                read.buf.extend_from_slice(&chunk[..n]);
+                if !shared.drain_frames(&mut read) {
+                    let _ = shared.stream.shutdown(Shutdown::Both);
                     return;
                 }
             }
-        }
-
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                let mut state = shared.state.lock();
-                let mid_frame = !buf.is_empty();
-                if !state.peer_closed && state.failed.is_none() {
-                    // EOF without the close marker — or worse, mid-frame —
-                    // is a crash, not a clean shutdown.
-                    state.failed = Some(TransportError::new(
-                        TransportErrorKind::PeerFailed,
-                        if mid_frame {
-                            "connection dropped mid-frame"
-                        } else {
-                            "connection dropped without close marker"
-                        },
-                    ));
-                }
-                shared.notify(&state);
-                return;
-            }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
             Err(err) => {
                 shared.fail(err.into());
                 return;
@@ -596,38 +911,69 @@ fn run_reader(mut stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
-/// Writer pump: outbound queue → socket. Exits after the close marker or on
-/// the first I/O error (which is reported as a link failure).
-fn run_writer(mut stream: TcpStream, shared: Arc<Shared>) {
+/// Legacy writer pump: outbound queue → socket. Exits after flushing the
+/// close marker or on the first I/O error (reported as a link failure).
+fn run_writer(shared: Arc<Shared>) {
     loop {
-        let item = {
+        let frame = {
             let mut write = shared.write.lock();
             loop {
-                if let Some(item) = write.queue.pop_front() {
-                    break item;
-                }
-                if write.done {
+                if write.aborted {
                     return; // crash() cleared the queue
+                }
+                if let Some(frame) = write.queue.pop_front() {
+                    break Some(frame);
+                }
+                if write.closing {
+                    break None; // marker already written; finish up
                 }
                 shared.write_cv.wait(&mut write);
             }
         };
-        match item {
-            WriteItem::Frame(frame) => {
-                if let Err(err) = stream.write_all(&frame) {
+        match frame {
+            Some(frame) => {
+                if let Err(err) = (&shared.stream).write_all(&frame) {
                     shared.fail(err.into());
                     return;
                 }
-            }
-            WriteItem::Close => {
-                let marker = encode_frame(TAG_CLOSE, b"").expect("empty close frame encodes");
-                if stream.write_all(&marker).and_then(|_| stream.flush()).is_ok() {
-                    let _ = stream.shutdown(Shutdown::Write);
+                let unblock = {
+                    let mut write = shared.write.lock();
+                    write.queued_bytes = write.queued_bytes.saturating_sub(frame.len());
+                    write.frames_written += 1;
+                    write.write_calls += 1;
+                    write.bytes_written += frame.len() as u64;
+                    shared.maybe_unblock(&mut write)
+                };
+                if unblock {
+                    shared.notify_unblocked();
                 }
+            }
+            None => {
+                // Queue drained after close(): the marker is on the wire.
+                if (&shared.stream).flush().is_ok() {
+                    let _ = shared.stream.shutdown(Shutdown::Write);
+                }
+                shared.write.lock().shutdown_done = true;
                 return;
             }
         }
     }
+}
+
+/// Counts this process's live transport threads (names starting `tcp-`:
+/// pollers, the acceptor, and any legacy pump threads). `None` where
+/// `/proc` is unavailable. This is what the CI fleet job asserts stays
+/// O(`poller_threads`) instead of O(connections).
+pub fn transport_thread_census() -> Option<usize> {
+    let tasks = std::fs::read_dir("/proc/self/task").ok()?;
+    let mut count = 0;
+    for task in tasks.flatten() {
+        let comm = std::fs::read_to_string(task.path().join("comm")).unwrap_or_default();
+        if comm.trim_end().starts_with("tcp-") {
+            count += 1;
+        }
+    }
+    Some(count)
 }
 
 /// Listening socket that accepts volunteer connections and performs the

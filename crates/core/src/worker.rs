@@ -368,7 +368,34 @@ struct PoolSlot {
     endpoint: Arc<dyn Transport>,
     report: WorkerReport,
     pacer: Option<crate::protocol::HeartbeatPacer>,
+    /// Replies refused with [`SendError::WouldBlock`] by a bounded
+    /// transport, waiting for its write queue to drain. While non-empty the
+    /// slot takes no new input, so transport backpressure propagates to the
+    /// task stream instead of ballooning in process memory.
+    pending: std::collections::VecDeque<Message>,
     done: bool,
+}
+
+/// Sends a slot's parked replies until they are gone or the transport
+/// pushes back again. A terminal send error marks the slot done.
+fn flush_slot_pending(slot: &mut PoolSlot) {
+    while let Some(reply) = slot.pending.front() {
+        let size = reply.wire_size();
+        let count = reply.record_count();
+        match slot.endpoint.send_records_with_size(reply.clone(), size, count) {
+            Ok(()) => {
+                slot.pending.pop_front();
+                if let Some(pacer) = &mut slot.pacer {
+                    pacer.on_traffic();
+                }
+            }
+            Err(SendError::WouldBlock) => return,
+            Err(SendError::Closed) | Err(SendError::PeerFailed) => {
+                slot.done = true;
+                return;
+            }
+        }
+    }
 }
 
 /// Serves a slice of transports from one pool thread until all of them end.
@@ -425,6 +452,7 @@ where
                     }
                 )),
                 pacer: options.heartbeats.then(|| crate::protocol::HeartbeatPacer::new(interval)),
+                pending: VecDeque::new(),
                 done: false,
             }
         })
@@ -486,11 +514,20 @@ where
             continue;
         }
         {
+            // Replies parked by an earlier would-block flush first: taking
+            // new input while they wait would break backpressure and
+            // reorder sends.
+            flush_slot_pending(slot);
+            if !slot.done && !slot.pending.is_empty() {
+                // Transport still pushing back; its waker re-enqueues the
+                // slot once the bounded write queue drains.
+                continue;
+            }
             let mut drained = 0;
             let mut more = true;
             // Drain a bounded number of frames per visit so one chatty
             // endpoint cannot starve its siblings.
-            while drained < 8 {
+            while !slot.done && drained < 8 {
                 drained += 1;
                 let (outcome, batched) = match slot.endpoint.try_recv() {
                     Ok(Message::Task { seq, payload }) => {
@@ -521,22 +558,16 @@ where
                         break;
                     }
                 };
-                for reply in build_replies(outcome, batched) {
-                    let size = reply.wire_size();
-                    let count = reply.record_count();
-                    match slot.endpoint.send_records_with_size(reply, size, count) {
-                        Ok(()) => {
-                            if let Some(pacer) = &mut slot.pacer {
-                                pacer.on_traffic();
-                            }
-                        }
-                        Err(_) => {
-                            slot.done = true;
-                            break;
-                        }
-                    }
-                }
+                slot.pending.extend(build_replies(outcome, batched));
+                flush_slot_pending(slot);
                 if slot.done {
+                    break;
+                }
+                if !slot.pending.is_empty() {
+                    // The bounded write queue pushed back mid-drain: stop
+                    // taking new input; the transport waker re-enqueues the
+                    // slot once the queue drains below its bound.
+                    more = false;
                     break;
                 }
             }
@@ -679,13 +710,25 @@ where
         for reply in build_replies(outcome, batched) {
             let size = reply.wire_size();
             let count = reply.record_count();
-            match endpoint.send_records_with_size(reply, size, count) {
-                Ok(()) => {
-                    if let Some(pacer) = &mut pacer {
-                        pacer.on_traffic();
+            loop {
+                match endpoint.send_records_with_size(reply.clone(), size, count) {
+                    Ok(()) => {
+                        if let Some(pacer) = &mut pacer {
+                            pacer.on_traffic();
+                        }
+                        break;
                     }
+                    Err(SendError::WouldBlock) => {
+                        // Bounded write queue full. A dedicated-thread worker
+                        // can afford to wait for the poller to drain it,
+                        // bailing out only if the peer dies meanwhile.
+                        if !endpoint.is_peer_alive() {
+                            return report;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    Err(SendError::Closed) | Err(SendError::PeerFailed) => return report,
                 }
-                Err(SendError::Closed) | Err(SendError::PeerFailed) => return report,
             }
         }
     }

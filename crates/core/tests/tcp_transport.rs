@@ -26,7 +26,7 @@ fn lenient() -> TcpConfig {
     TcpConfig {
         heartbeat_interval: Duration::from_secs(2),
         failure_timeout: Duration::from_secs(30),
-        nodelay: true,
+        ..TcpConfig::default()
     }
 }
 
@@ -302,6 +302,162 @@ fn loopback_fleet_of_32_tcp_volunteers_completes_in_order() {
     let stats = pando.lender_stats().unwrap();
     assert_eq!(stats.results_emitted, tasks);
     assert_eq!(stats.substreams_crashed, 0, "a healthy fleet ends cleanly");
+}
+
+#[test]
+fn slow_reader_bounds_the_write_queue_and_send_resumes_after_drain() {
+    use pando_netsim::channel::SendError;
+
+    // A tight byte bound so the test fills it quickly once the kernel socket
+    // buffers are saturated by a peer that stops reading.
+    let bound = 64 * 1024usize;
+    let config = TcpConfig { write_buffer_max: bound, ..lenient() };
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", config.clone()).unwrap();
+    let addr = acceptor.local_addr();
+    let stalled = std::thread::Builder::new()
+        .name("stalled-reader".into())
+        .spawn(move || raw_handshake(addr, "molasses"))
+        .unwrap();
+    let (_, master_side) = accept_one(&acceptor);
+    let stream = stalled.join().unwrap();
+
+    // Push 32 KiB frames at a peer that never reads. The kernel buffers
+    // absorb the first burst; after that the transport's own queue fills to
+    // its byte bound and `send` must push back instead of buffering forever.
+    let payload = Bytes::from(vec![0x5A_u8; 32 * 1024]);
+    let frame = Message::Task { seq: 1, payload: payload.clone() };
+    let mut sent = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let blocked = loop {
+        match master_side.send(frame.clone()) {
+            Ok(()) => {
+                sent += 1;
+                let queued = master_side.stats().queued_bytes;
+                assert!(
+                    queued <= bound,
+                    "write queue exceeded its bound: {queued} > {bound} after {sent} frames"
+                );
+            }
+            Err(SendError::WouldBlock) => break true,
+            Err(other) => panic!("expected backpressure, got {other:?}"),
+        }
+        if Instant::now() > deadline {
+            break false;
+        }
+    };
+    assert!(blocked, "a stalled reader must surface WouldBlock, not unbounded buffering");
+    assert!(sent > 0, "some frames must be accepted before the queue fills");
+    assert!(master_side.is_peer_alive(), "backpressure is transient: the peer is slow, not dead");
+
+    // The reader wakes up and drains the socket: the queue empties and the
+    // same link accepts new frames again — WouldBlock was not terminal.
+    let drainer = std::thread::spawn(move || {
+        let mut stream = stream;
+        let mut sink = [0u8; 16 * 1024];
+        stream.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        let idle_since = Instant::now() + Duration::from_secs(30);
+        loop {
+            match stream.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(_) if Instant::now() > idle_since => break,
+                Err(_) => {}
+            }
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match master_side.send(frame.clone()) {
+            Ok(()) => break,
+            Err(SendError::WouldBlock) => {
+                assert!(Instant::now() < deadline, "send never resumed after the reader drained");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(other) => panic!("link died while draining: {other:?}"),
+        }
+    }
+    master_side.crash(); // tear the link down so the drainer sees EOF
+    drainer.join().unwrap();
+}
+
+#[test]
+fn stalled_volunteer_is_crashed_by_timeout_and_its_tasks_re_lent() {
+    // Short liveness windows: the stalled peer sends nothing after the
+    // handshake, so the failure timeout is the only thing that can end it.
+    let tcp = TcpConfig {
+        heartbeat_interval: Duration::from_millis(100),
+        failure_timeout: Duration::from_secs(1),
+        ..TcpConfig::default()
+    };
+    let pando = Pando::new(PandoConfig::local_test().with_batch_size(4));
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", tcp.clone()).unwrap();
+    let addr = acceptor.local_addr();
+    let server = acceptor.serve(&pando);
+
+    // One healthy worker and one volunteer that handshakes, then goes silent
+    // and never reads: tasks lent to it can only complete through re-lend.
+    let steady = WorkerBuilder::new().name("steady").heartbeats(true).spawn(
+        TcpTransport::connect(addr, "steady", tcp).unwrap(),
+        |payload: &Bytes| -> Result<Bytes, StreamError> { Ok(payload.clone()) },
+    );
+    let stalled = raw_handshake(addr, "wedged");
+    assert!(server.wait_for_volunteers(2, Duration::from_secs(10)), "both volunteers join");
+
+    let output = pando
+        .run(count(200).map_values(|v| Bytes::from(v.to_string().into_bytes())))
+        .collect_values()
+        .unwrap();
+    assert_eq!(output.len(), 200);
+    for (i, payload) in output.iter().enumerate() {
+        assert_eq!(payload.as_ref(), (i + 1).to_string().as_bytes(), "order survives the stall");
+    }
+    drop(stalled);
+    assert!(!steady.join().crashed);
+    server.stop();
+    server.join();
+    pando.join_volunteers();
+    let stats = pando.lender_stats().unwrap();
+    assert_eq!(stats.results_emitted, 200);
+    assert_eq!(stats.substreams_crashed, 1, "silence past the failure timeout reads as a crash");
+    assert!(stats.relends >= 1, "values held by the wedged volunteer are re-lent");
+}
+
+#[test]
+fn idle_link_with_keepalive_survives_past_three_heartbeat_intervals() {
+    // Liveness split: sub-second application heartbeats, a failure timeout
+    // that the test's idle window must never reach, and kernel keepalive on
+    // the socket underneath (satellite check: actually enabled, not just
+    // configured).
+    let tcp = TcpConfig {
+        heartbeat_interval: Duration::from_millis(100),
+        failure_timeout: Duration::from_secs(30),
+        ..TcpConfig::default()
+    };
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", tcp.clone()).unwrap();
+    let addr = acceptor.local_addr();
+    let tcp_client = tcp.clone();
+    let client = std::thread::spawn(move || {
+        TcpTransport::connect(addr, "dormant", tcp_client).expect("connect")
+    });
+    let (_, master_side) = accept_one(&acceptor);
+    let volunteer_side = client.join().unwrap();
+    if cfg!(target_os = "linux") {
+        assert_eq!(master_side.keepalive_enabled(), Some(true), "keepalive set on accept side");
+        assert_eq!(volunteer_side.keepalive_enabled(), Some(true), "keepalive set on connect side");
+    }
+
+    // No worker, no heartbeats, no traffic: an idle-but-open link past three
+    // heartbeat intervals must not be suspected — only the failure timeout
+    // (or the kernel's keepalive probes, on real dead links) may end it.
+    std::thread::sleep(tcp.heartbeat_interval * 4);
+    assert!(master_side.is_peer_alive(), "idle is not dead");
+    assert!(volunteer_side.is_peer_alive(), "idle is not dead");
+    assert_eq!(master_side.try_recv().unwrap_err(), RecvError::Empty);
+    assert_eq!(volunteer_side.try_recv().unwrap_err(), RecvError::Empty);
+
+    // And the link still works after the idle spell.
+    volunteer_side.send(Message::Heartbeat).unwrap();
+    assert_eq!(recv_one(&master_side), Message::Heartbeat);
 }
 
 #[test]

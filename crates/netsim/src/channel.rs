@@ -69,6 +69,15 @@ pub struct ChannelConfig {
     pub failure_timeout: Duration,
     /// Seed for the per-channel jitter generator.
     pub seed: u64,
+    /// Byte bound on data frames sent but not yet consumed by the peer — the
+    /// simulated twin of a real transport's bounded write queue. A sized send
+    /// that would push the in-flight byte count past the bound is rejected
+    /// with [`SendError::WouldBlock`]; the sender's waker fires once the peer
+    /// drains back below the bound. `None` (the default, and what every
+    /// profile constructor uses) keeps the channel unbounded, so existing
+    /// deterministic traces are byte-identical. Zero-size sends (heartbeats,
+    /// control frames) are always admitted.
+    pub send_buffer_max: Option<usize>,
 }
 
 impl ChannelConfig {
@@ -82,6 +91,7 @@ impl ChannelConfig {
             heartbeat_interval: Duration::from_millis(5),
             failure_timeout: Duration::from_millis(25),
             seed: 0,
+            send_buffer_max: None,
         }
     }
 
@@ -95,6 +105,7 @@ impl ChannelConfig {
             heartbeat_interval: Duration::from_millis(100),
             failure_timeout: Duration::from_millis(500),
             seed: 0,
+            send_buffer_max: None,
         }
     }
 
@@ -108,6 +119,7 @@ impl ChannelConfig {
             heartbeat_interval: Duration::from_millis(200),
             failure_timeout: Duration::from_secs(1),
             seed: 0,
+            send_buffer_max: None,
         }
     }
 
@@ -121,6 +133,7 @@ impl ChannelConfig {
             heartbeat_interval: Duration::from_millis(500),
             failure_timeout: Duration::from_secs(2),
             seed: 0,
+            send_buffer_max: None,
         }
     }
 
@@ -153,6 +166,11 @@ pub enum SendError {
     Closed,
     /// The peer crashed (detected through the failure detector).
     PeerFailed,
+    /// The bounded send buffer ([`ChannelConfig::send_buffer_max`], or a real
+    /// transport's write queue) has no room for this frame. Nothing was sent;
+    /// the channel is still usable. The registered waker fires once the
+    /// buffer drains below the bound, so callers park instead of spinning.
+    WouldBlock,
 }
 
 impl fmt::Display for SendError {
@@ -160,6 +178,7 @@ impl fmt::Display for SendError {
         match self {
             SendError::Closed => f.write_str("channel closed"),
             SendError::PeerFailed => f.write_str("peer failed"),
+            SendError::WouldBlock => f.write_str("send buffer full"),
         }
     }
 }
@@ -193,7 +212,7 @@ impl fmt::Display for RecvError {
 impl std::error::Error for RecvError {}
 
 enum Frame<T> {
-    Data { payload: T, deliver_at: Instant },
+    Data { payload: T, deliver_at: Instant, size: usize },
     Close { deliver_at: Instant },
 }
 
@@ -228,6 +247,12 @@ struct SideState {
     messages_sent: u64,
     bytes_sent: u64,
     records_sent: u64,
+    /// Bytes of data frames sent by this side but not yet consumed by the
+    /// peer; compared against [`ChannelConfig::send_buffer_max`].
+    bytes_in_flight: usize,
+    /// A sized send was rejected with [`SendError::WouldBlock`]; the next
+    /// drain below the bound fires this side's waker exactly once.
+    send_blocked: bool,
 }
 
 struct Shared {
@@ -307,6 +332,8 @@ pub fn pair_with_clock<T: Send + 'static>(
             messages_sent: 0,
             bytes_sent: 0,
             records_sent: 0,
+            bytes_in_flight: 0,
+            send_blocked: false,
         }),
         b: Mutex::new(SideState {
             crashed_at: None,
@@ -318,6 +345,8 @@ pub fn pair_with_clock<T: Send + 'static>(
             messages_sent: 0,
             bytes_sent: 0,
             records_sent: 0,
+            bytes_in_flight: 0,
+            send_blocked: false,
         }),
     });
     let dir_ab = Direction { tx: a_to_b.0, rx: a_to_b.1 };
@@ -475,6 +504,16 @@ impl<T: Send + 'static> Endpoint<T> {
         if mine.crashed_at.is_some() {
             return Err(SendError::PeerFailed);
         }
+        // Bounded-send admission, mirroring a real transport's byte-bounded
+        // write queue. Zero-size frames (heartbeats) always pass, and a
+        // frame larger than the whole bound is admitted alone rather than
+        // deadlocking the sender.
+        if let Some(max) = self.config.send_buffer_max {
+            if size > 0 && mine.bytes_in_flight > 0 && mine.bytes_in_flight + size > max {
+                mine.send_blocked = true;
+                return Err(SendError::WouldBlock);
+            }
+        }
         let jitter = if self.config.jitter.is_zero() {
             Duration::ZERO
         } else {
@@ -487,10 +526,36 @@ impl<T: Send + 'static> Endpoint<T> {
         mine.messages_sent += 1;
         mine.bytes_sent += size as u64;
         mine.records_sent += records;
+        mine.bytes_in_flight += size;
         drop(mine);
-        self.outgoing.send(Frame::Data { payload, deliver_at }).map_err(|_| SendError::Closed)?;
+        self.outgoing
+            .send(Frame::Data { payload, deliver_at, size })
+            .map_err(|_| SendError::Closed)?;
         self.wake_peer();
         Ok(())
+    }
+
+    /// Books `size` consumed bytes against the *peer's* in-flight counter
+    /// (the peer sent them, this side just delivered them) and fires the
+    /// peer's waker if a bounded send was parked on the drain.
+    fn drain_in_flight(&self, size: usize) {
+        if size == 0 || self.config.send_buffer_max.is_none() {
+            return;
+        }
+        let max = self.config.send_buffer_max.unwrap_or(usize::MAX);
+        let waker = {
+            let mut peer = self.peer_state().lock();
+            peer.bytes_in_flight = peer.bytes_in_flight.saturating_sub(size);
+            if peer.send_blocked && peer.bytes_in_flight < max {
+                peer.send_blocked = false;
+                peer.waker.clone()
+            } else {
+                None
+            }
+        };
+        if let Some(waker) = waker {
+            waker();
+        }
     }
 
     /// Receives the next message, blocking until it arrives or the connection
@@ -578,15 +643,16 @@ impl<T: Send + 'static> Endpoint<T> {
             // after advancing past `next_ready_at`.
             let virtual_time = self.clock.is_virtual();
             match frame {
-                Some(Frame::Data { payload, deliver_at }) => {
+                Some(Frame::Data { payload, deliver_at, size }) => {
                     let now = self.clock.now();
                     if deliver_at <= now {
+                        self.drain_in_flight(size);
                         return Ok(payload);
                     }
                     if virtual_time || deliver_at > deadline {
                         // Not deliverable before the caller's deadline: put it
                         // back and report a timeout.
-                        *self.pending.lock() = Some(Frame::Data { payload, deliver_at });
+                        *self.pending.lock() = Some(Frame::Data { payload, deliver_at, size });
                         if virtual_time || Instant::now() >= deadline {
                             return Err(RecvError::Timeout);
                         }
@@ -598,6 +664,7 @@ impl<T: Send + 'static> Endpoint<T> {
                         continue;
                     }
                     std::thread::sleep(deliver_at - now);
+                    self.drain_in_flight(size);
                     return Ok(payload);
                 }
                 Some(Frame::Close { deliver_at }) => {
@@ -784,6 +851,11 @@ impl<T: Send + 'static> Sink<T> for EndpointSink<T> {
                         let err = StreamError::transport("peer failed while sending");
                         let _ = source.pull(Request::Fail(err.clone()));
                         return Err(err);
+                    }
+                    Err(SendError::WouldBlock) => {
+                        // `send` models a zero-size frame and the bounded
+                        // admission always passes those through.
+                        unreachable!("zero-size sends are never bounded")
                     }
                 },
                 Answer::Done => {
@@ -1134,5 +1206,47 @@ mod tests {
         assert_eq!(ChannelConfig::wan().kind, ChannelKind::WebRtc);
         assert_eq!(ChannelKind::WebSocket.to_string(), "websocket");
         assert_eq!(ChannelKind::WebRtc.to_string(), "webrtc");
+    }
+
+    #[test]
+    fn bounded_send_would_blocks_and_wakes_on_drain() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut config = ChannelConfig::instant();
+        config.send_buffer_max = Some(100);
+        let (a, b) = pair::<u32>(config);
+        a.send_with_size(1, 80).unwrap();
+        // The next sized frame would push past the bound: rejected, nothing
+        // sent, channel still healthy.
+        assert_eq!(a.send_with_size(2, 40).unwrap_err(), SendError::WouldBlock);
+        // Zero-size control frames (heartbeats) always pass.
+        a.send(3).unwrap();
+        let woke = Arc::new(AtomicUsize::new(0));
+        let counter = woke.clone();
+        a.set_waker(Arc::new(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+        // Draining the 80-byte frame frees the buffer and fires the parked
+        // sender's waker exactly once.
+        assert_eq!(b.recv().unwrap(), 1);
+        assert_eq!(woke.load(Ordering::SeqCst), 1);
+        a.send_with_size(4, 40).unwrap();
+        assert_eq!(b.recv().unwrap(), 3);
+        assert_eq!(b.recv().unwrap(), 4);
+        // No further drain-wakes without another WouldBlock.
+        assert_eq!(woke.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn oversized_frame_is_admitted_alone() {
+        let mut config = ChannelConfig::instant();
+        config.send_buffer_max = Some(10);
+        let (a, b) = pair::<u32>(config);
+        // A single frame larger than the whole bound must go through when
+        // the buffer is empty — rejecting it would deadlock the sender.
+        a.send_with_size(1, 1000).unwrap();
+        assert_eq!(a.send_with_size(2, 1).unwrap_err(), SendError::WouldBlock);
+        assert_eq!(b.recv().unwrap(), 1);
+        a.send_with_size(2, 1).unwrap();
+        assert_eq!(b.recv().unwrap(), 2);
     }
 }

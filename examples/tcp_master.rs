@@ -42,7 +42,7 @@ fn demo_tcp_config() -> TcpConfig {
     TcpConfig {
         heartbeat_interval: Duration::from_millis(200),
         failure_timeout: Duration::from_secs(3),
-        nodelay: true,
+        ..TcpConfig::default()
     }
 }
 
@@ -58,7 +58,7 @@ fn main() {
     let tcp = config.transport.tcp.clone();
     let pando = Pando::new(config);
 
-    let acceptor = TcpAcceptor::bind(&addr, tcp).expect("bind TCP listener");
+    let acceptor = TcpAcceptor::bind(&addr, tcp.clone()).expect("bind TCP listener");
     let local = acceptor.local_addr();
     println!("pando master listening on {local}");
     if let Ok(path) = std::env::var("PANDO_TCP_ADDR_FILE") {
@@ -94,6 +94,22 @@ fn main() {
             payload.as_ref(),
             expected.as_bytes(),
             "result {i} out of order or demultiplexed incorrectly"
+        );
+    }
+
+    // With the readiness poller, the master's transport side must run a
+    // fixed number of threads no matter how many volunteers connected:
+    // `poller_threads` epoll shards plus the acceptor. The per-connection
+    // pump backend would show ~2 threads per volunteer here instead.
+    if std::env::var("TCP_THREAD_CENSUS").ok().as_deref() == Some("1") {
+        let census = pando_core::transport::tcp::transport_thread_census()
+            .expect("/proc thread census available on Linux");
+        let ceiling = tcp.poller_threads + 1;
+        println!("transport thread census: {census} (ceiling {ceiling})");
+        assert!(
+            census <= ceiling,
+            "transport layer runs {census} threads, more than poller_threads + acceptor \
+             ({ceiling}) — per-connection threads are back"
         );
     }
 

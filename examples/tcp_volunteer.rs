@@ -35,7 +35,7 @@ fn demo_tcp_config() -> TcpConfig {
     TcpConfig {
         heartbeat_interval: Duration::from_millis(200),
         failure_timeout: Duration::from_secs(3),
-        nodelay: true,
+        ..TcpConfig::default()
     }
 }
 
@@ -68,11 +68,15 @@ fn main() {
         "joining master at {addr} with {workers} workers{}",
         crash_after.map(|n| format!(", crashing the process after {n} tasks")).unwrap_or_default()
     );
+    let mut observers: Vec<TcpTransport> = Vec::with_capacity(workers);
     let handles: Vec<_> = (0..workers)
         .map(|i| {
             let transport =
                 TcpTransport::connect(&addr, &format!("{prefix}-{i}"), demo_tcp_config())
                     .expect("connect to master");
+            // A cheap clone observes the write-path counters after the
+            // worker consumed the original.
+            observers.push(transport.clone());
             let processed = processed.clone();
             WorkerBuilder::new().name(format!("{prefix}-{i}")).heartbeats(true).spawn(
                 transport,
@@ -100,5 +104,17 @@ fn main() {
     for handle in handles {
         total += handle.join().processed;
     }
+    let (mut frames, mut calls, mut bytes) = (0u64, 0u64, 0u64);
+    for observer in &observers {
+        let stats = observer.stats();
+        frames += stats.frames_written;
+        calls += stats.write_calls;
+        bytes += stats.bytes_written;
+    }
+    let per_write = if calls == 0 { 0.0 } else { frames as f64 / calls as f64 };
+    println!(
+        "transport: {frames} frames in {calls} write calls ({per_write:.2} frames/write), \
+         {bytes} bytes"
+    );
     println!("volunteer process done: {total} tasks processed across {workers} workers");
 }
