@@ -1,7 +1,7 @@
 # Local invocations matching the CI jobs in .github/workflows/ci.yml —
 # `make lint test` before pushing reproduces what CI will run.
 
-.PHONY: all build test lint fmt doc bench bench-run scale scale-sharded sim tcp-demo clean
+.PHONY: all build test lint fmt doc bench bench-run scale scale-sharded sim tcp-demo tcp-demo-flap clean
 
 all: lint build test doc
 
@@ -66,6 +66,27 @@ tcp-demo:
 	wait $$master; status=$$?; \
 	wait $$crasher $$steady 2>/dev/null; \
 	rm -f target/tcp-demo.addr; \
+	exit $$status
+
+# The flapping-volunteer variant: one master and a single 32-volunteer
+# process that joins through resumable sessions and abruptly severs every
+# socket mid-run (TCP_DROP_AFTER), then redials with backoff and resumes
+# under its old session tokens. The master must ride the flap out inside
+# its reconnect_grace window: all 32 sessions resumed (TCP_MIN_RESUMED),
+# zero crash re-lends (TCP_EXPECT_CRASHED=0), output complete and in order.
+tcp-demo-flap:
+	cargo build --release --example tcp_master --example tcp_volunteer
+	rm -f target/tcp-demo-flap.addr
+	PANDO_TCP_ADDR_FILE=target/tcp-demo-flap.addr TCP_TASKS=2000 TCP_BUDGET_SECS=120 \
+		TCP_MIN_VOLUNTEERS=32 TCP_THREAD_CENSUS=1 \
+		TCP_EXPECT_CRASHED=0 TCP_MIN_RESUMED=32 \
+		target/release/examples/tcp_master & master=$$!; \
+	PANDO_TCP_ADDR_FILE=target/tcp-demo-flap.addr TCP_WORKERS=32 \
+		TCP_NAME_PREFIX=flappy TCP_DROP_AFTER=300 \
+		target/release/examples/tcp_volunteer & flappy=$$!; \
+	wait $$master; status=$$?; \
+	wait $$flappy 2>/dev/null; \
+	rm -f target/tcp-demo-flap.addr; \
 	exit $$status
 
 clean:

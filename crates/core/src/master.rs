@@ -584,7 +584,7 @@ fn run_receiver(
                     "volunteer {name} failed on value {seq}: {text}"
                 )));
             }
-            Ok(Message::Heartbeat) => continue,
+            Ok(Message::Heartbeat) | Ok(Message::Ack { .. }) => continue,
             Ok(Message::Goodbye) | Ok(Message::Task { .. }) | Ok(Message::TaskBatch(_)) => {
                 // A clean goodbye (or nonsense we treat as end of stream).
                 sink.finish(true);

@@ -15,6 +15,7 @@
 //! | `Task`, `TaskResult`, `TaskError` | `u64 seq` then the raw payload |
 //! | `TaskBatch`, `ResultBatch` | `u32 count` then per record `u64 seq, u32 len, payload` |
 //! | `Heartbeat`, `Goodbye` | empty |
+//! | `Ack` | `u64 count` — cumulative data frames received on this session |
 
 use bytes::{Bytes, BytesMut};
 use pando_netsim::codec::{
@@ -57,6 +58,14 @@ pub enum Message {
     Heartbeat,
     /// The sender is leaving cleanly and will not send anything else.
     Goodbye,
+    /// Cumulative acknowledgement: the sender has received and durably
+    /// processed this many *data* frames (see [`Message::is_data`]) on the
+    /// current session. Lets the peer garbage-collect its bounded
+    /// unacked-frame redelivery buffer; never redelivered itself.
+    Ack {
+        /// Total data frames received on the session so far.
+        count: u64,
+    },
 }
 
 const TAG_TASK: u8 = 1;
@@ -66,6 +75,7 @@ const TAG_HEARTBEAT: u8 = 4;
 const TAG_GOODBYE: u8 = 5;
 const TAG_TASK_BATCH: u8 = 6;
 const TAG_RESULT_BATCH: u8 = 7;
+const TAG_ACK: u8 = 8;
 
 /// Body of a single `(seq, payload)` message: the fixed 8-byte big-endian
 /// sequence header followed by the raw payload.
@@ -113,6 +123,7 @@ impl Message {
             }
             Message::Heartbeat => encode_frame(TAG_HEARTBEAT, b""),
             Message::Goodbye => encode_frame(TAG_GOODBYE, b""),
+            Message::Ack { count } => encode_frame(TAG_ACK, &count.to_be_bytes()),
         }
     }
 
@@ -127,6 +138,7 @@ impl Message {
                 Message::TaskBatch(records) | Message::ResultBatch(records) => {
                     record_body_len(records)
                 }
+                Message::Ack { .. } => 8,
                 Message::Heartbeat | Message::Goodbye => 0,
             }
     }
@@ -137,8 +149,25 @@ impl Message {
         match self {
             Message::Task { .. } | Message::TaskResult { .. } | Message::TaskError { .. } => 1,
             Message::TaskBatch(records) | Message::ResultBatch(records) => records.len() as u64,
-            Message::Heartbeat | Message::Goodbye => 0,
+            Message::Heartbeat | Message::Goodbye | Message::Ack { .. } => 0,
         }
+    }
+
+    /// Whether this message counts towards the session-layer data-frame
+    /// sequence. Both ends of a resumable session must classify frames
+    /// identically — the cumulative [`Message::Ack`] counts and the
+    /// redelivery cursor exchanged at resume are indices into this sequence.
+    /// Control frames (`Heartbeat`, `Goodbye`, `Ack` itself) are excluded:
+    /// they are cheap to lose and must never be redelivered.
+    pub fn is_data(&self) -> bool {
+        matches!(
+            self,
+            Message::Task { .. }
+                | Message::TaskResult { .. }
+                | Message::TaskError { .. }
+                | Message::TaskBatch(_)
+                | Message::ResultBatch(_)
+        )
     }
 
     /// Builds the task frame for one coalesced dispatch batch: a lone record
@@ -208,6 +237,14 @@ impl Message {
             TAG_RESULT_BATCH => Ok(Message::ResultBatch(decode_record_body(&decoded.payload)?)),
             TAG_HEARTBEAT => Ok(Message::Heartbeat),
             TAG_GOODBYE => Ok(Message::Goodbye),
+            TAG_ACK => {
+                let body = &decoded.payload;
+                if body.len() != 8 {
+                    return Err(StreamError::protocol("ack body must be exactly 8 bytes"));
+                }
+                let count = u64::from_be_bytes(body[..8].try_into().expect("checked length above"));
+                Ok(Message::Ack { count })
+            }
             other => Err(StreamError::protocol(format!("unknown message tag {other}"))),
         }
     }
@@ -373,6 +410,99 @@ impl BatchPolicy {
     }
 }
 
+/// Jittered exponential backoff for retry loops: reconnecting volunteers
+/// now, sub-master lease retries later.
+///
+/// Each call to [`Backoff::next_delay`] doubles the nominal delay (starting
+/// at `base`, capped at `cap`) and returns a uniformly jittered value in
+/// `[nominal/2, nominal]` so a fleet of volunteers knocked offline by the
+/// same network event does not reconnect in lock-step. The jitter source is
+/// a seeded xorshift64 — no wall-clock or OS entropy, so retry schedules are
+/// reproducible under the deterministic sim, matching the explicit-`now`
+/// idiom of [`HeartbeatPacer`].
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: std::time::Duration,
+    cap: std::time::Duration,
+    max_attempts: u32,
+    attempt: u32,
+    rng_state: u64,
+    seed: u64,
+}
+
+impl Backoff {
+    /// Creates a backoff schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero, `cap` is below `base`, or `max_attempts`
+    /// is zero — each would describe a retry loop that spins or never runs.
+    pub fn new(
+        base: std::time::Duration,
+        cap: std::time::Duration,
+        max_attempts: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(!base.is_zero(), "a zero base delay would busy-retry");
+        assert!(cap >= base, "the delay cap cannot undercut the base delay");
+        assert!(max_attempts > 0, "a backoff must allow at least one attempt");
+        // xorshift64 has a fixed point at zero; fold the seed into a non-zero
+        // state so seed 0 still jitters.
+        let rng_state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        Self { base, cap, max_attempts, attempt: 0, rng_state, seed }
+    }
+
+    /// Number of delays handed out since creation or the last
+    /// [`Backoff::reset`].
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Whether the attempt budget is spent: the next
+    /// [`Backoff::next_delay`] would answer `None`.
+    pub fn exhausted(&self) -> bool {
+        self.attempt >= self.max_attempts
+    }
+
+    /// Returns the jittered delay to wait before the next attempt, or `None`
+    /// once `max_attempts` delays have been handed out — the caller should
+    /// then give up and surface a permanent failure.
+    pub fn next_delay(&mut self) -> Option<std::time::Duration> {
+        if self.attempt >= self.max_attempts {
+            return None;
+        }
+        let doublings = self.attempt.min(32);
+        let nominal = self
+            .base
+            .checked_mul(1u32 << doublings.min(31))
+            .map(|d| d.min(self.cap))
+            .unwrap_or(self.cap);
+        self.attempt += 1;
+        // Uniform jitter in [nominal/2, nominal].
+        let nanos = nominal.as_nanos().max(1) as u64;
+        let half = nanos / 2;
+        let jittered = half + self.next_rand() % (nanos - half + 1);
+        Some(std::time::Duration::from_nanos(jittered))
+    }
+
+    /// Rewinds the schedule after a successful attempt: the next failure
+    /// starts again from `base` with the original seed, so a reconnect cycle
+    /// replays identically under the deterministic sim.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+        self.rng_state = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +626,8 @@ mod tests {
             Message::ResultBatch(vec![Record::new(9, bytes(b"r"))]),
             Message::Heartbeat,
             Message::Goodbye,
+            Message::Ack { count: 0 },
+            Message::Ack { count: u64::MAX },
         ];
         for message in messages {
             let encoded = message.encode().unwrap();
@@ -575,5 +707,94 @@ mod tests {
         // Batch with a corrupt record body.
         let frame = encode_frame(TAG_TASK_BATCH, &[0, 0, 0, 5]).unwrap();
         assert!(Message::decode(&frame).is_err());
+        // Ack with a body that is not exactly 8 bytes.
+        let frame = encode_frame(TAG_ACK, &[0, 0, 0]).unwrap();
+        assert!(Message::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn data_classification_matches_the_session_contract() {
+        assert!(Message::Task { seq: 0, payload: bytes(b"x") }.is_data());
+        assert!(Message::TaskResult { seq: 0, payload: bytes(b"x") }.is_data());
+        assert!(Message::TaskError { seq: 0, message: bytes(b"x") }.is_data());
+        assert!(Message::TaskBatch(vec![Record::new(0, bytes(b"x"))]).is_data());
+        assert!(Message::ResultBatch(vec![Record::new(0, bytes(b"x"))]).is_data());
+        assert!(!Message::Heartbeat.is_data());
+        assert!(!Message::Goodbye.is_data());
+        assert!(!Message::Ack { count: 3 }.is_data());
+    }
+
+    #[test]
+    fn backoff_doubles_jitters_and_caps() {
+        use std::time::Duration;
+        let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 12, 42);
+        let mut previous_nominal = Duration::ZERO;
+        for attempt in 0..12u32 {
+            let nominal =
+                (Duration::from_millis(10) * 2u32.pow(attempt.min(16))).min(Duration::from_secs(1));
+            let delay = backoff.next_delay().expect("within the attempt budget");
+            assert!(
+                delay >= nominal / 2 && delay <= nominal,
+                "attempt {attempt}: {delay:?} outside [{:?}, {nominal:?}]",
+                nominal / 2
+            );
+            assert!(nominal >= previous_nominal, "the nominal delay never shrinks");
+            previous_nominal = nominal;
+        }
+        // The cap was reached well before the budget ran out.
+        assert_eq!(previous_nominal, Duration::from_secs(1));
+        assert!(backoff.exhausted());
+        assert_eq!(backoff.next_delay(), None, "the budget is a hard stop");
+        assert_eq!(backoff.attempt(), 12);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_reset_replays() {
+        use std::time::Duration;
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(500), 8, seed);
+            std::iter::from_fn(|| b.next_delay()).collect()
+        };
+        assert_eq!(schedule(7), schedule(7), "same seed, same jitter");
+        assert_ne!(schedule(7), schedule(8), "different seeds de-correlate the fleet");
+        // Seed 0 must not degenerate (xorshift zero fixed point is avoided).
+        let zeros = schedule(0);
+        assert_eq!(zeros.len(), 8);
+        assert!(zeros.windows(2).any(|w| w[0] != w[1]), "seed 0 still jitters");
+        // reset() rewinds both the attempt counter and the jitter stream.
+        let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(500), 8, 7);
+        let first: Vec<_> = std::iter::from_fn(|| b.next_delay()).collect();
+        b.reset();
+        assert!(!b.exhausted());
+        let second: Vec<_> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy-retry")]
+    fn backoff_zero_base_is_rejected() {
+        let _ = Backoff::new(std::time::Duration::ZERO, std::time::Duration::from_secs(1), 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot undercut")]
+    fn backoff_inverted_range_is_rejected() {
+        let _ = Backoff::new(
+            std::time::Duration::from_secs(2),
+            std::time::Duration::from_secs(1),
+            3,
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn backoff_zero_attempts_is_rejected() {
+        let _ = Backoff::new(
+            std::time::Duration::from_millis(1),
+            std::time::Duration::from_secs(1),
+            0,
+            0,
+        );
     }
 }

@@ -152,6 +152,11 @@ pub struct ReactorStats {
     /// Starved drivers left parked by wake-limited kicks (the broadcast
     /// would have woken them for nothing).
     pub kicks_suppressed: u64,
+    /// Volunteers whose transport reported a permanent failure, firing the
+    /// crash re-lend path (`finish(false)` + `Request::Fail`). A transient
+    /// disconnect absorbed by a resumable session within its grace window
+    /// does *not* count — only the final crash verdict does.
+    pub crash_relends: u64,
 }
 
 struct Stats {
@@ -166,6 +171,7 @@ struct Stats {
     wasted_polls: AtomicU64,
     kicks_sent: AtomicU64,
     kicks_suppressed: AtomicU64,
+    crash_relends: AtomicU64,
 }
 
 /// What a timer heap entry re-schedules when its deadline passes.
@@ -601,7 +607,10 @@ impl Driver {
                         ))),
                     );
                 }
-                Ok(Message::Heartbeat) => {
+                Ok(Message::Heartbeat) | Ok(Message::Ack { .. }) => {
+                    // Session-layer acks are normally absorbed inside the
+                    // transport; one surfacing here is harmless control
+                    // traffic, like a heartbeat.
                     progressed = true;
                     continue;
                 }
@@ -617,6 +626,7 @@ impl Driver {
                 }
                 Err(RecvError::PeerFailed) => {
                     io.sink.finish(false);
+                    inner.stats.crash_relends.fetch_add(1, Ordering::Relaxed);
                     let name = &self.name;
                     let err = StreamError::transport(format!(
                         "volunteer {name} disconnected (heartbeat timeout)"
@@ -900,6 +910,7 @@ impl Reactor {
                 wasted_polls: AtomicU64::new(0),
                 kicks_sent: AtomicU64::new(0),
                 kicks_suppressed: AtomicU64::new(0),
+                crash_relends: AtomicU64::new(0),
             },
         });
         let thread_count = if inline { 0 } else { config.reactor.threads.max(1) };
@@ -1103,6 +1114,7 @@ impl Reactor {
             wasted_polls: stats.wasted_polls.load(Ordering::Relaxed),
             kicks_sent: stats.kicks_sent.load(Ordering::Relaxed),
             kicks_suppressed: stats.kicks_suppressed.load(Ordering::Relaxed),
+            crash_relends: stats.crash_relends.load(Ordering::Relaxed),
         }
     }
 

@@ -285,12 +285,30 @@ pub struct FleetParams {
     /// can A/B the wake discipline exactly: same seed, diff the poll
     /// counters.
     pub bounded_wakes: bool,
+    /// Scripted link flaps, the deterministic replay of
+    /// [`FaultPlan::Disconnect`](pando_netsim::fault::FaultPlan::Disconnect):
+    /// each `(volunteer, at_us, down_for_us)` pauses that volunteer's link
+    /// in both directions from virtual instant `at_us` for `down_for_us`
+    /// microseconds. A flap delays frames, it loses nothing — the sim twin
+    /// of a session volunteer reconnecting within its grace window — so a
+    /// flapped run produces the same output order and digest as a fault-free
+    /// one and never fires the crash re-lend path. Empty by default, and an
+    /// empty schedule leaves the canonical trace byte-identical to builds
+    /// that predate flaps.
+    pub flaps: Vec<(usize, u64, u64)>,
 }
 
 impl FleetParams {
     /// Parameters with the default crash fraction (15 % of the fleet).
     pub fn new(seed: u64, volunteers: usize, tasks: u64) -> Self {
-        Self { seed, volunteers, tasks, crash_fraction: 0.15, bounded_wakes: true }
+        Self {
+            seed,
+            volunteers,
+            tasks,
+            crash_fraction: 0.15,
+            bounded_wakes: true,
+            flaps: Vec::new(),
+        }
     }
 
     /// Returns the parameters with a different crash fraction.
@@ -309,6 +327,20 @@ impl FleetParams {
     /// comparison).
     pub fn with_bounded_wakes(mut self, bounded_wakes: bool) -> Self {
         self.bounded_wakes = bounded_wakes;
+        self
+    }
+
+    /// Returns the parameters with a scripted link-flap schedule (see
+    /// [`FleetParams::flaps`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flap names a volunteer outside the fleet.
+    pub fn with_flaps(mut self, flaps: Vec<(usize, u64, u64)>) -> Self {
+        for (v, _, _) in &flaps {
+            assert!(*v < self.volunteers, "flap names volunteer {v} outside the fleet");
+        }
+        self.flaps = flaps;
         self
     }
 }
@@ -369,6 +401,17 @@ impl FleetReport {
             self.params.crash_fraction,
             self.params.bounded_wakes
         ));
+        if !self.params.flaps.is_empty() {
+            // Only emitted for a non-empty schedule, so fault-free traces
+            // stay byte-identical to builds that predate link flaps.
+            let flaps: Vec<String> = self
+                .params
+                .flaps
+                .iter()
+                .map(|(v, at, down)| format!("v{v}@{at}us+{down}us"))
+                .collect();
+            out.push_str(&format!("flaps {}\n", flaps.join(",")));
+        }
         for line in &self.trace {
             out.push_str(line);
             out.push('\n');
@@ -393,7 +436,7 @@ impl FleetReport {
         out.push_str(&format!(
             "reactor registered={} polls={} wakeups={} timer_fires={} prefetches={} \
              shards={} hops={} max_ready_depth={} wasted_polls={} kicks_sent={} \
-             kicks_suppressed={}\n",
+             kicks_suppressed={} crash_relends={}\n",
             self.reactor.registered,
             self.reactor.polls,
             self.reactor.wakeups,
@@ -404,7 +447,8 @@ impl FleetReport {
             self.reactor.max_ready_depth,
             self.reactor.wasted_polls,
             self.reactor.kicks_sent,
-            self.reactor.kicks_suppressed
+            self.reactor.kicks_suppressed,
+            self.reactor.crash_relends
         ));
         out.push_str(&format!(
             "crashed={} virtual_elapsed_us={}\n",
@@ -449,6 +493,9 @@ enum Ev {
     Reply { v: usize, frames: Vec<Message> },
     /// Crash volunteer `v` (crash-stop; scripted by the fault schedule).
     Crash { v: usize },
+    /// Pause volunteer `v`'s link for `down_for` (a scripted transient
+    /// disconnect; frames are delayed, never lost).
+    Flap { v: usize, down_for: Duration },
     /// Re-poll volunteer `v`: a frame buffered on its endpoint matures now.
     Repoll { v: usize },
 }
@@ -599,6 +646,13 @@ pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
         });
     }
 
+    for (v, at_us, down_for_us) in &params.flaps {
+        engine.schedule(
+            origin + Duration::from_micros(*at_us),
+            Ev::Flap { v: *v, down_for: Duration::from_micros(*down_for_us) },
+        );
+    }
+
     // --- The input stream: task index i as a little-endian u64 payload. --
     let inputs: Vec<Bytes> =
         (0..params.tasks).map(|i| Bytes::copy_from_slice(&i.to_le_bytes())).collect();
@@ -642,6 +696,23 @@ pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
                     vol.done = true;
                     crashed_fired += 1;
                     trace.push(format!("[{}] v{v} crash", elapsed_us(&clock)));
+                }
+                Ev::Flap { v, down_for } => {
+                    let vol = &mut volunteers[v];
+                    if vol.done {
+                        continue;
+                    }
+                    // Both directions go quiet until the device "rejoins":
+                    // in-flight frames keep their delivery instants, later
+                    // ones mature no earlier than the rejoin instant. The
+                    // pause never trips the failure detector, mirroring a
+                    // session resume inside the grace window.
+                    vol.endpoint.pause_link_until(clock.now() + down_for);
+                    trace.push(format!(
+                        "[{}] v{v} flap down_us={}",
+                        elapsed_us(&clock),
+                        down_for.as_micros()
+                    ));
                 }
                 Ev::Reply { v, frames } => {
                     let vol = &mut volunteers[v];
@@ -786,7 +857,7 @@ fn poll_volunteer(
         let (records, batched) = match vol.endpoint.try_recv() {
             Ok(Message::Task { seq, payload }) => (vec![Record::new(seq, payload)], false),
             Ok(Message::TaskBatch(records)) => (records, true),
-            Ok(Message::Heartbeat) => continue,
+            Ok(Message::Heartbeat) | Ok(Message::Ack { .. }) => continue,
             Ok(_) => {
                 // Unexpected on the volunteer side; treat as end of stream.
                 vol.endpoint.close();
@@ -1007,5 +1078,46 @@ mod tests {
     #[should_panic(expected = "at least one volunteer")]
     fn fleet_sim_rejects_an_empty_fleet() {
         let _ = simulate_fleet(&FleetParams::new(0, 0, 1));
+    }
+
+    #[test]
+    fn link_flaps_delay_but_never_crash_or_reorder() {
+        // Same seed, no scripted crashes; one run flap-free, one with two
+        // mid-run flaps. The flapped run must produce the same output order
+        // and digest — a transient disconnect loses nothing — and must not
+        // fire the crash re-lend path.
+        let base = FleetParams::new(4242, 6, 60).with_crash_fraction(0.0);
+        let calm = simulate_fleet(&base);
+        let flapped =
+            simulate_fleet(&base.clone().with_flaps(vec![(1, 2_000, 8_000), (3, 5_000, 20_000)]));
+        assert_eq!(flapped.output_order, calm.output_order);
+        assert_eq!(flapped.output_digest, calm.output_digest);
+        assert_eq!(flapped.crashed, 0, "a flap is not a crash");
+        assert_eq!(flapped.reactor.crash_relends, 0, "a flap must not fire the re-lend path");
+        assert!(
+            flapped.trace.iter().any(|line| line.contains("flap down_us=")),
+            "flap events appear in the trace"
+        );
+        assert!(
+            flapped.canonical_trace().contains("flaps v1@2000us+8000us,v3@5000us+20000us"),
+            "a non-empty schedule is part of the canonical parameters"
+        );
+    }
+
+    #[test]
+    fn empty_flap_schedule_leaves_the_trace_unchanged() {
+        // `with_flaps(vec![])` must be a byte-level no-op: fault-absent runs
+        // keep their pre-flap canonical traces.
+        let params = FleetParams::new(7, 4, 24);
+        let plain = simulate_fleet(&params);
+        let explicit = simulate_fleet(&params.clone().with_flaps(Vec::new()));
+        assert_eq!(plain.canonical_trace(), explicit.canonical_trace());
+        assert!(!plain.canonical_trace().contains("flaps "));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the fleet")]
+    fn flap_on_an_unknown_volunteer_is_rejected() {
+        let _ = FleetParams::new(1, 2, 8).with_flaps(vec![(2, 100, 100)]);
     }
 }

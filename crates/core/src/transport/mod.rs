@@ -136,6 +136,18 @@ pub trait Transport: Send + Sync {
     /// Interval at which this link expects heartbeats; workers pace their
     /// keep-alives and the reactor schedules heartbeat timers from this.
     fn heartbeat_interval(&self) -> Duration;
+
+    /// Fault-injection hook: severs the underlying *link* abruptly (as a
+    /// route flap or Wi-Fi blip would) without crashing the endpoint. A
+    /// plain transport treats this as [`crash`](Self::crash); a resumable
+    /// transport (a reconnecting session over TCP) instead tears down its
+    /// current socket and re-establishes the session, so the worker loop
+    /// above it only ever observes a stretch of
+    /// [`RecvError::Empty`]/[`SendError::WouldBlock`]. Scripted by
+    /// [`FaultPlan::Disconnect`](pando_netsim::fault::FaultPlan::Disconnect).
+    fn drop_link(&self) {
+        self.crash();
+    }
 }
 
 /// The in-process simulated channel is the first — and deterministic —
@@ -252,6 +264,10 @@ impl<T: Transport + ?Sized> Transport for Arc<T> {
 
     fn heartbeat_interval(&self) -> Duration {
         (**self).heartbeat_interval()
+    }
+
+    fn drop_link(&self) {
+        (**self).drop_link()
     }
 }
 

@@ -1,0 +1,962 @@
+//! Resumable volunteer sessions over TCP.
+//!
+//! A plain [`TcpTransport`] equates a dropped socket with a crash, which is
+//! the wrong verdict for the most common WAN event: a transient disconnect
+//! (a Wi-Fi blip, a NAT rebinding, a laptop lid). This module layers a
+//! *session* over the raw link so a returning volunteer rejoins under its
+//! old name and budget instead of being declared dead:
+//!
+//! * `SessionCore` (private) holds the durable half of a session — the
+//!   token, cumulative data-frame counters for both directions, and a
+//!   bounded buffer of sent-but-unacknowledged frames for redelivery.
+//! * [`SessionTransport`] is the **master-side** wrapper: when the active
+//!   socket dies it *parks* the session instead of surfacing
+//!   [`RecvError::PeerFailed`], and only after
+//!   [`TcpConfig::reconnect_grace`] without a resume does it deliver the
+//!   failure verdict — at which point the existing crash re-lend path fires
+//!   unchanged. A resume routed in by the acceptor swaps in the new socket
+//!   and replays every unacked frame the client reports missing.
+//! * [`ReconnectingTcpTransport`] is the **worker-side** wrapper: on a
+//!   socket failure it redials in a background thread with the jittered
+//!   exponential [`Backoff`] from `core::protocol`, presenting its session
+//!   token and received count (`RESUME <token> <recvd>`); while down it
+//!   answers [`RecvError::Empty`] and buffers outbound results, so the
+//!   worker loop needs no new cases beyond its existing would-block
+//!   parking.
+//!
+//! # Acks are garbage collection, counters are truth
+//!
+//! Each side counts the *data* frames ([`Message::is_data`]) it has
+//! received and piggybacks a cumulative [`Message::Ack`] every few frames.
+//! Acks only trim the peer's redelivery buffer — **which** frames to replay
+//! after a reconnect is decided solely by the received-counts exchanged in
+//! the resume handshake. A frame is therefore redelivered exactly when the
+//! other side never received it: no duplicate results, no lost tasks. (The
+//! lender's late/duplicate-result drop remains as a second line of defence
+//! for the pathological case of a half-open old socket delivering a frame
+//! after the counts were exchanged.)
+//!
+//! ```text
+//! worker                                master
+//!   │── PNDO v2 NEW "tablet-7" ──────────▶│ issue token 42, SessionTransport
+//!   │◀─ PNDO v2 status=0 token=42 recvd=0─│
+//!   │── Task/Result frames, Ack every 8 ──│   (both directions)
+//!   ✂ link drops                          │ park session, grace timer arms
+//!   │   backoff: 50ms, 100ms, ...         │
+//!   │── PNDO v2 RESUME 42 recvd=17 ──────▶│ token live → reattach
+//!   │◀─ PNDO v2 status=1 token=42 recvd=9─│
+//!   │◀─ replay of sent frames 18.. ───────│ (worker replays its 10.. too)
+//!   │── ordinary traffic resumes ─────────│
+//! ```
+
+use super::{dial, HelloMode, TcpConfig, TcpTransport};
+use crate::protocol::{Backoff, Message};
+use crate::transport::{Transport, TransportError, TransportErrorKind};
+use pando_netsim::channel::{RecvError, SendError, Waker};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A cumulative [`Message::Ack`] is emitted every this many received data
+/// frames, bounding the peer's redelivery buffer to a handful of frames of
+/// slack beyond the in-flight window.
+const ACK_EVERY: u64 = 8;
+
+/// Knobs of the worker-side reconnect loop, mapped straight onto
+/// [`Backoff`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// First retry delay; doubles per attempt.
+    pub base: Duration,
+    /// Ceiling on the nominal delay.
+    pub cap: Duration,
+    /// Redial attempts before the transport gives up and reports a
+    /// permanent [`RecvError::PeerFailed`].
+    pub max_attempts: u32,
+    /// Jitter seed, so a fleet knocked offline together does not redial in
+    /// lock-step (give each volunteer a distinct seed).
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(5),
+            max_attempts: 10,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// Fast retries for tests and localhost demos, aligned with
+    /// [`TcpConfig::local_test`]'s tightened liveness windows.
+    pub fn local_test() -> Self {
+        Self {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            max_attempts: 40,
+            ..Self::default()
+        }
+    }
+}
+
+/// The durable half of a session, shared by every incarnation of the link.
+struct SessionCore {
+    token: AtomicU64,
+    name: String,
+    /// Bound on the unacked-frame buffer, in wire bytes (the session-layer
+    /// counterpart of [`TcpConfig::write_buffer_max`]). A data send that
+    /// would overflow it fails with [`SendError::WouldBlock`] and the waker
+    /// fires once an ack trims the buffer below the bound.
+    max_unacked_bytes: usize,
+    state: Mutex<SessionState>,
+    /// The consumer's registered waker (reactor driver or worker loop),
+    /// fired on inbox activity of the active link, on ack-driven unblocking
+    /// and on every link transition. One slot, like every transport.
+    waker: Mutex<Option<Waker>>,
+}
+
+struct SessionState {
+    /// Data frames sent on this session (the redelivery sequence).
+    sent: u64,
+    /// Data frames received on this session; reported in the resume hello
+    /// and used by the peer to trim its replay.
+    recvd: u64,
+    /// `recvd` as of the last cumulative ack we emitted.
+    ack_announced: u64,
+    /// Sent data frames the peer has not acknowledged, oldest first, keyed
+    /// by their position in the `sent` sequence (1-based).
+    unacked: std::collections::VecDeque<(u64, Message)>,
+    /// Wire bytes across `unacked`; the admission bound.
+    unacked_bytes: usize,
+    /// A data send bounced on the bound; fire the waker once acks trim it.
+    blocked: bool,
+}
+
+impl SessionCore {
+    fn new(token: u64, name: String, max_unacked_bytes: usize) -> Self {
+        Self {
+            token: AtomicU64::new(token),
+            name,
+            max_unacked_bytes,
+            state: Mutex::new(SessionState {
+                sent: 0,
+                recvd: 0,
+                ack_announced: 0,
+                unacked: std::collections::VecDeque::new(),
+                unacked_bytes: 0,
+                blocked: false,
+            }),
+            waker: Mutex::new(None),
+        }
+    }
+
+    fn token(&self) -> u64 {
+        self.token.load(Ordering::SeqCst)
+    }
+
+    fn recvd(&self) -> u64 {
+        self.state.lock().recvd
+    }
+
+    fn fire_waker(&self) {
+        let waker = self.waker.lock().clone();
+        if let Some(waker) = waker {
+            waker();
+        }
+    }
+
+    /// A waker for the active [`TcpTransport`] that forwards into the
+    /// session's slot, surviving link swaps (the slot is read at fire time).
+    fn forwarder(self: &Arc<Self>) -> Waker {
+        let core = self.clone();
+        Arc::new(move || core.fire_waker())
+    }
+
+    /// Whether a data frame of `size` wire bytes fits the unacked bound.
+    /// Mirrors the socket queue's admission rule: an oversized frame on an
+    /// empty buffer is admitted alone instead of livelocking. Records the
+    /// would-block so the next trim fires the waker.
+    fn admit(&self, size: usize) -> Result<(), SendError> {
+        let mut state = self.state.lock();
+        if state.unacked_bytes > 0 && state.unacked_bytes + size > self.max_unacked_bytes {
+            state.blocked = true;
+            return Err(SendError::WouldBlock);
+        }
+        Ok(())
+    }
+
+    /// Books a data frame into the redelivery buffer after it was admitted.
+    fn record_sent(&self, message: &Message) {
+        if !message.is_data() {
+            return;
+        }
+        let mut state = self.state.lock();
+        state.sent += 1;
+        state.unacked_bytes += message.wire_size();
+        let seq = state.sent;
+        state.unacked.push_back((seq, message.clone()));
+    }
+
+    /// Counts an inbound data frame; `Some(count)` when a cumulative ack is
+    /// due to the peer.
+    fn note_received(&self, message: &Message) -> Option<u64> {
+        if !message.is_data() {
+            return None;
+        }
+        let mut state = self.state.lock();
+        state.recvd += 1;
+        if state.recvd - state.ack_announced >= ACK_EVERY {
+            state.ack_announced = state.recvd;
+            Some(state.recvd)
+        } else {
+            None
+        }
+    }
+
+    /// Applies a cumulative ack from the peer: frames up to `count` leave
+    /// the redelivery buffer. Fires the waker if a bounded sender was
+    /// waiting for room.
+    fn apply_ack(&self, count: u64) {
+        let mut state = self.state.lock();
+        let unblocked = Self::trim_locked(&mut state, count, self.max_unacked_bytes);
+        drop(state);
+        if unblocked {
+            self.fire_waker();
+        }
+    }
+
+    fn trim_locked(state: &mut SessionState, count: u64, max: usize) -> bool {
+        while let Some((seq, message)) = state.unacked.front() {
+            if *seq > count {
+                break;
+            }
+            state.unacked_bytes = state.unacked_bytes.saturating_sub(message.wire_size());
+            let _ = seq;
+            state.unacked.pop_front();
+        }
+        if state.blocked && state.unacked_bytes < max {
+            state.blocked = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resume bookkeeping: drops everything the peer reports having
+    /// received (its count is authoritative) and returns clones of the
+    /// remaining frames, oldest first, for replay on the fresh socket. The
+    /// frames stay in the buffer — they are still unacked.
+    fn replay_after(&self, peer_recvd: u64) -> Vec<Message> {
+        let mut state = self.state.lock();
+        let unblocked = Self::trim_locked(&mut state, peer_recvd, self.max_unacked_bytes);
+        let replay = state.unacked.iter().map(|(_, message)| message.clone()).collect();
+        drop(state);
+        if unblocked {
+            self.fire_waker();
+        }
+        replay
+    }
+
+    /// The master issued a fresh token instead of resuming (the old session
+    /// expired): restart the counters and drop the stale replay buffer —
+    /// its results would be late duplicates of re-lent values anyway.
+    fn rebind(&self, token: u64) {
+        self.token.store(token, Ordering::SeqCst);
+        let mut state = self.state.lock();
+        state.sent = 0;
+        state.recvd = 0;
+        state.ack_announced = 0;
+        state.unacked.clear();
+        state.unacked_bytes = 0;
+        let unblocked = state.blocked;
+        state.blocked = false;
+        drop(state);
+        if unblocked {
+            self.fire_waker();
+        }
+    }
+}
+
+/// Link incarnation state shared by both session wrappers.
+enum Link {
+    /// A live socket carries the session.
+    Up(TcpTransport),
+    /// The socket died; the session is parked (master) or redialing
+    /// (worker) since the recorded instant.
+    Down { since: Instant },
+    /// The session ended cleanly (goodbye/close marker, or a local close
+    /// while down).
+    Closed,
+    /// The session failed permanently: grace expired (master) or the
+    /// backoff budget ran out (worker).
+    Failed,
+}
+
+/// Drains the active link: acks are absorbed into the session, data frames
+/// are counted (emitting a cumulative ack on cadence), everything else
+/// passes through.
+fn pump_recv(core: &SessionCore, active: &TcpTransport) -> Result<Message, RecvError> {
+    loop {
+        match active.try_recv() {
+            Ok(Message::Ack { count }) => {
+                core.apply_ack(count);
+                continue;
+            }
+            Ok(message) => {
+                if let Some(count) = core.note_received(&message) {
+                    // Best effort: a refused ack is re-announced with the
+                    // next one (they are cumulative).
+                    let _ = active.send(Message::Ack { count });
+                }
+                return Ok(message);
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// Replays one buffered frame on a fresh socket, riding out transient
+/// would-blocks. An `Err` means the new socket died already.
+fn replay_frame(active: &TcpTransport, message: &Message) -> Result<(), SendError> {
+    loop {
+        match active.send(message.clone()) {
+            Ok(()) => return Ok(()),
+            Err(SendError::WouldBlock) => thread::sleep(Duration::from_millis(1)),
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// The master-side session wrapper: a [`Transport`] whose failure verdict
+/// distinguishes *disconnected* from *crashed*.
+///
+/// While the socket is up it behaves like the wrapped [`TcpTransport`],
+/// plus ack bookkeeping. When the socket fails (reset, EOF, heartbeat
+/// silence) the session *parks*: receives answer [`RecvError::Empty`],
+/// data sends are buffered (bounded) for replay, heartbeats are dropped,
+/// and [`Transport::next_ready_at`] points at the grace deadline so the
+/// reactor's timer re-polls exactly when the verdict is due. A resume
+/// within [`TcpConfig::reconnect_grace`] swaps in the new socket and
+/// replays unacked frames; past it, the wrapper reports
+/// [`RecvError::PeerFailed`] once and the unchanged crash re-lend path
+/// takes over.
+pub struct SessionTransport {
+    core: Arc<SessionCore>,
+    link: Mutex<Link>,
+    grace: Duration,
+    heartbeat_interval: Duration,
+}
+
+impl std::fmt::Debug for SessionTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionTransport")
+            .field("token", &self.core.token())
+            .field("name", &self.core.name)
+            .finish()
+    }
+}
+
+impl SessionTransport {
+    /// Wraps a freshly-handshaken socket in a new session.
+    pub(crate) fn new(
+        token: u64,
+        name: String,
+        transport: TcpTransport,
+        config: TcpConfig,
+    ) -> Arc<Self> {
+        let core = Arc::new(SessionCore::new(token, name, config.write_buffer_max));
+        transport.set_waker(core.forwarder());
+        Arc::new(Self {
+            core,
+            link: Mutex::new(Link::Up(transport)),
+            grace: config.reconnect_grace,
+            heartbeat_interval: config.heartbeat_interval,
+        })
+    }
+
+    /// The session token the acceptor issued.
+    pub fn token(&self) -> u64 {
+        self.core.token()
+    }
+
+    /// The volunteer name bound to the session.
+    pub fn volunteer_name(&self) -> &str {
+        &self.core.name
+    }
+
+    /// Data frames received from the volunteer on this session; the count
+    /// the resume reply reports so the client can trim its replay.
+    pub(crate) fn recvd(&self) -> u64 {
+        self.core.recvd()
+    }
+
+    /// Whether a resume can still be absorbed (the session neither ended
+    /// cleanly nor expired past its grace window).
+    pub(crate) fn resumable(&self) -> bool {
+        !matches!(&*self.link.lock(), Link::Closed | Link::Failed)
+    }
+
+    /// Currently parked, waiting out the grace window?
+    pub fn is_parked(&self) -> bool {
+        matches!(&*self.link.lock(), Link::Down { .. })
+    }
+
+    /// Absorbs a resumed connection: tears down whatever socket the session
+    /// last held, trims the redelivery buffer by the client's received
+    /// count, replays the remainder in order on the fresh socket and goes
+    /// live again. Called by the acceptor after it wrote the resume reply
+    /// (so the replay follows the reply on the wire).
+    pub(crate) fn reattach(&self, transport: TcpTransport, client_recvd: u64) {
+        let mut link = self.link.lock();
+        match &*link {
+            Link::Closed | Link::Failed => {
+                // The session ended while the handshake was in flight; the
+                // client will observe the dead socket, redial and be issued
+                // a fresh session.
+                transport.crash();
+                return;
+            }
+            Link::Up(old) => old.crash(),
+            Link::Down { .. } => {}
+        }
+        for message in self.core.replay_after(client_recvd) {
+            if replay_frame(&transport, &message).is_err() {
+                // The fresh socket died before the replay finished: park
+                // again and wait for the next resume (the buffer still
+                // holds everything unacked).
+                transport.crash();
+                *link = Link::Down { since: Instant::now() };
+                return;
+            }
+        }
+        transport.set_waker(self.core.forwarder());
+        *link = Link::Up(transport);
+        drop(link);
+        self.core.fire_waker();
+    }
+
+    /// Shared send path for both the plain and the record-counting entry
+    /// points.
+    fn send_message(
+        &self,
+        message: Message,
+        records: Option<(usize, u64)>,
+    ) -> Result<(), SendError> {
+        let mut link = self.link.lock();
+        loop {
+            match &*link {
+                Link::Up(active) => {
+                    if message.is_data() {
+                        self.core.admit(message.wire_size())?;
+                    }
+                    let sent = match records {
+                        Some((size, count)) => {
+                            active.send_records_with_size(message.clone(), size, count)
+                        }
+                        None => active.send(message.clone()),
+                    };
+                    match sent {
+                        Ok(()) => {
+                            self.core.record_sent(&message);
+                            return Ok(());
+                        }
+                        Err(SendError::PeerFailed) => {
+                            // Transient verdict: park and fall through to
+                            // the parked arm, which buffers or drops.
+                            *link = Link::Down { since: Instant::now() };
+                            continue;
+                        }
+                        Err(err) => return Err(err),
+                    }
+                }
+                Link::Down { since } => {
+                    if since.elapsed() >= self.grace {
+                        *link = Link::Failed;
+                        return Err(SendError::PeerFailed);
+                    }
+                    if message.is_data() {
+                        self.core.admit(message.wire_size())?;
+                        self.core.record_sent(&message);
+                    }
+                    // Control frames (heartbeats) are dropped while parked:
+                    // cheap to lose, pointless to replay.
+                    return Ok(());
+                }
+                Link::Closed => return Err(SendError::Closed),
+                Link::Failed => return Err(SendError::PeerFailed),
+            }
+        }
+    }
+}
+
+impl Transport for SessionTransport {
+    fn try_recv(&self) -> Result<Message, RecvError> {
+        let mut link = self.link.lock();
+        loop {
+            match &*link {
+                Link::Up(active) => match pump_recv(&self.core, active) {
+                    Ok(message) => return Ok(message),
+                    Err(RecvError::Empty) => return Err(RecvError::Empty),
+                    Err(RecvError::Timeout) => return Err(RecvError::Timeout),
+                    Err(RecvError::Closed) => {
+                        *link = Link::Closed;
+                        return Err(RecvError::Closed);
+                    }
+                    Err(RecvError::PeerFailed) => {
+                        // The disconnect verdict: park instead of failing.
+                        *link = Link::Down { since: Instant::now() };
+                        continue;
+                    }
+                },
+                Link::Down { since } => {
+                    if since.elapsed() >= self.grace {
+                        // Grace expired without a resume: the crash verdict,
+                        // surfaced exactly like a plain transport would.
+                        *link = Link::Failed;
+                        return Err(RecvError::PeerFailed);
+                    }
+                    return Err(RecvError::Empty);
+                }
+                Link::Closed => return Err(RecvError::Closed),
+                Link::Failed => return Err(RecvError::PeerFailed),
+            }
+        }
+    }
+
+    fn recv(&self) -> Result<Message, RecvError> {
+        loop {
+            match self.recv_timeout(self.grace.max(self.heartbeat_interval)) {
+                Err(RecvError::Timeout) => continue,
+                other => return other,
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.try_recv() {
+                Err(RecvError::Empty) => {}
+                other => return other,
+            }
+            if Instant::now() >= deadline {
+                return Err(RecvError::Timeout);
+            }
+            // Cross-incarnation blocking would need a condvar shared with
+            // every future socket; a short poll keeps it simple and only
+            // the legacy thread backend ever blocks here.
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    fn send(&self, message: Message) -> Result<(), SendError> {
+        self.send_message(message, None)
+    }
+
+    fn send_records_with_size(
+        &self,
+        message: Message,
+        size: usize,
+        records: u64,
+    ) -> Result<(), SendError> {
+        self.send_message(message, Some((size, records)))
+    }
+
+    fn set_waker(&self, waker: Waker) {
+        *self.core.waker.lock() = Some(waker);
+    }
+
+    fn clear_waker(&self) {
+        *self.core.waker.lock() = None;
+    }
+
+    fn next_ready_at(&self) -> Option<Instant> {
+        match &*self.link.lock() {
+            Link::Up(active) => active.next_ready_at(),
+            // The reactor arms a timer for the grace deadline, so the
+            // disconnected→crashed reclassification needs no extra thread.
+            Link::Down { since } => Some(*since + self.grace),
+            Link::Closed | Link::Failed => None,
+        }
+    }
+
+    fn close(&self) {
+        let mut link = self.link.lock();
+        match &*link {
+            Link::Up(active) => active.close(),
+            Link::Down { .. } => *link = Link::Closed,
+            Link::Closed | Link::Failed => {}
+        }
+    }
+
+    fn crash(&self) {
+        let mut link = self.link.lock();
+        if let Link::Up(active) = &*link {
+            active.crash();
+        }
+        *link = Link::Closed;
+    }
+
+    fn is_peer_alive(&self) -> bool {
+        match &*self.link.lock() {
+            // A suspected-but-not-yet-parked link still counts as alive:
+            // the next poll parks it and sends start buffering.
+            Link::Up(_) => true,
+            Link::Down { since } => since.elapsed() < self.grace,
+            Link::Closed | Link::Failed => false,
+        }
+    }
+
+    fn heartbeat_interval(&self) -> Duration {
+        self.heartbeat_interval
+    }
+}
+
+/// Shared state behind every clone of a [`ReconnectingTcpTransport`].
+struct ReconnectShared {
+    core: Arc<SessionCore>,
+    link: Mutex<Link>,
+    addrs: Vec<SocketAddr>,
+    config: TcpConfig,
+    policy: ReconnectPolicy,
+    /// A redial thread is running; transitions spawn at most one.
+    redialing: AtomicBool,
+    /// The consumer closed or crashed the transport: stop redialing.
+    closed: AtomicBool,
+}
+
+/// The worker-side session wrapper: a [`TcpTransport`] that survives link
+/// loss by redialing with jittered exponential backoff and resuming its
+/// session.
+///
+/// While the link is down, receives answer [`RecvError::Empty`] (the worker
+/// loop's ordinary idle case), results are buffered up to the session bound
+/// ([`SendError::WouldBlock`] beyond it — the same parking the loop already
+/// handles), and heartbeats are dropped. Once the backoff budget is spent
+/// the transport reports a permanent [`RecvError::PeerFailed`], matching a
+/// real crash. Clones share the session, like [`TcpTransport`] clones share
+/// the socket.
+///
+/// [`Transport::drop_link`] severs the current socket *without* ending the
+/// session — the hook [`FaultPlan::Disconnect`] uses to script a flap.
+///
+/// [`FaultPlan::Disconnect`]: pando_netsim::fault::FaultPlan::Disconnect
+#[derive(Clone)]
+pub struct ReconnectingTcpTransport {
+    shared: Arc<ReconnectShared>,
+}
+
+impl std::fmt::Debug for ReconnectingTcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReconnectingTcpTransport")
+            .field("token", &self.shared.core.token())
+            .field("name", &self.shared.core.name)
+            .finish()
+    }
+}
+
+impl ReconnectingTcpTransport {
+    /// Connects to a master at `addr`, introduces this volunteer as `name`
+    /// and opens a resumable session.
+    ///
+    /// # Errors
+    ///
+    /// Like [`TcpTransport::connect`]: [`TransportErrorKind::Io`] when the
+    /// initial connection cannot be established (the backoff only governs
+    /// *re*connects), [`TransportErrorKind::Protocol`] on a bad handshake.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        name: &str,
+        config: TcpConfig,
+        policy: ReconnectPolicy,
+    ) -> Result<Self, TransportError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(TransportError::new(
+                TransportErrorKind::Io,
+                "address resolved to no socket addresses",
+            ));
+        }
+        let outcome = dial(&addrs[..], name, &config, HelloMode::New)?;
+        let transport = TcpTransport::from_stream(outcome.stream, name.to_string(), config.clone());
+        let core =
+            Arc::new(SessionCore::new(outcome.token, name.to_string(), config.write_buffer_max));
+        transport.set_waker(core.forwarder());
+        Ok(Self {
+            shared: Arc::new(ReconnectShared {
+                core,
+                link: Mutex::new(Link::Up(transport)),
+                addrs,
+                config,
+                policy,
+                redialing: AtomicBool::new(false),
+                closed: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The session token issued by the master (changes if an expired
+    /// session was downgraded to a fresh join).
+    pub fn token(&self) -> u64 {
+        self.shared.core.token()
+    }
+
+    /// Whether the link is currently down with the redial loop working on
+    /// it.
+    pub fn is_reconnecting(&self) -> bool {
+        matches!(&*self.shared.link.lock(), Link::Down { .. })
+    }
+
+    /// Parks the link and makes sure a redial thread is running. Must be
+    /// called with the link lock held having just set `Link::Down`.
+    fn ensure_redial(shared: &Arc<ReconnectShared>) {
+        if shared.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.redialing.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let runner = shared.clone();
+        thread::Builder::new()
+            .name(format!("pando-redial-{}", shared.core.name))
+            .spawn(move || run_redial(runner))
+            .expect("spawn session redial thread");
+    }
+}
+
+/// Body of the worker-side redial thread: sleeps out the backoff schedule,
+/// re-dials with `RESUME <token> <recvd>`, replays whatever the master
+/// reports missing and swaps the fresh socket in. Exits on success, on a
+/// closed transport, or with `Link::Failed` once the attempt budget is
+/// spent.
+fn run_redial(shared: Arc<ReconnectShared>) {
+    let mut backoff = Backoff::new(
+        shared.policy.base,
+        shared.policy.cap,
+        shared.policy.max_attempts,
+        shared.policy.seed,
+    );
+    loop {
+        if shared.closed.load(Ordering::SeqCst) {
+            break;
+        }
+        let Some(delay) = backoff.next_delay() else {
+            let mut link = shared.link.lock();
+            if matches!(&*link, Link::Down { .. }) {
+                *link = Link::Failed;
+            }
+            drop(link);
+            shared.core.fire_waker();
+            break;
+        };
+        thread::sleep(delay);
+        if shared.closed.load(Ordering::SeqCst) {
+            break;
+        }
+        let mode = HelloMode::Resume { token: shared.core.token(), recvd: shared.core.recvd() };
+        let Ok(outcome) = dial(&shared.addrs[..], &shared.core.name, &shared.config, mode) else {
+            continue;
+        };
+        let transport = TcpTransport::from_stream(
+            outcome.stream,
+            shared.core.name.clone(),
+            shared.config.clone(),
+        );
+        let mut link = shared.link.lock();
+        if shared.closed.load(Ordering::SeqCst) || !matches!(&*link, Link::Down { .. }) {
+            transport.crash();
+            break;
+        }
+        if outcome.resumed {
+            let replay = shared.core.replay_after(outcome.peer_recvd);
+            if replay.iter().any(|message| replay_frame(&transport, message).is_err()) {
+                // The fresh socket died during the replay; burn the attempt
+                // and keep dialing.
+                transport.crash();
+                continue;
+            }
+        } else {
+            // The master no longer knows the session (grace expired, or it
+            // restarted): start over under the fresh token. Stale results
+            // would be dropped master-side as late duplicates anyway.
+            shared.core.rebind(outcome.token);
+        }
+        transport.set_waker(shared.core.forwarder());
+        *link = Link::Up(transport);
+        drop(link);
+        shared.core.fire_waker();
+        break;
+    }
+    shared.redialing.store(false, Ordering::SeqCst);
+    // Self-heal: a failure observed while this thread was winding down must
+    // not leave the link stranded without a redialer.
+    if !shared.closed.load(Ordering::SeqCst) && matches!(&*shared.link.lock(), Link::Down { .. }) {
+        ReconnectingTcpTransport::ensure_redial(&shared);
+    }
+}
+
+impl Transport for ReconnectingTcpTransport {
+    fn try_recv(&self) -> Result<Message, RecvError> {
+        let shared = &self.shared;
+        let mut link = shared.link.lock();
+        loop {
+            match &*link {
+                Link::Up(active) => match pump_recv(&shared.core, active) {
+                    Ok(message) => return Ok(message),
+                    Err(RecvError::Empty) => return Err(RecvError::Empty),
+                    Err(RecvError::Timeout) => return Err(RecvError::Timeout),
+                    Err(RecvError::Closed) => {
+                        *link = Link::Closed;
+                        return Err(RecvError::Closed);
+                    }
+                    Err(RecvError::PeerFailed) => {
+                        *link = Link::Down { since: Instant::now() };
+                        ReconnectingTcpTransport::ensure_redial(shared);
+                        continue;
+                    }
+                },
+                // Down reads as idle: the redial thread owns recovery, and
+                // the worker loop's heartbeat/would-block parking already
+                // copes with an idle stretch.
+                Link::Down { .. } => return Err(RecvError::Empty),
+                Link::Closed => return Err(RecvError::Closed),
+                Link::Failed => return Err(RecvError::PeerFailed),
+            }
+        }
+    }
+
+    fn recv(&self) -> Result<Message, RecvError> {
+        loop {
+            match self.recv_timeout(self.shared.config.failure_timeout) {
+                Err(RecvError::Timeout) => continue,
+                other => return other,
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.try_recv() {
+                Err(RecvError::Empty) => {}
+                other => return other,
+            }
+            if Instant::now() >= deadline {
+                return Err(RecvError::Timeout);
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    fn send(&self, message: Message) -> Result<(), SendError> {
+        let shared = &self.shared;
+        let mut link = shared.link.lock();
+        loop {
+            match &*link {
+                Link::Up(active) => {
+                    if message.is_data() {
+                        shared.core.admit(message.wire_size())?;
+                    }
+                    match active.send(message.clone()) {
+                        Ok(()) => {
+                            shared.core.record_sent(&message);
+                            return Ok(());
+                        }
+                        Err(SendError::PeerFailed) => {
+                            *link = Link::Down { since: Instant::now() };
+                            ReconnectingTcpTransport::ensure_redial(shared);
+                            continue;
+                        }
+                        Err(err) => return Err(err),
+                    }
+                }
+                Link::Down { .. } => {
+                    if message.is_data() {
+                        shared.core.admit(message.wire_size())?;
+                        shared.core.record_sent(&message);
+                    }
+                    return Ok(());
+                }
+                Link::Closed => return Err(SendError::Closed),
+                Link::Failed => return Err(SendError::PeerFailed),
+            }
+        }
+    }
+
+    fn send_records_with_size(
+        &self,
+        message: Message,
+        _size: usize,
+        _records: u64,
+    ) -> Result<(), SendError> {
+        self.send(message)
+    }
+
+    fn set_waker(&self, waker: Waker) {
+        *self.shared.core.waker.lock() = Some(waker);
+    }
+
+    fn clear_waker(&self) {
+        *self.shared.core.waker.lock() = None;
+    }
+
+    fn next_ready_at(&self) -> Option<Instant> {
+        match &*self.shared.link.lock() {
+            Link::Up(active) => active.next_ready_at(),
+            // Re-poll within a heartbeat; the redial thread fires the waker
+            // the moment the session is live again.
+            Link::Down { .. } => Some(Instant::now() + self.shared.config.heartbeat_interval),
+            Link::Closed | Link::Failed => None,
+        }
+    }
+
+    fn close(&self) {
+        self.shared.closed.store(true, Ordering::SeqCst);
+        let mut link = self.shared.link.lock();
+        match &*link {
+            Link::Up(active) => active.close(),
+            Link::Down { .. } => *link = Link::Closed,
+            Link::Closed | Link::Failed => {}
+        }
+    }
+
+    fn crash(&self) {
+        self.shared.closed.store(true, Ordering::SeqCst);
+        let mut link = self.shared.link.lock();
+        if let Link::Up(active) = &*link {
+            active.crash();
+        }
+        *link = Link::Closed;
+    }
+
+    fn is_peer_alive(&self) -> bool {
+        match &*self.shared.link.lock() {
+            Link::Up(_) | Link::Down { .. } => true,
+            Link::Closed | Link::Failed => false,
+        }
+    }
+
+    fn heartbeat_interval(&self) -> Duration {
+        self.shared.config.heartbeat_interval
+    }
+
+    /// Severs the current socket abruptly *without* ending the session: the
+    /// master sees a socket event and parks the session; this side redials
+    /// with backoff and resumes. This is the scripted-flap hook — a crash
+    /// would be [`Transport::crash`].
+    fn drop_link(&self) {
+        let shared = &self.shared;
+        let mut link = shared.link.lock();
+        if let Link::Up(active) = &*link {
+            active.crash();
+            *link = Link::Down { since: Instant::now() };
+            ReconnectingTcpTransport::ensure_redial(shared);
+        }
+    }
+}

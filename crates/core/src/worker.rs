@@ -12,15 +12,15 @@
 //! crash instead of poisoning the joiner.
 //!
 //! Workers are transport-generic: the same loop serves a simulated
-//! [`Endpoint`] and a live [`TcpTransport`](crate::transport::tcp::TcpTransport)
-//! connected to a master in another process. [`WorkerBuilder`] is the one
-//! entry point — the free functions [`spawn_worker`], [`spawn_typed_worker`]
-//! and [`spawn_worker_pool`] remain as deprecated shims over it.
+//! [`Endpoint`](pando_netsim::channel::Endpoint) and a live
+//! [`TcpTransport`](crate::transport::tcp::TcpTransport) connected to a
+//! master in another process. [`WorkerBuilder`] is the one entry point for
+//! spawning; [`run_worker_on`] runs the loop on the calling thread.
 
 use crate::protocol::Message;
 use crate::transport::Transport;
 use bytes::Bytes;
-use pando_netsim::channel::{Endpoint, RecvError, SendError};
+use pando_netsim::channel::{RecvError, SendError};
 use pando_netsim::codec::{record_body_len, Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
 use pando_netsim::fault::FaultPlan;
 use pando_pull_stream::codec::{Payload, TaskCodec};
@@ -50,7 +50,7 @@ pub struct WorkerOptions {
 /// through a codec ([`spawn_typed`](WorkerBuilder::spawn_typed)), or a pool
 /// of threads multiplexing many transports
 /// ([`spawn_pool`](WorkerBuilder::spawn_pool)). Transport-generic: pass a
-/// simulated [`Endpoint`] or a live
+/// simulated [`Endpoint`](pando_netsim::channel::Endpoint) or a live
 /// [`TcpTransport`](crate::transport::tcp::TcpTransport).
 ///
 /// # Examples
@@ -261,39 +261,6 @@ impl WorkerHandle {
     }
 }
 
-/// Spawns a worker thread processing binary task payloads from `endpoint`
-/// with `process`.
-#[deprecated(since = "0.1.0", note = "use `WorkerBuilder::new().spawn(transport, process)`")]
-pub fn spawn_worker<F>(
-    endpoint: Endpoint<Message>,
-    process: F,
-    options: WorkerOptions,
-) -> WorkerHandle
-where
-    F: Fn(&Payload) -> Result<Bytes, StreamError> + Send + 'static,
-{
-    WorkerBuilder::from_options(options).spawn(endpoint, process)
-}
-
-/// Spawns a worker whose processing function works on the native task and
-/// result types of `codec`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `WorkerBuilder::new().spawn_typed(transport, codec, process)`"
-)]
-pub fn spawn_typed_worker<C, F>(
-    endpoint: Endpoint<Message>,
-    codec: C,
-    process: F,
-    options: WorkerOptions,
-) -> WorkerHandle
-where
-    C: TaskCodec,
-    F: Fn(&C::Task) -> Result<C::Result, StreamError> + Send + 'static,
-{
-    WorkerBuilder::from_options(options).spawn_typed(endpoint, codec, process)
-}
-
 /// The worker body behind [`WorkerBuilder::spawn`]: a dedicated thread, a
 /// panic boundary that converts processing-function panics into a crashed
 /// channel plus a crashed report.
@@ -343,24 +310,6 @@ impl WorkerPoolHandle {
     pub fn join(self) -> Vec<WorkerReport> {
         self.threads.into_iter().flat_map(|handle| handle.join().unwrap_or_default()).collect()
     }
-}
-
-/// Spawns `threads` pool threads that together serve every endpoint in
-/// `endpoints`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `WorkerBuilder::new().pool_threads(threads).spawn_pool(transports, process)`"
-)]
-pub fn spawn_worker_pool<F>(
-    endpoints: Vec<Endpoint<Message>>,
-    process: F,
-    threads: usize,
-    options: WorkerOptions,
-) -> WorkerPoolHandle
-where
-    F: Fn(&Payload) -> Result<Bytes, StreamError> + Send + Sync + 'static,
-{
-    WorkerBuilder::from_options(options).pool_threads(threads).spawn_pool(endpoints, process)
 }
 
 /// One pooled transport and its per-volunteer state.
@@ -537,7 +486,7 @@ where
                     Ok(Message::TaskBatch(records)) => {
                         (process_records(&records, process, &mut fault, &mut slot.report), true)
                     }
-                    Ok(Message::Heartbeat) => continue,
+                    Ok(Message::Heartbeat) | Ok(Message::Ack { .. }) => continue,
                     Ok(_) => {
                         slot.endpoint.close();
                         slot.done = true;
@@ -599,20 +548,6 @@ where
     slots.into_iter().map(|slot| slot.report).collect()
 }
 
-/// Runs the worker loop on the calling thread until the master closes the
-/// channel or the fault plan triggers a crash.
-#[deprecated(since = "0.1.0", note = "use `WorkerBuilder` to spawn workers, or `run_worker_on`")]
-pub fn run_worker<F>(
-    endpoint: &Endpoint<Message>,
-    process: F,
-    options: WorkerOptions,
-) -> WorkerReport
-where
-    F: Fn(&Payload) -> Result<Bytes, StreamError>,
-{
-    run_worker_loop(endpoint, process, options)
-}
-
 /// Runs the worker loop on the calling thread over any [`Transport`], until
 /// the master closes the connection or the fault plan triggers a crash.
 pub fn run_worker_on<F>(
@@ -641,6 +576,14 @@ where
             endpoint.crash();
             report.crashed = true;
             return report;
+        }
+        if fault.pending_disconnect().is_some() {
+            // A scripted link flap, not a crash: sever the socket and keep
+            // running. A resumable transport redials on its own backoff
+            // schedule and the loop sees at most an idle stretch; on a
+            // plain transport `drop_link` degrades to a crash, which the
+            // receive path below observes as usual.
+            endpoint.drop_link();
         }
         // With pacing enabled, wake at least once per heartbeat interval so
         // an idle channel still signals liveness; result traffic below
@@ -688,7 +631,7 @@ where
                 }
                 (outcome, true)
             }
-            Ok(Message::Heartbeat) => continue,
+            Ok(Message::Heartbeat) | Ok(Message::Ack { .. }) => continue,
             Ok(Message::Goodbye)
             | Ok(Message::TaskResult { .. })
             | Ok(Message::ResultBatch(_))
@@ -1108,32 +1051,5 @@ mod tests {
         master.close();
         let report = worker.join();
         assert_eq!(report.processed, 0);
-    }
-
-    /// The pre-builder entry points stay as working shims so downstream
-    /// code migrates on its own schedule.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_spawn_shims_still_work() {
-        let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
-        let worker = spawn_typed_worker(volunteer, StringCodec, upper, WorkerOptions::default());
-        master.send(task(0, b"shim")).unwrap();
-        assert_eq!(
-            master.recv().unwrap(),
-            Message::TaskResult { seq: 0, payload: Bytes::copy_from_slice(b"SHIM") }
-        );
-        master.close();
-        assert_eq!(worker.join().processed, 1);
-
-        let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
-        let worker = spawn_worker(volunteer, |p: &Bytes| Ok(p.clone()), WorkerOptions::default());
-        master.close();
-        assert!(!worker.join().crashed);
-
-        let (master, volunteer) = pair::<Message>(ChannelConfig::instant());
-        let pool =
-            spawn_worker_pool(vec![volunteer], |p: &Bytes| Ok(p.clone()), 1, Default::default());
-        master.close();
-        assert_eq!(pool.join().len(), 1);
     }
 }

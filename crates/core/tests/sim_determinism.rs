@@ -62,6 +62,39 @@ proptest! {
             .sum();
         prop_assert_eq!(accepted, tasks);
     }
+
+    /// Any random disconnect/reconnect schedule (links pausing and coming
+    /// back, the sim twin of a session volunteer resuming within its grace
+    /// window) yields the same ordered output and digest as the fault-free
+    /// run, and never fires the crash re-lend path.
+    #[test]
+    fn link_flaps_never_lose_reorder_or_crash(
+        seed in 0u64..1_000_000,
+        volunteers in 1usize..10,
+        tasks in 1u64..80,
+        raw_flaps in proptest::collection::vec(0u64..1_000_000_000_000, 0..6),
+    ) {
+        // Decode each raw draw into (volunteer, at_us, down_for_us): the
+        // in-tree proptest stand-in has no tuple strategies.
+        let flaps: Vec<(usize, u64, u64)> = raw_flaps
+            .into_iter()
+            .map(|raw| {
+                let v = (raw % volunteers as u64) as usize;
+                let at_us = (raw / 7) % 40_000;
+                let down_for_us = 100 + (raw / 13) % 30_000;
+                (v, at_us, down_for_us)
+            })
+            .collect();
+        let base = FleetParams::new(seed, volunteers, tasks).with_crash_fraction(0.0);
+        let calm = simulate_fleet(&base);
+        let flapped = simulate_fleet(&base.clone().with_flaps(flaps));
+        let expected: Vec<u64> = (0..tasks).collect();
+        prop_assert_eq!(&flapped.output_order, &expected);
+        prop_assert_eq!(flapped.output_order, calm.output_order);
+        prop_assert_eq!(flapped.output_digest, calm.output_digest);
+        prop_assert_eq!(flapped.crashed, 0);
+        prop_assert_eq!(flapped.reactor.crash_relends, 0);
+    }
 }
 
 /// A pinned-seed regression: the canonical trace of seed 7 must not change

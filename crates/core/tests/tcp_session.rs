@@ -1,0 +1,191 @@
+//! End-to-end coverage of resumable TCP sessions: a volunteer that drops
+//! its socket mid-run and redials within the grace window rejoins its old
+//! session (replayed frames, no crash re-lend, no duplicate or lost
+//! results), while one that stays away past the grace window is reclassified
+//! as crashed and its values re-lent — the existing crash path, unchanged.
+
+use bytes::Bytes;
+use pando_core::config::PandoConfig;
+use pando_core::master::Pando;
+use pando_core::transport::tcp::session::{ReconnectPolicy, ReconnectingTcpTransport};
+use pando_core::transport::tcp::{TcpAcceptor, TcpConfig};
+use pando_core::transport::Transport;
+use pando_core::worker::WorkerBuilder;
+use pando_netsim::fault::FaultPlan;
+use pando_pull_stream::source::{count, SourceExt};
+use pando_pull_stream::StreamError;
+use std::time::Duration;
+
+/// A processing function slow enough that a scripted mid-run flap actually
+/// lands mid-run.
+fn slow_echo(payload: &Bytes) -> Result<Bytes, StreamError> {
+    std::thread::sleep(Duration::from_millis(2));
+    Ok(payload.clone())
+}
+
+#[test]
+fn volunteer_dropping_mid_run_resumes_within_grace_without_a_crash() {
+    let tcp = TcpConfig::local_test();
+    let pando = Pando::new(PandoConfig::local_test().with_batch_size(4));
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", tcp.clone()).unwrap();
+    let addr = acceptor.local_addr();
+    let server = acceptor.serve(&pando);
+
+    // The flapping volunteer: a session transport whose link is severed by
+    // the scripted Disconnect fault 80 ms in; the redial loop brings it
+    // back well inside the 2 s grace window.
+    let flappy_transport = ReconnectingTcpTransport::connect(
+        addr,
+        "flappy",
+        tcp.clone(),
+        ReconnectPolicy::local_test(),
+    )
+    .unwrap();
+    let flappy = WorkerBuilder::new()
+        .name("flappy")
+        .heartbeats(true)
+        .fault(FaultPlan::Disconnect {
+            at: Duration::from_millis(80),
+            down_for: Duration::from_millis(100),
+        })
+        .spawn(flappy_transport, slow_echo);
+    let steady = WorkerBuilder::new().name("steady").heartbeats(true).spawn(
+        ReconnectingTcpTransport::connect(addr, "steady", tcp, ReconnectPolicy::local_test())
+            .unwrap(),
+        slow_echo,
+    );
+    assert!(server.wait_for_volunteers(2, Duration::from_secs(10)), "both volunteers join");
+
+    let tasks = 160u64;
+    let output = pando
+        .run(count(tasks).map_values(|v| Bytes::from(v.to_string().into_bytes())))
+        .collect_values()
+        .unwrap();
+
+    // Exactly one output per input, in order: nothing lost to the flap and
+    // nothing delivered twice (a duplicate would displace its successor).
+    assert_eq!(output.len() as u64, tasks);
+    for (i, payload) in output.iter().enumerate() {
+        assert_eq!(payload.as_ref(), (i + 1).to_string().as_bytes(), "order survives the flap");
+    }
+    assert!(!flappy.join().crashed, "a resumed volunteer never reads as crashed");
+    assert!(!steady.join().crashed);
+    assert!(server.resumed() >= 1, "the flap must actually exercise the resume path");
+    server.stop();
+    server.join();
+    pando.join_volunteers();
+    let stats = pando.lender_stats().unwrap();
+    assert_eq!(stats.results_emitted, tasks);
+    assert_eq!(
+        stats.substreams_crashed, 0,
+        "a disconnect resumed within the grace window must not fire the crash re-lend path"
+    );
+}
+
+#[test]
+fn volunteer_away_past_grace_is_reclassified_as_crashed_and_relent() {
+    // A short grace window and a redial policy whose first attempt lands
+    // long after it: the disconnect must expire into the crash verdict.
+    let tcp = TcpConfig { reconnect_grace: Duration::from_millis(250), ..TcpConfig::local_test() };
+    let lazy_redial = ReconnectPolicy {
+        base: Duration::from_secs(2),
+        cap: Duration::from_secs(2),
+        max_attempts: 3,
+        seed: 7,
+    };
+    let pando = Pando::new(PandoConfig::local_test().with_batch_size(4));
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", tcp.clone()).unwrap();
+    let addr = acceptor.local_addr();
+    let server = acceptor.serve(&pando);
+
+    let gone = WorkerBuilder::new()
+        .name("gone")
+        .heartbeats(true)
+        .fault(FaultPlan::Disconnect {
+            at: Duration::from_millis(60),
+            down_for: Duration::from_secs(2),
+        })
+        .spawn(
+            ReconnectingTcpTransport::connect(addr, "gone", tcp.clone(), lazy_redial).unwrap(),
+            slow_echo,
+        );
+    let steady = WorkerBuilder::new().name("steady").heartbeats(true).spawn(
+        ReconnectingTcpTransport::connect(addr, "steady", tcp, ReconnectPolicy::local_test())
+            .unwrap(),
+        slow_echo,
+    );
+    assert!(server.wait_for_volunteers(2, Duration::from_secs(10)), "both volunteers join");
+
+    let tasks = 120u64;
+    let output = pando
+        .run(count(tasks).map_values(|v| Bytes::from(v.to_string().into_bytes())))
+        .collect_values()
+        .unwrap();
+    assert_eq!(output.len() as u64, tasks);
+    for (i, payload) in output.iter().enumerate() {
+        assert_eq!(payload.as_ref(), (i + 1).to_string().as_bytes(), "order survives the crash");
+    }
+    assert!(!steady.join().crashed);
+    drop(gone); // its redial budget plays out in the background
+    server.stop();
+    server.join();
+    pando.join_volunteers();
+    let stats = pando.lender_stats().unwrap();
+    assert_eq!(stats.results_emitted, tasks);
+    assert_eq!(
+        stats.substreams_crashed, 1,
+        "a volunteer away past reconnect_grace must fire the crash re-lend path"
+    );
+    assert!(stats.relends >= 1, "values held by the expired session are re-lent");
+}
+
+#[test]
+fn drop_link_on_a_session_transport_redials_and_resumes() {
+    // Transport-level check without a fleet: sever the link, watch the
+    // redial loop resume the same session token.
+    let tcp = TcpConfig::local_test();
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0", tcp.clone()).unwrap();
+    let addr = acceptor.local_addr();
+    let acceptor = std::sync::Arc::new(acceptor);
+    let accept_side = acceptor.clone();
+    let pump = std::thread::spawn(move || {
+        // Accept the initial join and then the resume; accept_session parks
+        // resumes into the session table for us.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut joined = 0;
+        let mut resumed = 0;
+        let mut keep = Vec::new();
+        while std::time::Instant::now() < deadline && (joined < 1 || resumed < 1) {
+            match accept_side.accept_session() {
+                Ok(Some(pando_core::transport::tcp::SessionEvent::Joined {
+                    transport, ..
+                })) => {
+                    joined += 1;
+                    keep.push(transport);
+                }
+                Ok(Some(pando_core::transport::tcp::SessionEvent::Resumed { .. })) => resumed += 1,
+                Ok(Some(pando_core::transport::tcp::SessionEvent::Plain { .. })) => {}
+                Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+                Err(err) => panic!("handshake failed: {err}"),
+            }
+        }
+        (joined, resumed, keep)
+    });
+
+    let client =
+        ReconnectingTcpTransport::connect(addr, "yo-yo", tcp, ReconnectPolicy::local_test())
+            .unwrap();
+    let token_before = client.token();
+    client.drop_link();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while client.is_reconnecting() {
+        assert!(std::time::Instant::now() < deadline, "redial never completed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (joined, resumed, keep) = pump.join().unwrap();
+    assert_eq!(joined, 1);
+    assert_eq!(resumed, 1, "the redial presents the old token and resumes");
+    assert_eq!(client.token(), token_before, "a resume keeps the session token");
+    assert!(keep[0].is_peer_alive(), "the master-side session is live again");
+    client.close();
+}

@@ -154,19 +154,22 @@ fn wrong_magic_and_wrong_version_are_rejected() {
     future.join().unwrap();
 }
 
-/// Performs a valid client-side handshake on a raw socket so the test can
-/// then inject arbitrary bytes at the frame layer.
+/// Performs a valid client-side handshake (v2, plain mode) on a raw socket
+/// so the test can then inject arbitrary bytes at the frame layer.
 fn raw_handshake(addr: std::net::SocketAddr, name: &str) -> TcpStream {
     let mut stream = TcpStream::connect(addr).unwrap();
     let mut hello = Vec::new();
     hello.extend_from_slice(b"PNDO");
     hello.push(TCP_PROTOCOL_VERSION);
+    hello.push(0); // mode: plain (sessionless)
     hello.extend_from_slice(&(name.len() as u16).to_be_bytes());
     hello.extend_from_slice(name.as_bytes());
     stream.write_all(&hello).unwrap();
-    let mut ack = [0u8; 5];
-    stream.read_exact(&mut ack).unwrap();
-    assert_eq!(&ack[..4], b"PNDO");
+    // Reply: magic, version, status, token, received-count — 22 bytes.
+    let mut reply = [0u8; 22];
+    stream.read_exact(&mut reply).unwrap();
+    assert_eq!(&reply[..4], b"PNDO");
+    assert_eq!(reply[5], 0, "a plain hello is never a resume");
     stream
 }
 

@@ -750,6 +750,28 @@ impl<T: Send + 'static> Endpoint<T> {
         self.wake_peer();
     }
 
+    /// Pauses the link in **both** directions until `until`: a deterministic
+    /// transient disconnect (Wi-Fi blip, route flap). Frames already in
+    /// flight keep their delivery instants (they passed the outage point
+    /// before the link dropped); every frame sent from now on is delivered
+    /// no earlier than `until`. Nothing is lost, reordered or mutated, so a
+    /// paused run differs from a fault-free one only in delivery timing.
+    /// Because delivery times ride on `next_delivery` (which is monotonic),
+    /// pausing composes with latency, jitter and bandwidth modelling, and —
+    /// unlike [`Endpoint::crash`] — never trips the failure detector: the
+    /// sim's grace-window twin of a volunteer that reconnects in time.
+    pub fn pause_link_until(&self, until: Instant) {
+        for side in [&self.shared.a, &self.shared.b] {
+            let mut state = side.lock();
+            state.next_delivery = state.next_delivery.max(until);
+        }
+        // Any frame already buffered on either side now matures later; the
+        // already-sent announcement wakes are enough (pollers re-check
+        // `next_ready_at`), but nudge the peer so a parked reactor re-arms
+        // its timer against the new maturity.
+        self.wake_peer();
+    }
+
     /// Returns `true` while the peer is neither closed nor suspected crashed.
     pub fn is_peer_alive(&self) -> bool {
         let peer = self.peer_state().lock();
@@ -1234,6 +1256,36 @@ mod tests {
         assert_eq!(b.recv().unwrap(), 4);
         // No further drain-wakes without another WouldBlock.
         assert_eq!(woke.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pause_link_delays_delivery_without_tripping_the_detector() {
+        use crate::sim::Clock;
+        let clock = Clock::virtual_clock();
+        let mut config = ChannelConfig::instant();
+        config.latency = Duration::from_millis(1);
+        config.failure_timeout = Duration::from_millis(25);
+        let (a, b) = pair_with_clock::<u32>(config, clock.clone());
+        // The link flaps for far longer than the failure timeout.
+        let back_up = clock.now() + Duration::from_millis(200);
+        a.pause_link_until(back_up);
+        b.pause_link_until(back_up); // idempotent: both handles may script it
+        a.send(1).unwrap();
+        a.send(2).unwrap();
+        clock.advance_to(clock.now() + Duration::from_millis(150));
+        // Mid-outage: nothing deliverable, but the peer is NOT suspected —
+        // a pause is a flap, not a crash.
+        assert_eq!(b.try_recv().unwrap_err(), RecvError::Empty);
+        assert!(b.is_peer_alive());
+        let ready_at = b.next_ready_at().expect("stalled frame advertises maturity");
+        assert!(ready_at >= back_up);
+        clock.advance_to(ready_at);
+        assert_eq!(b.try_recv().unwrap(), 1);
+        // FIFO survives the pause, and the reverse direction was paused too.
+        b.send(10).unwrap();
+        assert!(a.try_recv().is_ok() || a.next_ready_at().is_some());
+        clock.advance_to(clock.now() + Duration::from_millis(5));
+        assert_eq!(b.try_recv().unwrap(), 2);
     }
 
     #[test]

@@ -26,12 +26,24 @@ pub enum FaultPlan {
         /// ...or after this much time, whichever happens first.
         elapsed: Duration,
     },
+    /// The device's *link* drops once — a transient disconnect, not a crash:
+    /// the worker keeps its state and rejoins. The worker loop consults
+    /// [`ArmedFaultPlan::pending_disconnect`] and severs its transport when
+    /// the flap falls due; how long the device stays away is `down_for`
+    /// (replayed exactly by the deterministic sim's link pause; a real
+    /// reconnecting transport treats it as a floor under its backoff).
+    Disconnect {
+        /// The link drops this long after the plan is armed...
+        at: Duration,
+        /// ...and stays down for this long before the device redials.
+        down_for: Duration,
+    },
 }
 
 impl FaultPlan {
     /// Arms the plan, starting its clock now.
     pub fn arm(self) -> ArmedFaultPlan {
-        ArmedFaultPlan { plan: self, armed_at: Instant::now(), tasks_done: 0 }
+        ArmedFaultPlan { plan: self, armed_at: Instant::now(), tasks_done: 0, flapped: false }
     }
 }
 
@@ -41,6 +53,8 @@ pub struct ArmedFaultPlan {
     plan: FaultPlan,
     armed_at: Instant,
     tasks_done: u64,
+    /// The one-shot [`FaultPlan::Disconnect`] already fired.
+    flapped: bool,
 }
 
 impl ArmedFaultPlan {
@@ -57,12 +71,29 @@ impl ArmedFaultPlan {
     /// Returns `true` if the device should crash now.
     pub fn should_crash(&self) -> bool {
         match self.plan {
-            FaultPlan::None => false,
+            FaultPlan::None | FaultPlan::Disconnect { .. } => false,
             FaultPlan::AfterTasks(n) => self.tasks_done >= n,
             FaultPlan::AfterDuration(elapsed) => self.armed_at.elapsed() >= elapsed,
             FaultPlan::Either { tasks, elapsed } => {
                 self.tasks_done >= tasks || self.armed_at.elapsed() >= elapsed
             }
+        }
+    }
+
+    /// Returns `Some(down_for)` exactly once, when a scripted
+    /// [`FaultPlan::Disconnect`] falls due: the caller must sever its link
+    /// now and stay away for the returned duration. Every later call (and
+    /// every other plan) answers `None` — a flap is one link event, not a
+    /// recurring condition like [`ArmedFaultPlan::should_crash`].
+    pub fn pending_disconnect(&mut self) -> Option<Duration> {
+        match self.plan {
+            FaultPlan::Disconnect { at, down_for }
+                if !self.flapped && self.armed_at.elapsed() >= at =>
+            {
+                self.flapped = true;
+                Some(down_for)
+            }
+            _ => None,
         }
     }
 }
@@ -115,5 +146,30 @@ mod tests {
     #[test]
     fn default_is_none() {
         assert_eq!(FaultPlan::default(), FaultPlan::None);
+    }
+
+    #[test]
+    fn disconnect_never_crashes_and_fires_exactly_once() {
+        let mut armed = FaultPlan::Disconnect {
+            at: Duration::from_millis(10),
+            down_for: Duration::from_millis(70),
+        }
+        .arm();
+        assert_eq!(armed.pending_disconnect(), None, "not due yet");
+        assert!(!armed.should_crash());
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(!armed.should_crash(), "a flap is not a crash");
+        assert_eq!(armed.pending_disconnect(), Some(Duration::from_millis(70)));
+        assert_eq!(armed.pending_disconnect(), None, "one link event only");
+        assert!(!armed.should_crash());
+    }
+
+    #[test]
+    fn other_plans_never_report_a_disconnect() {
+        let mut none = FaultPlan::None.arm();
+        assert_eq!(none.pending_disconnect(), None);
+        let mut tasks = FaultPlan::AfterTasks(0).arm();
+        assert!(tasks.should_crash());
+        assert_eq!(tasks.pending_disconnect(), None);
     }
 }

@@ -22,6 +22,13 @@
 //!   the whole fleet joins
 //! * `TCP_BUDGET_SECS` — wall-clock guard; the process exits non-zero if the
 //!   run exceeds it (default 120)
+//! * `TCP_EXPECT_CRASHED` — if set, assert that exactly this many
+//!   sub-streams crashed. The flap demo passes 0: a volunteer that drops its
+//!   socket but resumes inside `reconnect_grace` must never reach the crash
+//!   re-lend path.
+//! * `TCP_MIN_RESUMED` — if set, assert at least this many sessions resumed,
+//!   proving the scripted link drops actually exercised the resume path
+//!   rather than finishing before the flap landed.
 
 use bytes::Bytes;
 use pando_core::config::PandoConfig;
@@ -113,6 +120,7 @@ fn main() {
         );
     }
 
+    let resumed = server.resumed();
     let accepted = server.join();
     pando.join_volunteers();
     let stats = pando.lender_stats().expect("the run started");
@@ -121,9 +129,26 @@ fn main() {
         tasks as f64 / elapsed.as_secs_f64()
     );
     println!(
-        "lender: {} values read, {} results emitted, {} re-lent, {} sub-streams crashed",
+        "lender: {} values read, {} results emitted, {} re-lent, {} sub-streams crashed, \
+         {resumed} sessions resumed",
         stats.values_read, stats.results_emitted, stats.relends, stats.substreams_crashed
     );
+    if let Ok(expected) = std::env::var("TCP_EXPECT_CRASHED") {
+        let expected: u64 = expected.parse().expect("TCP_EXPECT_CRASHED must be a number");
+        assert_eq!(
+            stats.substreams_crashed, expected,
+            "crash verdicts diverged from the scripted fault plan \
+             (a grace-window resume must not count as a crash)"
+        );
+    }
+    if let Ok(min) = std::env::var("TCP_MIN_RESUMED") {
+        let min: usize = min.parse().expect("TCP_MIN_RESUMED must be a number");
+        assert!(
+            resumed >= min,
+            "only {resumed} sessions resumed, expected at least {min} — the scripted link \
+             drops never exercised the resume path"
+        );
+    }
     assert!(
         elapsed <= budget,
         "wall-clock guard exceeded: {elapsed:?} > {budget:?} — the TCP path regressed"
