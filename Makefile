@@ -1,7 +1,7 @@
 # Local invocations matching the CI jobs in .github/workflows/ci.yml —
 # `make lint test` before pushing reproduces what CI will run.
 
-.PHONY: all build test lint fmt doc bench bench-run scale scale-sharded sim tcp-demo tcp-demo-flap clean
+.PHONY: all build test lint fmt doc bench bench-run scale scale-sharded sim scenarios tcp-demo tcp-demo-flap clean
 
 all: lint build test doc
 
@@ -44,6 +44,14 @@ scale-sharded:
 # traces compared byte for byte. Same target CI runs.
 sim:
 	cargo run --release --example sim_determinism
+
+# The golden-trace regression suite: every scenarios/*.toml script runs
+# twice on the virtual clock, is byte-compared against itself, checked
+# against its [expect] table, and diffed against the committed trace in
+# scenarios/golden/. After an intentional behaviour change, re-bless with
+# `make scenarios BLESS=1` and commit the golden diff for review.
+scenarios:
+	BLESS=$(BLESS) cargo run --release --example scenario_run
 
 # The fleet across OS processes: one master listening on localhost TCP, a
 # 64-volunteer fleet split over one process that crashes abruptly mid-run

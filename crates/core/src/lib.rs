@@ -28,6 +28,9 @@
 //!   the LAN / VPN / WAN experiments, and the virtual-clock *fleet
 //!   simulator* that single-steps the real reactor for tick-for-tick
 //!   reproducible 10k-volunteer runs;
+//! * [`scenario`] — checked-in `scenarios/*.toml` topology/churn/fault
+//!   scripts compiled to fleet-simulator runs, backing the golden-trace
+//!   regression suite (`examples/scenario_run.rs`, `make scenarios`);
 //! * [`transport`] — the [`transport::Transport`] seam between the
 //!   coordination layer and the wire: the simulated [`pando_netsim`]
 //!   channels and the real-socket [`transport::tcp::TcpTransport`] backend
@@ -86,6 +89,7 @@ pub mod metrics;
 pub mod monitor;
 pub mod protocol;
 pub mod reactor;
+pub mod scenario;
 pub mod sim;
 pub mod transport;
 pub mod volunteer;

@@ -26,7 +26,7 @@ use crate::protocol::Message;
 use crate::reactor::{DriverHandle, Reactor, ReactorStats};
 use crate::transport::Transport;
 use bytes::Bytes;
-use pando_netsim::channel::{pair_with_clock, Endpoint, RecvError, SendError};
+use pando_netsim::channel::{pair_with_clock, ChannelConfig, Endpoint, RecvError, SendError};
 use pando_netsim::codec::{Record, MAX_FRAME_LEN, RECORD_HEADER_LEN};
 use pando_pull_stream::codec::TaskCodec;
 use pando_pull_stream::lender::{LenderStats, SubStreamSink, SubStreamSource};
@@ -111,11 +111,21 @@ impl Pando {
     /// deployment seed plus the volunteer's join index, so a whole fleet is
     /// reproducible from one [`PandoConfig::deterministic`] seed.
     pub fn open_volunteer_channel(&self) -> Endpoint<Message> {
-        let index = self.state.lock().next_volunteer;
         let channel = self.config.transport.channel.clone();
-        let seed = channel.seed.wrapping_add(index);
+        let seed = channel.seed.wrapping_add(self.state.lock().next_volunteer);
+        self.open_volunteer_channel_with(channel.with_seed(seed))
+    }
+
+    /// Like [`Pando::open_volunteer_channel`] but with an explicit channel
+    /// configuration (including its jitter seed) instead of the deployment's
+    /// network profile — how a scenario script gives each volunteer its own
+    /// link: a phone on lossy WAN next to a laptop on the office LAN. The
+    /// channel still runs on the deployment clock, so scenario links stay
+    /// deterministic under [`PandoConfig::deterministic`].
+    pub fn open_volunteer_channel_with(&self, channel: ChannelConfig) -> Endpoint<Message> {
+        let index = self.state.lock().next_volunteer;
         let (master_side, volunteer_side) =
-            pair_with_clock::<Message>(channel.with_seed(seed), self.config.run.clock.clone());
+            pair_with_clock::<Message>(channel, self.config.run.clock.clone());
         self.add_volunteer_endpoint(format!("volunteer-{index}"), master_side);
         volunteer_side
     }

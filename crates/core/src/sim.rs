@@ -41,11 +41,11 @@ use crate::config::PandoConfig;
 use crate::master::Pando;
 use crate::protocol::Message;
 use bytes::Bytes;
-use pando_netsim::channel::{Endpoint, RecvError};
+use pando_netsim::channel::{ChannelConfig, Endpoint, RecvError};
 use pando_netsim::codec::Record;
 use pando_netsim::sim::{EventQueue, SimTime};
-use pando_pull_stream::source::from_iter;
-use pando_pull_stream::Answer;
+use pando_pull_stream::source::{from_iter, Source};
+use pando_pull_stream::{Answer, Request};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -296,6 +296,62 @@ pub struct FleetParams {
     /// empty schedule leaves the canonical trace byte-identical to builds
     /// that predate flaps.
     pub flaps: Vec<(usize, u64, u64)>,
+    /// Explicit fleet script replacing the seed-derived schedule (see
+    /// [`FleetScript`]). `None` — the default, and what every pre-scenario
+    /// trace was recorded with — keeps the seed-derived path byte-identical.
+    pub script: Option<FleetScript>,
+}
+
+/// One scripted volunteer of a [`FleetScript`]: which link it sits on, how
+/// fast it computes, and when it joins, leaves or crashes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VolunteerSpec {
+    /// Scenario group this volunteer belongs to (used by partition events
+    /// and in the trace; carries no behaviour of its own).
+    pub group: String,
+    /// Virtual compute time per task record.
+    pub service: Duration,
+    /// The volunteer's own link profile, including its jitter seed and the
+    /// [`ChannelConfig::loss`] knob — a phone on lossy WAN can sit next to a
+    /// laptop on the office LAN.
+    pub channel: ChannelConfig,
+    /// When the volunteer opens its channel, measured from the run origin.
+    /// [`Duration::ZERO`] joins before the input stream starts.
+    pub joins_at: Duration,
+    /// When the volunteer leaves cleanly (goodbye + close: the master
+    /// re-lends its outstanding tasks without waiting for a failure
+    /// timeout), if ever.
+    pub leaves_at: Option<Duration>,
+    /// When the volunteer crash-stops (the failure detector fires after the
+    /// channel's failure timeout, then the crash re-lend path runs), if
+    /// ever.
+    pub crash_at: Option<Duration>,
+}
+
+/// A fully explicit fleet script: per-volunteer links and churn instants
+/// plus group-scoped partitions, executed by [`simulate_fleet`] instead of
+/// the seed-derived schedule. Usually loaded from a checked-in
+/// `scenarios/*.toml` file via [`crate::scenario`], but constructible by
+/// hand for tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScript {
+    /// Scenario name, echoed as the first trace line.
+    pub name: String,
+    /// One spec per volunteer; the index in this vector is the volunteer id
+    /// used by the trace, partitions and [`FleetParams::flaps`].
+    pub volunteers: Vec<VolunteerSpec>,
+    /// Partition events: `(members, starts_at, heals_at)` pauses every
+    /// member's link in both directions from `starts_at` until `heals_at`
+    /// (offsets from the run origin). Frames are delayed, never lost, and
+    /// the failure detector never fires — the scripted twin of a transient
+    /// network split that heals within the session grace window.
+    pub partitions: Vec<(Vec<usize>, Duration, Duration)>,
+    /// Run the input through a source whose non-blocking asks always report
+    /// "would block" (the blocking pull still answers immediately): the
+    /// deterministic stand-in for interactive stdin. Drivers' fast-path asks
+    /// fail and the reactor's input pump must deliver — exactly the path
+    /// whose kick/ask busy loop the `wasted_polls` budget guards.
+    pub interactive_input: bool,
 }
 
 impl FleetParams {
@@ -308,6 +364,7 @@ impl FleetParams {
             crash_fraction: 0.15,
             bounded_wakes: true,
             flaps: Vec::new(),
+            script: None,
         }
     }
 
@@ -341,6 +398,19 @@ impl FleetParams {
             assert!(*v < self.volunteers, "flap names volunteer {v} outside the fleet");
         }
         self.flaps = flaps;
+        self
+    }
+
+    /// Returns the parameters driven by an explicit [`FleetScript`] instead
+    /// of the seed-derived schedule: `volunteers` becomes the script's fleet
+    /// size and the seed-derived crash draw is disabled (scripts declare
+    /// their crashes explicitly). The seed keeps naming the run — each
+    /// spec's channel carries its own jitter seed.
+    pub fn with_script(mut self, script: FleetScript) -> Self {
+        assert!(!script.volunteers.is_empty(), "a fleet script needs at least one volunteer");
+        self.volunteers = script.volunteers.len();
+        self.crash_fraction = 0.0;
+        self.script = Some(script);
         self
     }
 }
@@ -379,6 +449,11 @@ pub struct FleetReport {
     /// Number of volunteers that actually crashed during the run (scheduled
     /// crash instants landing after a volunteer finished do not fire).
     pub crashed: u64,
+    /// Total lost-and-re-sent frame transmissions across every volunteer
+    /// link, both directions ([`ChannelConfig::loss`]). Part of the
+    /// canonical trace only under a script — seed-derived runs predate the
+    /// loss knob and keep their traces byte-identical.
+    pub retransmits: u64,
     /// Virtual time the run spanned.
     pub virtual_elapsed: Duration,
     /// Real time the simulation took (not part of the canonical trace).
@@ -433,6 +508,9 @@ impl FleetReport {
             out.push_str(row);
             out.push('\n');
         }
+        if self.params.script.is_some() {
+            out.push_str(&format!("loss retransmits={}\n", self.retransmits));
+        }
         out.push_str(&format!(
             "reactor registered={} polls={} wakeups={} timer_fires={} prefetches={} \
              shards={} hops={} max_ready_depth={} wasted_polls={} kicks_sent={} \
@@ -465,7 +543,9 @@ impl FleetReport {
 /// computation *time* is virtual: a reply is scheduled `service × records`
 /// after the device becomes free.
 struct SimVolunteer {
-    endpoint: Endpoint<Message>,
+    /// `None` until the volunteer joins (script volunteers may join
+    /// mid-run); the seed-derived path opens every channel up front.
+    endpoint: Option<Endpoint<Message>>,
     service: Duration,
     busy_until: Instant,
     /// Earliest scheduled re-poll for a frame still in (virtual) flight.
@@ -498,6 +578,15 @@ enum Ev {
     Flap { v: usize, down_for: Duration },
     /// Re-poll volunteer `v`: a frame buffered on its endpoint matures now.
     Repoll { v: usize },
+    /// Volunteer `v` joins mid-run: open its scripted channel and register
+    /// it with the master (which starts lending it tasks immediately).
+    Join { v: usize },
+    /// Volunteer `v` leaves cleanly: goodbye + close, outstanding tasks are
+    /// re-lent without a failure timeout.
+    Leave { v: usize },
+    /// Pause every member's link in both directions until `until` (a
+    /// scripted partition; heals without tripping the failure detector).
+    Partition { members: Vec<usize>, until: Instant },
 }
 
 impl PartialEq for Timed {
@@ -575,6 +664,24 @@ fn decode_result(payload: &Bytes) -> u64 {
     (u64::from_le_bytes(buf).wrapping_sub(1)) / 3
 }
 
+/// Wraps a source so every non-blocking ask reports "would block" while the
+/// blocking pull still answers immediately: the deterministic stand-in for
+/// an interactive input (a user typing lines). Drivers' fast-path asks fail
+/// and the reactor's input pump must deliver — the exact path whose kick/ask
+/// busy loop the `wasted_polls` counter guards
+/// ([`FleetScript::interactive_input`]).
+struct InteractiveSource<S> {
+    inner: S,
+}
+
+impl<T, S: Source<T>> Source<T> for InteractiveSource<S> {
+    fn pull(&mut self, request: Request) -> Answer<T> {
+        self.inner.pull(request)
+    }
+    // No `try_pull` override: the trait default answers `None`, "would
+    // block", which is the whole point of the wrapper.
+}
+
 /// Runs one deterministic fleet deployment: the real master — sharded
 /// lender, inline reactor, wire protocol, heartbeat pacing, crash recovery —
 /// over a virtual clock, single-stepped by one scheduler loop. See the
@@ -587,6 +694,25 @@ fn decode_result(payload: &Bytes) -> u64 {
 /// virtual horizon of ten simulated minutes is exceeded.
 pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
     assert!(params.volunteers > 0, "a fleet needs at least one volunteer");
+    // `FleetParams` has public fields, so validate here too — a struct
+    // literal bypasses the `with_flaps`/`with_script` builders. A flap (or
+    // partition member) naming a volunteer outside the fleet would
+    // otherwise be silently ignored or panic deep in the scheduler.
+    for (v, _, _) in &params.flaps {
+        assert!(*v < params.volunteers, "flap names volunteer {v} outside the fleet");
+    }
+    if let Some(script) = &params.script {
+        assert_eq!(
+            script.volunteers.len(),
+            params.volunteers,
+            "the script's fleet size must match params.volunteers"
+        );
+        for (members, _, _) in &script.partitions {
+            for m in members {
+                assert!(*m < params.volunteers, "partition names volunteer {m} outside the fleet");
+            }
+        }
+    }
     let wall_start = Instant::now();
     let config = PandoConfig::deterministic(params.seed).with_bounded_wakes(params.bounded_wakes);
     let clock = config.run.clock.clone();
@@ -607,43 +733,106 @@ pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
         queued: queued.clone(),
     };
     let mut volunteers: Vec<SimVolunteer> = Vec::with_capacity(params.volunteers);
-    // Crash instants are drawn from a window scaled to the expected run
-    // length (mean service 1.65 ms, `volunteers` devices in parallel), so
-    // the fault schedule actually lands mid-run instead of after the last
-    // result.
-    let expected_run_us =
-        (params.tasks.saturating_mul(1_650) / params.volunteers.max(1) as u64).max(5_000);
-    for v in 0..params.volunteers {
-        let endpoint = pando.open_volunteer_channel();
+    // One coalescing waker per volunteer, shared between up-front channels
+    // and mid-run joins.
+    let make_waker = {
         let woken = woken.clone();
         let queued = queued.clone();
-        endpoint.set_waker(Arc::new(move || {
-            if !queued[v].swap(true, Ordering::SeqCst) {
-                woken.lock().push_back(v);
-            }
-        }));
-        let service = Duration::from_micros(rng.gen_range(300..3_000));
-        // Volunteer 0 is the survivor that guarantees completion.
-        let crash_at_us = (v != 0 && rng.gen_bool(params.crash_fraction))
-            .then(|| rng.gen_range(1_000u64..expected_run_us));
-        if let Some(at_us) = crash_at_us {
-            engine.schedule(origin + Duration::from_micros(at_us), Ev::Crash { v });
+        move |v: usize| -> pando_netsim::channel::Waker {
+            let woken = woken.clone();
+            let queued = queued.clone();
+            Arc::new(move || {
+                if !queued[v].swap(true, Ordering::SeqCst) {
+                    woken.lock().push_back(v);
+                }
+            })
         }
+    };
+    let opt_us = |at: Option<Duration>| {
+        at.map(|at| at.as_micros().to_string()).unwrap_or_else(|| "never".into())
+    };
+    if let Some(script) = &params.script {
         trace.push(format!(
-            "setup v{v} service_us={} crash_at_us={}",
-            service.as_micros(),
-            crash_at_us.map(|us| us.to_string()).unwrap_or_else(|| "never".into())
+            "scenario name={} interactive={}",
+            script.name, script.interactive_input
         ));
-        volunteers.push(SimVolunteer {
-            endpoint,
-            service,
-            busy_until: origin,
-            repoll_at: None,
-            pending_replies: 0,
-            done: false,
-            crashed: false,
-            processed: 0,
-        });
+        for (v, spec) in script.volunteers.iter().enumerate() {
+            trace.push(format!(
+                "setup v{v} group={} service_us={} latency_us={} jitter_us={} loss={} \
+                 joins_at_us={} leaves_at_us={} crash_at_us={}",
+                spec.group,
+                spec.service.as_micros(),
+                spec.channel.latency.as_micros(),
+                spec.channel.jitter.as_micros(),
+                spec.channel.loss,
+                spec.joins_at.as_micros(),
+                opt_us(spec.leaves_at),
+                opt_us(spec.crash_at),
+            ));
+            let endpoint = if spec.joins_at.is_zero() {
+                let endpoint = pando.open_volunteer_channel_with(spec.channel.clone());
+                endpoint.set_waker(make_waker(v));
+                Some(endpoint)
+            } else {
+                engine.schedule(origin + spec.joins_at, Ev::Join { v });
+                None
+            };
+            if let Some(at) = spec.crash_at {
+                engine.schedule(origin + at, Ev::Crash { v });
+            }
+            if let Some(at) = spec.leaves_at {
+                engine.schedule(origin + at, Ev::Leave { v });
+            }
+            volunteers.push(SimVolunteer {
+                endpoint,
+                service: spec.service,
+                busy_until: origin,
+                repoll_at: None,
+                pending_replies: 0,
+                done: false,
+                crashed: false,
+                processed: 0,
+            });
+        }
+        for (members, at, heal) in &script.partitions {
+            engine.schedule(
+                origin + *at,
+                Ev::Partition { members: members.clone(), until: origin + *heal },
+            );
+        }
+    } else {
+        // Crash instants are drawn from a window scaled to the expected run
+        // length (mean service 1.65 ms, `volunteers` devices in parallel),
+        // so the fault schedule actually lands mid-run instead of after the
+        // last result.
+        let expected_run_us =
+            (params.tasks.saturating_mul(1_650) / params.volunteers.max(1) as u64).max(5_000);
+        for v in 0..params.volunteers {
+            let endpoint = pando.open_volunteer_channel();
+            endpoint.set_waker(make_waker(v));
+            let service = Duration::from_micros(rng.gen_range(300..3_000));
+            // Volunteer 0 is the survivor that guarantees completion.
+            let crash_at_us = (v != 0 && rng.gen_bool(params.crash_fraction))
+                .then(|| rng.gen_range(1_000u64..expected_run_us));
+            if let Some(at_us) = crash_at_us {
+                engine.schedule(origin + Duration::from_micros(at_us), Ev::Crash { v });
+            }
+            trace.push(format!(
+                "setup v{v} service_us={} crash_at_us={}",
+                service.as_micros(),
+                crash_at_us.map(|us| us.to_string()).unwrap_or_else(|| "never".into())
+            ));
+            volunteers.push(SimVolunteer {
+                endpoint: Some(endpoint),
+                service,
+                busy_until: origin,
+                repoll_at: None,
+                pending_replies: 0,
+                done: false,
+                crashed: false,
+                processed: 0,
+            });
+        }
     }
 
     for (v, at_us, down_for_us) in &params.flaps {
@@ -656,7 +845,12 @@ pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
     // --- The input stream: task index i as a little-endian u64 payload. --
     let inputs: Vec<Bytes> =
         (0..params.tasks).map(|i| Bytes::copy_from_slice(&i.to_le_bytes())).collect();
-    let mut output = pando.run(from_iter(inputs));
+    let interactive = params.script.as_ref().map(|s| s.interactive_input).unwrap_or(false);
+    let mut output = if interactive {
+        pando.run(InteractiveSource { inner: from_iter(inputs) })
+    } else {
+        pando.run(from_iter(inputs))
+    };
     let reactor =
         pando.reactor_handle().expect("the deterministic config always uses the reactor backend");
 
@@ -691,7 +885,12 @@ pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
                     if vol.done {
                         continue;
                     }
-                    vol.endpoint.crash();
+                    let Some(endpoint) = vol.endpoint.as_ref() else {
+                        // Crashing a volunteer that never joined is a no-op
+                        // (scenario loading rejects such schedules).
+                        continue;
+                    };
+                    endpoint.crash();
                     vol.crashed = true;
                     vol.done = true;
                     crashed_fired += 1;
@@ -702,12 +901,15 @@ pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
                     if vol.done {
                         continue;
                     }
+                    let Some(endpoint) = vol.endpoint.as_ref() else {
+                        continue;
+                    };
                     // Both directions go quiet until the device "rejoins":
                     // in-flight frames keep their delivery instants, later
                     // ones mature no earlier than the rejoin instant. The
                     // pause never trips the failure detector, mirroring a
                     // session resume inside the grace window.
-                    vol.endpoint.pause_link_until(clock.now() + down_for);
+                    endpoint.pause_link_until(clock.now() + down_for);
                     trace.push(format!(
                         "[{}] v{v} flap down_us={}",
                         elapsed_us(&clock),
@@ -720,14 +922,71 @@ pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
                     if vol.done {
                         continue;
                     }
+                    let Some(endpoint) = vol.endpoint.as_ref() else {
+                        continue;
+                    };
                     for frame in frames {
                         let size = frame.wire_size();
                         let count = frame.record_count();
-                        if vol.endpoint.send_records_with_size(frame, size, count).is_ok() {
+                        if endpoint.send_records_with_size(frame, size, count).is_ok() {
                             trace.push(format!(
                                 "[{}] v{v} reply records={count}",
                                 elapsed_us(&clock)
                             ));
+                        }
+                    }
+                }
+                Ev::Join { v } => {
+                    let spec = &params
+                        .script
+                        .as_ref()
+                        .expect("join events only exist under a script")
+                        .volunteers[v];
+                    let vol = &mut volunteers[v];
+                    if vol.done || vol.endpoint.is_some() {
+                        continue;
+                    }
+                    // Registering with the master wires a driver at once:
+                    // the lender starts dispatching to the newcomer on the
+                    // next reactor step (the dynamic-join property).
+                    let endpoint = pando.open_volunteer_channel_with(spec.channel.clone());
+                    endpoint.set_waker(make_waker(v));
+                    vol.endpoint = Some(endpoint);
+                    trace.push(format!("[{}] v{v} join group={}", elapsed_us(&clock), spec.group));
+                }
+                Ev::Leave { v } => {
+                    let vol = &mut volunteers[v];
+                    if vol.done {
+                        continue;
+                    }
+                    let Some(endpoint) = vol.endpoint.as_ref() else {
+                        continue;
+                    };
+                    // A clean departure: goodbye then close. The master
+                    // re-lends whatever the volunteer still held without
+                    // waiting for a failure timeout, and `crash_relends`
+                    // stays untouched. Tasks mid-compute are abandoned (the
+                    // user shut the tab; the re-lend covers them).
+                    let _ = endpoint.send(Message::Goodbye);
+                    endpoint.close();
+                    vol.done = true;
+                    trace.push(format!("[{}] v{v} leave", elapsed_us(&clock)));
+                }
+                Ev::Partition { members, until } => {
+                    let ids: Vec<String> = members.iter().map(usize::to_string).collect();
+                    trace.push(format!(
+                        "[{}] partition members={} heal_us={}",
+                        elapsed_us(&clock),
+                        ids.join(","),
+                        until.saturating_duration_since(origin).as_micros()
+                    ));
+                    for v in members {
+                        let vol = &volunteers[v];
+                        if vol.done {
+                            continue;
+                        }
+                        if let Some(endpoint) = vol.endpoint.as_ref() {
+                            endpoint.pause_link_until(until);
                         }
                     }
                 }
@@ -824,6 +1083,12 @@ pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
         .map(|s| format!("shard {} borrows={} results={}", s.shard, s.borrows, s.results))
         .collect();
     let claim_log = pando.claim_log().unwrap_or_default();
+    // Both sides of each pair share the counter, so the volunteer handle
+    // sees master-side retransmissions too.
+    let retransmits: u64 = volunteers
+        .iter()
+        .map(|vol| vol.endpoint.as_ref().map(Endpoint::link_retransmits).unwrap_or(0))
+        .sum();
     pando.join_volunteers();
     FleetReport {
         params: params.clone(),
@@ -835,6 +1100,7 @@ pub fn simulate_fleet(params: &FleetParams) -> FleetReport {
         claim_log,
         reactor: reactor_stats,
         crashed: crashed_fired,
+        retransmits,
         virtual_elapsed: clock.elapsed(),
         wall_elapsed: wall_start.elapsed(),
     }
@@ -850,17 +1116,18 @@ fn poll_volunteer(
     clock: &pando_netsim::sim::Clock,
     trace: &mut Vec<String>,
 ) {
-    if vol.done {
+    if vol.done || vol.endpoint.is_none() {
         return;
     }
     loop {
-        let (records, batched) = match vol.endpoint.try_recv() {
+        let endpoint = vol.endpoint.as_ref().expect("checked above; never cleared mid-run");
+        let (records, batched) = match endpoint.try_recv() {
             Ok(Message::Task { seq, payload }) => (vec![Record::new(seq, payload)], false),
             Ok(Message::TaskBatch(records)) => (records, true),
             Ok(Message::Heartbeat) | Ok(Message::Ack { .. }) => continue,
             Ok(_) => {
                 // Unexpected on the volunteer side; treat as end of stream.
-                vol.endpoint.close();
+                endpoint.close();
                 vol.done = true;
                 return;
             }
@@ -874,8 +1141,8 @@ fn poll_volunteer(
                     engine.schedule(vol.busy_until.max(clock.now()), Ev::Repoll { v });
                     return;
                 }
-                let _ = vol.endpoint.send(Message::Goodbye);
-                vol.endpoint.close();
+                let _ = endpoint.send(Message::Goodbye);
+                endpoint.close();
                 vol.done = true;
                 trace.push(format!("[{}] v{v} goodbye", clock.elapsed().as_micros()));
                 return;
@@ -887,7 +1154,7 @@ fn poll_volunteer(
             Err(RecvError::Empty) | Err(RecvError::Timeout) => {
                 // A frame may still be in virtual flight: re-poll when it
                 // matures (de-duplicated against an earlier pending re-poll).
-                if let Some(at) = vol.endpoint.next_ready_at() {
+                if let Some(at) = endpoint.next_ready_at() {
                     if vol.repoll_at.map(|existing| at < existing).unwrap_or(true) {
                         vol.repoll_at = Some(at);
                         engine.schedule(at, Ev::Repoll { v });
@@ -1119,5 +1386,105 @@ mod tests {
     #[should_panic(expected = "outside the fleet")]
     fn flap_on_an_unknown_volunteer_is_rejected() {
         let _ = FleetParams::new(1, 2, 8).with_flaps(vec![(2, 100, 100)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the fleet")]
+    fn struct_literal_flap_outside_the_fleet_is_rejected_at_run_time() {
+        // The builders validate, but `FleetParams` has public fields: a
+        // struct literal used to smuggle an out-of-range flap past the
+        // check, where it was silently ignored.
+        let params = FleetParams {
+            seed: 1,
+            volunteers: 2,
+            tasks: 8,
+            crash_fraction: 0.0,
+            bounded_wakes: true,
+            flaps: vec![(2, 100, 100)],
+            script: None,
+        };
+        let _ = simulate_fleet(&params);
+    }
+
+    fn spec(group: &str, service_us: u64, seed: u64) -> VolunteerSpec {
+        VolunteerSpec {
+            group: group.into(),
+            service: Duration::from_micros(service_us),
+            channel: ChannelConfig::lan().with_seed(seed),
+            joins_at: Duration::ZERO,
+            leaves_at: None,
+            crash_at: None,
+        }
+    }
+
+    #[test]
+    fn scripted_fleet_is_deterministic_across_churn_loss_and_partitions() {
+        // A hand-built script exercising every scripted event kind at once:
+        // a lossy WAN phone, a mid-run join, a clean leave, a crash and a
+        // partition that heals. The stream still completes exactly once per
+        // task, and two runs are byte-identical.
+        let mut phone = spec("wan", 2_500, 11);
+        phone.channel = ChannelConfig::wan().with_seed(11).with_loss(0.2);
+        let mut latecomer = spec("lan", 900, 12);
+        latecomer.joins_at = Duration::from_millis(8);
+        let mut quitter = spec("lan", 1_100, 13);
+        quitter.leaves_at = Some(Duration::from_millis(20));
+        let mut doomed = spec("lan", 700, 14);
+        doomed.crash_at = Some(Duration::from_millis(15));
+        let script = FleetScript {
+            name: "unit_mixed".into(),
+            volunteers: vec![spec("lan", 800, 10), phone, latecomer, quitter, doomed],
+            partitions: vec![(vec![0, 1], Duration::from_millis(10), Duration::from_millis(14))],
+            interactive_input: false,
+        };
+        let params = FleetParams::new(77, 1, 96).with_script(script);
+        assert_eq!(params.volunteers, 5, "with_script adopts the script's fleet size");
+        let a = simulate_fleet(&params);
+        let b = simulate_fleet(&params);
+        assert_eq!(a.canonical_trace(), b.canonical_trace());
+        assert_eq!(a.output_order, (0..96).collect::<Vec<u64>>(), "exactly-once output");
+        assert_eq!(a.crashed, 1);
+        assert!(a.retransmits > 0, "a 20% lossy link must retransmit");
+        assert!(a.canonical_trace().contains("scenario name=unit_mixed"));
+        assert!(a.trace.iter().any(|l| l.contains("join group=lan")));
+        assert!(a.trace.iter().any(|l| l.contains("leave")));
+        assert!(a.trace.iter().any(|l| l.contains("partition members=0,1")));
+        assert!(a.canonical_trace().contains(&format!("loss retransmits={}", a.retransmits)));
+    }
+
+    #[test]
+    fn interactive_input_completes_with_a_bounded_wasted_poll_budget() {
+        // The PR 7 regression shape: a source whose non-blocking asks always
+        // would-block forces every task through the input pump. The run must
+        // finish (no wedge) without the kick/ask busy loop inflating
+        // wasted_polls.
+        let script = FleetScript {
+            name: "unit_interactive".into(),
+            volunteers: vec![spec("lan", 800, 20), spec("lan", 1_200, 21)],
+            partitions: Vec::new(),
+            interactive_input: true,
+        };
+        let params = FleetParams::new(5, 1, 48).with_script(script);
+        let report = simulate_fleet(&params);
+        assert_eq!(report.output_order, (0..48).collect::<Vec<u64>>());
+        assert!(
+            report.reactor.wasted_polls <= 10 * 48,
+            "wasted polls must stay bounded, got {}",
+            report.reactor.wasted_polls
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet size must match")]
+    fn script_fleet_size_mismatch_is_rejected() {
+        let script = FleetScript {
+            name: "unit_bad".into(),
+            volunteers: vec![spec("lan", 800, 1)],
+            partitions: Vec::new(),
+            interactive_input: false,
+        };
+        let mut params = FleetParams::new(1, 1, 8).with_script(script);
+        params.volunteers = 3; // struct-literal-style tampering
+        let _ = simulate_fleet(&params);
     }
 }

@@ -78,6 +78,21 @@ pub struct ChannelConfig {
     /// deterministic traces are byte-identical. Zero-size sends (heartbeats,
     /// control frames) are always admitted.
     pub send_buffer_max: Option<usize>,
+    /// Probability in `[0, 1)` that one transmission of a frame is lost on
+    /// the wire. The channel models the transport *above* raw datagrams —
+    /// TCP plus the session layer's ack/redelivery buffer — where a lost
+    /// frame is never dropped for good: it is retransmitted until it lands,
+    /// so loss surfaces as added delivery delay ([`ChannelConfig::retransmit`]
+    /// per lost transmission), never as a missing or duplicated frame.
+    /// Retransmissions are counted per side
+    /// ([`Endpoint::frames_retransmitted`]). `0.0` (every profile
+    /// constructor's default) draws nothing from the jitter RNG, keeping
+    /// pre-existing deterministic traces byte-identical.
+    pub loss: f64,
+    /// Recovery delay added to a frame's delivery for **each** lost
+    /// transmission — the retransmit timeout of the modelled reliable
+    /// transport. Only consulted when [`ChannelConfig::loss`] is non-zero.
+    pub retransmit: Duration,
 }
 
 impl ChannelConfig {
@@ -92,6 +107,8 @@ impl ChannelConfig {
             failure_timeout: Duration::from_millis(25),
             seed: 0,
             send_buffer_max: None,
+            loss: 0.0,
+            retransmit: Duration::from_millis(25),
         }
     }
 
@@ -106,6 +123,8 @@ impl ChannelConfig {
             failure_timeout: Duration::from_millis(500),
             seed: 0,
             send_buffer_max: None,
+            loss: 0.0,
+            retransmit: Duration::from_millis(25),
         }
     }
 
@@ -120,6 +139,8 @@ impl ChannelConfig {
             failure_timeout: Duration::from_secs(1),
             seed: 0,
             send_buffer_max: None,
+            loss: 0.0,
+            retransmit: Duration::from_millis(60),
         }
     }
 
@@ -134,12 +155,27 @@ impl ChannelConfig {
             failure_timeout: Duration::from_secs(2),
             seed: 0,
             send_buffer_max: None,
+            loss: 0.0,
+            retransmit: Duration::from_millis(200),
         }
     }
 
     /// Returns the same configuration with a different jitter seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the same configuration with a per-transmission loss
+    /// probability (see [`ChannelConfig::loss`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= loss < 1.0` — at 1.0 every retransmission is
+    /// lost too and the frame would never be delivered.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss probability {loss} outside [0, 1)");
+        self.loss = loss;
         self
     }
 
@@ -253,6 +289,9 @@ struct SideState {
     /// A sized send was rejected with [`SendError::WouldBlock`]; the next
     /// drain below the bound fires this side's waker exactly once.
     send_blocked: bool,
+    /// Transmissions of this side's frames lost on the wire and re-sent by
+    /// the modelled reliable transport ([`ChannelConfig::loss`]).
+    frames_retransmitted: u64,
 }
 
 struct Shared {
@@ -334,6 +373,7 @@ pub fn pair_with_clock<T: Send + 'static>(
             records_sent: 0,
             bytes_in_flight: 0,
             send_blocked: false,
+            frames_retransmitted: 0,
         }),
         b: Mutex::new(SideState {
             crashed_at: None,
@@ -347,6 +387,7 @@ pub fn pair_with_clock<T: Send + 'static>(
             records_sent: 0,
             bytes_in_flight: 0,
             send_blocked: false,
+            frames_retransmitted: 0,
         }),
     });
     let dir_ab = Direction { tx: a_to_b.0, rx: a_to_b.1 };
@@ -520,7 +561,26 @@ impl<T: Send + 'static> Endpoint<T> {
             let nanos = self.config.jitter.as_nanos() as u64;
             Duration::from_nanos(self.rng.lock().gen_range(0..=nanos))
         };
-        let delay = self.config.latency + jitter + self.config.transmission_delay(size);
+        let mut delay = self.config.latency + jitter + self.config.transmission_delay(size);
+        // Per-transmission loss: the modelled reliable transport re-sends a
+        // lost frame after `retransmit`, so each lost transmission converts
+        // to delay. The geometric draw is capped at 16 losses per frame to
+        // bound both the loop and the worst-case delivery delay.
+        // loss == 0.0 must not touch the RNG: the jitter sequence, and with
+        // it every pre-existing golden trace, stays byte-identical.
+        if self.config.loss > 0.0 {
+            let mut lost = 0u32;
+            {
+                let mut rng = self.rng.lock();
+                while lost < 16 && rng.gen_bool(self.config.loss) {
+                    lost += 1;
+                }
+            }
+            if lost > 0 {
+                delay += self.config.retransmit * lost;
+                mine.frames_retransmitted += u64::from(lost);
+            }
+        }
         let deliver_at = (self.clock.now() + delay).max(mine.next_delivery);
         mine.next_delivery = deliver_at;
         mine.messages_sent += 1;
@@ -799,6 +859,19 @@ impl<T: Send + 'static> Endpoint<T> {
     /// the ratio is the average batch size actually achieved on the wire.
     pub fn records_sent(&self) -> u64 {
         self.my_state().lock().records_sent
+    }
+
+    /// Transmissions of this side's frames lost on the wire and re-sent by
+    /// the modelled reliable transport. Zero unless [`ChannelConfig::loss`]
+    /// is non-zero.
+    pub fn frames_retransmitted(&self) -> u64 {
+        self.my_state().lock().frames_retransmitted
+    }
+
+    /// Total lost-and-re-sent transmissions on this link, both directions.
+    /// Either endpoint of the pair reports the same number.
+    pub fn link_retransmits(&self) -> u64 {
+        self.shared.a.lock().frames_retransmitted + self.shared.b.lock().frames_retransmitted
     }
 
     /// Converts the endpoint into a pull-stream duplex: the source yields
@@ -1286,6 +1359,84 @@ mod tests {
         assert!(a.try_recv().is_ok() || a.next_ready_at().is_some());
         clock.advance_to(clock.now() + Duration::from_millis(5));
         assert_eq!(b.try_recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn loss_delays_frames_deterministically_without_dropping_them() {
+        use crate::sim::Clock;
+        let run = |seed: u64| {
+            let clock = Clock::virtual_clock();
+            let mut config = ChannelConfig::instant().with_loss(0.4).with_seed(seed);
+            config.latency = Duration::from_millis(1);
+            config.retransmit = Duration::from_millis(30);
+            let (a, b) = pair_with_clock::<u32>(config, clock.clone());
+            // Virtual clocks anchor at their creation instant, so record
+            // elapsed-since-start rather than absolute instants.
+            let t0 = clock.now();
+            let mut deliveries = Vec::new();
+            for i in 0..50 {
+                a.send_with_size(i, 8).unwrap();
+            }
+            while deliveries.len() < 50 {
+                match b.try_recv() {
+                    Ok(v) => deliveries.push((v, clock.now().saturating_duration_since(t0))),
+                    Err(RecvError::Empty) => {
+                        let at = b.next_ready_at().expect("frames are in flight");
+                        clock.advance_to(at);
+                    }
+                    Err(other) => panic!("unexpected {other:?}"),
+                }
+            }
+            (deliveries, a.frames_retransmitted(), b.link_retransmits())
+        };
+        let (first, sent_retx, link_retx) = run(7);
+        // Every frame arrives exactly once, in order: loss is delay, not drop.
+        assert_eq!(first.iter().map(|(v, _)| *v).collect::<Vec<_>>(), (0..50).collect::<Vec<_>>());
+        assert!(sent_retx > 0, "at 40% loss, 50 frames must lose a few transmissions");
+        assert_eq!(link_retx, sent_retx, "only side a sent anything");
+        // Same seed ⇒ byte-identical delivery schedule.
+        let (second, retx2, _) = run(7);
+        assert_eq!(first, second);
+        assert_eq!(sent_retx, retx2);
+        // A different seed loses different transmissions.
+        let (_, retx3, _) = run(8);
+        assert_ne!(sent_retx, retx3);
+    }
+
+    #[test]
+    fn zero_loss_does_not_perturb_the_jitter_sequence() {
+        // loss = 0.0 must not draw from the RNG: the delivery schedule of a
+        // jittery channel is byte-identical whether the loss knob exists on
+        // the config or not (all pre-existing golden traces rely on this).
+        use crate::sim::Clock;
+        let deliveries = |config: ChannelConfig| {
+            let clock = Clock::virtual_clock();
+            let (a, b) = pair_with_clock::<u32>(config, clock.clone());
+            let t0 = clock.now();
+            let mut out = Vec::new();
+            for i in 0..20 {
+                a.send_with_size(i, 4).unwrap();
+            }
+            while out.len() < 20 {
+                match b.try_recv() {
+                    Ok(_) => out.push(clock.now().saturating_duration_since(t0)),
+                    Err(RecvError::Empty) => clock.advance_to(b.next_ready_at().unwrap()),
+                    Err(other) => panic!("unexpected {other:?}"),
+                }
+            }
+            out
+        };
+        let mut jittery = ChannelConfig::instant().with_seed(3);
+        jittery.jitter = Duration::from_millis(5);
+        let baseline = deliveries(jittery.clone());
+        jittery.retransmit = Duration::from_secs(9); // must never be consulted
+        assert_eq!(deliveries(jittery), baseline);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn certain_loss_is_rejected() {
+        let _ = ChannelConfig::instant().with_loss(1.0);
     }
 
     #[test]

@@ -1,0 +1,610 @@
+//! A minimal TOML-subset parser and renderer.
+//!
+//! The build environment has no crate-registry access, so the scenario files
+//! under `scenarios/*.toml` are read by this in-tree stand-in instead of the
+//! `toml` crate. It implements exactly the subset those files use, and
+//! nothing more:
+//!
+//! * top-level `key = value` pairs;
+//! * `[table]` headers and `[[array-of-tables]]` headers (single segment —
+//!   dotted paths are rejected);
+//! * values: basic strings (`"..."` with `\\`, `\"`, `\n`, `\t` escapes),
+//!   integers (optional sign, `_` separators), floats, booleans, and
+//!   single-line arrays of those scalars;
+//! * `#` comments (full-line or trailing) and blank lines.
+//!
+//! Everything else — dotted keys, inline tables, multi-line strings, dates —
+//! is a parse [`Error`] carrying the offending line number. [`Document`]s
+//! preserve declaration order and render back to text ([`Document::render`])
+//! such that `parse(render(doc)) == doc`, which is what the scenario
+//! round-trip property tests lean on.
+//!
+//! ```
+//! let doc = minitoml::parse("tasks = 8\n[[group]]\nname = \"lan\"\n").unwrap();
+//! assert_eq!(doc.root().get_int("tasks"), Some(8));
+//! assert_eq!(doc.root().tables("group").len(), 1);
+//! let again = minitoml::parse(&doc.render()).unwrap();
+//! assert_eq!(doc, again);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    String(String),
+    /// A 64-bit signed integer.
+    Integer(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A single-line array of scalar values.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    fn render(&self, out: &mut String) {
+        match self {
+            Value::String(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Integer(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => {
+                let text = f.to_string();
+                out.push_str(&text);
+                // Keep the float/integer distinction through a round trip.
+                if !text.contains('.') && !text.contains('e') && !text.contains("inf") {
+                    out.push_str(".0");
+                }
+            }
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+/// One named entry of a [`Table`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `key = value`.
+    Value(Value),
+    /// `[key]`.
+    Table(Table),
+    /// `[[key]]`, one [`Table`] per occurrence, in file order.
+    ArrayOfTables(Vec<Table>),
+}
+
+/// An ordered map of keys to [`Item`]s (declaration order is preserved).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    entries: Vec<(String, Item)>,
+}
+
+impl Table {
+    /// The item stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&Item> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, item)| item)
+    }
+
+    /// The string stored under `key`, if it is one.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Item::Value(Value::String(s))) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer stored under `key`, if it is one.
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        match self.get(key) {
+            Some(Item::Value(Value::Integer(i))) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float stored under `key`; integers widen to floats.
+    pub fn get_float(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(Item::Value(Value::Float(f))) => Some(*f),
+            Some(Item::Value(Value::Integer(i))) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean stored under `key`, if it is one.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key) {
+            Some(Item::Value(Value::Bool(b))) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The sub-table stored under `key` (`[key]`), if any.
+    pub fn table(&self, key: &str) -> Option<&Table> {
+        match self.get(key) {
+            Some(Item::Table(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The array of tables stored under `key` (`[[key]]`); empty if absent.
+    pub fn tables(&self, key: &str) -> &[Table] {
+        match self.get(key) {
+            Some(Item::ArrayOfTables(ts)) => ts,
+            _ => &[],
+        }
+    }
+
+    /// All keys of this table, in declaration order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Inserts `key = value`; replaces an existing entry of the same key.
+    pub fn set(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        self.entries.retain(|(k, _)| *k != key);
+        self.entries.push((key, Item::Value(value)));
+    }
+
+    /// Inserts a `[key]` sub-table.
+    pub fn set_table(&mut self, key: impl Into<String>, table: Table) {
+        let key = key.into();
+        self.entries.retain(|(k, _)| *k != key);
+        self.entries.push((key, Item::Table(table)));
+    }
+
+    /// Appends one `[[key]]` table.
+    pub fn push_table(&mut self, key: impl Into<String>, table: Table) {
+        let key = key.into();
+        if let Some(Item::ArrayOfTables(ts)) =
+            self.entries.iter_mut().find(|(k, _)| *k == key).map(|(_, item)| item)
+        {
+            ts.push(table);
+            return;
+        }
+        self.entries.push((key, Item::ArrayOfTables(vec![table])));
+    }
+
+    /// `true` if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A parsed document: the root [`Table`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Document {
+    root: Table,
+}
+
+impl Document {
+    /// Wraps a hand-built root table.
+    pub fn from_root(root: Table) -> Self {
+        Self { root }
+    }
+
+    /// The root table.
+    pub fn root(&self) -> &Table {
+        &self.root
+    }
+
+    /// Mutable access to the root table.
+    pub fn root_mut(&mut self) -> &mut Table {
+        &mut self.root
+    }
+
+    /// Renders the document back to TOML text. `parse(render(doc)) == doc`
+    /// for every document this module can produce.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        // Root scalars first (they would otherwise land inside a table).
+        for (key, item) in &self.root.entries {
+            if let Item::Value(value) = item {
+                out.push_str(key);
+                out.push_str(" = ");
+                value.render(&mut out);
+                out.push('\n');
+            }
+        }
+        for (key, item) in &self.root.entries {
+            match item {
+                Item::Value(_) => {}
+                Item::Table(table) => {
+                    out.push('\n');
+                    out.push_str(&format!("[{key}]\n"));
+                    render_pairs(table, &mut out);
+                }
+                Item::ArrayOfTables(tables) => {
+                    for table in tables {
+                        out.push('\n');
+                        out.push_str(&format!("[[{key}]]\n"));
+                        render_pairs(table, &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_pairs(table: &Table, out: &mut String) {
+    for (key, item) in &table.entries {
+        match item {
+            Item::Value(value) => {
+                out.push_str(key);
+                out.push_str(" = ");
+                value.render(out);
+                out.push('\n');
+            }
+            // Nested table headers are not part of the subset; a hand-built
+            // document with them would not round-trip, so refuse to render
+            // silently-wrong output.
+            Item::Table(_) | Item::ArrayOfTables(_) => {
+                panic!("minitoml renders a flat table layout only (one header level)")
+            }
+        }
+    }
+}
+
+/// A parse error with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn err(line: usize, message: impl Into<String>) -> Error {
+    Error { line, message: message.into() }
+}
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Strips a trailing `#` comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Parses TOML-subset text into a [`Document`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] with the offending line number for anything outside
+/// the subset (see the [module docs](self)) and for duplicate keys.
+pub fn parse(text: &str) -> Result<Document, Error> {
+    enum Target {
+        Root,
+        Table(String),
+        ArrayEntry(String),
+    }
+    let mut doc = Document::default();
+    let mut target = Target::Root;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let name = header
+                .strip_suffix("]]")
+                .ok_or_else(|| err(lineno, "unterminated [[header]]"))?
+                .trim();
+            if !is_bare_key(name) {
+                return Err(err(lineno, format!("invalid table name {name:?} (bare keys only)")));
+            }
+            match doc.root.get(name) {
+                None | Some(Item::ArrayOfTables(_)) => {}
+                Some(_) => return Err(err(lineno, format!("key {name:?} already defined"))),
+            }
+            doc.root.push_table(name, Table::default());
+            target = Target::ArrayEntry(name.to_string());
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let name = header
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated [header]"))?
+                .trim();
+            if !is_bare_key(name) {
+                return Err(err(lineno, format!("invalid table name {name:?} (bare keys only)")));
+            }
+            if doc.root.get(name).is_some() {
+                return Err(err(lineno, format!("key {name:?} already defined")));
+            }
+            doc.root.set_table(name, Table::default());
+            target = Target::Table(name.to_string());
+            continue;
+        }
+        let eq = line
+            .find('=')
+            .ok_or_else(|| err(lineno, format!("expected `key = value`, got {line:?}")))?;
+        let key = line[..eq].trim();
+        if !is_bare_key(key) {
+            return Err(err(lineno, format!("invalid key {key:?} (bare keys only)")));
+        }
+        let value = parse_value(line[eq + 1..].trim(), lineno)?;
+        let table = match &target {
+            Target::Root => &mut doc.root,
+            Target::Table(name) => match doc.root.entries.iter_mut().find(|(k, _)| k == name) {
+                Some((_, Item::Table(t))) => t,
+                _ => unreachable!("header created the table"),
+            },
+            Target::ArrayEntry(name) => {
+                match doc.root.entries.iter_mut().find(|(k, _)| k == name) {
+                    Some((_, Item::ArrayOfTables(ts))) => {
+                        ts.last_mut().expect("header pushed an entry")
+                    }
+                    _ => unreachable!("header created the array"),
+                }
+            }
+        };
+        if table.get(key).is_some() {
+            return Err(err(lineno, format!("key {key:?} already defined")));
+        }
+        table.entries.push((key.to_string(), Item::Value(value)));
+    }
+    Ok(doc)
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, Error> {
+    if text.is_empty() {
+        return Err(err(lineno, "missing value"));
+    }
+    if text.starts_with('"') {
+        let (value, rest) = parse_string(text, lineno)?;
+        if !rest.trim().is_empty() {
+            return Err(err(lineno, format!("trailing characters after string: {rest:?}")));
+        }
+        return Ok(Value::String(value));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let body =
+            body.strip_suffix(']').ok_or_else(|| err(lineno, "unterminated array (one line)"))?;
+        let mut items = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let (item_text, remaining) = split_array_item(rest, lineno)?;
+            items.push(parse_value(item_text.trim(), lineno)?);
+            rest = remaining.trim();
+        }
+        if items.iter().any(|i| matches!(i, Value::Array(_))) {
+            return Err(err(lineno, "nested arrays are outside the subset"));
+        }
+        return Ok(Value::Array(items));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let numeric: String = text.chars().filter(|c| *c != '_').collect();
+    if let Ok(i) = numeric.parse::<i64>() {
+        return Ok(Value::Integer(i));
+    }
+    if numeric.contains(['.', 'e', 'E']) {
+        if let Ok(f) = numeric.parse::<f64>() {
+            if f.is_finite() {
+                return Ok(Value::Float(f));
+            }
+        }
+    }
+    Err(err(lineno, format!("unsupported value {text:?}")))
+}
+
+/// Splits `"..."` off the front of `text`; returns (unescaped, rest).
+fn parse_string(text: &str, lineno: usize) -> Result<(String, &str), Error> {
+    let mut out = String::new();
+    let mut chars = text.char_indices().skip(1);
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &text[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, other)) => {
+                    return Err(err(lineno, format!("unsupported escape \\{other}")))
+                }
+                None => return Err(err(lineno, "unterminated escape")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(err(lineno, "unterminated string"))
+}
+
+/// Splits one array item (up to an unquoted comma) off the front of `text`.
+fn split_array_item(text: &str, lineno: usize) -> Result<(&str, &str), Error> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            ',' if !in_string => return Ok((&text[..i], &text[i + 1..])),
+            _ => {}
+        }
+        escaped = false;
+    }
+    if in_string {
+        return Err(err(lineno, "unterminated string in array"));
+    }
+    Ok((text, ""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_tables_and_arrays_of_tables() {
+        let doc = parse(
+            r#"
+# a scenario-shaped document
+name = "calm_lan"   # trailing comment
+seed = 42
+loss = 0.05
+negative = -3
+big = 1_000_000
+flag = true
+list = [1, 2, 3]
+names = ["a", "b"]
+
+[defaults]
+latency_us = 2000
+
+[[group]]
+name = "phones"
+count = 4
+
+[[group]]
+name = "laptops"
+count = 2
+"#,
+        )
+        .unwrap();
+        let root = doc.root();
+        assert_eq!(root.get_str("name"), Some("calm_lan"));
+        assert_eq!(root.get_int("seed"), Some(42));
+        assert_eq!(root.get_float("loss"), Some(0.05));
+        assert_eq!(root.get_int("negative"), Some(-3));
+        assert_eq!(root.get_int("big"), Some(1_000_000));
+        assert_eq!(root.get_bool("flag"), Some(true));
+        assert_eq!(
+            root.get("list"),
+            Some(&Item::Value(Value::Array(vec![
+                Value::Integer(1),
+                Value::Integer(2),
+                Value::Integer(3)
+            ])))
+        );
+        assert_eq!(root.table("defaults").unwrap().get_int("latency_us"), Some(2000));
+        let groups = root.tables("group");
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].get_str("name"), Some("phones"));
+        assert_eq!(groups[1].get_int("count"), Some(2));
+    }
+
+    #[test]
+    fn integers_widen_to_floats_but_not_the_reverse() {
+        let doc = parse("a = 3\nb = 3.5\n").unwrap();
+        assert_eq!(doc.root().get_float("a"), Some(3.0));
+        assert_eq!(doc.root().get_int("b"), None);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut root = Table::default();
+        root.set("s", Value::String("a\"b\\c\nd\te".into()));
+        let doc = Document::from_root(root);
+        let again = parse(&doc.render()).unwrap();
+        assert_eq!(doc, again);
+        assert_eq!(again.root().get_str("s"), Some("a\"b\\c\nd\te"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("s = \"a # b\"\n").unwrap();
+        assert_eq!(doc.root().get_str("s"), Some("a # b"));
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let mut group = Table::default();
+        group.set("name", Value::String("wan".into()));
+        group.set("count", Value::Integer(7));
+        group.set("loss", Value::Float(0.25));
+        let mut expect = Table::default();
+        expect.set("crash_relends", Value::Integer(0));
+        let mut root = Table::default();
+        root.set("name", Value::String("x".into()));
+        root.set("whole", Value::Float(2.0)); // must stay a float
+        root.push_table("group", group.clone());
+        root.push_table("group", group);
+        root.set_table("expect", expect);
+        let doc = Document::from_root(root);
+        let text = doc.render();
+        let again = parse(&text).unwrap();
+        assert_eq!(doc, again, "round trip through:\n{text}");
+        assert_eq!(again.root().get_float("whole"), Some(2.0));
+        assert_eq!(again.root().get_int("whole"), None, "2.0 renders as a float");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(parse("a = 1\nb =\n").unwrap_err().line, 2);
+        assert_eq!(parse("[t\n").unwrap_err().line, 1);
+        assert_eq!(parse("a = 1\na = 2\n").unwrap_err().line, 2);
+        assert_eq!(parse("x = 2020-01-01\n").unwrap_err().line, 1);
+        assert_eq!(parse("[a.b]\n").unwrap_err().line, 1, "dotted headers are rejected");
+        assert_eq!(parse("k = [[1]]\n").unwrap_err().line, 1, "nested arrays are rejected");
+        assert_eq!(parse("k = \"open\n").unwrap_err().line, 1);
+        assert_eq!(parse("just text\n").unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn duplicate_headers_are_rejected_but_array_headers_repeat() {
+        assert!(parse("[a]\n[a]\n").is_err());
+        assert!(parse("a = 1\n[a]\n").is_err());
+        assert!(parse("[[a]]\n[[a]]\n").is_ok());
+        assert!(parse("[a]\n[[a]]\n").is_err());
+    }
+}
